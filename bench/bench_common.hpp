@@ -1,0 +1,97 @@
+// Shared helpers for the experiment binaries: banner printing, standard
+// graph constructions used by the paper's figures, and controller-trace
+// summarization.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/baselines.hpp"
+#include "control/controller.hpp"
+#include "control/extra.hpp"
+#include "control/hybrid.hpp"
+#include "control/recurrence.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/generators.hpp"
+#include "sim/run_loop.hpp"
+#include "support/csv.hpp"
+#include "support/options.hpp"
+#include "support/rng.hpp"
+
+namespace optipar::bench {
+
+inline void banner(const std::string& title) {
+  std::cout << "\n==== " << title << " ====\n";
+}
+
+inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+/// Fig. 2's third curve: a union of cliques PLUS disconnected nodes, with
+/// overall average degree ≈ d. Uses cliques of size (k+1) covering the
+/// fraction d/k of the nodes (k > d), the rest isolated.
+inline CsrGraph cliques_and_isolated_with_degree(NodeId n, std::uint32_t d,
+                                                 std::uint32_t clique_degree) {
+  const std::uint32_t k = clique_degree;  // degree inside each clique
+  const NodeId clique_size = k + 1;
+  // x nodes in cliques: x·k / n = d  =>  x = n·d/k, rounded to a multiple
+  // of the clique size.
+  NodeId in_cliques = static_cast<NodeId>(
+      static_cast<std::uint64_t>(n) * d / k);
+  in_cliques -= in_cliques % clique_size;
+  const auto base = gen::union_of_cliques(in_cliques, k);
+  return CsrGraph::from_edges(n, base.edges());  // rest stay isolated
+}
+
+/// Construct a named controller for CLI-style selection.
+inline std::unique_ptr<Controller> make_controller(
+    const std::string& name, const ControllerParams& params) {
+  if (name == "hybrid") return std::make_unique<HybridController>(params);
+  if (name == "recurrence-A") {
+    return std::make_unique<RecurrenceAController>(params);
+  }
+  if (name == "recurrence-B") {
+    return std::make_unique<RecurrenceBController>(params);
+  }
+  if (name == "bisection") {
+    return std::make_unique<BisectionController>(params);
+  }
+  if (name == "aimd") return std::make_unique<AimdController>(params);
+  if (name == "pid") return std::make_unique<PidController>(params);
+  if (name == "ewma-hybrid") {
+    return std::make_unique<EwmaHybridController>(params);
+  }
+  if (name.rfind("fixed-", 0) == 0) {
+    return std::make_unique<FixedController>(
+        static_cast<std::uint32_t>(std::stoul(name.substr(6))));
+  }
+  throw std::invalid_argument("unknown controller: " + name);
+}
+
+struct TraceSummary {
+  std::string controller;
+  std::size_t rounds = 0;
+  std::size_t convergence_step = 0;
+  double mean_ratio_steady = 0.0;
+  double rms_error = 0.0;
+  double wasted = 0.0;
+  std::uint64_t committed = 0;
+};
+
+inline TraceSummary summarize(const std::string& name, const Trace& trace,
+                              double mu_ref, double band = 0.25) {
+  TraceSummary s;
+  s.controller = name;
+  s.rounds = trace.steps.size();
+  s.convergence_step = trace.convergence_step(mu_ref, band, 5);
+  const std::size_t steady = std::min(s.convergence_step, s.rounds);
+  s.mean_ratio_steady = trace.mean_conflict_ratio(steady);
+  s.rms_error = trace.rms_relative_error(mu_ref, steady);
+  s.wasted = trace.wasted_fraction();
+  s.committed = trace.total_committed();
+  return s;
+}
+
+}  // namespace optipar::bench

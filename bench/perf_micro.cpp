@@ -1,0 +1,137 @@
+// PERF — google-benchmark micro-benchmarks of the hot kernels: the
+// permutation sweep (one full r̄-curve sample), single-round conflict
+// evaluation, graph generation, controller decision overhead, speculative
+// executor round overhead, and Delaunay construction.
+#include <benchmark/benchmark.h>
+
+#include "apps/dmr/delaunay.hpp"
+#include "control/hybrid.hpp"
+#include "graph/generators.hpp"
+#include "model/conflict_ratio.hpp"
+#include "model/permutation_sweep.hpp"
+#include "rt/spec_executor.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace optipar;
+
+void BM_PermutationSweep(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(1);
+  const auto g = gen::random_with_average_degree(n, 16, rng);
+  for (auto _ : state) {
+    const auto perm = rng.permutation(n);
+    const auto sweep = sweep_full_permutation(g, perm);
+    benchmark::DoNotOptimize(sweep.aborts_at_prefix.back());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PermutationSweep)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_RoundOutcome(benchmark::State& state) {
+  const auto m = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(2);
+  const auto g = gen::random_with_average_degree(2000, 16, rng);
+  for (auto _ : state) {
+    const auto active = rng.sample_without_replacement(2000, m);
+    benchmark::DoNotOptimize(round_outcome(g, active));
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_RoundOutcome)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_GnmGeneration(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gen::random_with_average_degree(n, 16, rng).num_edges());
+  }
+}
+BENCHMARK(BM_GnmGeneration)->Arg(1000)->Arg(10000);
+
+void BM_UnionOfCliques(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::union_of_cliques(n, 16).num_edges());
+  }
+}
+BENCHMARK(BM_UnionOfCliques)->Arg(1020)->Arg(10200);
+
+void BM_HybridControllerObserve(benchmark::State& state) {
+  ControllerParams p;
+  HybridController c(p);
+  RoundStats stats;
+  stats.launched = 100;
+  stats.committed = 75;
+  stats.aborted = 25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.observe(stats));
+  }
+}
+BENCHMARK(BM_HybridControllerObserve);
+
+void BM_ConflictCurveEstimation(benchmark::State& state) {
+  Rng rng(4);
+  const auto g = gen::random_with_average_degree(2000, 16, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimate_conflict_curve(g, 10, rng).r_bar(1000));
+  }
+}
+BENCHMARK(BM_ConflictCurveEstimation);
+
+void BM_ParallelCurveEstimation(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const auto g = gen::random_with_average_degree(2000, 16, rng);
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimate_conflict_curve_parallel(g, 10, 42, pool).r_bar(1000));
+  }
+}
+BENCHMARK(BM_ParallelCurveEstimation)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ExecutorRound(benchmark::State& state) {
+  const auto m = static_cast<std::uint32_t>(state.range(0));
+  ThreadPool pool(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    SpeculativeExecutor ex(
+        pool, 4096,
+        [](TaskId t, IterationContext& ctx) {
+          ctx.acquire(static_cast<std::uint32_t>(t));
+        },
+        5);
+    std::vector<TaskId> tasks(4096);
+    for (TaskId t = 0; t < 4096; ++t) tasks[t] = t;
+    ex.push_initial(tasks);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ex.run_round(m).committed);
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_ExecutorRound)->Arg(16)->Arg(256)->Arg(2048);
+
+void BM_DelaunayBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  std::vector<dmr::Point2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform() * 100, rng.uniform() * 100});
+  }
+  for (auto _ : state) {
+    dmr::Mesh mesh;
+    benchmark::DoNotOptimize(dmr::build_delaunay(mesh, pts, 2.0).size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DelaunayBuild)->Arg(100)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,186 @@
+// T-PROP1 / T-PROP2 / T-THM23 / EX1 — numerical validation of every
+// theoretical statement in the paper against Monte-Carlo measurement:
+//   Prop. 1  r̄(m) non-decreasing
+//   Prop. 2  Δr̄(1) = d/(2(n−1)) across structurally different graphs
+//   Thm. 1   Turán: E[greedy MIS] >= n/(d+1)
+//   Thm. 2   EM_m(G) >= b_m(G) >= EM_m(K_d^n)
+//   Thm. 3   exact EM_m(K_d^n) vs measurement
+//   Cor. 2/3 bound approximations
+//   Ex. 1    K_{n²} ⊎ D_n: max IS = n+1 but ~2 committed
+//   plus the unfriendly-seating exact solvers (paths, cycles, grid [11]).
+//
+// Usage: validate_theory [--trials=3000] [--seed=1]
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/algos.hpp"
+#include "model/conflict_ratio.hpp"
+#include "model/seating.hpp"
+#include "model/theory.hpp"
+
+using namespace optipar;
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  const auto trials = static_cast<std::uint32_t>(opt.get_int("trials", 3000));
+  Rng rng(opt.get_int("seed", 1));
+  int failures = 0;
+  auto verdict = [&](bool ok) {
+    if (!ok) ++failures;
+    return std::string(ok ? "OK" : "VIOLATED");
+  };
+
+  // ---------------------------------------------------------- Prop. 1
+  bench::banner("Prop. 1 — r̄(m) is non-decreasing");
+  {
+    Table t({"graph", "n", "d", "max_negative_step", "verdict"});
+    struct Case {
+      std::string name;
+      CsrGraph g;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"gnm", gen::random_with_average_degree(400, 10, rng)});
+    cases.push_back({"cliques", gen::union_of_cliques(400, 9)});
+    cases.push_back({"grid", gen::grid_2d(20, 20)});
+    cases.push_back({"rmat", gen::rmat(400, 2000, 0.55, 0.15, 0.15, rng)});
+    for (const auto& c : cases) {
+      const auto curve = estimate_conflict_curve(c.g, trials, rng);
+      double worst = 0.0;
+      for (std::uint32_t m = 1; m < c.g.num_nodes(); ++m) {
+        worst = std::min(worst, curve.r_bar(m + 1) - curve.r_bar(m));
+      }
+      const bool ok = worst > -0.02;  // MC noise tolerance
+      t.add_row({c.name, static_cast<std::int64_t>(c.g.num_nodes()),
+                 c.g.average_degree(), worst, verdict(ok)});
+    }
+    t.print(std::cout);
+  }
+
+  // ---------------------------------------------------------- Prop. 2
+  bench::banner("Prop. 2 — initial derivative d/(2(n-1)) for any structure");
+  {
+    Table t({"graph", "predicted", "measured", "verdict"});
+    struct Case {
+      std::string name;
+      CsrGraph g;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"gnm", gen::random_with_average_degree(300, 12, rng)});
+    cases.push_back({"star", gen::star(299)});
+    cases.push_back({"cliques", gen::union_of_cliques(300, 11)});
+    cases.push_back({"path", gen::path(300)});
+    for (const auto& c : cases) {
+      const auto curve = estimate_conflict_curve(c.g, 20000, rng);
+      const double pred = theory::initial_derivative(c.g.num_nodes(),
+                                                     c.g.average_degree());
+      const double meas = curve.r_bar(2) - curve.r_bar(1);
+      t.add_row({c.name, pred, meas,
+                 verdict(std::abs(meas - pred) <
+                         5 * curve.r_bar_ci95(2) + 1e-4)});
+    }
+    t.print(std::cout);
+  }
+
+  // ------------------------------------------------- Thm. 1 (Turán)
+  bench::banner("Thm. 1 — Turán: E[random-greedy MIS] >= n/(d+1)");
+  {
+    Table t({"graph", "turan_bound", "measured_mis", "verdict"});
+    struct Case {
+      std::string name;
+      CsrGraph g;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"gnm", gen::random_with_average_degree(300, 8, rng)});
+    cases.push_back({"cliques(tight)", gen::union_of_cliques(300, 9)});
+    cases.push_back({"torus", gen::torus_2d(15, 20)});
+    for (const auto& c : cases) {
+      const auto mis = seating::estimate(c.g, trials / 4, rng);
+      const double bound =
+          theory::turan_bound(c.g.num_nodes(), c.g.average_degree());
+      t.add_row({c.name, bound, mis.mean(),
+                 verdict(mis.mean() >= bound - 3 * mis.ci95())});
+    }
+    t.print(std::cout);
+  }
+
+  // ------------------------------------------------------- Thm. 2 / 3
+  bench::banner("Thm. 2/3 — EM_m(G) >= b_m(G) >= EM_m(K_d^n), exact worst case");
+  {
+    const std::uint32_t n = 300, d = 9;
+    const auto g = gen::random_with_average_degree(n, d, rng);
+    const auto kdn = gen::union_of_cliques(n, d);
+    Table t({"m", "EM_random(MC)", "b_m(random)", "EM_Kdn(exact)",
+             "EM_Kdn(MC)", "ordering", "exactness"});
+    for (const std::uint32_t m : {10u, 30u, 75u, 150u, 300u}) {
+      const auto em_g = estimate_committed_at(g, m, trials, rng);
+      const auto em_k = estimate_committed_at(kdn, m, trials, rng);
+      const double bm = theory::b_m(g, m);
+      const double exact = theory::em_union_of_cliques(n, d, m);
+      const bool order_ok = em_g.mean() + 3 * em_g.ci95() >= bm &&
+                            bm >= exact - 1e-9;
+      const bool exact_ok = std::abs(em_k.mean() - exact) <
+                            4 * em_k.ci95() + 1e-6;
+      t.add_row({static_cast<std::int64_t>(m), em_g.mean(), bm, exact,
+                 em_k.mean(), verdict(order_ok), verdict(exact_ok)});
+    }
+    t.print(std::cout);
+  }
+
+  // ---------------------------------------------------------- Cor. 3
+  bench::banner("Cor. 3 — alpha-parameterized bound and its d->inf limit");
+  {
+    Table t({"alpha", "bound_d16", "bound_limit", "dominates"});
+    for (const double alpha : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      const double b16 = theory::conflict_ratio_bound_alpha(alpha, 16);
+      const double blim = theory::conflict_ratio_bound_alpha_limit(alpha);
+      t.add_row({alpha, b16, blim, verdict(b16 <= blim + 1e-12)});
+    }
+    t.print(std::cout);
+    std::cout << "alpha=0.5 limit bound (paper's 21.3% claim): "
+              << theory::conflict_ratio_bound_alpha_limit(0.5) << "\n";
+  }
+
+  // --------------------------------------------------------- Example 1
+  bench::banner("Example 1 — K_{n^2} u D_n: max IS = n+1 yet ~2 committed");
+  {
+    Table t({"n", "launched(m=n+1)", "max_IS", "measured_committed",
+             "verdict(~2)"});
+    for (const std::uint32_t n : {8u, 12u, 16u}) {
+      const auto g = gen::clique_plus_isolated(n * n, n);
+      const auto em = estimate_committed_at(g, n + 1, trials * 4, rng);
+      t.add_row({static_cast<std::int64_t>(n),
+                 static_cast<std::int64_t>(n + 1),
+                 static_cast<std::int64_t>(n + 1), em.mean(),
+                 verdict(std::abs(em.mean() - 2.0) < 0.25)});
+    }
+    t.print(std::cout);
+  }
+
+  // ----------------------------------------------- unfriendly seating
+  bench::banner("Unfriendly seating — exact DP vs Monte-Carlo");
+  {
+    Table t({"graph", "exact/ref", "monte_carlo", "verdict"});
+    const auto path_mc = seating::estimate(gen::path(100), trials, rng);
+    t.add_row({"path(100)", seating::expected_path(100), path_mc.mean(),
+               verdict(std::abs(path_mc.mean() - seating::expected_path(100)) <
+                       4 * path_mc.ci95())});
+    const auto cyc_mc = seating::estimate(gen::cycle(100), trials, rng);
+    t.add_row({"cycle(100)", seating::expected_cycle(100), cyc_mc.mean(),
+               verdict(std::abs(cyc_mc.mean() - seating::expected_cycle(100)) <
+                       4 * cyc_mc.ci95())});
+    const auto grid_mc = seating::estimate(gen::grid_2d(30, 30), trials / 4,
+                                           rng);
+    t.add_row({"grid(30x30) density", 0.3641, grid_mc.mean() / 900.0,
+               verdict(std::abs(grid_mc.mean() / 900.0 - 0.3641) < 0.02)});
+    t.add_row({"path density limit", (1 - std::exp(-2.0)) / 2,
+               seating::expected_path(20000) / 20000.0,
+               verdict(std::abs(seating::expected_path(20000) / 20000.0 -
+                                seating::path_density_limit()) < 1e-3)});
+    t.print(std::cout);
+  }
+
+  bench::banner(failures == 0 ? "ALL CHECKS PASSED"
+                              : std::to_string(failures) + " CHECKS FAILED");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Why adapt at all? This example pits Algorithm 1 against every plausible
+// fixed allocation on a workload whose available parallelism changes
+// drastically over time (a refinement-style ramp followed by a drain), and
+// reports the two costs the paper trades off: total rounds (time) and
+// wasted speculative work (power / rollback cost).
+//
+// Run: ./examples/adaptive_vs_fixed [--budget=20000] [--rho=0.25]
+#include <iostream>
+#include <memory>
+
+#include "control/baselines.hpp"
+#include "control/hybrid.hpp"
+#include "sim/run_loop.hpp"
+#include "support/options.hpp"
+
+using namespace optipar;
+
+namespace {
+
+RefiningParams workload_params(std::uint64_t budget) {
+  RefiningParams rp;
+  rp.seed_nodes = 8;
+  rp.children = 3;
+  rp.attach_neighbors = 2;
+  rp.total_budget = budget;
+  return rp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  const auto budget = static_cast<std::uint64_t>(
+      opt.get_int("budget", 20000));
+  const double rho = opt.get_double("rho", 0.25);
+
+  std::cout << "workload: refinement-style ramp, " << budget
+            << " total tasks spawned; parallelism goes ~8 -> thousands -> 0\n"
+            << "target conflict ratio rho = " << rho << "\n\n";
+
+  std::cout << "controller     rounds  committed  aborted  wasted  mean_r\n";
+
+  auto run_one = [&](const std::string& name,
+                     std::unique_ptr<Controller> controller) {
+    Rng rng(4242);  // same workload randomness for every controller
+    RefiningWorkload workload(workload_params(budget), rng);
+    RunLoopConfig config;
+    config.max_steps = 100000;
+    const Trace trace = run_controlled(*controller, workload, config, rng);
+    std::printf("%-13s %7zu %10llu %8llu  %5.3f   %.3f\n", name.c_str(),
+                trace.steps.size(),
+                static_cast<unsigned long long>(trace.total_committed()),
+                static_cast<unsigned long long>(trace.total_aborted()),
+                trace.wasted_fraction(), trace.mean_conflict_ratio());
+  };
+
+  ControllerParams params;
+  params.rho = rho;
+  params.m_max = 8192;
+  run_one("hybrid", std::make_unique<HybridController>(params));
+  for (const std::uint32_t m : {2u, 8u, 32u, 128u, 512u, 2048u}) {
+    run_one("fixed-" + std::to_string(m),
+            std::make_unique<FixedController>(m));
+  }
+
+  std::cout <<
+      "\nreading the table: small fixed allocations take many more rounds "
+      "(they cannot exploit the ramp); large fixed allocations waste work "
+      "on rollbacks while parallelism is scarce (head and tail). The "
+      "hybrid controller gets near-minimal rounds at a bounded waste "
+      "around rho.\n";
+  return 0;
+}

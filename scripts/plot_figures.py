@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the bench binaries' CSV output.
+
+Usage:
+    build/bench/fig2_conflict_ratio --csv=fig2.csv
+    build/bench/fig3_controller --csv=fig3.csv
+    python3 scripts/plot_figures.py fig2.csv fig3.csv
+
+Produces fig2.png / fig3.png next to the inputs. Requires matplotlib; the
+bench binaries themselves already render ASCII versions, so this script is
+optional polish for papers/slides.
+"""
+
+import csv
+import pathlib
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        rows = list(reader)
+    return rows
+
+
+def plot_fig2(path, plt):
+    rows = read_csv(path)
+    m = [float(r["m"]) for r in rows]
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    ax.plot(m, [float(r["bound_thm3_exact"]) for r in rows],
+            label="worst-case bound (Thm. 3, exact)", lw=2)
+    ax.plot(m, [float(r["bound_cor2"]) for r in rows],
+            label="worst-case bound (Cor. 2 approx.)", ls="--")
+    ax.errorbar(m, [float(r["r_random"]) for r in rows],
+                yerr=[float(r["r_random_ci95"]) for r in rows],
+                label="random graph (MC)", errorevery=4)
+    ax.errorbar(m, [float(r["r_cliques_isolated"]) for r in rows],
+                yerr=[float(r["r_cliq_ci95"]) for r in rows],
+                label="cliques + isolated (MC)", errorevery=4)
+    ax.set_xlabel("launched tasks m")
+    ax.set_ylabel("conflict ratio  r̄(m)")
+    ax.set_title("Fig. 2 — conflict ratio curves (n=2000, d=16)")
+    ax.legend()
+    ax.grid(alpha=0.3)
+    out = pathlib.Path(path).with_suffix(".png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_fig3(path, plt):
+    rows = read_csv(path)
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    series = {}
+    for r in rows:
+        key = (r["graph"], r["controller"])
+        series.setdefault(key, ([], []))
+        series[key][0].append(float(r["step"]))
+        series[key][1].append(float(r["m"]))
+    for (graph, controller), (xs, ys) in sorted(series.items()):
+        ax.plot(xs, ys, label=f"{graph} / {controller}",
+                ls="-" if controller == "hybrid" else "--")
+    ax.set_xlabel("temporal step t")
+    ax.set_ylabel("allocated tasks m_t")
+    ax.set_title("Fig. 3 — hybrid vs Recurrence-A convergence (rho=20%)")
+    ax.legend()
+    ax.grid(alpha=0.3)
+    out = pathlib.Path(path).with_suffix(".png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+    for path in sys.argv[1:]:
+        rows = read_csv(path)
+        if not rows:
+            print(f"{path}: empty, skipping")
+            continue
+        if "bound_thm3_exact" in rows[0]:
+            plot_fig2(path, plt)
+        elif "controller" in rows[0]:
+            plot_fig3(path, plt)
+        else:
+            print(f"{path}: unrecognized columns {list(rows[0])}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

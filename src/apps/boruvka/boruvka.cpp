@@ -1,0 +1,156 @@
+#include "apps/boruvka/boruvka.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/union_find.hpp"
+
+namespace optipar::boruvka {
+
+double kruskal_mst_weight(NodeId n, std::vector<WeightedEdge> edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.w != b.w) return a.w < b.w;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  UnionFind uf(n);
+  double total = 0.0;
+  for (const auto& e : edges) {
+    if (uf.unite(e.u, e.v)) total += e.w;
+  }
+  return total;
+}
+
+ContractionGraph::ContractionGraph(NodeId n,
+                                   const std::vector<WeightedEdge>& edges)
+    : adj_(n), alive_(n, 1), chosen_w_(n, 0.0), chosen_flag_(n, 0) {
+  for (const auto& e : edges) {
+    if (e.u >= n || e.v >= n || e.u == e.v) {
+      throw std::invalid_argument("ContractionGraph: bad edge");
+    }
+    // Parallel edges collapse to the lightest immediately.
+    auto keep_min = [](std::unordered_map<NodeId, double>& map, NodeId key,
+                       double w) {
+      const auto [it, fresh] = map.try_emplace(key, w);
+      if (!fresh && w < it->second) it->second = w;
+    };
+    keep_min(adj_[e.u], e.v, e.w);
+    keep_min(adj_[e.v], e.u, e.w);
+  }
+}
+
+std::optional<WeightedEdge> ContractionGraph::lightest_edge(NodeId v) const {
+  const auto& nbrs = adj_[v];
+  if (nbrs.empty()) return std::nullopt;
+  WeightedEdge best{v, 0, 0.0};
+  bool first = true;
+  for (const auto& [u, w] : nbrs) {
+    if (first || w < best.w || (w == best.w && u < best.v)) {
+      best.v = u;
+      best.w = w;
+      first = false;
+    }
+  }
+  return best;
+}
+
+double ContractionGraph::chosen_weight() const {
+  double total = 0.0;
+  for (std::size_t v = 0; v < chosen_w_.size(); ++v) {
+    if (chosen_flag_[v]) total += chosen_w_[v];
+  }
+  return total;
+}
+
+std::uint32_t ContractionGraph::chosen_count() const {
+  std::uint32_t count = 0;
+  for (const auto f : chosen_flag_) count += f;
+  return count;
+}
+
+TaskOperator make_boruvka_operator(ContractionGraph& graph) {
+  return [&graph](TaskId task, IterationContext& ctx) {
+    const auto v = static_cast<NodeId>(task);
+    ctx.acquire(v);
+    if (!graph.is_alive(v)) return;  // contracted by someone else: no-op
+
+    const auto best = graph.lightest_edge(v);
+    if (!best.has_value()) {
+      // Isolated supernode: its component's MST is complete.
+      graph.set_alive(v, false);
+      ctx.on_abort([&graph, v] { graph.set_alive(v, true); });
+      return;
+    }
+    const NodeId u = best->v;
+    const double w = best->w;
+    ctx.acquire(u);
+
+    // Snapshot v's neighborhood, then merge it into u. Every neighbor's
+    // adjacency is rewritten, so each must be acquired first.
+    const std::vector<std::pair<NodeId, double>> nbrs(
+        graph.adjacency(v).begin(), graph.adjacency(v).end());
+    for (const auto& [x, wx] : nbrs) ctx.acquire(x);
+
+    for (const auto& [x, wx] : nbrs) {
+      auto& adj_x = graph.mutable_adjacency(x);
+      adj_x.erase(v);
+      ctx.on_abort([&graph, x, v = v, wx] {
+        graph.mutable_adjacency(x)[v] = wx;
+      });
+      if (x == u) continue;
+      // x gains (or keeps the lighter of) an edge to u, mirrored in u.
+      auto& adj_u = graph.mutable_adjacency(u);
+      const auto old_xu = adj_x.find(u);
+      const double previous =
+          old_xu == adj_x.end() ? -1.0 : old_xu->second;  // -1 = absent
+      if (old_xu == adj_x.end() || wx < old_xu->second) {
+        adj_x[u] = wx;
+        adj_u[x] = wx;
+        ctx.on_abort([&graph, x, u, previous] {
+          if (previous < 0.0) {
+            graph.mutable_adjacency(x).erase(u);
+            graph.mutable_adjacency(u).erase(x);
+          } else {
+            graph.mutable_adjacency(x)[u] = previous;
+            graph.mutable_adjacency(u)[x] = previous;
+          }
+        });
+      }
+    }
+    // v's own adjacency empties out; restore it wholesale on abort.
+    auto saved = std::move(graph.mutable_adjacency(v));
+    graph.mutable_adjacency(v).clear();
+    ctx.on_abort([&graph, v, saved] {
+      graph.mutable_adjacency(v) = saved;
+    });
+
+    graph.record_choice(v, w, true);
+    ctx.on_abort([&graph, v] { graph.record_choice(v, 0.0, false); });
+    graph.set_alive(v, false);
+    ctx.on_abort([&graph, v] { graph.set_alive(v, true); });
+
+    ctx.push(u);  // the merged supernode needs another pass
+  };
+}
+
+BoruvkaResult boruvka_adaptive(NodeId n,
+                               const std::vector<WeightedEdge>& edges,
+                               Controller& controller, ThreadPool& pool,
+                               std::uint64_t seed, std::uint32_t max_rounds) {
+  ContractionGraph graph(n, edges);
+  SpeculativeExecutor executor(pool, n, make_boruvka_operator(graph), seed);
+  std::vector<TaskId> initial(n);
+  for (NodeId v = 0; v < n; ++v) initial[v] = v;
+  executor.push_initial(initial);
+
+  AdaptiveRunConfig config;
+  config.max_rounds = max_rounds;
+  BoruvkaResult result;
+  result.trace = run_adaptive(executor, controller, config);
+  result.mst_weight = graph.chosen_weight();
+  result.edges_chosen = graph.chosen_count();
+  return result;
+}
+
+}  // namespace optipar::boruvka

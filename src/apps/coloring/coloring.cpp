@@ -1,0 +1,72 @@
+#include "apps/coloring/coloring.hpp"
+
+#include <algorithm>
+
+namespace optipar::coloring {
+
+std::uint32_t ColoringState::colors_used() const {
+  std::uint32_t max_color = 0;
+  bool any = false;
+  for (const auto c : color_) {
+    if (c != kUncolored) {
+      max_color = std::max(max_color, c);
+      any = true;
+    }
+  }
+  return any ? max_color + 1 : 0;
+}
+
+bool ColoringState::is_proper(const CsrGraph& graph) const {
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (color_[v] == kUncolored) return false;
+    for (const NodeId w : graph.neighbors(v)) {
+      if (color_[w] == color_[v]) return false;
+    }
+  }
+  return true;
+}
+
+TaskOperator make_coloring_operator(const CsrGraph& graph,
+                                    ColoringState& state) {
+  return [&graph, &state](TaskId task, IterationContext& ctx) {
+    const auto v = static_cast<NodeId>(task);
+    ctx.acquire(v);
+    if (state.color(v) != kUncolored) return;  // no-op commit
+
+    for (const NodeId w : graph.neighbors(v)) ctx.acquire(w);
+
+    // Smallest color not used by any neighbor.
+    std::vector<bool> taken(graph.degree(v) + 1, false);
+    for (const NodeId w : graph.neighbors(v)) {
+      const std::uint32_t c = state.color(w);
+      if (c != kUncolored && c < taken.size()) taken[c] = true;
+    }
+    std::uint32_t chosen = 0;
+    while (chosen < taken.size() && taken[chosen]) ++chosen;
+
+    state.set_color(v, chosen);
+    ctx.on_abort([&state, v] { state.set_color(v, kUncolored); });
+  };
+}
+
+ColoringResult coloring_adaptive(const CsrGraph& graph,
+                                 Controller& controller, ThreadPool& pool,
+                                 std::uint64_t seed,
+                                 std::uint32_t max_rounds) {
+  ColoringState state(graph.num_nodes());
+  SpeculativeExecutor executor(pool, graph.num_nodes(),
+                               make_coloring_operator(graph, state), seed);
+  std::vector<TaskId> initial(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) initial[v] = v;
+  executor.push_initial(initial);
+
+  AdaptiveRunConfig config;
+  config.max_rounds = max_rounds;
+  ColoringResult result;
+  result.trace = run_adaptive(executor, controller, config);
+  result.colors_used = state.colors_used();
+  result.proper = state.is_proper(graph);
+  return result;
+}
+
+}  // namespace optipar::coloring

@@ -1,0 +1,85 @@
+#include "apps/dmr/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace optipar::dmr {
+
+double orient2d(const Point2& a, const Point2& b, const Point2& c) {
+  const long double acx = static_cast<long double>(a.x) - c.x;
+  const long double bcx = static_cast<long double>(b.x) - c.x;
+  const long double acy = static_cast<long double>(a.y) - c.y;
+  const long double bcy = static_cast<long double>(b.y) - c.y;
+  return static_cast<double>(acx * bcy - acy * bcx);
+}
+
+double incircle(const Point2& a, const Point2& b, const Point2& c,
+                const Point2& d) {
+  const long double adx = static_cast<long double>(a.x) - d.x;
+  const long double ady = static_cast<long double>(a.y) - d.y;
+  const long double bdx = static_cast<long double>(b.x) - d.x;
+  const long double bdy = static_cast<long double>(b.y) - d.y;
+  const long double cdx = static_cast<long double>(c.x) - d.x;
+  const long double cdy = static_cast<long double>(c.y) - d.y;
+
+  const long double ad2 = adx * adx + ady * ady;
+  const long double bd2 = bdx * bdx + bdy * bdy;
+  const long double cd2 = cdx * cdx + cdy * cdy;
+
+  const long double det = adx * (bdy * cd2 - cdy * bd2) -
+                          ady * (bdx * cd2 - cdx * bd2) +
+                          ad2 * (bdx * cdy - cdx * bdy);
+  return static_cast<double>(det);
+}
+
+double distance_squared(const Point2& a, const Point2& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double distance(const Point2& a, const Point2& b) {
+  return std::sqrt(distance_squared(a, b));
+}
+
+Point2 circumcenter(const Point2& a, const Point2& b, const Point2& c) {
+  const double d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) +
+                          c.x * (a.y - b.y));
+  const double a2 = a.x * a.x + a.y * a.y;
+  const double b2 = b.x * b.x + b.y * b.y;
+  const double c2 = c.x * c.x + c.y * c.y;
+  Point2 center;
+  center.x = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+  center.y = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+  return center;
+}
+
+double circumradius(const Point2& a, const Point2& b, const Point2& c) {
+  return distance(circumcenter(a, b, c), a);
+}
+
+double shortest_edge(const Point2& a, const Point2& b, const Point2& c) {
+  return std::sqrt(std::min({distance_squared(a, b), distance_squared(b, c),
+                             distance_squared(c, a)}));
+}
+
+double signed_area2(const Point2& a, const Point2& b, const Point2& c) {
+  return orient2d(a, b, c);
+}
+
+double min_angle(const Point2& a, const Point2& b, const Point2& c) {
+  auto angle_at = [](const Point2& apex, const Point2& p, const Point2& q) {
+    const double ux = p.x - apex.x;
+    const double uy = p.y - apex.y;
+    const double vx = q.x - apex.x;
+    const double vy = q.y - apex.y;
+    const double dot = ux * vx + uy * vy;
+    const double nu = std::sqrt(ux * ux + uy * uy);
+    const double nv = std::sqrt(vx * vx + vy * vy);
+    const double cosine = std::clamp(dot / (nu * nv), -1.0, 1.0);
+    return std::acos(cosine);
+  };
+  return std::min({angle_at(a, b, c), angle_at(b, c, a), angle_at(c, a, b)});
+}
+
+}  // namespace optipar::dmr

@@ -1,0 +1,50 @@
+// 2-D geometric predicates and constructions for the Delaunay mesh
+// substrate. Predicates are evaluated in extended (long double) precision,
+// which is robust for the well-separated synthetic point clouds the
+// examples and benches generate (see DESIGN.md §4 on substitutions).
+#pragma once
+
+#include <cstdint>
+
+namespace optipar::dmr {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point2&, const Point2&) = default;
+};
+
+/// > 0 if (a, b, c) make a left turn (counter-clockwise), < 0 for right
+/// turn, 0 for collinear.
+[[nodiscard]] double orient2d(const Point2& a, const Point2& b,
+                              const Point2& c);
+
+/// > 0 iff d lies strictly inside the circumcircle of the CCW triangle
+/// (a, b, c).
+[[nodiscard]] double incircle(const Point2& a, const Point2& b,
+                              const Point2& c, const Point2& d);
+
+[[nodiscard]] double distance(const Point2& a, const Point2& b);
+[[nodiscard]] double distance_squared(const Point2& a, const Point2& b);
+
+/// Circumcenter of a non-degenerate triangle.
+[[nodiscard]] Point2 circumcenter(const Point2& a, const Point2& b,
+                                  const Point2& c);
+
+[[nodiscard]] double circumradius(const Point2& a, const Point2& b,
+                                  const Point2& c);
+
+/// Length of the shortest side.
+[[nodiscard]] double shortest_edge(const Point2& a, const Point2& b,
+                                   const Point2& c);
+
+/// Twice the signed area (positive for CCW).
+[[nodiscard]] double signed_area2(const Point2& a, const Point2& b,
+                                  const Point2& c);
+
+/// Smallest interior angle in radians.
+[[nodiscard]] double min_angle(const Point2& a, const Point2& b,
+                               const Point2& c);
+
+}  // namespace optipar::dmr

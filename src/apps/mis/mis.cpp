@@ -1,0 +1,70 @@
+#include "apps/mis/mis.hpp"
+
+namespace optipar::mis {
+
+std::vector<NodeId> MisState::in_set() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < size(); ++v) {
+    if (state_[v] == NodeState::kIn) out.push_back(v);
+  }
+  return out;
+}
+
+bool MisState::all_decided() const {
+  for (const auto s : state_) {
+    if (s == NodeState::kUndecided) return false;
+  }
+  return true;
+}
+
+TaskOperator make_mis_operator(const CsrGraph& graph, MisState& state) {
+  return [&graph, &state](TaskId task, IterationContext& ctx) {
+    const auto v = static_cast<NodeId>(task);
+    ctx.acquire(v);
+    if (state.get(v) != NodeState::kUndecided) return;  // no-op commit
+
+    // Acquire the full neighborhood before reading any of it.
+    for (const NodeId w : graph.neighbors(v)) ctx.acquire(w);
+
+    bool blocked = false;
+    for (const NodeId w : graph.neighbors(v)) {
+      if (state.get(w) == NodeState::kIn) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) {
+      state.set(v, NodeState::kOut);
+      ctx.on_abort([&state, v] { state.set(v, NodeState::kUndecided); });
+      return;
+    }
+    state.set(v, NodeState::kIn);
+    ctx.on_abort([&state, v] { state.set(v, NodeState::kUndecided); });
+    for (const NodeId w : graph.neighbors(v)) {
+      if (state.get(w) == NodeState::kUndecided) {
+        state.set(w, NodeState::kOut);
+        ctx.on_abort([&state, w] { state.set(w, NodeState::kUndecided); });
+      }
+    }
+  };
+}
+
+MisResult mis_adaptive(const CsrGraph& graph, Controller& controller,
+                       ThreadPool& pool, std::uint64_t seed,
+                       std::uint32_t max_rounds) {
+  MisState state(graph.num_nodes());
+  SpeculativeExecutor executor(pool, graph.num_nodes(),
+                               make_mis_operator(graph, state), seed);
+  std::vector<TaskId> initial(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) initial[v] = v;
+  executor.push_initial(initial);
+
+  AdaptiveRunConfig config;
+  config.max_rounds = max_rounds;
+  MisResult result;
+  result.trace = run_adaptive(executor, controller, config);
+  result.independent_set = state.in_set();
+  return result;
+}
+
+}  // namespace optipar::mis

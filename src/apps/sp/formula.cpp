@@ -1,0 +1,192 @@
+#include "apps/sp/formula.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace optipar::sp {
+
+Formula::Formula(std::uint32_t num_vars, std::vector<Clause> clauses)
+    : num_vars_(num_vars), clauses_(std::move(clauses)),
+      var_to_clauses_(num_vars) {
+  for (std::uint32_t c = 0; c < clauses_.size(); ++c) {
+    for (const Literal& lit : clauses_[c].literals) {
+      if (lit.var >= num_vars_) {
+        throw std::invalid_argument("Formula: literal out of range");
+      }
+      auto& list = var_to_clauses_[lit.var];
+      if (list.empty() || list.back() != c) list.push_back(c);
+    }
+  }
+}
+
+bool Formula::is_satisfied_by(
+    const std::vector<std::uint8_t>& assignment) const {
+  if (assignment.size() != num_vars_) {
+    throw std::invalid_argument("is_satisfied_by: wrong assignment size");
+  }
+  for (const Clause& clause : clauses_) {
+    bool satisfied = false;
+    for (const Literal& lit : clause.literals) {
+      if ((assignment[lit.var] != 0) == lit.positive) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+std::optional<Formula> Formula::fix_variable(std::uint32_t v,
+                                             bool value) const {
+  std::vector<Clause> reduced;
+  reduced.reserve(clauses_.size());
+  for (const Clause& clause : clauses_) {
+    bool satisfied = false;
+    Clause next;
+    for (const Literal& lit : clause.literals) {
+      if (lit.var == v) {
+        if (lit.positive == value) {
+          satisfied = true;
+          break;
+        }
+        continue;  // falsified literal drops out
+      }
+      next.literals.push_back(lit);
+    }
+    if (satisfied) continue;
+    if (next.literals.empty()) return std::nullopt;  // contradiction
+    reduced.push_back(std::move(next));
+  }
+  return Formula(num_vars_, std::move(reduced));
+}
+
+Formula random_ksat(std::uint32_t num_vars, std::uint32_t num_clauses,
+                    std::uint32_t k, Rng& rng) {
+  if (k == 0 || k > num_vars) {
+    throw std::invalid_argument("random_ksat: need 0 < k <= num_vars");
+  }
+  std::vector<Clause> clauses;
+  clauses.reserve(num_clauses);
+  for (std::uint32_t c = 0; c < num_clauses; ++c) {
+    Clause clause;
+    for (const auto v : rng.sample_without_replacement(num_vars, k)) {
+      clause.literals.push_back({v, rng.chance(0.5)});
+    }
+    clauses.push_back(std::move(clause));
+  }
+  return Formula(num_vars, std::move(clauses));
+}
+
+namespace {
+
+enum : std::uint8_t { kUnset = 2 };
+
+struct BudgetExhausted {};
+
+/// Apply unit propagation; returns false on conflict. `assignment` uses
+/// kUnset for free variables.
+bool unit_propagate(const Formula& formula,
+                    std::vector<std::uint8_t>& assignment) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Clause& clause : formula.clauses()) {
+      bool satisfied = false;
+      const Literal* unit = nullptr;
+      int free_count = 0;
+      for (const Literal& lit : clause.literals) {
+        const auto value = assignment[lit.var];
+        if (value == kUnset) {
+          ++free_count;
+          unit = &lit;
+        } else if ((value != 0) == lit.positive) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      if (free_count == 0) return false;  // falsified clause
+      if (free_count == 1) {
+        assignment[unit->var] = unit->positive ? 1 : 0;
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+bool dpll(const Formula& formula, std::vector<std::uint8_t>& assignment,
+          std::uint64_t& decisions_left) {
+  if (!unit_propagate(formula, assignment)) return false;
+
+  // Pick the first unset variable appearing in an unsatisfied clause.
+  std::uint32_t branch_var = UINT32_MAX;
+  bool all_satisfied = true;
+  for (const Clause& clause : formula.clauses()) {
+    bool satisfied = false;
+    std::uint32_t candidate = UINT32_MAX;
+    for (const Literal& lit : clause.literals) {
+      const auto value = assignment[lit.var];
+      if (value == kUnset) {
+        if (candidate == UINT32_MAX) candidate = lit.var;
+      } else if ((value != 0) == lit.positive) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) {
+      all_satisfied = false;
+      if (candidate != UINT32_MAX) {
+        branch_var = candidate;
+        break;
+      }
+      return false;  // unsatisfied clause with no free variable
+    }
+  }
+  if (all_satisfied) return true;
+
+  if (decisions_left == 0) throw BudgetExhausted{};
+  --decisions_left;
+  for (const std::uint8_t value : {1, 0}) {
+    auto saved = assignment;
+    assignment[branch_var] = value;
+    if (dpll(formula, assignment, decisions_left)) return true;
+    assignment = std::move(saved);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> dpll_solve(const Formula& formula) {
+  const auto result =
+      dpll_solve_limited(formula, std::numeric_limits<std::uint64_t>::max());
+  if (result.status != SolveStatus::kSat) return std::nullopt;
+  return result.assignment;
+}
+
+DpllResult dpll_solve_limited(const Formula& formula,
+                              std::uint64_t max_decisions) {
+  DpllResult result;
+  std::vector<std::uint8_t> assignment(formula.num_vars(), kUnset);
+  std::uint64_t budget = max_decisions;
+  try {
+    const bool sat = dpll(formula, assignment, budget);
+    result.status = sat ? SolveStatus::kSat : SolveStatus::kUnsat;
+  } catch (const BudgetExhausted&) {
+    result.status = SolveStatus::kUnknown;
+    return result;
+  }
+  if (result.status == SolveStatus::kSat) {
+    // Free variables (untouched by any clause) default to true.
+    for (auto& v : assignment) {
+      if (v == kUnset) v = 1;
+    }
+    result.assignment = std::move(assignment);
+  }
+  return result;
+}
+
+}  // namespace optipar::sp

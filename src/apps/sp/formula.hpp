@@ -1,0 +1,90 @@
+// CNF formula substrate for the survey-propagation application (the paper
+// cites Braunstein–Mézard–Zecchina's SP as one of the algorithms Galois
+// parallelizes). Provides random k-SAT generation, assignment evaluation,
+// simplification under partial assignments, and a DPLL reference solver
+// used to verify the speculative pipeline end to end.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace optipar::sp {
+
+/// A literal: variable index and sign (true = positive occurrence).
+struct Literal {
+  std::uint32_t var = 0;
+  bool positive = true;
+
+  friend bool operator==(const Literal&, const Literal&) = default;
+};
+
+struct Clause {
+  std::vector<Literal> literals;
+};
+
+class Formula {
+ public:
+  Formula(std::uint32_t num_vars, std::vector<Clause> clauses);
+
+  [[nodiscard]] std::uint32_t num_vars() const noexcept { return num_vars_; }
+  [[nodiscard]] std::uint32_t num_clauses() const noexcept {
+    return static_cast<std::uint32_t>(clauses_.size());
+  }
+  [[nodiscard]] const Clause& clause(std::uint32_t c) const {
+    return clauses_[c];
+  }
+  [[nodiscard]] const std::vector<Clause>& clauses() const noexcept {
+    return clauses_;
+  }
+  /// Clause indices containing variable v (either sign).
+  [[nodiscard]] const std::vector<std::uint32_t>& clauses_of(
+      std::uint32_t v) const {
+    return var_to_clauses_[v];
+  }
+
+  /// True iff the total assignment satisfies every clause.
+  [[nodiscard]] bool is_satisfied_by(
+      const std::vector<std::uint8_t>& assignment) const;
+
+  /// Formula obtained by fixing v := value: satisfied clauses drop out,
+  /// falsified literals are removed. Returns nullopt if an empty clause
+  /// appears (contradiction).
+  [[nodiscard]] std::optional<Formula> fix_variable(std::uint32_t v,
+                                                    bool value) const;
+
+ private:
+  std::uint32_t num_vars_;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<std::uint32_t>> var_to_clauses_;
+};
+
+/// Uniform random k-SAT: `num_clauses` clauses of k distinct variables,
+/// signs fair coins. Clause-to-variable ratio ~4.27 is the 3-SAT threshold;
+/// tests use ratios well below it so instances are satisfiable w.h.p.
+[[nodiscard]] Formula random_ksat(std::uint32_t num_vars,
+                                  std::uint32_t num_clauses, std::uint32_t k,
+                                  Rng& rng);
+
+/// DPLL with unit propagation. Returns a satisfying total assignment or
+/// nullopt (exhaustive, so UNSAT is definitive). Practical for the
+/// test-sized instances (tens of vars).
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> dpll_solve(
+    const Formula& formula);
+
+enum class SolveStatus { kSat, kUnsat, kUnknown };
+
+struct DpllResult {
+  SolveStatus status = SolveStatus::kUnknown;
+  std::vector<std::uint8_t> assignment;  ///< valid iff status == kSat
+};
+
+/// DPLL with a branching-decision budget: kUnknown when the budget runs
+/// out before the search completes. Keeps hard fallbacks bounded (SP's
+/// decimation may leave a hard residual near the satisfiability threshold).
+[[nodiscard]] DpllResult dpll_solve_limited(const Formula& formula,
+                                            std::uint64_t max_decisions);
+
+}  // namespace optipar::sp

@@ -1,0 +1,68 @@
+// Single-source shortest paths by chaotic relaxation — the classic
+// *unordered* formulation of SSSP (Bellman–Ford without a schedule): a
+// task relaxes one node's outgoing arcs; any relaxation order converges to
+// the same fixed point, so speculative execution with rollback applies
+// directly. Checked against a sequential Dijkstra.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "graph/weighted_graph.hpp"
+#include "rt/adaptive_executor.hpp"
+#include "rt/spec_executor.hpp"
+#include "sim/trace.hpp"
+#include "support/thread_pool.hpp"
+
+namespace optipar::sssp {
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Sequential reference (binary-heap Dijkstra). Requires non-negative
+/// weights; throws std::invalid_argument otherwise.
+[[nodiscard]] std::vector<double> dijkstra(const WeightedGraph& g,
+                                           NodeId source);
+
+/// Distance table shared by the speculative iterations; entry v is only
+/// written while the runtime's lock on v is held.
+class DistanceTable {
+ public:
+  DistanceTable(NodeId n, NodeId source);
+
+  [[nodiscard]] double get(NodeId v) const { return dist_[v]; }
+  void set(NodeId v, double d) { dist_[v] = d; }
+  [[nodiscard]] const std::vector<double>& all() const noexcept {
+    return dist_;
+  }
+
+ private:
+  std::vector<double> dist_;
+};
+
+/// Speculative relaxation operator (tasks are node ids).
+[[nodiscard]] TaskOperator make_sssp_operator(const WeightedGraph& g,
+                                              DistanceTable& dist);
+
+struct SsspResult {
+  Trace trace;
+  std::vector<double> dist;
+};
+
+[[nodiscard]] SsspResult sssp_adaptive(const WeightedGraph& g, NodeId source,
+                                       Controller& controller,
+                                       ThreadPool& pool, std::uint64_t seed,
+                                       std::uint32_t max_rounds = 1000000);
+
+/// Same computation under the OBIM-style soft-priority scheduler: nodes
+/// with smaller tentative distance relax first (delta-stepping spirit) —
+/// the paper's "ordered algorithms" future-work direction, realized as a
+/// best-effort priority that needs no commit-order machinery because
+/// chaotic relaxation is order-independent. Usually commits far fewer
+/// relaxations than random order (compare the traces).
+[[nodiscard]] SsspResult sssp_priority_adaptive(
+    const WeightedGraph& g, NodeId source, Controller& controller,
+    ThreadPool& pool, std::uint64_t seed, std::uint32_t max_rounds = 1000000);
+
+}  // namespace optipar::sssp

@@ -1,0 +1,81 @@
+#include "control/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace optipar {
+
+BisectionController::BisectionController(const ControllerParams& params)
+    : params_(params), lo_(params.m_min), hi_(params.m_max),
+      m_(params.clamp(params.m0)) {
+  if (params_.T == 0) throw std::invalid_argument("bisection: T >= 1");
+  restart_bracket();
+}
+
+void BisectionController::restart_bracket() {
+  lo_ = params_.m_min;
+  hi_ = params_.m_max;
+  m_ = params_.clamp((static_cast<std::uint64_t>(lo_) + hi_) / 2);
+}
+
+void BisectionController::reset() {
+  r_accum_ = 0.0;
+  rounds_in_window_ = 0;
+  restart_bracket();
+}
+
+std::uint32_t BisectionController::observe(const RoundStats& round) {
+  r_accum_ += round.conflict_ratio();
+  if (++rounds_in_window_ < params_.T) return m_;
+  const double r = r_accum_ / static_cast<double>(rounds_in_window_);
+  r_accum_ = 0.0;
+  rounds_in_window_ = 0;
+
+  if (lo_ >= hi_) {
+    // Converged bracket: keep probing; if the answer stopped tracking ρ
+    // (workload drift), restart the search.
+    if (std::abs(1.0 - r / params_.rho) > params_.alpha0) restart_bracket();
+    return m_;
+  }
+  if (r > params_.rho) {
+    hi_ = m_ > lo_ ? m_ - 1 : lo_;
+  } else {
+    lo_ = m_ < hi_ ? m_ + 1 : hi_;
+  }
+  m_ = params_.clamp((static_cast<std::uint64_t>(lo_) + hi_) / 2);
+  return m_;
+}
+
+AimdController::AimdController(const ControllerParams& params,
+                               std::uint32_t increase, double decay)
+    : params_(params), increase_(increase), decay_(decay),
+      m_(params.clamp(params.m0)) {
+  if (decay_ <= 0.0 || decay_ >= 1.0) {
+    throw std::invalid_argument("aimd: decay must be in (0, 1)");
+  }
+}
+
+void AimdController::reset() {
+  m_ = params_.clamp(params_.m0);
+  r_accum_ = 0.0;
+  rounds_in_window_ = 0;
+}
+
+std::uint32_t AimdController::observe(const RoundStats& round) {
+  r_accum_ += round.conflict_ratio();
+  if (++rounds_in_window_ < params_.T) return m_;
+  const double r = r_accum_ / static_cast<double>(rounds_in_window_);
+  r_accum_ = 0.0;
+  rounds_in_window_ = 0;
+
+  if (r > params_.rho) {
+    m_ = params_.clamp(static_cast<std::uint64_t>(
+        std::floor(static_cast<double>(m_) * decay_)));
+  } else {
+    m_ = params_.clamp(static_cast<std::uint64_t>(m_) + increase_);
+  }
+  return m_;
+}
+
+}  // namespace optipar

@@ -1,0 +1,73 @@
+// Baseline allocation policies the benches compare Algorithm 1 against:
+//   * FixedController      — static m (what a non-adaptive scheduler does)
+//   * BisectionController  — the paper's own strawman (eq. 30): maintain a
+//                            bracket [lo, hi] around μ, probe the midpoint
+//                            for T rounds, and halve the bracket
+//   * AimdController       — TCP-style additive increase / multiplicative
+//                            decrease around the target conflict ratio
+#pragma once
+
+#include "control/controller.hpp"
+
+namespace optipar {
+
+class FixedController final : public Controller {
+ public:
+  explicit FixedController(std::uint32_t m) : m_(m < 1 ? 1 : m) {}
+
+  [[nodiscard]] std::uint32_t initial_m() const override { return m_; }
+  std::uint32_t observe(const RoundStats&) override { return m_; }
+  void reset() override {}
+  [[nodiscard]] std::string name() const override {
+    return "fixed-" + std::to_string(m_);
+  }
+
+ private:
+  std::uint32_t m_;
+};
+
+/// Bisection search for μ = max{m : r̄(m) <= ρ} exploiting Prop. 1
+/// (monotonicity). Probes the bracket midpoint for T rounds; if the
+/// averaged r exceeds ρ the upper half is discarded, otherwise the lower.
+/// Re-expands the bracket if the workload drifts and the current bracket's
+/// answer stops tracking ρ.
+class BisectionController final : public Controller {
+ public:
+  explicit BisectionController(const ControllerParams& params);
+
+  [[nodiscard]] std::uint32_t initial_m() const override { return m_; }
+  std::uint32_t observe(const RoundStats& round) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "bisection"; }
+
+ private:
+  void restart_bracket();
+
+  ControllerParams params_;
+  std::uint32_t lo_, hi_, m_;
+  double r_accum_ = 0.0;
+  std::uint32_t rounds_in_window_ = 0;
+};
+
+/// Additive-increase / multiplicative-decrease: if the averaged r is below
+/// ρ, m += increase; if above, m ← m · decay.
+class AimdController final : public Controller {
+ public:
+  AimdController(const ControllerParams& params, std::uint32_t increase = 4,
+                 double decay = 0.5);
+
+  [[nodiscard]] std::uint32_t initial_m() const override { return m_; }
+  std::uint32_t observe(const RoundStats& round) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "aimd"; }
+
+ private:
+  ControllerParams params_;
+  std::uint32_t increase_;
+  double decay_;
+  std::uint32_t m_;
+  double r_accum_ = 0.0;
+  std::uint32_t rounds_in_window_ = 0;
+};
+
+}  // namespace optipar

@@ -1,0 +1,99 @@
+#include "control/extra.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "model/theory.hpp"
+
+namespace optipar {
+
+PidController::PidController(const ControllerParams& params,
+                             const PidGains& gains)
+    : params_(params), gains_(gains), m_(params.clamp(params.m0)) {
+  if (params_.rho <= 0.0 || params_.rho >= 1.0) {
+    throw std::invalid_argument("PidController: rho must be in (0, 1)");
+  }
+  if (params_.T == 0) throw std::invalid_argument("PidController: T >= 1");
+}
+
+void PidController::reset() {
+  m_ = params_.clamp(params_.m0);
+  r_accum_ = 0.0;
+  rounds_in_window_ = 0;
+  integral_ = 0.0;
+  last_error_ = 0.0;
+  has_last_error_ = false;
+}
+
+std::uint32_t PidController::observe(const RoundStats& round) {
+  r_accum_ += round.conflict_ratio();
+  if (++rounds_in_window_ < params_.T) return m_;
+  const double r = r_accum_ / static_cast<double>(rounds_in_window_);
+  r_accum_ = 0.0;
+  rounds_in_window_ = 0;
+
+  // Relative error so the multiplicative update is scale-free in ρ.
+  const double error = (params_.rho - r) / params_.rho;
+  integral_ = std::clamp(integral_ + error, -gains_.integral_clamp,
+                         gains_.integral_clamp);
+  const double derivative = has_last_error_ ? error - last_error_ : 0.0;
+  last_error_ = error;
+  has_last_error_ = true;
+
+  const double control =
+      gains_.kp * error + gains_.ki * integral_ + gains_.kd * derivative;
+  // Multiplicative application, bounded to at most a 4x change per window.
+  const double factor = std::clamp(1.0 + control, 0.25, 4.0);
+  m_ = params_.clamp(static_cast<std::uint64_t>(
+      std::ceil(factor * static_cast<double>(m_))));
+  return m_;
+}
+
+EwmaHybridController::EwmaHybridController(const ControllerParams& params,
+                                           double alpha,
+                                           std::uint32_t cooldown)
+    : params_(params), alpha_(alpha), cooldown_(cooldown),
+      m_(params.clamp(params.m0)), ewma_(alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("EwmaHybridController: alpha in (0, 1]");
+  }
+  if (params_.rho <= 0.0 || params_.rho >= 1.0) {
+    throw std::invalid_argument("EwmaHybridController: rho in (0, 1)");
+  }
+}
+
+void EwmaHybridController::reset() {
+  m_ = params_.clamp(params_.m0);
+  ewma_.reset();
+  rounds_since_change_ = 0;
+}
+
+std::uint32_t EwmaHybridController::observe(const RoundStats& round) {
+  ewma_.add(round.conflict_ratio());
+  if (++rounds_since_change_ < cooldown_) return m_;
+
+  double r = ewma_.value();
+  const double alpha_dev = std::abs(1.0 - r / params_.rho);
+  if (alpha_dev > params_.alpha0) {
+    if (r < params_.r_min) r = params_.r_min;
+    m_ = params_.clamp(static_cast<std::uint64_t>(
+        std::ceil(params_.rho / r * static_cast<double>(m_))));
+    rounds_since_change_ = 0;
+    // A big jump invalidates the smoothed history; start fresh.
+    ewma_.reset();
+  } else if (alpha_dev > params_.alpha1) {
+    m_ = params_.clamp(static_cast<std::uint64_t>(
+        std::ceil((1.0 - r + params_.rho) * static_cast<double>(m_))));
+    rounds_since_change_ = 0;
+  }
+  return m_;
+}
+
+ControllerParams with_warm_start(ControllerParams params, std::uint32_t n,
+                                 double avg_degree) {
+  params.m0 = theory::warm_start_m(n, avg_degree, params.rho);
+  return params;
+}
+
+}  // namespace optipar

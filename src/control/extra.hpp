@@ -1,0 +1,74 @@
+// Controllers beyond the paper's Algorithm 1, used as comparison points in
+// the ablation benches:
+//   * PidController        — classic discrete PID on the error (ρ − r),
+//                            applied multiplicatively to m
+//   * EwmaHybridController — Algorithm 1's decision rule driven by an
+//                            exponentially-weighted moving average of r
+//                            instead of the T-round block average
+//   * with_warm_start()    — parameter helper implementing the paper's §4
+//                            suggestion: when the CC graph's average degree
+//                            is known, start at m0 = α(ρ)·n/(d+1) (Cor. 3)
+//                            instead of m0 = 2.
+#pragma once
+
+#include "control/controller.hpp"
+#include "support/stats.hpp"
+
+namespace optipar {
+
+struct PidGains {
+  double kp = 1.2;   ///< proportional
+  double ki = 0.25;  ///< integral
+  double kd = 0.15;  ///< derivative
+  double integral_clamp = 2.0;  ///< anti-windup bound on the I term
+};
+
+class PidController final : public Controller {
+ public:
+  PidController(const ControllerParams& params, const PidGains& gains = {});
+
+  [[nodiscard]] std::uint32_t initial_m() const override { return m_; }
+  std::uint32_t observe(const RoundStats& round) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "pid"; }
+
+ private:
+  ControllerParams params_;
+  PidGains gains_;
+  std::uint32_t m_;
+  double r_accum_ = 0.0;
+  std::uint32_t rounds_in_window_ = 0;
+  double integral_ = 0.0;
+  double last_error_ = 0.0;
+  bool has_last_error_ = false;
+};
+
+class EwmaHybridController final : public Controller {
+ public:
+  /// `alpha` is the EWMA weight of the newest round; `cooldown` is the
+  /// minimum number of rounds between two allocation changes.
+  EwmaHybridController(const ControllerParams& params, double alpha = 0.3,
+                       std::uint32_t cooldown = 2);
+
+  [[nodiscard]] std::uint32_t initial_m() const override { return m_; }
+  std::uint32_t observe(const RoundStats& round) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "ewma-hybrid"; }
+
+ private:
+  ControllerParams params_;
+  double alpha_;
+  std::uint32_t cooldown_;
+  std::uint32_t m_;
+  Ewma ewma_;
+  std::uint32_t rounds_since_change_ = 0;
+};
+
+/// Paper §4: with an estimate of the CC graph's size and average degree,
+/// Cor. 3 gives an m0 whose worst-case conflict ratio stays under ρ — the
+/// controller then starts in the right neighborhood instead of at 2.
+[[nodiscard]] ControllerParams with_warm_start(ControllerParams params,
+                                               std::uint32_t n,
+                                               double avg_degree);
+
+}  // namespace optipar

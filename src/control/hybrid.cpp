@@ -1,0 +1,66 @@
+#include "control/hybrid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace optipar {
+
+HybridController::HybridController(const ControllerParams& params)
+    : params_(params), m_(params.clamp(params.m0)) {
+  if (params_.rho <= 0.0 || params_.rho >= 1.0) {
+    throw std::invalid_argument("HybridController: rho must be in (0, 1)");
+  }
+  if (params_.m_min < 2) {
+    throw std::invalid_argument("HybridController: m_min >= 2 (Remark 1)");
+  }
+  if (params_.T == 0 || params_.T_small == 0) {
+    throw std::invalid_argument("HybridController: T >= 1");
+  }
+  if (params_.alpha1 > params_.alpha0) {
+    throw std::invalid_argument("HybridController: need alpha1 <= alpha0");
+  }
+  if (params_.r_min <= 0.0) {
+    throw std::invalid_argument("HybridController: r_min must be positive");
+  }
+}
+
+void HybridController::reset() {
+  m_ = params_.clamp(params_.m0);
+  r_accum_ = 0.0;
+  rounds_in_window_ = 0;
+  last_branch_ = Branch::kNone;
+}
+
+std::uint32_t HybridController::observe(const RoundStats& round) {
+  r_accum_ += round.conflict_ratio();
+  ++rounds_in_window_;
+
+  const bool small = params_.small_m_regime && m_ < params_.m_small;
+  const std::uint32_t window = small ? params_.T_small : params_.T;
+  if (rounds_in_window_ < window) return m_;
+
+  double r = r_accum_ / static_cast<double>(rounds_in_window_);
+  r_accum_ = 0.0;
+  rounds_in_window_ = 0;
+
+  const double alpha = std::abs(1.0 - r / params_.rho);
+  const double dead_band = small ? params_.alpha1_small : params_.alpha1;
+
+  if (alpha > params_.alpha0) {
+    // Recurrence B: multiplicative correction assuming r̄ linear in m.
+    if (r < params_.r_min) r = params_.r_min;
+    m_ = params_.clamp(static_cast<std::uint64_t>(
+        std::ceil(params_.rho / r * static_cast<double>(m_))));
+    last_branch_ = Branch::kRecurrenceB;
+  } else if (alpha > dead_band) {
+    // Recurrence A: gentle additive-ratio correction.
+    m_ = params_.clamp(static_cast<std::uint64_t>(
+        std::ceil((1.0 - r + params_.rho) * static_cast<double>(m_))));
+    last_branch_ = Branch::kRecurrenceA;
+  } else {
+    last_branch_ = Branch::kDeadBand;
+  }
+  return m_;
+}
+
+}  // namespace optipar

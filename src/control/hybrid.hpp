@@ -1,0 +1,42 @@
+// Algorithm 1: the paper's hybrid control heuristic. Every T rounds the
+// averaged conflict ratio r is compared against the target ρ through
+// α = |1 − r/ρ|:
+//   α > α₀          → Recurrence B, m ← ⌈(ρ/max(r, r_min))·m⌉ (fast phase)
+//   α₁ < α <= α₀    → Recurrence A, m ← ⌈(1 − r + ρ)·m⌉       (fine tuning)
+//   α <= α₁         → no change (dead band; avoids steady-state churn that
+//                     defeats locality, §4.1)
+// with m clamped to [m_min, m_max] each round and the small-m regime using
+// a longer window and wider dead band (§4.1, third optimization).
+#pragma once
+
+#include "control/controller.hpp"
+
+namespace optipar {
+
+class HybridController final : public Controller {
+ public:
+  explicit HybridController(const ControllerParams& params);
+
+  [[nodiscard]] std::uint32_t initial_m() const override { return m_; }
+  std::uint32_t observe(const RoundStats& round) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "hybrid"; }
+
+  [[nodiscard]] const ControllerParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] std::uint32_t current_m() const noexcept { return m_; }
+
+  /// Which branch fired at the last window boundary (for ablation traces).
+  enum class Branch { kNone, kDeadBand, kRecurrenceA, kRecurrenceB };
+  [[nodiscard]] Branch last_branch() const noexcept { return last_branch_; }
+
+ private:
+  ControllerParams params_;
+  std::uint32_t m_;
+  double r_accum_ = 0.0;
+  std::uint32_t rounds_in_window_ = 0;
+  Branch last_branch_ = Branch::kNone;
+};
+
+}  // namespace optipar

@@ -1,0 +1,111 @@
+// Deterministic closed-loop analysis: iterate a controller against an
+// idealized noise-free plant m ↦ r̄(m). Separates the controller's own
+// dynamics (convergence rate, overshoot, limit cycles) from sampling
+// noise — the complement of the Monte-Carlo workloads in src/sim/.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "model/conflict_ratio.hpp"
+#include "model/theory.hpp"
+
+namespace optipar {
+
+/// The plant: expected conflict ratio as a function of the allocation.
+using Plant = std::function<double(std::uint32_t)>;
+
+/// Idealized linear plant r(m) = min(1, slope · (m − 1)) — the small-m
+/// behavior Prop. 2 predicts, extended linearly (the regime in which
+/// Recurrence B is exact).
+[[nodiscard]] inline Plant linear_plant(double slope) {
+  return [slope](std::uint32_t m) {
+    return std::min(1.0, slope * (static_cast<double>(m) - 1.0));
+  };
+}
+
+/// Worst-case plant: the Cor. 2 bound for an (n, d) family.
+[[nodiscard]] inline Plant worst_case_plant(double n, double d) {
+  return [n, d](std::uint32_t m) {
+    return theory::conflict_ratio_bound_approx(n, d, m);
+  };
+}
+
+/// Plant interpolated from a measured conflict curve (clamps m to range).
+[[nodiscard]] inline Plant plant_from_curve(const ConflictCurve& curve) {
+  // Copy the means out so the plant owns its data.
+  std::vector<double> r(curve.abort_stats.size());
+  for (std::uint32_t m = 0; m < r.size(); ++m) r[m] = curve.r_bar(m);
+  return [r = std::move(r)](std::uint32_t m) {
+    if (r.empty()) return 0.0;
+    const auto idx = std::min<std::size_t>(m, r.size() - 1);
+    return r[idx];
+  };
+}
+
+struct PlantTrace {
+  std::vector<std::uint32_t> m;  ///< allocation per step
+  std::vector<double> r;         ///< plant response per step
+
+  /// First step from which m stays within (1 ± band)·mu_ref forever.
+  [[nodiscard]] std::size_t settling_step(double mu_ref, double band) const {
+    const double lo = mu_ref * (1.0 - band);
+    const double hi = mu_ref * (1.0 + band);
+    std::size_t settle = m.size();
+    for (std::size_t i = m.size(); i-- > 0;) {
+      if (m[i] >= lo && m[i] <= hi) {
+        settle = i;
+      } else {
+        break;
+      }
+    }
+    return settle;
+  }
+
+  /// Largest allocation ever proposed (overshoot detection).
+  [[nodiscard]] std::uint32_t peak_m() const {
+    std::uint32_t peak = 0;
+    for (const auto v : m) peak = std::max(peak, v);
+    return peak;
+  }
+};
+
+/// Run the controller against the plant for `steps` rounds. Each round
+/// launches exactly m tasks and observes the plant's exact ratio (the
+/// abort count is the real-valued expectation, so no quantization noise
+/// beyond the controller's own ceil()s).
+[[nodiscard]] inline PlantTrace simulate_on_plant(Controller& controller,
+                                                  const Plant& plant,
+                                                  std::uint32_t steps) {
+  PlantTrace trace;
+  trace.m.reserve(steps);
+  trace.r.reserve(steps);
+  std::uint32_t m = controller.initial_m();
+  for (std::uint32_t step = 0; step < steps; ++step) {
+    const double ratio = plant(m);
+    trace.m.push_back(m);
+    trace.r.push_back(ratio);
+    RoundStats stats;
+    stats.launched = m;
+    stats.aborted = static_cast<std::uint32_t>(
+        std::llround(ratio * static_cast<double>(m)));
+    stats.committed = stats.launched - stats.aborted;
+    m = controller.observe(stats);
+  }
+  return trace;
+}
+
+/// The plant's ideal operating point: largest m <= m_max with r(m) <= rho.
+[[nodiscard]] inline std::uint32_t plant_mu(const Plant& plant, double rho,
+                                            std::uint32_t m_max) {
+  std::uint32_t mu = 1;
+  for (std::uint32_t m = 1; m <= m_max; ++m) {
+    if (plant(m) <= rho) mu = m;
+  }
+  return mu;
+}
+
+}  // namespace optipar

@@ -1,0 +1,60 @@
+#include "control/recurrence.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace optipar {
+
+RecurrenceControllerBase::RecurrenceControllerBase(
+    const ControllerParams& params)
+    : params_(params), m_(params.clamp(params.m0)) {
+  if (params_.rho <= 0.0 || params_.rho >= 1.0) {
+    throw std::invalid_argument("controller: rho must be in (0, 1)");
+  }
+  if (params_.m_min < 2) {
+    throw std::invalid_argument("controller: m_min >= 2 (Remark 1)");
+  }
+  if (params_.T == 0) throw std::invalid_argument("controller: T >= 1");
+}
+
+void RecurrenceControllerBase::reset() {
+  m_ = params_.clamp(params_.m0);
+  r_accum_ = 0.0;
+  rounds_in_window_ = 0;
+}
+
+std::uint32_t RecurrenceControllerBase::observe(const RoundStats& round) {
+  r_accum_ += round.conflict_ratio();
+  ++rounds_in_window_;
+  const bool small = params_.small_m_regime && m_ < params_.m_small;
+  const std::uint32_t window = small ? params_.T_small : params_.T;
+  if (rounds_in_window_ >= window) {
+    const double r_avg = r_accum_ / static_cast<double>(rounds_in_window_);
+    r_accum_ = 0.0;
+    rounds_in_window_ = 0;
+    const double alpha = std::abs(1.0 - r_avg / params_.rho);
+    const double dead_band = small ? params_.alpha1_small : params_.alpha1;
+    if (alpha > dead_band) {
+      m_ = params_.clamp(step(r_avg, m_));
+    }
+  }
+  return m_;
+}
+
+std::uint64_t RecurrenceAController::step(double r_avg,
+                                          std::uint32_t m) const {
+  // m ← ⌈(1 − r + ρ) · m⌉ (eq. 32)
+  const double factor = 1.0 - r_avg + params().rho;
+  return static_cast<std::uint64_t>(
+      std::ceil(std::max(0.0, factor) * static_cast<double>(m)));
+}
+
+std::uint64_t RecurrenceBController::step(double r_avg,
+                                          std::uint32_t m) const {
+  // m ← ⌈(ρ / r) · m⌉ (eq. 33), with the r_min clamp from Algorithm 1.
+  const double r = std::max(r_avg, params().r_min);
+  return static_cast<std::uint64_t>(
+      std::ceil(params().rho / r * static_cast<double>(m)));
+}
+
+}  // namespace optipar

@@ -1,0 +1,60 @@
+// The two building-block recurrences of §4, each usable as a standalone
+// controller (Fig. 3 compares the hybrid against Recurrence A alone):
+//   Recurrence A:  m ← ⌈(1 − r + ρ) · m⌉   — slow but noise-tolerant
+//   Recurrence B:  m ← ⌈(ρ / r) · m⌉       — fast, assumes r̄ initially
+//                                             linear in m; needs r_min clamp
+// Both apply the paper's T-round averaging and the α₁ dead band so that the
+// comparison against the hybrid isolates the recurrence itself.
+#pragma once
+
+#include "control/controller.hpp"
+
+namespace optipar {
+
+/// Shared scaffolding: T-round accumulation of r, dead-band check, clamping.
+class RecurrenceControllerBase : public Controller {
+ public:
+  explicit RecurrenceControllerBase(const ControllerParams& params);
+
+  [[nodiscard]] std::uint32_t initial_m() const override { return m_; }
+  std::uint32_t observe(const RoundStats& round) final;
+  void reset() override;
+
+  [[nodiscard]] const ControllerParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] std::uint32_t current_m() const noexcept { return m_; }
+
+ protected:
+  /// Apply the recurrence to (r_avg, m); return the unclamped proposal.
+  [[nodiscard]] virtual std::uint64_t step(double r_avg,
+                                           std::uint32_t m) const = 0;
+
+ private:
+  ControllerParams params_;
+  std::uint32_t m_;
+  double r_accum_ = 0.0;
+  std::uint32_t rounds_in_window_ = 0;
+};
+
+class RecurrenceAController final : public RecurrenceControllerBase {
+ public:
+  using RecurrenceControllerBase::RecurrenceControllerBase;
+  [[nodiscard]] std::string name() const override { return "recurrence-A"; }
+
+ protected:
+  [[nodiscard]] std::uint64_t step(double r_avg,
+                                   std::uint32_t m) const override;
+};
+
+class RecurrenceBController final : public RecurrenceControllerBase {
+ public:
+  using RecurrenceControllerBase::RecurrenceControllerBase;
+  [[nodiscard]] std::string name() const override { return "recurrence-B"; }
+
+ protected:
+  [[nodiscard]] std::uint64_t step(double r_avg,
+                                   std::uint32_t m) const override;
+};
+
+}  // namespace optipar

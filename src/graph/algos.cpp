@@ -1,0 +1,164 @@
+#include "graph/algos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace optipar {
+
+DegreeStats degree_stats(const CsrGraph& g) {
+  DegreeStats s;
+  const NodeId n = g.num_nodes();
+  if (n == 0) return s;
+  s.min = UINT32_MAX;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t d = g.degree(v);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    sum += d;
+    sum_sq += static_cast<double>(d) * d;
+  }
+  s.average = sum / n;
+  s.variance = sum_sq / n - s.average * s.average;
+  return s;
+}
+
+std::vector<NodeId> greedy_mis(const CsrGraph& g,
+                               std::span<const NodeId> order) {
+  std::vector<bool> kept(g.num_nodes(), false);
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::vector<NodeId> result;
+  for (const NodeId v : order) {
+    if (v >= g.num_nodes()) throw std::invalid_argument("greedy_mis: bad id");
+    if (seen[v]) throw std::invalid_argument("greedy_mis: duplicate in order");
+    seen[v] = true;
+    bool blocked = false;
+    for (const NodeId w : g.neighbors(v)) {
+      if (kept[w]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) {
+      kept[v] = true;
+      result.push_back(v);
+    }
+  }
+  return result;
+}
+
+std::vector<NodeId> random_greedy_mis(const CsrGraph& g, Rng& rng) {
+  const auto perm = rng.permutation(g.num_nodes());
+  return greedy_mis(g, std::span<const NodeId>(perm));
+}
+
+bool is_independent_set(const CsrGraph& g, std::span<const NodeId> nodes) {
+  std::vector<bool> in(g.num_nodes(), false);
+  for (const NodeId v : nodes) {
+    if (v >= g.num_nodes() || in[v]) return false;
+    in[v] = true;
+  }
+  for (const NodeId v : nodes) {
+    for (const NodeId w : g.neighbors(v)) {
+      if (in[w]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_maximal_independent_set(const CsrGraph& g,
+                                std::span<const NodeId> nodes) {
+  if (!is_independent_set(g, nodes)) return false;
+  std::vector<bool> in(g.num_nodes(), false);
+  for (const NodeId v : nodes) in[v] = true;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in[v]) continue;
+    bool blocked = false;
+    for (const NodeId w : g.neighbors(v)) {
+      if (in[w]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) return false;  // v could still be added
+  }
+  return true;
+}
+
+Components connected_components(const CsrGraph& g) {
+  Components comp;
+  comp.id.assign(g.num_nodes(), UINT32_MAX);
+  std::vector<NodeId> stack;
+  for (NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (comp.id[root] != UINT32_MAX) continue;
+    comp.id[root] = comp.count;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const NodeId w : g.neighbors(v)) {
+        if (comp.id[w] == UINT32_MAX) {
+          comp.id[w] = comp.count;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++comp.count;
+  }
+  return comp;
+}
+
+CsrGraph square(const CsrGraph& g) {
+  EdgeList edges;
+  std::vector<std::uint8_t> marked(g.num_nodes(), 0);
+  std::vector<NodeId> touched;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    touched.clear();
+    for (const NodeId v : g.neighbors(u)) {
+      if (v > u && !marked[v]) {
+        marked[v] = 1;
+        touched.push_back(v);
+      }
+      for (const NodeId w : g.neighbors(v)) {
+        if (w > u && !marked[w]) {
+          marked[w] = 1;
+          touched.push_back(w);
+        }
+      }
+    }
+    for (const NodeId v : touched) {
+      edges.emplace_back(u, v);
+      marked[v] = 0;
+    }
+  }
+  return CsrGraph::from_edges(g.num_nodes(), edges);
+}
+
+std::uint64_t triangle_count(const CsrGraph& g) {
+  std::uint64_t count = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nu = g.neighbors(u);
+    for (const NodeId v : nu) {
+      if (v <= u) continue;
+      const auto nv = g.neighbors(v);
+      // merge-intersect the sorted lists, counting w > v to avoid dupes
+      auto a = std::upper_bound(nu.begin(), nu.end(), v);
+      auto b = std::upper_bound(nv.begin(), nv.end(), v);
+      while (a != nu.end() && b != nv.end()) {
+        if (*a < *b) {
+          ++a;
+        } else if (*b < *a) {
+          ++b;
+        } else {
+          ++count;
+          ++a;
+          ++b;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace optipar

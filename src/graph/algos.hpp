@@ -1,0 +1,56 @@
+// Graph algorithms shared by the model layer and tests: independent-set
+// machinery (the committed set of an optimistic round IS a greedy MIS over
+// the commit permutation), connected components, and degree statistics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "support/rng.hpp"
+
+namespace optipar {
+
+struct DegreeStats {
+  double average = 0.0;
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+  double variance = 0.0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const CsrGraph& g);
+
+/// Greedy maximal independent set over an explicit node order: node is kept
+/// iff no earlier kept neighbor exists. This is exactly the committed set of
+/// the paper's commit-permutation semantics when `order` spans all nodes.
+[[nodiscard]] std::vector<NodeId> greedy_mis(const CsrGraph& g,
+                                             std::span<const NodeId> order);
+
+/// Greedy MIS over a uniformly random permutation (Turán's random-greedy).
+[[nodiscard]] std::vector<NodeId> random_greedy_mis(const CsrGraph& g,
+                                                    Rng& rng);
+
+[[nodiscard]] bool is_independent_set(const CsrGraph& g,
+                                      std::span<const NodeId> nodes);
+
+/// Maximality within the whole graph: independent and no node can be added.
+[[nodiscard]] bool is_maximal_independent_set(const CsrGraph& g,
+                                              std::span<const NodeId> nodes);
+
+/// Connected components; returns component id per node and count.
+struct Components {
+  std::vector<std::uint32_t> id;
+  std::uint32_t count = 0;
+};
+[[nodiscard]] Components connected_components(const CsrGraph& g);
+
+/// Exact count of triangles (for generator sanity checks).
+[[nodiscard]] std::uint64_t triangle_count(const CsrGraph& g);
+
+/// The graph square: u ~ v iff their distance in g is 1 or 2. This is the
+/// CC (conflict) graph of neighborhood-locking tasks — two MIS/coloring
+/// tasks conflict exactly when their lock sets {v} ∪ N(v) intersect.
+[[nodiscard]] CsrGraph square(const CsrGraph& g);
+
+}  // namespace optipar

@@ -1,0 +1,104 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace optipar {
+
+CsrGraph CsrGraph::from_edges(NodeId n, const EdgeList& edges) {
+  CsrGraph g;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  for (const auto& [u, v] : edges) {
+    if (u >= n || v >= n) {
+      throw std::invalid_argument("CsrGraph: edge endpoint out of range");
+    }
+    if (u == v) {
+      throw std::invalid_argument("CsrGraph: self-loop not allowed");
+    }
+  }
+
+  // Two-pass counting sort into CSR, then per-node sort + dedup.
+  std::vector<std::uint32_t> counts(n, 0);
+  for (const auto& [u, v] : edges) {
+    ++counts[u];
+    ++counts[v];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + counts[v];
+  }
+  g.adjacency_.resize(g.offsets_[n]);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+
+  // Sort each list, drop duplicates, and rebuild offsets compactly.
+  std::vector<std::uint64_t> new_offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::uint64_t write = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto begin = g.adjacency_.begin() +
+                       static_cast<std::ptrdiff_t>(g.offsets_[v]);
+    const auto end = g.adjacency_.begin() +
+                     static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end);
+    const auto unique_end = std::unique(begin, end);
+    new_offsets[v] = write;
+    for (auto it = begin; it != unique_end; ++it) {
+      g.adjacency_[write++] = *it;
+    }
+  }
+  new_offsets[n] = write;
+  g.adjacency_.resize(write);
+  g.offsets_ = std::move(new_offsets);
+  return g;
+}
+
+double CsrGraph::average_degree() const noexcept {
+  const NodeId n = num_nodes();
+  if (n == 0) return 0.0;
+  return static_cast<double>(adjacency_.size()) / static_cast<double>(n);
+}
+
+std::uint32_t CsrGraph::max_degree() const noexcept {
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+bool CsrGraph::has_edge(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+EdgeList CsrGraph::edges() const {
+  EdgeList out;
+  out.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const NodeId v : neighbors(u)) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+bool CsrGraph::validate() const {
+  const NodeId n = num_nodes();
+  if (offsets_.empty() || offsets_.front() != 0 ||
+      offsets_.back() != adjacency_.size()) {
+    return false;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (offsets_[v] > offsets_[v + 1]) return false;
+    const auto nbrs = neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= n || nbrs[i] == v) return false;
+      if (i > 0 && nbrs[i - 1] >= nbrs[i]) return false;  // sorted + unique
+      if (!has_edge(nbrs[i], v)) return false;            // symmetric
+    }
+  }
+  return true;
+}
+
+}  // namespace optipar

@@ -1,0 +1,61 @@
+// Immutable undirected graph in compressed-sparse-row form. This is the
+// representation the model layer (permutation sweeps, Monte-Carlo
+// conflict-ratio estimation) iterates over millions of times, so neighbor
+// access is a contiguous span and the structure is frozen after build.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace optipar {
+
+using NodeId = std::uint32_t;
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Build from an undirected edge list over nodes [0, n). Self-loops are
+  /// rejected (a task never conflicts with itself in the CC model) and
+  /// duplicate edges are merged. Throws std::invalid_argument on
+  /// out-of-range endpoints or self-loops.
+  static CsrGraph from_edges(NodeId n, const EdgeList& edges);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  /// Number of undirected edges.
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return adjacency_.size() / 2;
+  }
+  [[nodiscard]] std::uint32_t degree(NodeId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+  /// Sorted neighbor list of v.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+  /// Average degree d = 2|E| / n (0 for the empty graph).
+  [[nodiscard]] double average_degree() const noexcept;
+  [[nodiscard]] std::uint32_t max_degree() const noexcept;
+  /// O(log deg) adjacency test via binary search on the sorted list.
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// Recover the (u < v canonical) undirected edge list.
+  [[nodiscard]] EdgeList edges() const;
+
+  /// Internal-consistency check used by tests and after deserialization:
+  /// offsets monotone, neighbor lists sorted + deduplicated, adjacency
+  /// symmetric, no self-loops.
+  [[nodiscard]] bool validate() const;
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // size n+1
+  std::vector<NodeId> adjacency_;       // size 2|E|
+};
+
+}  // namespace optipar

@@ -1,0 +1,149 @@
+#include "graph/dynamic_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace optipar {
+
+DynamicGraph::DynamicGraph(NodeId initial_nodes)
+    : adj_(initial_nodes), alive_(initial_nodes, true),
+      alive_count_(initial_nodes) {}
+
+DynamicGraph::DynamicGraph(const CsrGraph& g)
+    : adj_(g.num_nodes()), alive_(g.num_nodes(), true),
+      alive_count_(g.num_nodes()), edge_count_(g.num_edges()) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    adj_[v].assign(nbrs.begin(), nbrs.end());
+  }
+}
+
+std::uint32_t DynamicGraph::degree(NodeId v) const {
+  if (!is_alive(v)) throw std::invalid_argument("degree of dead node");
+  return static_cast<std::uint32_t>(adj_[v].size());
+}
+
+bool DynamicGraph::has_edge(NodeId u, NodeId v) const {
+  if (!is_alive(u) || !is_alive(v)) return false;
+  const auto& shorter = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const NodeId probe = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::find(shorter.begin(), shorter.end(), probe) != shorter.end();
+}
+
+double DynamicGraph::average_degree() const noexcept {
+  if (alive_count_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(edge_count_) /
+         static_cast<double>(alive_count_);
+}
+
+const std::vector<NodeId>& DynamicGraph::neighbors(NodeId v) const {
+  if (!is_alive(v)) throw std::invalid_argument("neighbors of dead node");
+  return adj_[v];
+}
+
+NodeId DynamicGraph::add_node() {
+  adj_.emplace_back();
+  alive_.push_back(true);
+  ++alive_count_;
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+bool DynamicGraph::add_edge(NodeId u, NodeId v) {
+  if (u == v) throw std::invalid_argument("add_edge: self-loop");
+  if (!is_alive(u) || !is_alive(v)) {
+    throw std::invalid_argument("add_edge: dead endpoint");
+  }
+  if (has_edge(u, v)) return false;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++edge_count_;
+  return true;
+}
+
+bool DynamicGraph::remove_edge(NodeId u, NodeId v) {
+  if (!is_alive(u) || !is_alive(v)) return false;
+  auto erase_one = [](std::vector<NodeId>& list, NodeId x) {
+    const auto it = std::find(list.begin(), list.end(), x);
+    if (it == list.end()) return false;
+    *it = list.back();
+    list.pop_back();
+    return true;
+  };
+  if (!erase_one(adj_[u], v)) return false;
+  erase_one(adj_[v], u);
+  --edge_count_;
+  return true;
+}
+
+void DynamicGraph::detach_from_neighbors(NodeId v) {
+  for (const NodeId w : adj_[v]) {
+    auto& list = adj_[w];
+    const auto it = std::find(list.begin(), list.end(), v);
+    if (it != list.end()) {
+      *it = list.back();
+      list.pop_back();
+    }
+  }
+  edge_count_ -= adj_[v].size();
+  adj_[v].clear();
+  adj_[v].shrink_to_fit();
+}
+
+void DynamicGraph::remove_node(NodeId v) {
+  if (!is_alive(v)) throw std::invalid_argument("remove_node: already dead");
+  detach_from_neighbors(v);
+  alive_[v] = false;
+  --alive_count_;
+}
+
+std::vector<NodeId> DynamicGraph::alive_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(alive_count_);
+  for (NodeId v = 0; v < capacity(); ++v) {
+    if (alive_[v]) out.push_back(v);
+  }
+  return out;
+}
+
+CsrGraph DynamicGraph::freeze(std::vector<NodeId>* relabel) const {
+  std::vector<NodeId> map(capacity(), UINT32_MAX);
+  NodeId next = 0;
+  for (NodeId v = 0; v < capacity(); ++v) {
+    if (alive_[v]) map[v] = next++;
+  }
+  EdgeList edges;
+  edges.reserve(edge_count_);
+  for (NodeId v = 0; v < capacity(); ++v) {
+    if (!alive_[v]) continue;
+    for (const NodeId w : adj_[v]) {
+      if (v < w) edges.emplace_back(map[v], map[w]);
+    }
+  }
+  if (relabel != nullptr) *relabel = std::move(map);
+  return CsrGraph::from_edges(next, edges);
+}
+
+bool DynamicGraph::validate() const {
+  std::uint64_t half_edges = 0;
+  NodeId alive_seen = 0;
+  for (NodeId v = 0; v < capacity(); ++v) {
+    if (!alive_[v]) {
+      if (!adj_[v].empty()) return false;
+      continue;
+    }
+    ++alive_seen;
+    half_edges += adj_[v].size();
+    for (const NodeId w : adj_[v]) {
+      if (w >= capacity() || w == v || !alive_[w]) return false;
+      // symmetry
+      if (std::find(adj_[w].begin(), adj_[w].end(), v) == adj_[w].end()) {
+        return false;
+      }
+      // no parallel edges
+      if (std::count(adj_[v].begin(), adj_[v].end(), w) != 1) return false;
+    }
+  }
+  return alive_seen == alive_count_ && half_edges == 2 * edge_count_;
+}
+
+}  // namespace optipar

@@ -1,0 +1,67 @@
+// Mutable undirected graph supporting the "morph" operations of amorphous
+// data-parallel algorithms (Pingali et al.): remove a committed task's node,
+// add freshly spawned tasks, and rewire conflict edges in a neighborhood.
+// The step simulator (src/sim/) evolves CC graphs through this type.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace optipar {
+
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+  explicit DynamicGraph(NodeId initial_nodes);
+  /// Import a frozen graph (all nodes alive).
+  explicit DynamicGraph(const CsrGraph& g);
+
+  /// Total node slots ever created (dead ones included). Valid node ids are
+  /// [0, capacity()); only alive ones participate in the graph.
+  [[nodiscard]] NodeId capacity() const noexcept {
+    return static_cast<NodeId>(alive_.size());
+  }
+  [[nodiscard]] NodeId num_alive() const noexcept { return alive_count_; }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept { return edge_count_; }
+  [[nodiscard]] bool is_alive(NodeId v) const { return alive_.at(v); }
+  [[nodiscard]] std::uint32_t degree(NodeId v) const;
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+  /// Average degree over alive nodes.
+  [[nodiscard]] double average_degree() const noexcept;
+
+  /// Neighbor list of an alive node (alive neighbors only, unsorted).
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId v) const;
+
+  /// Create a new isolated node; returns its id.
+  NodeId add_node();
+  /// Add an undirected edge between two distinct alive nodes. Returns false
+  /// (no-op) if the edge already exists.
+  bool add_edge(NodeId u, NodeId v);
+  /// Remove an edge if present; returns whether it existed.
+  bool remove_edge(NodeId u, NodeId v);
+  /// Remove a node and all incident edges. The id is never reused.
+  void remove_node(NodeId v);
+
+  /// All alive node ids, ascending.
+  [[nodiscard]] std::vector<NodeId> alive_nodes() const;
+
+  /// Snapshot to CSR over a compact relabeling of alive nodes; the optional
+  /// out-param receives old-id -> new-id (dead nodes map to UINT32_MAX).
+  [[nodiscard]] CsrGraph freeze(std::vector<NodeId>* relabel = nullptr) const;
+
+  /// Structural invariants: symmetry, no self-loops, no dead endpoints,
+  /// edge_count_ consistent. Used by tests and debug assertions.
+  [[nodiscard]] bool validate() const;
+
+ private:
+  void detach_from_neighbors(NodeId v);
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::vector<bool> alive_;
+  NodeId alive_count_ = 0;
+  std::uint64_t edge_count_ = 0;
+};
+
+}  // namespace optipar

@@ -1,0 +1,276 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace optipar::gen {
+
+namespace {
+
+/// Canonical 64-bit key for an undirected edge.
+std::uint64_t edge_key(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+CsrGraph gnm_random(NodeId n, std::uint64_t edges, Rng& rng) {
+  if (n < 2 && edges > 0) {
+    throw std::invalid_argument("gnm_random: too few nodes");
+  }
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  if (edges > max_edges) {
+    throw std::invalid_argument("gnm_random: more edges than pairs");
+  }
+  EdgeList list;
+  list.reserve(edges);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges * 2);
+  while (list.size() < edges) {
+    const auto u = static_cast<NodeId>(rng.below(n));
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) list.emplace_back(u, v);
+  }
+  return CsrGraph::from_edges(n, list);
+}
+
+CsrGraph random_with_average_degree(NodeId n, double avg_degree, Rng& rng) {
+  const auto edges =
+      static_cast<std::uint64_t>(std::llround(avg_degree * n / 2.0));
+  return gnm_random(n, edges, rng);
+}
+
+CsrGraph gnp_random(NodeId n, double p, Rng& rng) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("gnp_random: bad p");
+  EdgeList list;
+  if (p > 0.0) {
+    // Geometric skipping over the lexicographic pair enumeration.
+    const double log_q = std::log1p(-p);
+    std::int64_t v = 1;
+    std::int64_t u = -1;
+    const auto nn = static_cast<std::int64_t>(n);
+    while (v < nn) {
+      double r = rng.uniform();
+      if (r >= 1.0) r = std::nextafter(1.0, 0.0);
+      std::int64_t skip =
+          (p >= 1.0) ? 1
+                     : 1 + static_cast<std::int64_t>(
+                               std::floor(std::log1p(-r) / log_q));
+      u += skip;
+      while (u >= v && v < nn) {
+        u -= v;
+        ++v;
+      }
+      if (v < nn) {
+        list.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+      }
+    }
+  }
+  return CsrGraph::from_edges(n, list);
+}
+
+CsrGraph union_of_cliques(NodeId n, std::uint32_t d) {
+  if (n % (d + 1) != 0) {
+    throw std::invalid_argument("union_of_cliques: (d+1) must divide n");
+  }
+  EdgeList list;
+  const NodeId clique = d + 1;
+  list.reserve(static_cast<std::size_t>(n / clique) * clique * d / 2);
+  for (NodeId base = 0; base < n; base += clique) {
+    for (NodeId i = 0; i < clique; ++i) {
+      for (NodeId j = i + 1; j < clique; ++j) {
+        list.emplace_back(base + i, base + j);
+      }
+    }
+  }
+  return CsrGraph::from_edges(n, list);
+}
+
+CsrGraph clique_plus_isolated(NodeId clique, NodeId isolated) {
+  EdgeList list;
+  list.reserve(static_cast<std::size_t>(clique) * (clique - 1) / 2);
+  for (NodeId i = 0; i < clique; ++i) {
+    for (NodeId j = i + 1; j < clique; ++j) list.emplace_back(i, j);
+  }
+  return CsrGraph::from_edges(clique + isolated, list);
+}
+
+CsrGraph complete(NodeId n) { return clique_plus_isolated(n, 0); }
+
+CsrGraph star(NodeId leaves) {
+  EdgeList list;
+  list.reserve(leaves);
+  for (NodeId i = 1; i <= leaves; ++i) list.emplace_back(0, i);
+  return CsrGraph::from_edges(leaves + 1, list);
+}
+
+CsrGraph path(NodeId n) {
+  EdgeList list;
+  for (NodeId i = 0; i + 1 < n; ++i) list.emplace_back(i, i + 1);
+  return CsrGraph::from_edges(n, list);
+}
+
+CsrGraph cycle(NodeId n) {
+  if (n < 3) throw std::invalid_argument("cycle: need n >= 3");
+  EdgeList list = path(n).edges();
+  list.emplace_back(n - 1, 0);
+  return CsrGraph::from_edges(n, list);
+}
+
+CsrGraph grid_2d(NodeId rows, NodeId cols) {
+  EdgeList list;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) list.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) list.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return CsrGraph::from_edges(rows * cols, list);
+}
+
+CsrGraph torus_2d(NodeId rows, NodeId cols) {
+  if (rows < 3 || cols < 3) {
+    throw std::invalid_argument("torus_2d: need rows, cols >= 3");
+  }
+  EdgeList list;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      list.emplace_back(id(r, c), id(r, (c + 1) % cols));
+      list.emplace_back(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return CsrGraph::from_edges(rows * cols, list);
+}
+
+CsrGraph random_regular(NodeId n, std::uint32_t d, Rng& rng) {
+  if (d >= n) throw std::invalid_argument("random_regular: d must be < n");
+  if ((static_cast<std::uint64_t>(n) * d) % 2 != 0) {
+    throw std::invalid_argument("random_regular: n*d must be even");
+  }
+  if (d == 0) return CsrGraph::from_edges(n, {});
+  // Steger–Wormald: repeatedly pair two random remaining stubs of distinct,
+  // non-adjacent nodes; restart on dead ends. Asymptotically uniform and,
+  // unlike the naive pairing model, succeeds w.h.p. even for d ~ 6-10.
+  constexpr int kMaxRestarts = 10000;
+  for (int attempt = 0; attempt < kMaxRestarts; ++attempt) {
+    std::vector<NodeId> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * d);
+    for (NodeId v = 0; v < n; ++v) {
+      for (std::uint32_t i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    EdgeList list;
+    list.reserve(stubs.size() / 2);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(stubs.size());
+    bool stuck = false;
+    while (!stubs.empty()) {
+      bool paired = false;
+      // A bounded number of local retries before declaring a dead end.
+      for (int tries = 0; tries < 64; ++tries) {
+        const std::size_t i = rng.below(stubs.size());
+        const std::size_t j = rng.below(stubs.size());
+        if (i == j) continue;
+        const NodeId u = stubs[i];
+        const NodeId v = stubs[j];
+        if (u == v || seen.count(edge_key(u, v)) != 0) continue;
+        seen.insert(edge_key(u, v));
+        list.emplace_back(u, v);
+        // Remove the two consumed stubs (higher index first).
+        const auto hi = std::max(i, j);
+        const auto lo = std::min(i, j);
+        stubs[hi] = stubs.back();
+        stubs.pop_back();
+        stubs[lo] = stubs.back();
+        stubs.pop_back();
+        paired = true;
+        break;
+      }
+      if (!paired) {
+        stuck = true;
+        break;
+      }
+    }
+    if (!stuck) return CsrGraph::from_edges(n, list);
+  }
+  throw std::runtime_error(
+      "random_regular: failed to complete a simple pairing");
+}
+
+CsrGraph rmat(NodeId n, std::uint64_t edges, double a, double b, double c,
+              Rng& rng) {
+  if (a < 0 || b < 0 || c < 0 || a + b + c > 1.0) {
+    throw std::invalid_argument("rmat: invalid quadrant probabilities");
+  }
+  int levels = 0;
+  NodeId size = 1;
+  while (size < n) {
+    size *= 2;
+    ++levels;
+  }
+  EdgeList list;
+  list.reserve(edges);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges * 2);
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = edges * 64 + 4096;
+  while (list.size() < edges && attempts++ < max_attempts) {
+    NodeId u = 0;
+    NodeId v = 0;
+    for (int l = 0; l < levels; ++l) {
+      const double r = rng.uniform();
+      const NodeId bit = size >> (l + 1);
+      if (r < a) {
+        // upper-left: no bits
+      } else if (r < a + b) {
+        v |= bit;
+      } else if (r < a + b + c) {
+        u |= bit;
+      } else {
+        u |= bit;
+        v |= bit;
+      }
+    }
+    if (u >= n || v >= n || u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) list.emplace_back(u, v);
+  }
+  return CsrGraph::from_edges(n, list);
+}
+
+CsrGraph barabasi_albert(NodeId n, std::uint32_t k, Rng& rng) {
+  if (n < k + 1) throw std::invalid_argument("barabasi_albert: n <= k");
+  EdgeList list;
+  // Repeated-endpoint trick: sampling a uniform position in the flattened
+  // edge-endpoint array is degree-proportional sampling.
+  std::vector<NodeId> endpoints;
+  // Seed: a (k+1)-clique so every early node has degree >= k.
+  for (NodeId i = 0; i <= k; ++i) {
+    for (NodeId j = i + 1; j <= k; ++j) {
+      list.emplace_back(i, j);
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+  for (NodeId v = k + 1; v < n; ++v) {
+    std::set<NodeId> targets;
+    while (targets.size() < k) {
+      const NodeId t = endpoints[rng.below(endpoints.size())];
+      targets.insert(t);
+    }
+    for (const NodeId t : targets) {
+      list.emplace_back(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return CsrGraph::from_edges(n, list);
+}
+
+}  // namespace optipar::gen

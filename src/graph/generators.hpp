@@ -1,0 +1,67 @@
+// Synthetic CC-graph families. These stand in for the paper's workloads:
+//   * gnm_random        — Fig. 2/3's "random graph: edges chosen uniformly at
+//                         random until the desired degree is reached"
+//   * union_of_cliques  — K_d^n, the worst case of Thm. 2 / Remark 2
+//   * clique_plus_isolated — Example 1's K_{n^2} ⊎ D_n family (parameterized)
+//   * random_regular, grid/torus, path/cycle — seating-problem meshes
+//   * rmat, barabasi_albert — skewed-degree graphs for robustness studies
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "support/rng.hpp"
+
+namespace optipar::gen {
+
+/// Erdős–Rényi G(n, M): exactly `edges` distinct edges chosen uniformly
+/// among all pairs. Throws if edges exceeds n(n-1)/2.
+CsrGraph gnm_random(NodeId n, std::uint64_t edges, Rng& rng);
+
+/// G(n, M) with the edge count chosen to hit a target average degree d
+/// (M = round(n*d/2)).
+CsrGraph random_with_average_degree(NodeId n, double avg_degree, Rng& rng);
+
+/// Erdős–Rényi G(n, p) via geometric skipping (O(n + |E|)).
+CsrGraph gnp_random(NodeId n, double p, Rng& rng);
+
+/// K_d^n from the paper: s = n/(d+1) disjoint cliques of size d+1. Requires
+/// (d+1) | n. Average degree is exactly d.
+CsrGraph union_of_cliques(NodeId n, std::uint32_t d);
+
+/// Example 1's family: one clique of size `clique` plus `isolated`
+/// disconnected nodes (clique nodes come first).
+CsrGraph clique_plus_isolated(NodeId clique, NodeId isolated);
+
+/// Complete graph K_n.
+CsrGraph complete(NodeId n);
+
+/// Star with `leaves` leaves (node 0 is the hub).
+CsrGraph star(NodeId leaves);
+
+/// Simple path 0-1-...-(n-1).
+CsrGraph path(NodeId n);
+
+/// Cycle on n >= 3 nodes.
+CsrGraph cycle(NodeId n);
+
+/// rows x cols 4-neighbor grid (the unfriendly-seating mesh of [11]).
+CsrGraph grid_2d(NodeId rows, NodeId cols);
+
+/// rows x cols 4-neighbor torus (every node has degree exactly 4).
+CsrGraph torus_2d(NodeId rows, NodeId cols);
+
+/// Random d-regular graph via the configuration/pairing model with
+/// restarts; requires n*d even and d < n. Simple (no loops/multi-edges).
+CsrGraph random_regular(NodeId n, std::uint32_t d, Rng& rng);
+
+/// R-MAT recursive-matrix graph (a,b,c quadrant probabilities; the fourth
+/// is 1-a-b-c). n is rounded up to a power of two internally and trimmed.
+CsrGraph rmat(NodeId n, std::uint64_t edges, double a, double b, double c,
+              Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches `k`
+/// edges to existing nodes with probability proportional to degree.
+CsrGraph barabasi_albert(NodeId n, std::uint32_t k, Rng& rng);
+
+}  // namespace optipar::gen

@@ -1,0 +1,62 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace optipar::io {
+
+void write_edge_list(const CsrGraph& g, std::ostream& out) {
+  out << "p " << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+}
+
+void write_edge_list(const CsrGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_edge_list: cannot open " + path);
+  write_edge_list(g, out);
+}
+
+CsrGraph read_edge_list(std::istream& in) {
+  std::string line;
+  NodeId n = 0;
+  bool have_header = false;
+  EdgeList edges;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    if (!have_header) {
+      std::string tag;
+      std::uint64_t m = 0;
+      if (!(ls >> tag >> n >> m) || tag != "p") {
+        throw std::runtime_error("read_edge_list: missing 'p n m' header");
+      }
+      have_header = true;
+      edges.reserve(m);
+      continue;
+    }
+    NodeId u = 0;
+    NodeId v = 0;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error("read_edge_list: bad edge at line " +
+                               std::to_string(lineno));
+    }
+    edges.emplace_back(u, v);
+  }
+  if (!have_header) throw std::runtime_error("read_edge_list: empty input");
+  return CsrGraph::from_edges(n, edges);
+}
+
+CsrGraph read_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_edge_list: cannot open " + path);
+  return read_edge_list(in);
+}
+
+}  // namespace optipar::io

@@ -1,0 +1,22 @@
+// Plain-text graph persistence: whitespace edge lists ("u v" per line, `#`
+// comments, a "p <n> <m>" header) and DIMACS-like format. Enough to move
+// generated CC graphs between the bench binaries and external tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace optipar::io {
+
+/// Write "p n m" header then one "u v" line per undirected edge.
+void write_edge_list(const CsrGraph& g, std::ostream& out);
+void write_edge_list(const CsrGraph& g, const std::string& path);
+
+/// Parse the format produced by write_edge_list. Lines starting with '#' or
+/// 'c' are comments. Throws std::runtime_error on malformed input.
+CsrGraph read_edge_list(std::istream& in);
+CsrGraph read_edge_list(const std::string& path);
+
+}  // namespace optipar::io

@@ -1,0 +1,56 @@
+// Disjoint-set union with path halving + union by size. Used by the graph
+// algorithms (connected components) and by the Boruvka application, both
+// sequentially and under speculative execution (where each iteration's
+// unions are guarded by the runtime's abstract locks).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace optipar {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::uint32_t n) : parent_(n), size_(n, 1), sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  [[nodiscard]] std::uint32_t find(std::uint32_t x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merge the sets containing a and b; returns false if already joined.
+  bool unite(std::uint32_t a, std::uint32_t b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --sets_;
+    return true;
+  }
+
+  [[nodiscard]] bool connected(std::uint32_t a, std::uint32_t b) noexcept {
+    return find(a) == find(b);
+  }
+  [[nodiscard]] std::uint32_t set_size(std::uint32_t x) noexcept {
+    return size_[find(x)];
+  }
+  [[nodiscard]] std::uint32_t num_sets() const noexcept { return sets_; }
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(parent_.size());
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::uint32_t sets_;
+};
+
+}  // namespace optipar

@@ -1,0 +1,57 @@
+#include "graph/weighted_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace optipar {
+
+WeightedGraph WeightedGraph::from_edges(
+    NodeId n, const std::vector<WeightedEdgeTriple>& edges) {
+  // Canonicalize and collapse duplicates to the lightest weight.
+  std::map<std::pair<NodeId, NodeId>, double> canonical;
+  for (const auto& e : edges) {
+    if (e.u >= n || e.v >= n) {
+      throw std::invalid_argument("WeightedGraph: endpoint out of range");
+    }
+    if (e.u == e.v) {
+      throw std::invalid_argument("WeightedGraph: self-loop not allowed");
+    }
+    if (!std::isfinite(e.w)) {
+      throw std::invalid_argument("WeightedGraph: non-finite weight");
+    }
+    const auto key = std::minmax(e.u, e.v);
+    const auto [it, fresh] = canonical.try_emplace({key.first, key.second},
+                                                   e.w);
+    if (!fresh && e.w < it->second) it->second = e.w;
+  }
+
+  WeightedGraph g;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [key, w] : canonical) {
+    ++g.offsets_[key.first + 1];
+    ++g.offsets_[key.second + 1];
+  }
+  for (NodeId v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  g.arcs_.resize(g.offsets_[n]);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [key, w] : canonical) {
+    g.arcs_[cursor[key.first]++] = {key.second, w};
+    g.arcs_[cursor[key.second]++] = {key.first, w};
+  }
+  return g;
+}
+
+CsrGraph WeightedGraph::structure() const {
+  EdgeList edges;
+  edges.reserve(num_edges());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (const Arc& a : arcs(v)) {
+      if (v < a.to) edges.emplace_back(v, a.to);
+    }
+  }
+  return CsrGraph::from_edges(num_nodes(), edges);
+}
+
+}  // namespace optipar

@@ -1,0 +1,56 @@
+// Immutable undirected weighted graph in CSR form — the input type for the
+// SSSP application and other weighted kernels. Same construction contract
+// as CsrGraph (no self-loops; parallel edges collapse to the lightest).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace optipar {
+
+struct Arc {
+  NodeId to = 0;
+  double weight = 0.0;
+};
+
+struct WeightedEdgeTriple {
+  NodeId u = 0;
+  NodeId v = 0;
+  double w = 0.0;
+};
+
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+
+  /// Build from undirected weighted edges. Self-loops are rejected;
+  /// duplicate edges keep the smallest weight. Weights must be finite.
+  static WeightedGraph from_edges(NodeId n,
+                                  const std::vector<WeightedEdgeTriple>& edges);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return arcs_.size() / 2;
+  }
+  [[nodiscard]] std::uint32_t degree(NodeId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+  [[nodiscard]] std::span<const Arc> arcs(NodeId v) const {
+    return {arcs_.data() + offsets_[v], arcs_.data() + offsets_[v + 1]};
+  }
+
+  /// The underlying unweighted structure (for conflict analysis).
+  [[nodiscard]] CsrGraph structure() const;
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace optipar

@@ -1,0 +1,118 @@
+#include "model/conflict_ratio.hpp"
+
+#include <stdexcept>
+
+#include "model/permutation_sweep.hpp"
+
+namespace optipar {
+
+ConflictCurve estimate_conflict_curve(const CsrGraph& g, std::uint32_t trials,
+                                      Rng& rng) {
+  if (trials == 0) {
+    throw std::invalid_argument("estimate_conflict_curve: trials == 0");
+  }
+  const NodeId n = g.num_nodes();
+  ConflictCurve curve;
+  curve.abort_stats.assign(static_cast<std::size_t>(n) + 1, StreamingStats{});
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    const auto perm = rng.permutation(n);
+    const auto sweep = sweep_full_permutation(g, perm);
+    for (std::uint32_t m = 0; m <= n; ++m) {
+      curve.abort_stats[m].add(
+          static_cast<double>(sweep.aborts_at_prefix[m]));
+    }
+  }
+  return curve;
+}
+
+ConflictCurve estimate_conflict_curve_parallel(const CsrGraph& g,
+                                               std::uint32_t trials,
+                                               std::uint64_t seed,
+                                               ThreadPool& pool) {
+  if (trials == 0) {
+    throw std::invalid_argument("estimate_conflict_curve_parallel: trials");
+  }
+  const NodeId n = g.num_nodes();
+  const std::size_t lanes = pool.size() + 1;  // workers + calling thread
+
+  // Pre-split one RNG stream per lane so results are deterministic given
+  // (seed, lane count) regardless of scheduling.
+  Rng root(seed);
+  std::vector<Rng> lane_rngs;
+  lane_rngs.reserve(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) lane_rngs.push_back(root.split());
+
+  std::vector<ConflictCurve> partials(lanes);
+  for (auto& p : partials) {
+    p.abort_stats.assign(static_cast<std::size_t>(n) + 1, StreamingStats{});
+  }
+
+  pool.run_on_workers(lanes, [&](std::size_t lane) {
+    // Deal trials round-robin so every lane count divides evenly enough.
+    Rng& rng = lane_rngs[lane];
+    ConflictCurve& mine = partials[lane];
+    for (std::uint32_t t = static_cast<std::uint32_t>(lane); t < trials;
+         t += static_cast<std::uint32_t>(lanes)) {
+      const auto perm = rng.permutation(n);
+      const auto sweep = sweep_full_permutation(g, perm);
+      for (std::uint32_t m = 0; m <= n; ++m) {
+        mine.abort_stats[m].add(
+            static_cast<double>(sweep.aborts_at_prefix[m]));
+      }
+    }
+  });
+
+  ConflictCurve merged = std::move(partials[0]);
+  for (std::size_t l = 1; l < lanes; ++l) {
+    for (std::uint32_t m = 0; m <= n; ++m) {
+      merged.abort_stats[m].merge(partials[l].abort_stats[m]);
+    }
+  }
+  return merged;
+}
+
+StreamingStats estimate_r_at(const CsrGraph& g, std::uint32_t m,
+                             std::uint32_t trials, Rng& rng) {
+  if (m == 0 || m > g.num_nodes()) {
+    throw std::invalid_argument("estimate_r_at: bad m");
+  }
+  StreamingStats stats;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    const auto active = rng.sample_without_replacement(g.num_nodes(), m);
+    const auto outcome =
+        round_outcome(g, std::span<const NodeId>(active));
+    std::uint32_t aborted = 0;
+    for (const auto c : outcome) aborted += (c == 0);
+    stats.add(static_cast<double>(aborted) / static_cast<double>(m));
+  }
+  return stats;
+}
+
+StreamingStats estimate_committed_at(const CsrGraph& g, std::uint32_t m,
+                                     std::uint32_t trials, Rng& rng) {
+  if (m == 0 || m > g.num_nodes()) {
+    throw std::invalid_argument("estimate_committed_at: bad m");
+  }
+  StreamingStats stats;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    const auto active = rng.sample_without_replacement(g.num_nodes(), m);
+    const auto outcome =
+        round_outcome(g, std::span<const NodeId>(active));
+    std::uint32_t committed = 0;
+    for (const auto c : outcome) committed += (c == 1);
+    stats.add(static_cast<double>(committed));
+  }
+  return stats;
+}
+
+std::uint32_t find_mu(const CsrGraph& g, double rho, std::uint32_t trials,
+                      Rng& rng) {
+  const auto curve = estimate_conflict_curve(g, trials, rng);
+  std::uint32_t mu = 1;
+  for (std::uint32_t m = 1; m <= curve.max_m(); ++m) {
+    if (curve.r_bar(m) <= rho) mu = m;
+  }
+  return mu;
+}
+
+}  // namespace optipar

@@ -1,0 +1,57 @@
+#include "model/exact.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "model/permutation_sweep.hpp"
+
+namespace optipar::exact {
+
+ExactCurve exact_conflict_curve(const CsrGraph& g) {
+  const NodeId n = g.num_nodes();
+  if (n > kMaxExactNodes) {
+    throw std::invalid_argument("exact_conflict_curve: n too large");
+  }
+  ExactCurve curve;
+  curve.k_bar.assign(static_cast<std::size_t>(n) + 1, 0.0);
+  if (n == 0) return curve;
+
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::uint64_t count = 0;
+  do {
+    const auto sweep = sweep_full_permutation(g, perm);
+    for (std::uint32_t m = 0; m <= n; ++m) {
+      curve.k_bar[m] += static_cast<double>(sweep.aborts_at_prefix[m]);
+    }
+    ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  for (auto& k : curve.k_bar) k /= static_cast<double>(count);
+  return curve;
+}
+
+double exact_expected_mis(const CsrGraph& g) {
+  const auto curve = exact_conflict_curve(g);
+  return curve.expected_committed(g.num_nodes());
+}
+
+double star_k_bar(std::uint32_t leaves, std::uint32_t m) {
+  const std::uint32_t n = leaves + 1;
+  if (m > n) throw std::invalid_argument("star_k_bar: m > n");
+  if (m <= 1) return 0.0;
+  // Condition on the hub being among the m launched tasks (prob m/n).
+  //   hub first in the commit order (prob 1/m): the m−1 leaves all abort;
+  //   hub later (prob (m−1)/m): the first leaf commits, only the hub
+  //   aborts, every other leaf commits (leaves are pairwise independent).
+  // k̄(m) = (m/n)·[ (1/m)(m−1) + ((m−1)/m)·1 ] = 2(m−1)/n.
+  return 2.0 * (m - 1.0) / n;
+}
+
+double complete_k_bar(std::uint32_t n, std::uint32_t m) {
+  if (m > n) throw std::invalid_argument("complete_k_bar: m > n");
+  return m == 0 ? 0.0 : static_cast<double>(m) - 1.0;
+}
+
+}  // namespace optipar::exact

@@ -1,0 +1,48 @@
+// Exact (non-Monte-Carlo) evaluation of the model's quantities on small
+// graphs, by enumerating all n! commit permutations with the single-pass
+// prefix sweep. Used to validate the estimators to machine precision and
+// to cross-check the closed forms in theory.hpp. Practical up to n ≈ 10.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace optipar::exact {
+
+/// Hard cap on n for full enumeration (10! · n ≈ 4e7 sweep steps).
+inline constexpr NodeId kMaxExactNodes = 10;
+
+struct ExactCurve {
+  /// k̄(m) for m = 0..n, averaged over ALL permutations (exact).
+  std::vector<double> k_bar;
+
+  [[nodiscard]] double r_bar(std::uint32_t m) const {
+    return m == 0 ? 0.0 : k_bar.at(m) / m;
+  }
+  [[nodiscard]] double expected_committed(std::uint32_t m) const {
+    return static_cast<double>(m) - k_bar.at(m);
+  }
+};
+
+/// Enumerate every permutation of g's nodes and average the abort counts
+/// of every prefix. Throws std::invalid_argument for n > kMaxExactNodes.
+[[nodiscard]] ExactCurve exact_conflict_curve(const CsrGraph& g);
+
+/// Exact E[greedy MIS size] over all permutations (= expected_committed(n)).
+[[nodiscard]] double exact_expected_mis(const CsrGraph& g);
+
+/// Closed form for the star S_k (hub + k leaves, n = k+1):
+/// EM_m = m − k̄(m), with the hub blocking/blocked-by the first leaf.
+/// Derivation: conditioned on the hub being among the m selected and at
+/// position j (uniform), it commits iff j = 1; a selected leaf aborts iff
+/// the hub was selected AND committed (hub first). Gives
+///   k̄(m) = (m/n)·[ (m−1)·(1/m) · 1 ... ]  — see exact.cpp for the
+/// spelled-out derivation.
+[[nodiscard]] double star_k_bar(std::uint32_t leaves, std::uint32_t m);
+
+/// Closed form for the complete graph: k̄(m) = m − 1 for m >= 1.
+[[nodiscard]] double complete_k_bar(std::uint32_t n, std::uint32_t m);
+
+}  // namespace optipar::exact

@@ -1,0 +1,47 @@
+// The paper's commit-order semantics (§2.1), implemented as a single pass.
+//
+// A round launches the first m nodes of a random permutation π; node π(j)
+// aborts iff some earlier *committed* neighbor π(i), i < j, exists (an
+// earlier neighbor that itself aborted does not block π(j)). The committed
+// set is therefore the greedy maximal independent set over the permutation
+// order, and crucially a node's fate depends only on nodes before it — so
+// ONE pass over a full permutation yields k(π, m), the abort count of the
+// length-m prefix, for EVERY m simultaneously in O(n + |E|). All
+// Monte-Carlo estimates of r̄(m) (Fig. 2) build on this sweep.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace optipar {
+
+struct PrefixSweep {
+  /// committed[v] == 1 iff node v commits when the entire permutation runs.
+  std::vector<std::uint8_t> committed;
+  /// aborts_at_prefix[m] == k(π, m) for m = 0..n (index 0 is 0).
+  std::vector<std::uint32_t> aborts_at_prefix;
+
+  /// r(π, m) = k(π, m) / m.
+  [[nodiscard]] double conflict_ratio(std::uint32_t m) const {
+    return m == 0 ? 0.0
+                  : static_cast<double>(aborts_at_prefix[m]) /
+                        static_cast<double>(m);
+  }
+};
+
+/// Run the commit-order semantics over a full permutation of all nodes of g.
+/// `perm` must be a permutation of 0..n-1 (checked).
+[[nodiscard]] PrefixSweep sweep_full_permutation(const CsrGraph& g,
+                                                 std::span<const NodeId> perm);
+
+/// Outcome of one round restricted to an explicit active set in commit
+/// order: returns per-position commit flags (1 = committed). Conflicts are
+/// evaluated only among the active nodes, matching a round in which exactly
+/// these m tasks were launched.
+[[nodiscard]] std::vector<std::uint8_t> round_outcome(
+    const CsrGraph& g, std::span<const NodeId> active_in_commit_order);
+
+}  // namespace optipar

@@ -1,0 +1,41 @@
+#include "model/seating.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/algos.hpp"
+
+namespace optipar::seating {
+
+std::vector<double> expected_path_table(std::uint32_t n) {
+  std::vector<double> e(static_cast<std::size_t>(n) + 1, 0.0);
+  // prefix[k] = Σ_{j=0}^{k} e[j]
+  double prefix_up_to_n_minus_2 = 0.0;  // running Σ_{k=0}^{i-2} e[k]
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    if (i >= 2) prefix_up_to_n_minus_2 += e[i - 2];
+    e[i] = 1.0 + (i >= 2 ? 2.0 / static_cast<double>(i) *
+                               prefix_up_to_n_minus_2
+                         : 0.0);
+  }
+  return e;
+}
+
+double expected_path(std::uint32_t n) { return expected_path_table(n)[n]; }
+
+double expected_cycle(std::uint32_t n) {
+  if (n < 3) throw std::invalid_argument("expected_cycle: need n >= 3");
+  return 1.0 + expected_path(n - 3);
+}
+
+double path_density_limit() { return 0.5 * (1.0 - std::exp(-2.0)); }
+
+StreamingStats estimate(const CsrGraph& g, std::uint32_t trials, Rng& rng) {
+  StreamingStats stats;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    const auto mis = random_greedy_mis(g, rng);
+    stats.add(static_cast<double>(mis.size()));
+  }
+  return stats;
+}
+
+}  // namespace optipar::seating

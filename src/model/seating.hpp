@@ -1,0 +1,38 @@
+// The unfriendly seating problem (Freedman & Shepp 1962), which the paper
+// identifies as the combinatorial core of estimating exploitable
+// parallelism: the expected size of the maximal independent set produced by
+// random sequential seating. Exact dynamic programs for paths and cycles,
+// the classical asymptotic density, and Monte-Carlo estimation for general
+// graphs (meshes, the statistical-physics setting of [11]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace optipar::seating {
+
+/// Exact E[greedy MIS] on the path P_n under a uniformly random permutation
+/// (equivalently: random sequential adsorption on n seats in a row).
+/// E(0)=0, E(1)=1, E(n) = 1 + (2/n) Σ_{k=0}^{n-2} E(k).
+[[nodiscard]] double expected_path(std::uint32_t n);
+
+/// Entire table E(0..n) in one O(n) pass (prefix-sum form of the DP).
+[[nodiscard]] std::vector<double> expected_path_table(std::uint32_t n);
+
+/// Exact E[greedy MIS] on the cycle C_n (n >= 3): the first seated node
+/// reduces the cycle to a path of n-3 seats, so E_cycle(n) = 1 + E(n-3).
+[[nodiscard]] double expected_cycle(std::uint32_t n);
+
+/// The classical jamming density for the infinite path:
+/// lim E(n)/n = (1 − e^{−2})/2 ≈ 0.43233.
+[[nodiscard]] double path_density_limit();
+
+/// Monte-Carlo E[greedy MIS] on an arbitrary graph, with CI.
+[[nodiscard]] StreamingStats estimate(const CsrGraph& g, std::uint32_t trials,
+                                      Rng& rng);
+
+}  // namespace optipar::seating

@@ -1,0 +1,122 @@
+#include "model/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "support/math.hpp"
+
+namespace optipar::theory {
+
+double turan_bound(double n, double d) {
+  if (n < 0 || d < 0) throw std::invalid_argument("turan_bound: negative");
+  return n / (d + 1.0);
+}
+
+double initial_derivative(double n, double d) {
+  if (n < 2) throw std::invalid_argument("initial_derivative: need n >= 2");
+  return d / (2.0 * (n - 1.0));
+}
+
+double pr_node_in_induced_mis(std::uint32_t n, std::uint32_t d_v,
+                              std::uint32_t m) {
+  if (m > n) throw std::invalid_argument("pr_node_in_induced_mis: m > n");
+  // (1/n) Σ_{j=1..m} Π_{i=1..j−1} (n−i−d_v)/(n−i), with a running product.
+  double product = 1.0;  // j = 1 term (empty product)
+  KahanSum sum;
+  for (std::uint32_t j = 1; j <= m; ++j) {
+    sum.add(product);
+    // extend product to cover i = j for the next term
+    const double num = static_cast<double>(n) - j - d_v;
+    const double den = static_cast<double>(n) - j;
+    product = (num <= 0.0 || den <= 0.0) ? 0.0 : product * (num / den);
+  }
+  return sum.value() / static_cast<double>(n);
+}
+
+double b_m(std::span<const std::uint32_t> degrees, std::uint32_t m) {
+  const auto n = static_cast<std::uint32_t>(degrees.size());
+  if (m > n) throw std::invalid_argument("b_m: m > n");
+  // Group by distinct degree: cost O(#distinct · m) instead of O(n · m).
+  std::map<std::uint32_t, std::uint32_t> multiplicity;
+  for (const auto d : degrees) ++multiplicity[d];
+  KahanSum total;
+  for (const auto& [d_v, count] : multiplicity) {
+    total.add(static_cast<double>(count) * pr_node_in_induced_mis(n, d_v, m));
+  }
+  return total.value();
+}
+
+double b_m(const CsrGraph& g, std::uint32_t m) {
+  std::vector<std::uint32_t> degrees(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) degrees[v] = g.degree(v);
+  return b_m(std::span<const std::uint32_t>(degrees), m);
+}
+
+double em_union_of_cliques(std::uint32_t n, std::uint32_t d, std::uint32_t m) {
+  if (n % (d + 1) != 0) {
+    throw std::invalid_argument("em_union_of_cliques: (d+1) must divide n");
+  }
+  if (m > n) throw std::invalid_argument("em_union_of_cliques: m > n");
+  const double s = static_cast<double>(n) / (d + 1.0);
+  // Π_{i=1..m} (n−d−i)/(n+1−i) — the hypergeometric "component untouched"
+  // probability (eq. 26), in log space.
+  const double prod = falling_ratio_product(
+      static_cast<double>(n) - d, static_cast<double>(n) + 1.0, m);
+  return s * (1.0 - prod);
+}
+
+double conflict_ratio_bound_exact(std::uint32_t n, std::uint32_t d,
+                                  std::uint32_t m) {
+  if (m == 0) return 0.0;
+  const double r =
+      1.0 - em_union_of_cliques(n, d, m) / static_cast<double>(m);
+  // The exact value lies in [0, 1); clamp away accumulated rounding fuzz
+  // (e.g. r = -1e-14 at m = 1, where EM equals m exactly).
+  return std::clamp(r, 0.0, 1.0);
+}
+
+double conflict_ratio_bound_approx(double n, double d, double m) {
+  if (m <= 0.0) return 0.0;
+  const double frac = 1.0 - std::pow(1.0 - m / n, d + 1.0);
+  return 1.0 - (n / (m * (d + 1.0))) * frac;
+}
+
+double conflict_ratio_bound_alpha(double alpha, double d) {
+  if (alpha <= 0.0) return 0.0;
+  return 1.0 - (1.0 / alpha) *
+                   (1.0 - std::pow(1.0 - alpha / (d + 1.0), d + 1.0));
+}
+
+double conflict_ratio_bound_alpha_limit(double alpha) {
+  if (alpha <= 0.0) return 0.0;
+  return 1.0 - (1.0 - std::exp(-alpha)) / alpha;
+}
+
+double alpha_for_target_ratio(double rho) {
+  if (rho <= 0.0 || rho >= 1.0) {
+    throw std::invalid_argument("alpha_for_target_ratio: rho in (0,1)");
+  }
+  double lo = 1e-9;
+  double hi = 1.0;
+  while (conflict_ratio_bound_alpha_limit(hi) < rho) hi *= 2.0;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (conflict_ratio_bound_alpha_limit(mid) < rho) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::uint32_t warm_start_m(std::uint32_t n, double d, double rho) {
+  const double alpha = alpha_for_target_ratio(rho);
+  const double m = alpha * static_cast<double>(n) / (d + 1.0);
+  return std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(std::floor(m)));
+}
+
+}  // namespace optipar::theory

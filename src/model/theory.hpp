@@ -1,0 +1,65 @@
+// Closed forms from the paper's theory sections:
+//   Prop. 2   — initial derivative of r̄:  Δr̄(1) = d / (2(n−1))
+//   Thm. 1    — Turán (strong form): E[greedy MIS] >= n/(d+1)
+//   Thm. 2    — eq. (19)–(21): b_m(G), the induced-subgraph MIS lower-bound
+//               functional, for arbitrary degree sequences
+//   Thm. 3    — exact EM_m(K_d^n) and the conflict-ratio upper bound
+//   Cor. 2    — the large-n approximation of that bound
+//   Cor. 3    — the α-parameterized form 1 − (1 − e^{−α})/α
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace optipar::theory {
+
+/// Turán lower bound on the expected random-greedy MIS size: n / (d+1).
+[[nodiscard]] double turan_bound(double n, double d);
+
+/// Prop. 2: Δr̄(1) = d / (2(n−1)). Defined for n >= 2.
+[[nodiscard]] double initial_derivative(double n, double d);
+
+/// Pr[v ∈ IS_m] for a node of degree d_v in an n-node graph (eq. 19):
+/// (1/n) Σ_{j=1..m} Π_{i=1..j−1} (n−i−d_v)/(n−i).
+[[nodiscard]] double pr_node_in_induced_mis(std::uint32_t n, std::uint32_t d_v,
+                                            std::uint32_t m);
+
+/// b_m(G) of eq. (20) for an explicit degree sequence: the expected size of
+/// the "no earlier neighbor" independent set, a lower bound on EM_m(G).
+[[nodiscard]] double b_m(std::span<const std::uint32_t> degrees,
+                         std::uint32_t m);
+[[nodiscard]] double b_m(const CsrGraph& g, std::uint32_t m);
+
+/// Thm. 3 exact: EM_m(K_d^n) = s · (1 − Π_{i=1..m} (n−d−i)/(n+1−i)),
+/// s = n/(d+1). Requires (d+1) | n and m <= n.
+[[nodiscard]] double em_union_of_cliques(std::uint32_t n, std::uint32_t d,
+                                         std::uint32_t m);
+
+/// Thm. 3: worst-case conflict-ratio bound r̄(m) <= 1 − EM_m(K_d^n)/m.
+[[nodiscard]] double conflict_ratio_bound_exact(std::uint32_t n,
+                                                std::uint32_t d,
+                                                std::uint32_t m);
+
+/// Cor. 2: r̄(m) <= 1 − (n/(m(d+1)))·[1 − (1 − m/n)^{d+1}].
+[[nodiscard]] double conflict_ratio_bound_approx(double n, double d, double m);
+
+/// Cor. 3 with m = αn/(d+1): bound 1 − (1/α)[1 − (1 − α/(d+1))^{d+1}].
+[[nodiscard]] double conflict_ratio_bound_alpha(double alpha, double d);
+
+/// Cor. 3 limit d → ∞: 1 − (1 − e^{−α})/α. (≈ 21.3% at α = 1/2·…, see
+/// paper §4: m = n/(2(d+1)) i.e. α = 1/2 gives <= 21.3%.)
+[[nodiscard]] double conflict_ratio_bound_alpha_limit(double alpha);
+
+/// Invert Cor. 3's limit: the largest α with bound(α) <= rho. Bisection on
+/// a strictly increasing function; rho in (0, 1).
+[[nodiscard]] double alpha_for_target_ratio(double rho);
+
+/// Suggested warm start for the controller when d is known (paper §4):
+/// m0 = α(ρ)·n/(d+1), guaranteed to keep the worst-case ratio under rho.
+[[nodiscard]] std::uint32_t warm_start_m(std::uint32_t n, double d,
+                                         double rho);
+
+}  // namespace optipar::theory

@@ -1,0 +1,29 @@
+#include "rt/adaptive_executor.hpp"
+
+#include <algorithm>
+
+namespace optipar {
+
+Trace run_adaptive(SpeculativeExecutor& executor, Controller& controller,
+                   const AdaptiveRunConfig& config) {
+  Trace trace;
+  std::uint32_t m = controller.initial_m();
+  for (std::uint32_t round = 0;
+       round < config.max_rounds && !executor.done(); ++round) {
+    if (config.before_round) config.before_round(executor);
+    StepRecord rec;
+    rec.step = round;
+    rec.m = m;
+    const RoundStats stats = executor.run_round(m);
+    rec.launched = stats.launched;
+    rec.committed = stats.committed;
+    rec.aborted = stats.aborted;
+    rec.pending_after = static_cast<std::uint32_t>(
+        std::min<std::size_t>(executor.pending(), UINT32_MAX));
+    trace.steps.push_back(rec);
+    m = controller.observe(stats);
+  }
+  return trace;
+}
+
+}  // namespace optipar

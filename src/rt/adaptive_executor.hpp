@@ -1,0 +1,31 @@
+// The paper's full closed loop on the real runtime: a Controller decides
+// each round's allocation m_t, the SpeculativeExecutor runs the round, and
+// the observed conflict ratio feeds back. This is the "integration into the
+// Galois system" the paper's conclusion describes, realized on our
+// from-scratch substrate.
+#pragma once
+
+#include <cstdint>
+
+#include "control/controller.hpp"
+#include "rt/spec_executor.hpp"
+#include "sim/trace.hpp"
+
+namespace optipar {
+
+struct AdaptiveRunConfig {
+  std::uint32_t max_rounds = 1'000'000;  ///< safety stop
+  /// Invoked before every round; applications use it to extend the lock
+  /// table over items allocated by the previous round's commits (e.g.
+  /// freshly created mesh triangles).
+  std::function<void(SpeculativeExecutor&)> before_round;
+};
+
+/// Drive the executor to completion under the controller's allocation
+/// policy; returns the per-round trace (same Trace type the simulator
+/// produces, so all analysis code is shared).
+[[nodiscard]] Trace run_adaptive(SpeculativeExecutor& executor,
+                                 Controller& controller,
+                                 const AdaptiveRunConfig& config = {});
+
+}  // namespace optipar

@@ -1,0 +1,65 @@
+#include "rt/item_lock.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace optipar {
+
+LockManager::LockManager(std::size_t items) { grow(items); }
+
+void LockManager::grow(std::size_t items) {
+  if (items <= size_) return;
+  auto fresh = std::make_unique<Padded<std::atomic<std::uint32_t>>[]>(items);
+  for (std::size_t i = 0; i < size_; ++i) {
+    fresh[i].value.store(owners_[i].value.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  for (std::size_t i = size_; i < items; ++i) {
+    fresh[i].value.store(kFree, std::memory_order_relaxed);
+  }
+  owners_ = std::move(fresh);
+  size_ = items;
+}
+
+bool LockManager::try_acquire(std::uint32_t item, std::uint32_t iter) {
+  if (item >= size_) {
+    throw std::out_of_range("LockManager::try_acquire: unknown item");
+  }
+  auto& owner = owners_[item].value;
+  std::uint32_t expected = kFree;
+  if (owner.compare_exchange_strong(expected, iter,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+    return true;
+  }
+  return expected == iter;  // re-entrant acquire
+}
+
+std::uint32_t LockManager::owner(std::uint32_t item) const {
+  if (item >= size_) {
+    throw std::out_of_range("LockManager::owner: unknown item");
+  }
+  return owners_[item].value.load(std::memory_order_acquire);
+}
+
+void LockManager::release(std::uint32_t item, std::uint32_t iter) {
+  if (item >= size_) {
+    throw std::out_of_range("LockManager::release: unknown item");
+  }
+  auto& owner = owners_[item].value;
+  assert(owner.load(std::memory_order_relaxed) == iter &&
+         "releasing an item not owned by this iteration");
+  (void)iter;
+  owner.store(kFree, std::memory_order_release);
+}
+
+bool LockManager::all_free() const {
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (owners_[i].value.load(std::memory_order_acquire) != kFree) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace optipar

@@ -1,0 +1,51 @@
+// Abstract item locks — the conflict-detection mechanism of optimistic
+// parallelization (Galois-style). Every shared datum an iteration touches
+// is registered under an item id; the first iteration to acquire an item
+// owns it for the round, and any later iteration that needs it aborts
+// itself (abort-self arbitration: deadlock-free because no task ever
+// waits). Owners are cache-line padded to avoid false sharing between
+// concurrently acquiring threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "support/padded.hpp"
+
+namespace optipar {
+
+class LockManager {
+ public:
+  static constexpr std::uint32_t kFree = UINT32_MAX;
+
+  explicit LockManager(std::size_t items);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Grow to cover at least `items` items. NOT safe concurrently with
+  /// acquire/release; the executor only grows between rounds.
+  void grow(std::size_t items);
+
+  /// Try to take `item` for iteration `iter`. Succeeds if free or already
+  /// owned by `iter` (re-entrant). Returns false on conflict.
+  [[nodiscard]] bool try_acquire(std::uint32_t item, std::uint32_t iter);
+
+  /// Current owner (kFree if unowned). For assertions and tests.
+  [[nodiscard]] std::uint32_t owner(std::uint32_t item) const;
+
+  /// Release one item owned by `iter` (asserts ownership in debug builds).
+  void release(std::uint32_t item, std::uint32_t iter);
+
+  /// True iff no item is owned — the executor checks this between rounds.
+  [[nodiscard]] bool all_free() const;
+
+ private:
+  // Atomics are neither copyable nor movable, so growth re-creates the
+  // array and copies the raw values — safe because grow() is only legal
+  // between rounds, when no acquire/release is in flight.
+  std::unique_ptr<Padded<std::atomic<std::uint32_t>>[]> owners_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace optipar

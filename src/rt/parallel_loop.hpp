@@ -1,0 +1,51 @@
+// The one-call entry point a downstream user starts with: run an amorphous
+// data-parallel loop (Galois-style for_each) over an initial work-set with
+// conflict detection, rollback, and the paper's adaptive processor
+// allocation — all defaulted. Equivalent to wiring SpeculativeExecutor +
+// HybridController + run_adaptive by hand.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "control/hybrid.hpp"
+#include "rt/adaptive_executor.hpp"
+#include "rt/spec_executor.hpp"
+#include "sim/trace.hpp"
+#include "support/thread_pool.hpp"
+
+namespace optipar {
+
+struct ForEachOptions {
+  std::size_t items = 0;            ///< abstract-lock table size (required)
+  ControllerParams controller{};    ///< Algorithm 1 tunables
+  std::uint64_t seed = 1;           ///< work-selection randomness
+  WorklistPolicy policy = WorklistPolicy::kRandom;
+  ArbitrationPolicy arbitration = ArbitrationPolicy::kAbortSelf;
+  /// Task -> scheduling/arbitration priority (required for
+  /// WorklistPolicy::kPriority; optional for kPriorityWins arbitration).
+  std::function<std::uint64_t(TaskId)> priority;
+  std::uint32_t max_rounds = 1'000'000;
+  /// Called before each round (e.g. to grow the lock table).
+  std::function<void(SpeculativeExecutor&)> before_round;
+};
+
+/// Execute `op` speculatively over `initial` (plus whatever commits push)
+/// until the work-set drains, with the hybrid controller choosing each
+/// round's parallelism. Returns the per-round trace.
+inline Trace for_each_adaptive(ThreadPool& pool,
+                               std::span<const TaskId> initial,
+                               TaskOperator op, const ForEachOptions& options) {
+  SpeculativeExecutor executor(pool, options.items, std::move(op),
+                               options.seed, options.policy,
+                               options.arbitration);
+  if (options.priority) executor.set_priority_function(options.priority);
+  executor.push_initial(initial);
+  HybridController controller(options.controller);
+  AdaptiveRunConfig config;
+  config.max_rounds = options.max_rounds;
+  config.before_round = options.before_round;
+  return run_adaptive(executor, controller, config);
+}
+
+}  // namespace optipar

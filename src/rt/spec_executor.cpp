@@ -1,0 +1,259 @@
+#include "rt/spec_executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <thread>
+
+namespace optipar {
+
+void IterationContext::acquire(std::uint32_t item) {
+  if (executor_ != nullptr &&
+      executor_->arbitration() == ArbitrationPolicy::kPriorityWins) {
+    executor_->acquire_arbitrated(*this, item);
+    return;
+  }
+  if (!try_acquire(item)) throw AbortIteration{};
+}
+
+bool IterationContext::try_acquire(std::uint32_t item) {
+  // Fast path: already held (common when an operator revisits a cavity).
+  if (std::find(held_.begin(), held_.end(), item) != held_.end()) return true;
+  if (!locks_.try_acquire(item, iter_id_)) return false;
+  held_.push_back(item);
+  return true;
+}
+
+void IterationContext::release_all() {
+  for (const std::uint32_t item : held_) locks_.release(item, iter_id_);
+  held_.clear();
+}
+
+SpeculativeExecutor::SpeculativeExecutor(ThreadPool& pool, std::size_t items,
+                                         TaskOperator op, std::uint64_t seed,
+                                         WorklistPolicy policy,
+                                         ArbitrationPolicy arbitration)
+    : pool_(pool), locks_(items), op_(std::move(op)), rng_(seed),
+      policy_(policy), arbitration_(arbitration) {}
+
+void SpeculativeExecutor::push_initial(std::span<const TaskId> tasks) {
+  const std::lock_guard lock(worklist_mutex_);
+  if (policy_ == WorklistPolicy::kPriority) {
+    if (!priority_fn_) {
+      throw std::logic_error(
+          "SpeculativeExecutor: kPriority requires set_priority_function");
+    }
+    for (const TaskId t : tasks) priority_heap_.emplace(priority_fn_(t), t);
+  } else {
+    worklist_.insert(worklist_.end(), tasks.begin(), tasks.end());
+  }
+}
+
+void SpeculativeExecutor::set_priority_function(
+    std::function<std::uint64_t(TaskId)> fn) {
+  const std::lock_guard lock(worklist_mutex_);
+  priority_fn_ = std::move(fn);
+}
+
+std::size_t SpeculativeExecutor::pending() const {
+  const std::lock_guard lock(worklist_mutex_);
+  return policy_ == WorklistPolicy::kPriority
+             ? priority_heap_.size()
+             : worklist_.size() - head_;
+}
+
+IterationContext* SpeculativeExecutor::context_of(std::uint32_t iter_id) {
+  if (round_contexts_ == nullptr) return nullptr;
+  if (iter_id < round_base_id_) return nullptr;
+  const std::size_t slot = iter_id - round_base_id_;
+  if (slot >= round_contexts_->size()) return nullptr;
+  return (*round_contexts_)[slot].get();
+}
+
+void SpeculativeExecutor::acquire_arbitrated(IterationContext& ctx,
+                                             std::uint32_t item) {
+  // Every acquire is a cooperative-cancellation point — a poisoned
+  // iteration must stop making progress promptly, including on
+  // re-entrant acquires of items it already holds.
+  if (ctx.status_.load(std::memory_order_acquire) !=
+      IterationContext::kRunning) {
+    throw AbortIteration{};
+  }
+  // Fast path: re-entrant hold.
+  if (std::find(ctx.held_.begin(), ctx.held_.end(), item) !=
+      ctx.held_.end()) {
+    return;
+  }
+  for (;;) {
+    if (ctx.status_.load(std::memory_order_acquire) !=
+        IterationContext::kRunning) {
+      throw AbortIteration{};
+    }
+    if (locks_.try_acquire(item, ctx.iter_id_)) {
+      ctx.held_.push_back(item);
+      return;
+    }
+    const std::uint32_t owner = locks_.owner(item);
+    if (owner == LockManager::kFree || owner == ctx.iter_id_) continue;
+    IterationContext* other = context_of(owner);
+    if (other == nullptr) {
+      // Foreign owner outside this round (e.g. a test holding the lock):
+      // fall back to abort-self.
+      throw AbortIteration{};
+    }
+    if (ctx.priority_ >= other->priority_) {
+      throw AbortIteration{};  // the earlier (or equal) owner wins
+    }
+    // We are earlier: poison the owner, then wait for the item. The CAS
+    // fails iff the owner already committed — then it holds the lock to
+    // round end and we must yield the conflict instead.
+    std::uint32_t expected = IterationContext::kRunning;
+    const bool poisoned_now = other->status_.compare_exchange_strong(
+        expected, IterationContext::kPoisoned, std::memory_order_acq_rel);
+    if (!poisoned_now && expected == IterationContext::kCommitted) {
+      throw AbortIteration{};
+    }
+    // Owner is poisoned (by us or someone else): it will roll back and
+    // release. Spin-wait, staying cancellable ourselves.
+    int spins = 0;
+    while (locks_.owner(item) == owner) {
+      if (ctx.status_.load(std::memory_order_acquire) !=
+          IterationContext::kRunning) {
+        throw AbortIteration{};
+      }
+      if (++spins > 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    // Re-contend from the top (a third iteration may have grabbed it).
+  }
+}
+
+RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
+  // 1. Draw up to m tasks from the work-set according to the policy
+  //    (random: swap-remove with the tail; FIFO: advance head_ cursor;
+  //    LIFO: pop the back; priority: pop the heap).
+  std::vector<TaskId> active;
+  {
+    const std::lock_guard lock(worklist_mutex_);
+    const std::size_t available = policy_ == WorklistPolicy::kPriority
+                                      ? priority_heap_.size()
+                                      : worklist_.size() - head_;
+    const auto take = std::min<std::size_t>(m, available);
+    active.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      switch (policy_) {
+        case WorklistPolicy::kRandom: {
+          const std::size_t j =
+              head_ + rng_.below(worklist_.size() - head_);
+          active.push_back(worklist_[j]);
+          worklist_[j] = worklist_.back();
+          worklist_.pop_back();
+          break;
+        }
+        case WorklistPolicy::kFifo:
+          active.push_back(worklist_[head_++]);
+          break;
+        case WorklistPolicy::kLifo:
+          active.push_back(worklist_.back());
+          worklist_.pop_back();
+          break;
+        case WorklistPolicy::kPriority:
+          active.push_back(priority_heap_.top().second);
+          priority_heap_.pop();
+          break;
+      }
+    }
+    // Compact the consumed FIFO prefix once it dominates the buffer.
+    if (head_ > 1024 && head_ * 2 > worklist_.size()) {
+      worklist_.erase(worklist_.begin(),
+                      worklist_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  RoundStats stats;
+  stats.launched = static_cast<std::uint32_t>(active.size());
+  if (active.empty()) return stats;
+
+  // 2. Execute all active tasks speculatively across the pool. Each slot
+  //    gets a stable iteration id for the lock table.
+  const std::uint32_t base_id = next_iteration_id_;
+  next_iteration_id_ += stats.launched;
+
+  std::vector<std::unique_ptr<IterationContext>> contexts(active.size());
+  std::vector<std::uint8_t> committed(active.size(), 0);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    contexts[i] = std::make_unique<IterationContext>(
+        locks_, base_id + static_cast<std::uint32_t>(i));
+    contexts[i]->executor_ = this;
+    contexts[i]->priority_ =
+        priority_fn_ ? priority_fn_(active[i]) : active[i];
+  }
+  round_contexts_ = &contexts;
+  round_base_id_ = base_id;
+
+  pool_.parallel_for(active.size(), [&](std::size_t i) {
+    IterationContext& ctx = *contexts[i];
+    bool wants_commit = false;
+    try {
+      op_(active[i], ctx);
+      wants_commit = true;
+    } catch (const AbortIteration&) {
+      wants_commit = false;
+    }
+    // Finalize: a poisoned iteration may not commit even if it finished.
+    if (wants_commit && ctx.try_commit()) {
+      committed[i] = 1;
+      // Committed iterations keep their items locked until the round ends
+      // (the paper's semantics: an earlier committed neighbor blocks).
+    } else {
+      // Roll back while still owning the touched items, then release them
+      // immediately: an aborted task must not block later tasks (§2.1),
+      // and a priority-wins waiter may be spinning on one of our items.
+      ctx.undo_.rollback();
+      ctx.release_all();
+    }
+  });
+  round_contexts_ = nullptr;
+
+  // 3. Sequential epilogue: publish pushes of committed iterations,
+  //    requeue aborted tasks, release the committed iterations' locks.
+  std::vector<TaskId> to_requeue;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    IterationContext& ctx = *contexts[i];
+    if (committed[i]) {
+      ctx.undo_.discard();
+      ++stats.committed;
+      to_requeue.insert(to_requeue.end(), ctx.pushed_.begin(),
+                        ctx.pushed_.end());
+    } else {
+      ++stats.aborted;
+      to_requeue.push_back(active[i]);
+    }
+    ctx.release_all();
+  }
+  {
+    const std::lock_guard lock(worklist_mutex_);
+    if (policy_ == WorklistPolicy::kPriority) {
+      // Re-evaluate priorities at (re)insertion time: the state a task's
+      // priority derives from may have changed while it ran or waited.
+      for (const TaskId t : to_requeue) {
+        priority_heap_.emplace(priority_fn_(t), t);
+      }
+    } else {
+      worklist_.insert(worklist_.end(), to_requeue.begin(),
+                       to_requeue.end());
+    }
+  }
+  assert(locks_.all_free());
+
+  ++totals_.rounds;
+  totals_.launched += stats.launched;
+  totals_.committed += stats.committed;
+  totals_.aborted += stats.aborted;
+  return stats;
+}
+
+}  // namespace optipar

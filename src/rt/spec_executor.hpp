@@ -1,0 +1,207 @@
+// Round-synchronous speculative executor — the substrate that stands in for
+// the Galois runtime (see DESIGN.md §4). Each round, m tasks are drawn
+// from the work-set (uniformly at random by default) and executed
+// concurrently on the thread pool. An iteration acquires the abstract lock
+// of every item it touches; conflicts are resolved by the arbitration
+// policy (abort-self, or KDG-style priority-wins with cooperative
+// poisoning). Aborted iterations roll back their undo log and requeue;
+// committed iterations publish their newly created tasks. The per-round
+// (launched, committed, aborted) statistics are exactly the observations
+// Algorithm 1's controller needs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "rt/item_lock.hpp"
+#include "rt/undo_log.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace optipar {
+
+using TaskId = std::uint64_t;
+
+/// Thrown (internally) when an acquire conflicts; user operators may also
+/// throw it to abort voluntarily.
+struct AbortIteration {};
+
+class SpeculativeExecutor;
+
+/// Handle given to the user operator while one task executes speculatively.
+class IterationContext {
+ public:
+  IterationContext(LockManager& locks, std::uint32_t iter_id) noexcept
+      : locks_(locks), iter_id_(iter_id) {}
+
+  IterationContext(const IterationContext&) = delete;
+  IterationContext& operator=(const IterationContext&) = delete;
+
+  /// Acquire the abstract lock for `item`; throws AbortIteration when this
+  /// iteration loses the conflict arbitration. Re-entrant for items
+  /// already held by this iteration.
+  void acquire(std::uint32_t item);
+
+  /// Non-throwing variant (always abort-self semantics: never waits).
+  [[nodiscard]] bool try_acquire(std::uint32_t item);
+
+  /// Register the inverse of a speculative mutation (runs on abort).
+  void on_abort(std::function<void()> inverse) {
+    undo_.record(std::move(inverse));
+  }
+
+  /// Schedule new work, visible only if this iteration commits.
+  void push(TaskId task) { pushed_.push_back(task); }
+
+  [[nodiscard]] std::uint32_t iteration_id() const noexcept {
+    return iter_id_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> held() const noexcept {
+    return held_;
+  }
+  /// Scheduling/arbitration priority of this iteration (smaller = earlier).
+  [[nodiscard]] std::uint64_t priority() const noexcept { return priority_; }
+
+ private:
+  friend class SpeculativeExecutor;
+
+  enum : std::uint32_t { kRunning = 0, kCommitted = 1, kPoisoned = 2 };
+
+  /// Finalize: only an un-poisoned iteration may commit.
+  [[nodiscard]] bool try_commit() noexcept {
+    std::uint32_t expected = kRunning;
+    return status_.compare_exchange_strong(expected, kCommitted,
+                                           std::memory_order_acq_rel);
+  }
+  void release_all();
+
+  LockManager& locks_;
+  std::uint32_t iter_id_;
+  std::uint64_t priority_ = 0;
+  SpeculativeExecutor* executor_ = nullptr;  // set for priority arbitration
+  std::atomic<std::uint32_t> status_{kRunning};
+  std::vector<std::uint32_t> held_;
+  std::vector<TaskId> pushed_;
+  UndoLog undo_;
+};
+
+/// The user operator: process one task inside a speculative iteration. It
+/// must acquire() every item it reads or writes and register undo actions
+/// for every mutation. Returning normally requests a commit.
+using TaskOperator = std::function<void(TaskId, IterationContext&)>;
+
+struct ExecutorTotals {
+  std::uint64_t rounds = 0;
+  std::uint64_t launched = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+
+  [[nodiscard]] double wasted_fraction() const noexcept {
+    return launched == 0
+               ? 0.0
+               : static_cast<double>(aborted) / static_cast<double>(launched);
+  }
+};
+
+/// How a round's active tasks are drawn from the work-set. The paper's
+/// model assumes kRandom; kFifo/kLifo exist for the scheduling-policy
+/// ablation (they bias which conflicts are observed). kPriority is an
+/// OBIM-style soft-priority scheduler: each round runs the m
+/// smallest-priority tasks (per the function installed with
+/// set_priority_function) — order is best-effort, not a commit-order
+/// guarantee, so it suits unordered algorithms that merely *benefit* from
+/// priority (e.g. SSSP relaxing near the source first).
+enum class WorklistPolicy { kRandom, kFifo, kLifo, kPriority };
+
+/// Conflict arbitration between two live iterations contending for an item:
+///   kAbortSelf     — the later arrival aborts itself (the paper's model;
+///                    deadlock-free because nobody ever waits).
+///   kPriorityWins  — KDG-style: the earlier-priority iteration poisons the
+///                    owner and waits for the item; the poisoned owner
+///                    aborts at its next acquire (or fails its final
+///                    commit). Wait-for edges always point from earlier to
+///                    later priority, so no cycles can form. Priorities
+///                    come from set_priority_function (default: TaskId).
+enum class ArbitrationPolicy { kAbortSelf, kPriorityWins };
+
+class SpeculativeExecutor {
+ public:
+  /// `items` sizes the lock table (growable between rounds via grow_items).
+  SpeculativeExecutor(ThreadPool& pool, std::size_t items, TaskOperator op,
+                      std::uint64_t seed,
+                      WorklistPolicy policy = WorklistPolicy::kRandom,
+                      ArbitrationPolicy arbitration =
+                          ArbitrationPolicy::kAbortSelf);
+
+  /// Seed the work-set.
+  void push_initial(std::span<const TaskId> tasks);
+
+  /// Required before any push under WorklistPolicy::kPriority; also sets
+  /// the arbitration priority under ArbitrationPolicy::kPriorityWins.
+  /// Maps a task to its priority (smaller = sooner / stronger). Evaluated
+  /// at push time (scheduling) and at launch time (arbitration).
+  void set_priority_function(std::function<std::uint64_t(TaskId)> fn);
+
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] bool done() const { return pending() == 0; }
+
+  /// Extend the lock table (e.g. after the mesh allocated new triangles).
+  void grow_items(std::size_t items) { locks_.grow(items); }
+
+  /// Run one optimistic round with (up to) m concurrent tasks. Aborted
+  /// tasks are rolled back and requeued; committed tasks' pushes join the
+  /// work-set. Returns the round's statistics.
+  RoundStats run_round(std::uint32_t m);
+
+  [[nodiscard]] const ExecutorTotals& totals() const noexcept {
+    return totals_;
+  }
+  [[nodiscard]] LockManager& locks() noexcept { return locks_; }
+  [[nodiscard]] ArbitrationPolicy arbitration() const noexcept {
+    return arbitration_;
+  }
+
+ private:
+  friend class IterationContext;
+
+  /// Blocking acquire implementing kPriorityWins (called from contexts).
+  void acquire_arbitrated(IterationContext& ctx, std::uint32_t item);
+  [[nodiscard]] IterationContext* context_of(std::uint32_t iter_id);
+
+  ThreadPool& pool_;
+  LockManager locks_;
+  TaskOperator op_;
+  Rng rng_;
+  WorklistPolicy policy_;
+  ArbitrationPolicy arbitration_;
+
+  mutable std::mutex worklist_mutex_;
+  // Guarded by worklist_mutex_ (CP.50). head_ is the FIFO cursor; the
+  // consumed prefix is compacted away periodically. Under kPriority the
+  // heap is used instead of the vector.
+  std::vector<TaskId> worklist_;
+  std::size_t head_ = 0;
+  using PrioritizedTask = std::pair<std::uint64_t, TaskId>;
+  std::priority_queue<PrioritizedTask, std::vector<PrioritizedTask>,
+                      std::greater<>>
+      priority_heap_;
+  std::function<std::uint64_t(TaskId)> priority_fn_;
+
+  // Valid only while run_round's parallel section executes (read by
+  // workers through acquire_arbitrated).
+  std::vector<std::unique_ptr<IterationContext>>* round_contexts_ = nullptr;
+  std::uint32_t round_base_id_ = 0;
+
+  ExecutorTotals totals_;
+  std::uint32_t next_iteration_id_ = 0;
+};
+
+}  // namespace optipar

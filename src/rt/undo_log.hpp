@@ -1,0 +1,35 @@
+// Per-iteration undo log: speculative mutations register inverse actions,
+// which run in reverse order if the iteration aborts (the "roll-back" of
+// optimistic parallelization). Committed iterations simply discard the log.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace optipar {
+
+class UndoLog {
+ public:
+  /// Register the inverse of a mutation just performed.
+  void record(std::function<void()> inverse) {
+    actions_.push_back(std::move(inverse));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return actions_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return actions_.empty(); }
+
+  /// Abort path: run all inverses newest-first, then clear.
+  void rollback() {
+    for (auto it = actions_.rbegin(); it != actions_.rend(); ++it) (*it)();
+    actions_.clear();
+  }
+
+  /// Commit path: forget the inverses.
+  void discard() noexcept { actions_.clear(); }
+
+ private:
+  std::vector<std::function<void()>> actions_;
+};
+
+}  // namespace optipar

@@ -1,0 +1,39 @@
+#include "sim/profile.hpp"
+
+#include <algorithm>
+
+#include "sim/step_simulator.hpp"
+
+namespace optipar {
+
+std::vector<ProfilePoint> parallelism_profile(Workload& workload,
+                                              std::uint32_t max_steps,
+                                              Rng& rng) {
+  std::vector<ProfilePoint> profile;
+  for (std::uint32_t t = 0; t < max_steps && !workload.done(); ++t) {
+    ProfilePoint p;
+    p.step = t;
+    p.available = workload.pending();
+    const RoundOutcome outcome = run_round(workload, p.available, rng);
+    p.executed = static_cast<std::uint32_t>(outcome.committed.size());
+    profile.push_back(p);
+  }
+  return profile;
+}
+
+std::uint32_t profile_peak(const std::vector<ProfilePoint>& profile) {
+  std::uint32_t peak = 0;
+  for (const auto& p : profile) peak = std::max(peak, p.executed);
+  return peak;
+}
+
+std::uint32_t steps_to_fraction_of_peak(
+    const std::vector<ProfilePoint>& profile, double fraction) {
+  const double target = fraction * profile_peak(profile);
+  for (const auto& p : profile) {
+    if (static_cast<double>(p.executed) >= target) return p.step;
+  }
+  return profile.empty() ? 0 : profile.back().step + 1;
+}
+
+}  // namespace optipar

@@ -1,0 +1,37 @@
+// Available-parallelism profiles in the style of the Lonestar suite [15],
+// which the paper uses to motivate fast adaptation (§4.1): run the workload
+// with unbounded processors and record, per temporal step, the size of the
+// maximal independent set actually executed — the amount of parallelism an
+// ideal scheduler could exploit at that instant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/workloads.hpp"
+#include "support/rng.hpp"
+
+namespace optipar {
+
+struct ProfilePoint {
+  std::uint32_t step = 0;
+  std::uint32_t available = 0;  ///< pending tasks before the step
+  std::uint32_t executed = 0;   ///< committed with unbounded processors
+};
+
+/// Drive the workload to completion (or max_steps) launching *all* pending
+/// tasks each round; the committed count per round is the parallelism
+/// profile.
+[[nodiscard]] std::vector<ProfilePoint> parallelism_profile(
+    Workload& workload, std::uint32_t max_steps, Rng& rng);
+
+/// Peak executed parallelism in a profile.
+[[nodiscard]] std::uint32_t profile_peak(
+    const std::vector<ProfilePoint>& profile);
+
+/// Steps needed to first reach `fraction` of the peak (the "0 → 1000 tasks
+/// in ~30 steps" ramp metric).
+[[nodiscard]] std::uint32_t steps_to_fraction_of_peak(
+    const std::vector<ProfilePoint>& profile, double fraction);
+
+}  // namespace optipar

@@ -1,0 +1,24 @@
+// Couples a Controller to a Workload: the closed loop of §4. Produces the
+// per-round Trace that Fig. 3, §4.1, and the ablation benches analyze.
+#pragma once
+
+#include <cstdint>
+
+#include "control/controller.hpp"
+#include "sim/trace.hpp"
+#include "sim/workloads.hpp"
+#include "support/rng.hpp"
+
+namespace optipar {
+
+struct RunLoopConfig {
+  std::uint32_t max_steps = 200;  ///< hard stop for non-draining workloads
+};
+
+/// Run the controller against the workload until the workload drains or
+/// max_steps elapse. The controller's proposal is capped by the pending
+/// work each round (you cannot launch more tasks than exist).
+[[nodiscard]] Trace run_controlled(Controller& controller, Workload& workload,
+                                   const RunLoopConfig& config, Rng& rng);
+
+}  // namespace optipar

@@ -1,0 +1,27 @@
+#include "sim/step_simulator.hpp"
+
+namespace optipar {
+
+RoundOutcome run_round(Workload& workload, std::uint32_t m, Rng& rng) {
+  RoundOutcome out;
+  const std::vector<NodeId> active = workload.sample_active(m, rng);
+  out.committed.reserve(active.size());
+  for (const NodeId v : active) {
+    bool blocked = false;
+    for (const NodeId c : out.committed) {
+      if (workload.conflicts(v, c)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) {
+      out.aborted.push_back(v);
+    } else {
+      out.committed.push_back(v);
+    }
+  }
+  workload.on_round(out.committed, out.aborted, rng);
+  return out;
+}
+
+}  // namespace optipar

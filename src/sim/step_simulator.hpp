@@ -1,0 +1,36 @@
+// One optimistic round of the paper's model (§2, Fig. 1): launch the active
+// set, detect conflicts in commit order, split into committed / aborted,
+// and hand the outcome to the workload's evolution rule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "sim/workloads.hpp"
+#include "support/rng.hpp"
+
+namespace optipar {
+
+struct RoundOutcome {
+  std::vector<NodeId> committed;
+  std::vector<NodeId> aborted;
+
+  [[nodiscard]] RoundStats stats() const noexcept {
+    RoundStats s;
+    s.committed = static_cast<std::uint32_t>(committed.size());
+    s.aborted = static_cast<std::uint32_t>(aborted.size());
+    s.launched = s.committed + s.aborted;
+    return s;
+  }
+};
+
+/// Execute one round of m speculative launches against the workload:
+/// samples the active set (in commit order), applies the "abort iff an
+/// earlier committed neighbor exists" rule, then invokes on_round. The
+/// committed set is always a maximal independent set of the subgraph
+/// induced by the active set (Fig. 1(iii)).
+[[nodiscard]] RoundOutcome run_round(Workload& workload, std::uint32_t m,
+                                     Rng& rng);
+
+}  // namespace optipar

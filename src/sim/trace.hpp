@@ -1,0 +1,50 @@
+// Per-round execution records and derived controller-quality metrics
+// (convergence time, steady-state oscillation, wasted work) — the
+// quantities Fig. 3 and §4.1 discuss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "control/controller.hpp"
+
+namespace optipar {
+
+struct StepRecord {
+  std::uint32_t step = 0;
+  std::uint32_t m = 0;          ///< allocation requested by the controller
+  std::uint32_t launched = 0;   ///< min(m, pending work)
+  std::uint32_t committed = 0;
+  std::uint32_t aborted = 0;
+  std::uint32_t pending_after = 0;  ///< tasks remaining after the round
+  double avg_degree = 0.0;          ///< CC-graph density when launched
+
+  [[nodiscard]] double conflict_ratio() const noexcept {
+    return launched == 0
+               ? 0.0
+               : static_cast<double>(aborted) / static_cast<double>(launched);
+  }
+};
+
+struct Trace {
+  std::vector<StepRecord> steps;
+
+  [[nodiscard]] std::uint64_t total_committed() const noexcept;
+  [[nodiscard]] std::uint64_t total_aborted() const noexcept;
+  /// Fraction of all launched work that was wasted on aborts.
+  [[nodiscard]] double wasted_fraction() const noexcept;
+  /// Mean observed conflict ratio over rounds in [from, steps.size()).
+  [[nodiscard]] double mean_conflict_ratio(std::size_t from = 0) const;
+
+  /// First step s such that m stays within (1 ± band)·mu_ref for `hold`
+  /// consecutive steps starting at s. Returns steps.size() if never.
+  [[nodiscard]] std::size_t convergence_step(double mu_ref, double band,
+                                             std::size_t hold = 5) const;
+
+  /// Root-mean-square of (m − mu_ref)/mu_ref over steps >= from — the
+  /// steady-state oscillation measure used by the ablation benches.
+  [[nodiscard]] double rms_relative_error(double mu_ref,
+                                          std::size_t from) const;
+};
+
+}  // namespace optipar

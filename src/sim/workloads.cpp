@@ -1,0 +1,191 @@
+#include "sim/workloads.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace optipar {
+
+namespace {
+
+/// Sample up to m distinct entries of `pool` in random order.
+std::vector<NodeId> sample_from_pool(const std::vector<NodeId>& pool,
+                                     std::uint32_t m, Rng& rng) {
+  const auto k = std::min<std::uint32_t>(
+      m, static_cast<std::uint32_t>(pool.size()));
+  auto indices =
+      rng.sample_without_replacement(static_cast<std::uint32_t>(pool.size()),
+                                     k);
+  std::vector<NodeId> out;
+  out.reserve(k);
+  for (const auto i : indices) out.push_back(pool[i]);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- stationary
+
+StationaryWorkload::StationaryWorkload(CsrGraph graph)
+    : graph_(std::move(graph)) {}
+
+std::uint32_t StationaryWorkload::pending() const {
+  return graph_.num_nodes();
+}
+
+std::vector<NodeId> StationaryWorkload::sample_active(std::uint32_t m,
+                                                      Rng& rng) {
+  return rng.sample_without_replacement(
+      graph_.num_nodes(), std::min(m, graph_.num_nodes()));
+}
+
+bool StationaryWorkload::conflicts(NodeId a, NodeId b) const {
+  return graph_.has_edge(a, b);
+}
+
+double StationaryWorkload::average_degree() const {
+  return graph_.average_degree();
+}
+
+// ----------------------------------------------------------------- consuming
+
+ConsumingWorkload::ConsumingWorkload(const CsrGraph& graph) : graph_(graph) {}
+
+std::uint32_t ConsumingWorkload::pending() const {
+  return graph_.num_alive();
+}
+
+std::vector<NodeId> ConsumingWorkload::sample_active(std::uint32_t m,
+                                                     Rng& rng) {
+  return sample_from_pool(graph_.alive_nodes(), m, rng);
+}
+
+bool ConsumingWorkload::conflicts(NodeId a, NodeId b) const {
+  return graph_.has_edge(a, b);
+}
+
+void ConsumingWorkload::on_round(const std::vector<NodeId>& committed,
+                                 const std::vector<NodeId>&, Rng&) {
+  for (const NodeId v : committed) graph_.remove_node(v);
+}
+
+double ConsumingWorkload::average_degree() const {
+  return graph_.average_degree();
+}
+
+// ------------------------------------------------------------------ refining
+
+RefiningWorkload::RefiningWorkload(const RefiningParams& params, Rng& rng)
+    : params_(params), graph_(params.seed_nodes) {
+  if (params_.seed_nodes == 0) {
+    throw std::invalid_argument("RefiningWorkload: need seed nodes");
+  }
+  // Lightly wire the seeds so the initial work-set has some conflicts.
+  for (NodeId v = 0; v + 1 < params_.seed_nodes; ++v) {
+    if (rng.chance(0.5)) graph_.add_edge(v, v + 1);
+  }
+}
+
+std::uint32_t RefiningWorkload::pending() const { return graph_.num_alive(); }
+
+std::vector<NodeId> RefiningWorkload::sample_active(std::uint32_t m,
+                                                    Rng& rng) {
+  return sample_from_pool(graph_.alive_nodes(), m, rng);
+}
+
+bool RefiningWorkload::conflicts(NodeId a, NodeId b) const {
+  return graph_.has_edge(a, b);
+}
+
+void RefiningWorkload::on_round(const std::vector<NodeId>& committed,
+                                const std::vector<NodeId>&, Rng& rng) {
+  for (const NodeId v : committed) {
+    // Capture the cavity neighborhood, retire the task, then spawn its
+    // children into that neighborhood (the DMR retriangulation pattern).
+    const std::vector<NodeId> cavity = graph_.neighbors(v);
+    graph_.remove_node(v);
+    if (spawned_ >= params_.total_budget ||
+        !rng.chance(params_.spawn_probability)) {
+      continue;
+    }
+    std::vector<NodeId> kids;
+    kids.reserve(params_.children);
+    for (std::uint32_t c = 0; c < params_.children; ++c) {
+      kids.push_back(graph_.add_node());
+      ++spawned_;
+      if (spawned_ >= params_.total_budget) break;
+    }
+    // New triangles in one cavity all conflict with each other...
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      for (std::size_t j = i + 1; j < kids.size(); ++j) {
+        graph_.add_edge(kids[i], kids[j]);
+      }
+    }
+    // ...and with a few of the old neighborhood's survivors.
+    if (!cavity.empty()) {
+      for (const NodeId kid : kids) {
+        const auto attach = std::min<std::uint32_t>(
+            params_.attach_neighbors,
+            static_cast<std::uint32_t>(cavity.size()));
+        for (std::uint32_t a = 0; a < attach; ++a) {
+          const NodeId target = cavity[rng.below(cavity.size())];
+          if (graph_.is_alive(target) && target != kid) {
+            graph_.add_edge(kid, target);
+          }
+        }
+      }
+    }
+  }
+}
+
+double RefiningWorkload::average_degree() const {
+  return graph_.average_degree();
+}
+
+// --------------------------------------------------------------- phase shift
+
+PhaseShiftWorkload::PhaseShiftWorkload(std::vector<Stage> stages)
+    : stages_(std::move(stages)) {
+  if (stages_.empty()) {
+    throw std::invalid_argument("PhaseShiftWorkload: no stages");
+  }
+  for (const auto& s : stages_) {
+    if (s.duration == 0) {
+      throw std::invalid_argument("PhaseShiftWorkload: zero-length stage");
+    }
+  }
+}
+
+std::uint32_t PhaseShiftWorkload::pending() const {
+  return stage_ >= stages_.size() ? 0 : stages_[stage_].graph.num_nodes();
+}
+
+bool PhaseShiftWorkload::done() const { return stage_ >= stages_.size(); }
+
+std::vector<NodeId> PhaseShiftWorkload::sample_active(std::uint32_t m,
+                                                      Rng& rng) {
+  const auto& g = stages_.at(stage_).graph;
+  return rng.sample_without_replacement(g.num_nodes(),
+                                        std::min(m, g.num_nodes()));
+}
+
+bool PhaseShiftWorkload::conflicts(NodeId a, NodeId b) const {
+  return stages_.at(stage_).graph.has_edge(a, b);
+}
+
+void PhaseShiftWorkload::on_round(const std::vector<NodeId>&,
+                                  const std::vector<NodeId>&, Rng&) {
+  if (stage_ >= stages_.size()) return;
+  if (++rounds_in_stage_ >= stages_[stage_].duration) {
+    ++stage_;
+    rounds_in_stage_ = 0;
+  }
+}
+
+double PhaseShiftWorkload::average_degree() const {
+  return stage_ >= stages_.size() ? 0.0
+                                  : stages_[stage_].graph.average_degree();
+}
+
+}  // namespace optipar

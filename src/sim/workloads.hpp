@@ -1,0 +1,153 @@
+// Workloads for the discrete-step simulator: a CC graph plus an evolution
+// rule applied after every round. These realize the settings of the paper's
+// evaluation —
+//   StationaryWorkload — Fig. 3: a fixed random CC graph; committed tasks
+//       are replaced by statistically identical ones, so the operating
+//       point μ is constant and convergence can be measured.
+//   ConsumingWorkload  — committed tasks leave the work-set (the basic
+//       amorphous-data-parallel loop); the graph drains to empty.
+//   RefiningWorkload   — Delaunay-refinement-like: a committed task spawns
+//       children that conflict with each other and with the neighborhood;
+//       parallelism ramps from almost nothing to thousands of tasks within
+//       tens of steps (the Lonestar profile the paper cites, §4.1).
+//   PhaseShiftWorkload — abrupt swaps between CC graphs of very different
+//       density, exercising the controller's re-convergence speed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "support/rng.hpp"
+
+namespace optipar {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Tasks currently available to launch.
+  [[nodiscard]] virtual std::uint32_t pending() const = 0;
+  [[nodiscard]] virtual bool done() const { return pending() == 0; }
+
+  /// Sample up to m distinct pending tasks, already in commit order.
+  [[nodiscard]] virtual std::vector<NodeId> sample_active(std::uint32_t m,
+                                                          Rng& rng) = 0;
+  /// Conflict test between two pending tasks.
+  [[nodiscard]] virtual bool conflicts(NodeId a, NodeId b) const = 0;
+
+  /// Apply the evolution rule after a round.
+  virtual void on_round(const std::vector<NodeId>& committed,
+                        const std::vector<NodeId>& aborted, Rng& rng) = 0;
+
+  /// Density of the current CC graph (for traces).
+  [[nodiscard]] virtual double average_degree() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Fixed CC graph; rounds never consume nodes.
+class StationaryWorkload final : public Workload {
+ public:
+  explicit StationaryWorkload(CsrGraph graph);
+
+  [[nodiscard]] std::uint32_t pending() const override;
+  [[nodiscard]] bool done() const override { return false; }
+  [[nodiscard]] std::vector<NodeId> sample_active(std::uint32_t m,
+                                                  Rng& rng) override;
+  [[nodiscard]] bool conflicts(NodeId a, NodeId b) const override;
+  void on_round(const std::vector<NodeId>&, const std::vector<NodeId>&,
+                Rng&) override {}
+  [[nodiscard]] double average_degree() const override;
+  [[nodiscard]] std::string name() const override { return "stationary"; }
+
+  [[nodiscard]] const CsrGraph& graph() const noexcept { return graph_; }
+
+ private:
+  CsrGraph graph_;
+};
+
+/// Committed nodes are removed; the graph drains.
+class ConsumingWorkload final : public Workload {
+ public:
+  explicit ConsumingWorkload(const CsrGraph& graph);
+
+  [[nodiscard]] std::uint32_t pending() const override;
+  [[nodiscard]] std::vector<NodeId> sample_active(std::uint32_t m,
+                                                  Rng& rng) override;
+  [[nodiscard]] bool conflicts(NodeId a, NodeId b) const override;
+  void on_round(const std::vector<NodeId>& committed,
+                const std::vector<NodeId>&, Rng& rng) override;
+  [[nodiscard]] double average_degree() const override;
+  [[nodiscard]] std::string name() const override { return "consuming"; }
+
+  [[nodiscard]] const DynamicGraph& graph() const noexcept { return graph_; }
+
+ private:
+  DynamicGraph graph_;
+};
+
+/// DMR-like growth: each committed task is removed and, while the task
+/// budget lasts, spawns `children` new tasks that form a clique and attach
+/// to a few survivors of the old neighborhood.
+struct RefiningParams {
+  std::uint32_t seed_nodes = 8;       ///< initial work-set size
+  std::uint32_t children = 3;         ///< tasks spawned per commit
+  std::uint32_t attach_neighbors = 2; ///< old-neighborhood edges inherited
+  std::uint64_t total_budget = 4000;  ///< spawning stops after this many
+  double spawn_probability = 1.0;     ///< chance a commit spawns at all
+};
+
+class RefiningWorkload final : public Workload {
+ public:
+  RefiningWorkload(const RefiningParams& params, Rng& rng);
+
+  [[nodiscard]] std::uint32_t pending() const override;
+  [[nodiscard]] std::vector<NodeId> sample_active(std::uint32_t m,
+                                                  Rng& rng) override;
+  [[nodiscard]] bool conflicts(NodeId a, NodeId b) const override;
+  void on_round(const std::vector<NodeId>& committed,
+                const std::vector<NodeId>&, Rng& rng) override;
+  [[nodiscard]] double average_degree() const override;
+  [[nodiscard]] std::string name() const override { return "refining"; }
+
+  [[nodiscard]] std::uint64_t spawned() const noexcept { return spawned_; }
+  [[nodiscard]] const DynamicGraph& graph() const noexcept { return graph_; }
+
+ private:
+  RefiningParams params_;
+  DynamicGraph graph_;
+  std::uint64_t spawned_ = 0;
+};
+
+/// A sequence of (duration, graph) stages; stationary within each stage.
+class PhaseShiftWorkload final : public Workload {
+ public:
+  struct Stage {
+    std::uint32_t duration;  ///< rounds before advancing
+    CsrGraph graph;
+  };
+  explicit PhaseShiftWorkload(std::vector<Stage> stages);
+
+  [[nodiscard]] std::uint32_t pending() const override;
+  [[nodiscard]] bool done() const override;
+  [[nodiscard]] std::vector<NodeId> sample_active(std::uint32_t m,
+                                                  Rng& rng) override;
+  [[nodiscard]] bool conflicts(NodeId a, NodeId b) const override;
+  void on_round(const std::vector<NodeId>&, const std::vector<NodeId>&,
+                Rng&) override;
+  [[nodiscard]] double average_degree() const override;
+  [[nodiscard]] std::string name() const override { return "phase-shift"; }
+
+  [[nodiscard]] std::size_t current_stage() const noexcept { return stage_; }
+
+ private:
+  std::vector<Stage> stages_;
+  std::size_t stage_ = 0;
+  std::uint32_t rounds_in_stage_ = 0;
+};
+
+}  // namespace optipar

@@ -1,0 +1,84 @@
+// Minimal terminal line-chart renderer so the figure benches can show the
+// curve shapes directly in their output (the CSVs remain the source of
+// truth for external plotting).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace optipar {
+
+class AsciiPlot {
+ public:
+  AsciiPlot(std::size_t width, std::size_t height)
+      : width_(width), height_(height) {}
+
+  /// Add a named series; x must be non-decreasing. `glyph` draws it.
+  void add_series(std::string name, char glyph, std::vector<double> x,
+                  std::vector<double> y) {
+    series_.push_back({std::move(name), glyph, std::move(x), std::move(y)});
+  }
+
+  void render(std::ostream& os) const {
+    double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+    for (const auto& s : series_) {
+      for (const double v : s.x) {
+        min_x = std::min(min_x, v);
+        max_x = std::max(max_x, v);
+      }
+      for (const double v : s.y) {
+        min_y = std::min(min_y, v);
+        max_y = std::max(max_y, v);
+      }
+    }
+    if (min_x > max_x || min_y > max_y) return;  // nothing to draw
+    if (max_x == min_x) max_x = min_x + 1;
+    if (max_y == min_y) max_y = min_y + 1;
+
+    std::vector<std::string> grid(height_, std::string(width_, ' '));
+    for (const auto& s : series_) {
+      for (std::size_t i = 0; i < std::min(s.x.size(), s.y.size()); ++i) {
+        const auto col = static_cast<std::size_t>(
+            std::round((s.x[i] - min_x) / (max_x - min_x) *
+                       static_cast<double>(width_ - 1)));
+        const auto row = static_cast<std::size_t>(
+            std::round((s.y[i] - min_y) / (max_y - min_y) *
+                       static_cast<double>(height_ - 1)));
+        grid[height_ - 1 - row][col] = s.glyph;
+      }
+    }
+    char ybuf[32];
+    std::snprintf(ybuf, sizeof(ybuf), "%8.3g", max_y);
+    os << ybuf << " +" << std::string(width_, '-') << "+\n";
+    for (const auto& line : grid) {
+      os << std::string(9, ' ') << '|' << line << "|\n";
+    }
+    std::snprintf(ybuf, sizeof(ybuf), "%8.3g", min_y);
+    os << ybuf << " +" << std::string(width_, '-') << "+\n";
+    std::snprintf(ybuf, sizeof(ybuf), "%-10.3g", min_x);
+    os << std::string(10, ' ') << ybuf
+       << std::string(width_ > 24 ? width_ - 20 : 1, ' ');
+    std::snprintf(ybuf, sizeof(ybuf), "%10.3g", max_x);
+    os << ybuf << "\n";
+    for (const auto& s : series_) {
+      os << "          " << s.glyph << " = " << s.name << "\n";
+    }
+  }
+
+ private:
+  struct Series {
+    std::string name;
+    char glyph;
+    std::vector<double> x;
+    std::vector<double> y;
+  };
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<Series> series_;
+};
+
+}  // namespace optipar

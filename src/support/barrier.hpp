@@ -1,0 +1,43 @@
+// Sense-reversing centralized barrier for the round-synchronous speculative
+// executor. Spins briefly then yields, which behaves well both on real
+// multicore hosts and on oversubscribed single-core CI machines.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+namespace optipar {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) noexcept
+      : parties_(parties), arrived_(0), sense_(false) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Block until all parties have arrived. Reusable across rounds.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      int spins = 0;
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        if (++spins > 1024) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> arrived_;
+  std::atomic<bool> sense_;
+};
+
+}  // namespace optipar

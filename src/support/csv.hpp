@@ -1,0 +1,46 @@
+// Experiment output: a Table collects named columns row by row, prints an
+// aligned console rendering (what the bench binaries emit), and can persist
+// itself as CSV so figures can be re-plotted externally.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace optipar {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t>;
+
+  explicit Table(std::vector<std::string> columns);
+
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<Cell>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Append a row; cell count must match the column count.
+  void add_row(std::vector<Cell> cells);
+
+  /// Aligned fixed-width rendering for terminal output.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] static std::string format_cell(const Cell& cell,
+                                               int precision = 6);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace optipar

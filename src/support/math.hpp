@@ -1,0 +1,91 @@
+// Numeric kernels shared by the model/theory layer: stable products of
+// ratios (computed in log space), finite differences (the paper's Δ^i
+// operator, eq. 2), and compensated summation.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace optipar {
+
+/// Kahan–Babuška compensated accumulator for long sums of doubles.
+class KahanSum {
+ public:
+  void add(double x) noexcept {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+  [[nodiscard]] double value() const noexcept { return sum_ + comp_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+/// Π_{i=1..m} (num0 - i) / (den0 - i), computed in log space so that long
+/// products (m up to ~1e6) neither underflow nor lose relative accuracy.
+/// Returns 0 exactly when some factor's numerator hits zero or below.
+/// This is the hypergeometric "component not hit" product of Thm. 3 with
+/// num0 = n - d and den0 = n + 1.
+inline double falling_ratio_product(double num0, double den0, std::uint64_t m) {
+  double log_acc = 0.0;
+  for (std::uint64_t i = 1; i <= m; ++i) {
+    const double num = num0 - static_cast<double>(i);
+    const double den = den0 - static_cast<double>(i);
+    assert(den > 0.0 && "denominator term must stay positive");
+    if (num <= 0.0) return 0.0;
+    log_acc += std::log(num) - std::log(den);
+  }
+  return std::exp(log_acc);
+}
+
+/// First forward finite difference Δf(k) = f(k+1) − f(k) evaluated over a
+/// tabulated sequence; output has size input.size() − 1.
+inline std::vector<double> finite_difference(const std::vector<double>& f) {
+  std::vector<double> d;
+  if (f.size() < 2) return d;
+  d.reserve(f.size() - 1);
+  for (std::size_t i = 0; i + 1 < f.size(); ++i) d.push_back(f[i + 1] - f[i]);
+  return d;
+}
+
+/// i-th forward finite difference of a tabulated sequence (paper eq. 2).
+inline std::vector<double> finite_difference(const std::vector<double>& f,
+                                             int order) {
+  std::vector<double> cur = f;
+  for (int i = 0; i < order; ++i) cur = finite_difference(cur);
+  return cur;
+}
+
+/// log(n choose k) via lgamma; exact enough for tail probabilities.
+inline double log_binomial(double n, double k) {
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(n + 1) - std::lgamma(k + 1) - std::lgamma(n - k + 1);
+}
+
+/// Bisection root find for a monotone non-decreasing integer function:
+/// smallest m in [lo, hi] with f(m) >= target; returns hi if never reached.
+inline std::int64_t monotone_bisect(
+    std::int64_t lo, std::int64_t hi, double target,
+    const std::function<double(std::int64_t)>& f) {
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (f(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace optipar

@@ -1,0 +1,40 @@
+// Cache-line isolation helpers. Per-thread counters in the speculative
+// runtime are padded to a destructive-interference boundary so that abort /
+// commit accounting never false-shares (Core Guidelines Per.19: access
+// memory predictably).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace optipar {
+
+// A fixed 64-byte line rather than std::hardware_destructive_interference_
+// size: the constant participates in the library ABI and the standard value
+// varies with -mtune (GCC warns about exactly this use).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// A T padded out to its own cache line. T must be trivially destructible
+/// for the common counter use; any T works.
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+  char pad[kCacheLine > sizeof(T) ? kCacheLine - sizeof(T) : 1];
+};
+
+/// Relaxed-increment counter on its own cache line.
+struct alignas(kCacheLine) PaddedCounter {
+  std::atomic<std::uint64_t> value{0};
+
+  void bump(std::uint64_t by = 1) noexcept {
+    value.fetch_add(by, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t load() const noexcept {
+    return value.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value.store(0, std::memory_order_relaxed); }
+};
+
+}  // namespace optipar

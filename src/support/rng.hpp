@@ -1,0 +1,159 @@
+// Deterministic, seedable random-number generation for reproducible
+// experiments. Every stochastic component in optipar draws from an Rng that
+// is explicitly seeded by the caller; nothing reads global entropy, so every
+// figure and test in the repository replays bit-identically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <span>
+#include <vector>
+
+namespace optipar {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full generator
+/// state. Passes BigCrush when used directly; here it is the seeding PRF.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality 64-bit generator (Blackman & Vigna).
+/// Satisfies the UniformRandomBitGenerator concept so it can be used with
+/// <random> distributions, but the convenience members below avoid the
+/// libstdc++ distribution objects for speed and cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x0971ca9ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's nearly-divisionless method.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    using u128 = unsigned __int128;
+    std::uint64_t x = (*this)();
+    u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<u128>(x) * static_cast<u128>(bound);
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the closed range [lo, hi].
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Derive an independent child generator. Use one split per PURPOSE
+  /// (generation vs measurement vs execution): feeding the same raw stream
+  /// to two consumers can correlate them catastrophically — e.g. sampling
+  /// node pairs with the stream that generated the graph's edges replays
+  /// the edge list, making every sampled pair a conflict.
+  Rng split() noexcept { return Rng((*this)() ^ 0x5851f42d4c957f2dULL); }
+
+  /// Fisher–Yates shuffle of a span, using this generator.
+  template <typename T>
+  void shuffle(std::span<T> xs) noexcept {
+    for (std::size_t i = xs.size(); i > 1; --i) {
+      const std::size_t j = below(i);
+      std::swap(xs[i - 1], xs[j]);
+    }
+  }
+
+  /// A uniformly random permutation of {0, 1, ..., n-1}.
+  std::vector<std::uint32_t> permutation(std::uint32_t n) {
+    std::vector<std::uint32_t> p(n);
+    std::iota(p.begin(), p.end(), 0u);
+    shuffle(std::span<std::uint32_t>(p));
+    return p;
+  }
+
+  /// Sample k distinct values uniformly from {0, ..., n-1}. Uses a partial
+  /// Fisher–Yates over an index vector when k is a large fraction of n and
+  /// rejection sampling otherwise; result order is random in both cases.
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                        std::uint32_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+inline std::vector<std::uint32_t> Rng::sample_without_replacement(
+    std::uint32_t n, std::uint32_t k) {
+  if (k > n) k = n;
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  if (k * 3 >= n) {  // dense: partial Fisher–Yates
+    std::vector<std::uint32_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0u);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const std::size_t j = i + below(n - i);
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+  } else {  // sparse: rejection with a scratch bitmap
+    std::vector<bool> taken(n, false);
+    while (out.size() < k) {
+      const auto v = static_cast<std::uint32_t>(below(n));
+      if (!taken[v]) {
+        taken[v] = true;
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace optipar

@@ -1,0 +1,111 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <algorithm>
+#include <stdexcept>
+
+namespace optipar {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(queue_.mutex);
+    queue_.stopping = true;
+  }
+  queue_.cv.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    const std::lock_guard lock(queue_.mutex);
+    if (queue_.stopping) {
+      throw std::runtime_error("ThreadPool::submit after shutdown");
+    }
+    queue_.tasks.push(std::move(packaged));
+  }
+  queue_.cv.notify_one();
+  return future;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(queue_.mutex);
+      queue_.cv.wait(lock,
+                     [this] { return queue_.stopping || !queue_.tasks.empty(); });
+      if (queue_.tasks.empty()) return;  // stopping and drained
+      task = std::move(queue_.tasks.front());
+      queue_.tasks.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t lanes = std::min(workers_.size(), (n + grain - 1) / grain);
+
+  auto body = [cursor, n, grain, &fn] {
+    for (;;) {
+      const std::size_t begin =
+          cursor->fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(n, begin + grain);
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }
+  };
+
+  std::vector<std::future<void>> helpers;
+  helpers.reserve(lanes > 0 ? lanes - 1 : 0);
+  for (std::size_t l = 1; l < lanes; ++l) helpers.push_back(submit(body));
+  // The caller is a lane too, so a 1-thread pool still makes progress. If
+  // fn throws, every other lane is still drained before the first
+  // exception is rethrown — the captured state stays alive until all
+  // lanes have stopped touching it.
+  std::exception_ptr error;
+  try {
+    body();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  for (auto& h : helpers) {
+    try {
+      h.get();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::run_on_workers(std::size_t k,
+                                const std::function<void(std::size_t)>& fn) {
+  k = std::min(k, workers_.size() + 1);  // caller participates as lane 0
+  if (k == 0) return;
+  std::vector<std::future<void>> helpers;
+  helpers.reserve(k - 1);
+  for (std::size_t i = 1; i < k; ++i) {
+    helpers.push_back(submit([&fn, i] { fn(i); }));
+  }
+  fn(0);
+  for (auto& h : helpers) h.get();
+}
+
+}  // namespace optipar

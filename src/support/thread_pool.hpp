@@ -1,0 +1,61 @@
+// A small fixed-size thread pool following the Core Guidelines concurrency
+// rules: threads are created once and reused (CP.41), workers wait on a
+// condition variable rather than spinning (CP.42), and the queue's mutex is
+// packaged with the data it guards (CP.50). The pool is the execution
+// substrate for the speculative runtime in src/rt/.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace optipar {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1). Defaults to hardware concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the future reports completion / exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for all of them.
+  /// Work is dealt in contiguous blocks via an atomic cursor, so callers get
+  /// reasonable locality without static partitioning. If fn throws, the
+  /// throwing lane stops, the remaining lanes finish their work, and the
+  /// first exception is rethrown to the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+  /// Run one instance of fn(worker_index) on each of k workers (k <= size())
+  /// and wait. This is the primitive the round-synchronous executor uses:
+  /// each round activates exactly m "processors".
+  void run_on_workers(std::size_t k,
+                      const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  struct Queue {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::queue<std::packaged_task<void()>> tasks;
+    bool stopping = false;
+  };
+
+  Queue queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace optipar

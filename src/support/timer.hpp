@@ -1,0 +1,25 @@
+// Monotonic wall-clock timing for benches and the runtime's round loop.
+#pragma once
+
+#include <chrono>
+
+namespace optipar {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+  [[nodiscard]] double micros() const noexcept { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace optipar

@@ -1,0 +1,119 @@
+#include "graph/algos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+
+namespace optipar {
+namespace {
+
+TEST(DegreeStats, OnKnownGraph) {
+  const auto g = gen::star(4);  // hub degree 4, leaves degree 1
+  const auto s = degree_stats(g);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_DOUBLE_EQ(s.average, 8.0 / 5.0);
+  // Variance: E[d^2] - E[d]^2 = (16+4)/5 - (1.6)^2 = 4 - 2.56.
+  EXPECT_NEAR(s.variance, 1.44, 1e-12);
+}
+
+TEST(GreedyMis, FullIdentityOrderOnPath) {
+  const auto g = gen::path(5);
+  std::vector<NodeId> order = {0, 1, 2, 3, 4};
+  const auto mis = greedy_mis(g, order);
+  EXPECT_EQ(mis, (std::vector<NodeId>{0, 2, 4}));
+}
+
+TEST(GreedyMis, OrderMatters) {
+  const auto g = gen::path(5);
+  std::vector<NodeId> order = {1, 3, 0, 2, 4};
+  const auto mis = greedy_mis(g, order);
+  EXPECT_EQ(mis, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(GreedyMis, RejectsDuplicatesAndBadIds) {
+  const auto g = gen::path(3);
+  EXPECT_THROW((void)greedy_mis(g, std::vector<NodeId>{0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)greedy_mis(g, std::vector<NodeId>{9}), std::invalid_argument);
+}
+
+TEST(GreedyMis, PartialOrderGivesIndependentButNotNecessarilyMaximal) {
+  const auto g = gen::path(6);
+  std::vector<NodeId> order = {1};  // only one active node
+  const auto mis = greedy_mis(g, order);
+  EXPECT_TRUE(is_independent_set(g, mis));
+  EXPECT_FALSE(is_maximal_independent_set(g, mis));
+}
+
+class RandomGreedyMisTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGreedyMisTest, AlwaysMaximalIndependent) {
+  Rng rng(GetParam());
+  const auto g = gen::gnm_random(80, 200, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto mis = random_greedy_mis(g, rng);
+    EXPECT_TRUE(is_independent_set(g, mis));
+    EXPECT_TRUE(is_maximal_independent_set(g, mis));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGreedyMisTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(RandomGreedyMis, SatisfiesTuranBoundOnAverage) {
+  Rng rng(11);
+  const auto g = gen::gnm_random(200, 800, rng);  // d = 8
+  const double turan = 200.0 / (g.average_degree() + 1.0);
+  double total = 0.0;
+  constexpr int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    total += static_cast<double>(random_greedy_mis(g, rng).size());
+  }
+  EXPECT_GE(total / kTrials, turan - 0.5);  // tiny slack for MC noise
+}
+
+TEST(IndependentSet, DetectsViolations) {
+  const auto g = gen::path(4);
+  EXPECT_TRUE(is_independent_set(g, std::vector<NodeId>{0, 2}));
+  EXPECT_FALSE(is_independent_set(g, std::vector<NodeId>{0, 1}));
+  EXPECT_FALSE(is_independent_set(g, std::vector<NodeId>{0, 0}));  // dup
+  EXPECT_FALSE(is_independent_set(g, std::vector<NodeId>{9}));     // range
+}
+
+TEST(MaximalIndependentSet, DetectsExtendableSets) {
+  const auto g = gen::path(5);
+  EXPECT_TRUE(
+      is_maximal_independent_set(g, std::vector<NodeId>{0, 2, 4}));
+  EXPECT_TRUE(is_maximal_independent_set(g, std::vector<NodeId>{1, 3}));
+  EXPECT_FALSE(is_maximal_independent_set(g, std::vector<NodeId>{0, 2}));
+}
+
+TEST(ConnectedComponents, CountsAndLabels) {
+  const auto g = gen::union_of_cliques(12, 2);  // 4 triangles
+  const auto comps = connected_components(g);
+  EXPECT_EQ(comps.count, 4u);
+  EXPECT_EQ(comps.id[0], comps.id[1]);
+  EXPECT_EQ(comps.id[0], comps.id[2]);
+  EXPECT_NE(comps.id[0], comps.id[3]);
+}
+
+TEST(ConnectedComponents, IsolatedNodesAreOwnComponents) {
+  const auto g = CsrGraph::from_edges(4, {{0, 1}});
+  const auto comps = connected_components(g);
+  EXPECT_EQ(comps.count, 3u);
+}
+
+TEST(TriangleCount, KnownValues) {
+  EXPECT_EQ(triangle_count(gen::complete(4)), 4u);
+  EXPECT_EQ(triangle_count(gen::complete(6)), 20u);
+  EXPECT_EQ(triangle_count(gen::path(10)), 0u);
+  EXPECT_EQ(triangle_count(gen::cycle(3)), 1u);
+  EXPECT_EQ(triangle_count(gen::cycle(5)), 0u);
+  EXPECT_EQ(triangle_count(gen::union_of_cliques(20, 4)), 4u * 10u);
+}
+
+}  // namespace
+}  // namespace optipar

@@ -1,0 +1,62 @@
+#include "support/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace optipar {
+namespace {
+
+TEST(AsciiPlot, EmptyPlotRendersNothing) {
+  AsciiPlot plot(20, 5);
+  std::ostringstream os;
+  plot.render(os);
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(AsciiPlot, SingleSeriesContainsGlyphAndLegend) {
+  AsciiPlot plot(30, 8);
+  plot.add_series("line", '*', {0, 1, 2, 3}, {0, 1, 2, 3});
+  std::ostringstream os;
+  plot.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("* = line"), std::string::npos);
+  // Frame: two horizontal borders.
+  EXPECT_GE(std::count(out.begin(), out.end(), '+'), 4);
+}
+
+TEST(AsciiPlot, ExtremePointsLandOnCorners) {
+  AsciiPlot plot(10, 4);
+  plot.add_series("s", 'x', {0, 1}, {0, 1});
+  std::ostringstream os;
+  plot.render(os);
+  const std::string out = os.str();
+  // First grid row (top) must contain the max point, last the min.
+  std::istringstream lines(out);
+  std::string line;
+  std::getline(lines, line);  // top border
+  std::getline(lines, line);  // top row
+  EXPECT_NE(line.find('x'), std::string::npos);
+}
+
+TEST(AsciiPlot, ConstantSeriesDoesNotDivideByZero) {
+  AsciiPlot plot(10, 4);
+  plot.add_series("flat", '-', {0, 1, 2}, {5, 5, 5});
+  std::ostringstream os;
+  plot.render(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(AsciiPlot, MultipleSeriesAllListed) {
+  AsciiPlot plot(16, 6);
+  plot.add_series("a", 'a', {0, 1}, {0, 1});
+  plot.add_series("b", 'b', {0, 1}, {1, 0});
+  std::ostringstream os;
+  plot.render(os);
+  EXPECT_NE(os.str().find("a = a"), std::string::npos);
+  EXPECT_NE(os.str().find("b = b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optipar

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/baselines.hpp"
+#include "control/hybrid.hpp"
+#include "control/recurrence.hpp"
+
+namespace optipar {
+namespace {
+
+RoundStats make_round(std::uint32_t launched, double ratio) {
+  RoundStats s;
+  s.launched = launched;
+  s.aborted = static_cast<std::uint32_t>(std::lround(ratio * launched));
+  s.committed = s.launched - s.aborted;
+  return s;
+}
+
+/// Feed the controller `windows` full averaging windows of constant ratio.
+std::uint32_t drive(Controller& c, double ratio, int rounds) {
+  std::uint32_t m = c.initial_m();
+  for (int i = 0; i < rounds; ++i) m = c.observe(make_round(m, ratio));
+  return m;
+}
+
+ControllerParams base_params() {
+  ControllerParams p;
+  p.rho = 0.25;
+  p.T = 4;
+  p.small_m_regime = false;  // most unit tests exercise the plain algorithm
+  return p;
+}
+
+TEST(RoundStats, ConflictRatio) {
+  EXPECT_DOUBLE_EQ(make_round(10, 0.3).conflict_ratio(), 0.3);
+  EXPECT_DOUBLE_EQ(RoundStats{}.conflict_ratio(), 0.0);
+}
+
+TEST(ControllerParams, ClampWorks) {
+  ControllerParams p;
+  p.m_min = 2;
+  p.m_max = 100;
+  EXPECT_EQ(p.clamp(1), 2u);
+  EXPECT_EQ(p.clamp(50), 50u);
+  EXPECT_EQ(p.clamp(1000000), 100u);
+}
+
+TEST(HybridController, ValidatesParameters) {
+  auto p = base_params();
+  p.rho = 0.0;
+  EXPECT_THROW((void)HybridController{p}, std::invalid_argument);
+  p = base_params();
+  p.m_min = 1;
+  EXPECT_THROW((void)HybridController{p}, std::invalid_argument);
+  p = base_params();
+  p.T = 0;
+  EXPECT_THROW((void)HybridController{p}, std::invalid_argument);
+  p = base_params();
+  p.alpha1 = 0.5;  // > alpha0
+  EXPECT_THROW((void)HybridController{p}, std::invalid_argument);
+  p = base_params();
+  p.r_min = 0.0;
+  EXPECT_THROW((void)HybridController{p}, std::invalid_argument);
+}
+
+TEST(HybridController, NoChangeWithinWindow) {
+  HybridController c(base_params());
+  const auto m0 = c.initial_m();
+  // Fewer rounds than T: m must not move even with terrible ratios.
+  for (std::uint32_t i = 0; i + 1 < base_params().T; ++i) {
+    EXPECT_EQ(c.observe(make_round(m0, 0.9)), m0);
+  }
+}
+
+TEST(HybridController, RecurrenceBFiresOnLargeDeviation) {
+  // r = 0 (clamped to r_min = 3%) with ρ = 25% -> α = 1 > α₀ ->
+  // m ← ⌈(0.25/0.03)·2⌉ = ⌈16.67⌉ = 17.
+  auto p = base_params();
+  HybridController c(p);
+  const auto m = drive(c, 0.0, static_cast<int>(p.T));
+  EXPECT_EQ(m, 17u);
+  EXPECT_EQ(c.last_branch(), HybridController::Branch::kRecurrenceB);
+}
+
+TEST(HybridController, RecurrenceAFiresOnModerateDeviation) {
+  // r = 0.22 vs ρ = 0.25: α = 0.12 in (α₁, α₀] -> Recurrence A:
+  // m ← ⌈(1 − 0.22 + 0.25)·m⌉.
+  auto p = base_params();
+  p.m0 = 100;
+  HybridController c(p);
+  const auto m = drive(c, 0.22, static_cast<int>(p.T));
+  EXPECT_EQ(m, 103u);
+  EXPECT_EQ(c.last_branch(), HybridController::Branch::kRecurrenceA);
+}
+
+TEST(HybridController, DeadBandFreezesM) {
+  // r = 0.24 vs ρ = 0.25: α = 0.04 <= α₁ = 0.06 -> no change.
+  auto p = base_params();
+  p.m0 = 50;
+  HybridController c(p);
+  const auto m = drive(c, 0.24, static_cast<int>(p.T) * 5);
+  EXPECT_EQ(m, 50u);
+  EXPECT_EQ(c.last_branch(), HybridController::Branch::kDeadBand);
+}
+
+TEST(HybridController, ShrinksWhenRatioTooHigh) {
+  // r = 0.75 vs ρ = 0.25: α = 2 > α₀ -> B: m ← ⌈m/3⌉.
+  auto p = base_params();
+  p.m0 = 90;
+  HybridController c(p);
+  const auto m = drive(c, 0.75, static_cast<int>(p.T));
+  EXPECT_EQ(m, 30u);
+}
+
+TEST(HybridController, RespectsClampBounds) {
+  auto p = base_params();
+  p.m0 = 2;
+  p.m_max = 64;
+  HybridController c(p);
+  const auto m = drive(c, 0.0, 200);
+  EXPECT_EQ(m, 64u);  // saturates at m_max
+  const auto shrunk = drive(c, 0.99, 400);
+  EXPECT_EQ(shrunk, p.m_min);  // and at m_min (Remark 1: never below 2)
+}
+
+TEST(HybridController, ResetRestoresInitialState) {
+  auto p = base_params();
+  HybridController c(p);
+  drive(c, 0.0, 40);
+  c.reset();
+  EXPECT_EQ(c.initial_m(), p.m0);
+  EXPECT_EQ(c.current_m(), p.m0);
+  EXPECT_EQ(c.last_branch(), HybridController::Branch::kNone);
+}
+
+TEST(HybridController, SmallMRegimeUsesLongerWindowAndWiderBand) {
+  auto p = base_params();
+  p.small_m_regime = true;
+  p.m_small = 20;
+  p.T_small = 8;
+  p.alpha1_small = 0.12;
+  p.m0 = 10;
+  HybridController c(p);
+  // At m = 10 < m_small, window is 8 rounds: 4 rounds must not change m.
+  std::uint32_t m = c.initial_m();
+  for (int i = 0; i < 7; ++i) {
+    m = c.observe(make_round(m, 0.0));
+    EXPECT_EQ(m, 10u) << "changed before the small-m window closed";
+  }
+  m = c.observe(make_round(m, 0.0));
+  EXPECT_GT(m, 10u);  // window closed, Recurrence B fires
+}
+
+TEST(HybridController, SmallMWiderDeadBandSuppressesModerateDeviations) {
+  // m0 = 100 with m_small = 200 puts a comfortably-quantized m in the
+  // small regime (make_round(100, 0.22) is exactly 22 aborts).
+  auto p = base_params();
+  p.small_m_regime = true;
+  p.m_small = 200;
+  p.T_small = 4;
+  p.alpha1_small = 0.15;
+  p.m0 = 100;
+  HybridController c(p);
+  // α = |1 − 0.22/0.25| = 0.12 < 0.15 -> frozen in the small-m regime...
+  EXPECT_EQ(drive(c, 0.22, 4), 100u);
+  // ...but the same deviation moves a controller without the regime.
+  auto p2 = base_params();
+  p2.m0 = 100;
+  HybridController big(p2);
+  EXPECT_NE(drive(big, 0.22, 4), 100u);
+}
+
+TEST(RecurrenceA, StepFormula) {
+  auto p = base_params();
+  p.m0 = 100;
+  RecurrenceAController c(p);
+  // r = 0.45, ρ = 0.25: m ← ⌈(1 − 0.45 + 0.25)·100⌉ = 80.
+  EXPECT_EQ(drive(c, 0.45, static_cast<int>(p.T)), 80u);
+  EXPECT_EQ(c.name(), "recurrence-A");
+}
+
+TEST(RecurrenceB, StepFormulaAndRMinClamp) {
+  auto p = base_params();
+  p.m0 = 100;
+  RecurrenceBController c(p);
+  // r = 0.5: m ← ⌈(0.25/0.5)·100⌉ = 50.
+  EXPECT_EQ(drive(c, 0.5, static_cast<int>(p.T)), 50u);
+  c.reset();
+  // r = 0.001 clamps to r_min = 0.03: m ← ⌈(0.25/0.03)·100⌉ = 834.
+  EXPECT_EQ(drive(c, 0.001, static_cast<int>(p.T)), 834u);
+}
+
+TEST(RecurrenceControllers, ConvergenceSpeedBFasterThanA) {
+  // From m0 = 2 with a synthetic linear plant r(m) = min(1, m/1000)·0.5:
+  // B reaches the ρ-neighborhood in far fewer windows than A.
+  auto plant = [](std::uint32_t m) {
+    return std::min(1.0, static_cast<double>(m) / 1000.0) * 0.5;
+  };
+  auto run_until_near = [&](Controller& c, int limit) {
+    std::uint32_t m = c.initial_m();
+    for (int i = 0; i < limit; ++i) {
+      if (std::abs(plant(m) - 0.25) / 0.25 < 0.10) return i;
+      m = c.observe(make_round(m, plant(m)));
+    }
+    return limit;
+  };
+  auto p = base_params();
+  RecurrenceAController a(p);
+  RecurrenceBController b(p);
+  const int steps_a = run_until_near(a, 4000);
+  const int steps_b = run_until_near(b, 4000);
+  EXPECT_LT(steps_b, steps_a / 4);
+}
+
+TEST(FixedController, NeverMoves) {
+  FixedController c(16);
+  EXPECT_EQ(c.initial_m(), 16u);
+  EXPECT_EQ(drive(c, 0.9, 50), 16u);
+  EXPECT_EQ(c.name(), "fixed-16");
+}
+
+TEST(BisectionController, ConvergesOnMonotonePlant) {
+  // Plant: r(m) = m / 1000; ρ = 0.25 -> μ = 250.
+  auto p = base_params();
+  p.m_min = 2;
+  p.m_max = 1024;
+  BisectionController c(p);
+  std::uint32_t m = c.initial_m();
+  for (int i = 0; i < 200; ++i) {
+    m = c.observe(make_round(m, static_cast<double>(m) / 1000.0));
+  }
+  EXPECT_NEAR(static_cast<double>(m), 250.0, 15.0);
+}
+
+TEST(BisectionController, ResetRestartsBracket) {
+  auto p = base_params();
+  BisectionController c(p);
+  drive(c, 0.9, 100);
+  c.reset();
+  EXPECT_EQ(c.initial_m(),
+            p.clamp((static_cast<std::uint64_t>(p.m_min) + p.m_max) / 2));
+}
+
+TEST(AimdController, IncreasesWhenUnderTarget) {
+  auto p = base_params();
+  p.m0 = 10;
+  AimdController c(p, /*increase=*/4, /*decay=*/0.5);
+  EXPECT_EQ(drive(c, 0.0, static_cast<int>(p.T)), 14u);
+}
+
+TEST(AimdController, DecaysWhenOverTarget) {
+  auto p = base_params();
+  p.m0 = 100;
+  AimdController c(p, 4, 0.5);
+  EXPECT_EQ(drive(c, 0.9, static_cast<int>(p.T)), 50u);
+}
+
+TEST(AimdController, ValidatesDecay) {
+  EXPECT_THROW((void)AimdController(base_params(), 4, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)AimdController(base_params(), 4, 0.0), std::invalid_argument);
+}
+
+TEST(Controllers, DeterministicGivenSameObservations) {
+  auto p = base_params();
+  HybridController c1(p);
+  HybridController c2(p);
+  std::uint32_t m1 = c1.initial_m();
+  std::uint32_t m2 = c2.initial_m();
+  const double ratios[] = {0.0, 0.1, 0.4, 0.3, 0.25, 0.05, 0.6, 0.2};
+  for (int i = 0; i < 64; ++i) {
+    m1 = c1.observe(make_round(m1, ratios[i % 8]));
+    m2 = c2.observe(make_round(m2, ratios[i % 8]));
+    EXPECT_EQ(m1, m2);
+  }
+}
+
+}  // namespace
+}  // namespace optipar

@@ -1,0 +1,91 @@
+#include "graph/csr_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace optipar {
+namespace {
+
+TEST(CsrGraph, EmptyGraph) {
+  const auto g = CsrGraph::from_edges(0, {});
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(CsrGraph, IsolatedNodes) {
+  const auto g = CsrGraph::from_edges(5, {});
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(CsrGraph, TriangleBasics) {
+  const auto g = CsrGraph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(CsrGraph, NeighborsAreSortedAndDeduplicated) {
+  const auto g = CsrGraph::from_edges(
+      4, {{3, 0}, {0, 1}, {1, 0}, {0, 2}, {2, 0}, {0, 3}});
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(nbrs[2], 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(CsrGraph, RejectsSelfLoops) {
+  EXPECT_THROW((void)CsrGraph::from_edges(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(CsrGraph, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW((void)CsrGraph::from_edges(3, {{0, 3}}), std::invalid_argument);
+  EXPECT_THROW((void)CsrGraph::from_edges(3, {{7, 0}}), std::invalid_argument);
+}
+
+TEST(CsrGraph, HasEdgeNegativeCases) {
+  const auto g = CsrGraph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 3));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(CsrGraph, EdgesRoundTrip) {
+  const EdgeList original = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  const auto g = CsrGraph::from_edges(4, original);
+  const auto back = g.edges();
+  ASSERT_EQ(back.size(), original.size());
+  const auto g2 = CsrGraph::from_edges(4, back);
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  for (const auto& [u, v] : original) EXPECT_TRUE(g2.has_edge(u, v));
+}
+
+TEST(CsrGraph, EdgesAreCanonical) {
+  const auto g = CsrGraph::from_edges(3, {{2, 1}});
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_LT(edges[0].first, edges[0].second);
+}
+
+TEST(CsrGraph, AverageDegreeOfStar) {
+  // Star with 9 leaves: 9 edges, 10 nodes -> average degree 1.8.
+  EdgeList edges;
+  for (NodeId i = 1; i <= 9; ++i) edges.emplace_back(0, i);
+  const auto g = CsrGraph::from_edges(10, edges);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.8);
+  EXPECT_EQ(g.max_degree(), 9u);
+}
+
+}  // namespace
+}  // namespace optipar

@@ -1,0 +1,163 @@
+#include "graph/dynamic_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace optipar {
+namespace {
+
+TEST(DynamicGraph, StartsWithIsolatedAliveNodes) {
+  DynamicGraph g(4);
+  EXPECT_EQ(g.num_alive(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_TRUE(g.is_alive(v));
+    EXPECT_EQ(g.degree(v), 0u);
+  }
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(DynamicGraph, AddEdgeIsSymmetricAndIdempotent) {
+  DynamicGraph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));  // duplicate
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(DynamicGraph, AddEdgeErrors) {
+  DynamicGraph g(3);
+  EXPECT_THROW((void)g.add_edge(0, 0), std::invalid_argument);
+  g.remove_node(2);
+  EXPECT_THROW((void)g.add_edge(0, 2), std::invalid_argument);
+}
+
+TEST(DynamicGraph, RemoveEdge) {
+  DynamicGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));  // gone
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(DynamicGraph, RemoveNodeDetachesEverything) {
+  DynamicGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(1, 2);
+  g.remove_node(0);
+  EXPECT_EQ(g.num_alive(), 3u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.is_alive(0));
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_TRUE(g.validate());
+  EXPECT_THROW((void)g.remove_node(0), std::invalid_argument);
+  EXPECT_THROW((void)g.degree(0), std::invalid_argument);
+  EXPECT_THROW((void)g.neighbors(0), std::invalid_argument);
+}
+
+TEST(DynamicGraph, AddNodeGetsNewId) {
+  DynamicGraph g(2);
+  const NodeId v = g.add_node();
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(g.num_alive(), 3u);
+  g.add_edge(v, 0);
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(DynamicGraph, IdsAreNeverReused) {
+  DynamicGraph g(2);
+  g.remove_node(1);
+  const NodeId v = g.add_node();
+  EXPECT_EQ(v, 2u);
+  EXPECT_FALSE(g.is_alive(1));
+  EXPECT_EQ(g.capacity(), 3u);
+}
+
+TEST(DynamicGraph, ImportFromCsrPreservesStructure) {
+  Rng rng(5);
+  const auto csr = gen::gnm_random(50, 120, rng);
+  DynamicGraph g(csr);
+  EXPECT_EQ(g.num_alive(), 50u);
+  EXPECT_EQ(g.num_edges(), 120u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), csr.average_degree());
+  for (NodeId v = 0; v < 50; ++v) {
+    EXPECT_EQ(g.degree(v), csr.degree(v));
+  }
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(DynamicGraph, FreezeRelabelsCompactly) {
+  DynamicGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.remove_node(1);
+  std::vector<NodeId> relabel;
+  const auto frozen = g.freeze(&relabel);
+  EXPECT_EQ(frozen.num_nodes(), 4u);
+  EXPECT_EQ(frozen.num_edges(), 2u);
+  EXPECT_EQ(relabel[1], UINT32_MAX);
+  EXPECT_TRUE(frozen.has_edge(relabel[2], relabel[3]));
+  EXPECT_TRUE(frozen.has_edge(relabel[3], relabel[4]));
+  EXPECT_TRUE(frozen.validate());
+}
+
+TEST(DynamicGraph, AliveNodesListsExactlySurvivors) {
+  DynamicGraph g(5);
+  g.remove_node(0);
+  g.remove_node(3);
+  const auto alive = g.alive_nodes();
+  EXPECT_EQ(alive, (std::vector<NodeId>{1, 2, 4}));
+}
+
+TEST(DynamicGraph, AverageDegreeTracksMutations) {
+  DynamicGraph g(4);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.0);
+  g.remove_node(0);
+  EXPECT_NEAR(g.average_degree(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(DynamicGraph, StressMutationsKeepInvariants) {
+  Rng rng(99);
+  DynamicGraph g(gen::gnm_random(60, 150, rng));
+  for (int step = 0; step < 400; ++step) {
+    const auto alive = g.alive_nodes();
+    if (alive.size() < 2) break;
+    const NodeId a = alive[rng.below(alive.size())];
+    const NodeId b = alive[rng.below(alive.size())];
+    switch (rng.below(4)) {
+      case 0:
+        if (a != b) g.add_edge(a, b);
+        break;
+      case 1:
+        g.remove_edge(a, b);
+        break;
+      case 2:
+        g.remove_node(a);
+        break;
+      default:
+        g.add_node();
+        break;
+    }
+  }
+  EXPECT_TRUE(g.validate());
+}
+
+}  // namespace
+}  // namespace optipar

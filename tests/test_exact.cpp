@@ -1,0 +1,136 @@
+#include "model/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "model/conflict_ratio.hpp"
+#include "model/seating.hpp"
+#include "model/theory.hpp"
+
+namespace optipar {
+namespace {
+
+TEST(Exact, RejectsLargeGraphs) {
+  const auto g = CsrGraph::from_edges(exact::kMaxExactNodes + 1, {});
+  EXPECT_THROW((void)exact::exact_conflict_curve(g), std::invalid_argument);
+}
+
+TEST(Exact, EmptyAndEdgelessGraphs) {
+  const auto empty = CsrGraph::from_edges(0, {});
+  EXPECT_EQ(exact::exact_conflict_curve(empty).k_bar.size(), 1u);
+  const auto iso = CsrGraph::from_edges(5, {});
+  const auto curve = exact::exact_conflict_curve(iso);
+  for (std::uint32_t m = 0; m <= 5; ++m) EXPECT_EQ(curve.k_bar[m], 0.0);
+  EXPECT_DOUBLE_EQ(exact::exact_expected_mis(iso), 5.0);
+}
+
+TEST(Exact, CompleteGraphClosedForm) {
+  const auto g = gen::complete(6);
+  const auto curve = exact::exact_conflict_curve(g);
+  for (std::uint32_t m = 0; m <= 6; ++m) {
+    EXPECT_NEAR(curve.k_bar[m], exact::complete_k_bar(6, m), 1e-12);
+  }
+  EXPECT_THROW((void)exact::complete_k_bar(6, 7), std::invalid_argument);
+}
+
+TEST(Exact, StarClosedForm) {
+  for (const std::uint32_t leaves : {2u, 4u, 7u}) {
+    const auto g = gen::star(leaves);
+    const auto curve = exact::exact_conflict_curve(g);
+    for (std::uint32_t m = 0; m <= leaves + 1; ++m) {
+      EXPECT_NEAR(curve.k_bar[m], exact::star_k_bar(leaves, m), 1e-12)
+          << "leaves=" << leaves << " m=" << m;
+    }
+  }
+  EXPECT_THROW((void)exact::star_k_bar(3, 5), std::invalid_argument);
+}
+
+TEST(Exact, StarClosedFormMatchesProp2) {
+  // k̄(2) = 2/n must equal d/(n−1) (Prop. 2 gives Δr̄(1) = k̄(2)/2).
+  for (const std::uint32_t leaves : {3u, 9u, 100u}) {
+    const auto n = leaves + 1;
+    const double d = 2.0 * leaves / n;
+    EXPECT_NEAR(exact::star_k_bar(leaves, 2), d / (n - 1.0), 1e-12);
+  }
+}
+
+TEST(Exact, UnionOfCliquesMatchesThm3Exactly) {
+  // Thm. 3's closed form is exact for K_d^n — verify against full
+  // permutation enumeration, not Monte-Carlo.
+  const std::uint32_t n = 9, d = 2;  // 3 triangles
+  const auto g = gen::union_of_cliques(n, d);
+  const auto curve = exact::exact_conflict_curve(g);
+  for (std::uint32_t m = 0; m <= n; ++m) {
+    EXPECT_NEAR(curve.expected_committed(m),
+                theory::em_union_of_cliques(n, d, m), 1e-12)
+        << "m=" << m;
+  }
+}
+
+TEST(Exact, BmIsALowerBoundEverywhere) {
+  Rng rng(3);
+  const auto g = gen::gnm_random(8, 12, rng);
+  const auto curve = exact::exact_conflict_curve(g);
+  for (std::uint32_t m = 1; m <= 8; ++m) {
+    EXPECT_GE(curve.expected_committed(m), theory::b_m(g, m) - 1e-12);
+  }
+}
+
+TEST(Exact, PathMatchesSeatingDp) {
+  for (const std::uint32_t n : {2u, 5u, 8u}) {
+    EXPECT_NEAR(exact::exact_expected_mis(gen::path(n)),
+                seating::expected_path(n), 1e-12);
+  }
+}
+
+TEST(Exact, MonteCarloConvergesToExact) {
+  Rng rng(4);
+  const auto g = gen::gnm_random(9, 14, rng);
+  const auto exact_curve = exact::exact_conflict_curve(g);
+  const auto mc = estimate_conflict_curve(g, 30000, rng);
+  for (std::uint32_t m = 1; m <= 9; ++m) {
+    EXPECT_NEAR(mc.k_bar(m), exact_curve.k_bar[m],
+                4 * mc.abort_stats[m].ci95() + 1e-3)
+        << "m=" << m;
+  }
+}
+
+TEST(Exact, RBarIsMonotoneExactly) {
+  // Prop. 1 verified exactly (no MC tolerance) on several small graphs.
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = gen::gnm_random(8, 10 + trial * 3, rng);
+    const auto curve = exact::exact_conflict_curve(g);
+    for (std::uint32_t m = 1; m < 8; ++m) {
+      EXPECT_GE(curve.r_bar(m + 1), curve.r_bar(m) - 1e-12);
+    }
+  }
+}
+
+TEST(Exact, KBarIsConvexExactly) {
+  // Lemma 1 (convexity of k̄) verified exactly.
+  Rng rng(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = gen::gnm_random(8, 12 + trial * 2, rng);
+    const auto curve = exact::exact_conflict_curve(g);
+    for (std::uint32_t m = 0; m + 2 <= 8; ++m) {
+      const double second = curve.k_bar[m + 2] - 2 * curve.k_bar[m + 1] +
+                            curve.k_bar[m];
+      EXPECT_GE(second, -1e-12) << "m=" << m;
+    }
+  }
+}
+
+TEST(Exact, Prop2ExactOnArbitrarySmallGraphs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = gen::gnm_random(9, 10 + trial * 4, rng);
+    const auto curve = exact::exact_conflict_curve(g);
+    const double predicted =
+        theory::initial_derivative(9, g.average_degree());
+    EXPECT_NEAR(curve.r_bar(2) - curve.r_bar(1), predicted, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace optipar

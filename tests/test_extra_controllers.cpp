@@ -1,0 +1,155 @@
+#include "control/extra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/hybrid.hpp"
+#include "graph/generators.hpp"
+#include "model/conflict_ratio.hpp"
+#include "model/theory.hpp"
+#include "sim/run_loop.hpp"
+
+namespace optipar {
+namespace {
+
+RoundStats make_round(std::uint32_t launched, double ratio) {
+  RoundStats s;
+  s.launched = launched;
+  s.aborted = static_cast<std::uint32_t>(std::lround(ratio * launched));
+  s.committed = s.launched - s.aborted;
+  return s;
+}
+
+std::uint32_t drive(Controller& c, double ratio, int rounds) {
+  std::uint32_t m = c.initial_m();
+  for (int i = 0; i < rounds; ++i) m = c.observe(make_round(m, ratio));
+  return m;
+}
+
+ControllerParams base_params() {
+  ControllerParams p;
+  p.rho = 0.25;
+  p.T = 4;
+  p.small_m_regime = false;
+  return p;
+}
+
+TEST(PidController, ValidatesParameters) {
+  auto p = base_params();
+  p.rho = 1.5;
+  EXPECT_THROW((void)PidController{p}, std::invalid_argument);
+  p = base_params();
+  p.T = 0;
+  EXPECT_THROW((void)PidController{p}, std::invalid_argument);
+}
+
+TEST(PidController, GrowsWhenUnderTargetShrinksWhenOver) {
+  auto p = base_params();
+  p.m0 = 100;
+  PidController c(p);
+  EXPECT_GT(drive(c, 0.0, static_cast<int>(p.T)), 100u);
+  c.reset();
+  EXPECT_LT(drive(c, 0.9, static_cast<int>(p.T)), 100u);
+}
+
+TEST(PidController, PerWindowChangeIsBounded) {
+  auto p = base_params();
+  p.m0 = 100;
+  p.m_max = 100000;
+  PidController c(p);
+  const auto m = drive(c, 0.0, static_cast<int>(p.T));
+  EXPECT_LE(m, 400u);  // factor clamp of 4x per window
+}
+
+TEST(PidController, ConvergesOnLinearPlant) {
+  // Plant r(m) = m/1000, rho = 0.25 -> mu = 250.
+  auto p = base_params();
+  p.m_max = 4096;
+  PidController c(p);
+  std::uint32_t m = c.initial_m();
+  for (int i = 0; i < 400; ++i) {
+    m = c.observe(make_round(m, std::min(1.0, m / 1000.0)));
+  }
+  EXPECT_NEAR(static_cast<double>(m), 250.0, 60.0);
+}
+
+TEST(PidController, ResetClearsIntegrator) {
+  auto p = base_params();
+  PidController c(p);
+  drive(c, 0.0, 64);  // wind the integrator up
+  c.reset();
+  EXPECT_EQ(c.initial_m(), p.m0);
+  // Same post-reset trajectory as a fresh controller.
+  PidController fresh(p);
+  EXPECT_EQ(drive(c, 0.5, 12), drive(fresh, 0.5, 12));
+}
+
+TEST(EwmaHybridController, ValidatesParameters) {
+  auto p = base_params();
+  EXPECT_THROW((void)EwmaHybridController(p, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)EwmaHybridController(p, 1.5), std::invalid_argument);
+  p.rho = 0.0;
+  EXPECT_THROW((void)EwmaHybridController(p, 0.3), std::invalid_argument);
+}
+
+TEST(EwmaHybridController, ReactsWithinCooldown) {
+  auto p = base_params();
+  EwmaHybridController c(p, 0.5, /*cooldown=*/2);
+  std::uint32_t m = c.initial_m();
+  m = c.observe(make_round(m, 0.0));
+  EXPECT_EQ(m, p.m0);  // first round: still cooling down
+  m = c.observe(make_round(m, 0.0));
+  EXPECT_GT(m, p.m0);  // second round: Recurrence B fires off the EWMA
+}
+
+TEST(EwmaHybridController, DeadBandHolds) {
+  auto p = base_params();
+  p.m0 = 80;
+  EwmaHybridController c(p, 0.5, 1);
+  EXPECT_EQ(drive(c, 0.25, 30), 80u);  // exactly on target
+}
+
+TEST(EwmaHybridController, TracksTargetOnStationaryGraph) {
+  Rng rng(1);
+  const auto g = gen::random_with_average_degree(1200, 12, rng);
+  StationaryWorkload w(g);
+  auto p = base_params();
+  EwmaHybridController c(p, 0.3, 2);
+  RunLoopConfig cfg;
+  cfg.max_steps = 250;
+  const auto trace = run_controlled(c, w, cfg, rng);
+  EXPECT_NEAR(trace.mean_conflict_ratio(120), 0.25, 0.07);
+}
+
+TEST(WithWarmStart, SetsM0FromCor3) {
+  auto p = base_params();
+  const auto warmed = with_warm_start(p, 1700, 16.0);
+  EXPECT_EQ(warmed.m0, theory::warm_start_m(1700, 16.0, p.rho));
+  EXPECT_GT(warmed.m0, 2u);
+}
+
+TEST(WithWarmStart, HybridStartsAheadAndConvergesFaster) {
+  Rng rng(2);
+  const auto g = gen::random_with_average_degree(2000, 16, rng);
+  const auto mu = find_mu(g, 0.25, 300, rng);
+
+  auto run_with = [&](const ControllerParams& p) {
+    HybridController c(p);
+    StationaryWorkload w(g);
+    RunLoopConfig cfg;
+    cfg.max_steps = 200;
+    Rng run_rng(3);
+    return run_controlled(c, w, cfg, run_rng);
+  };
+  auto p = base_params();
+  const auto cold = run_with(p);
+  const auto warm = run_with(with_warm_start(p, 2000, 16.0));
+  EXPECT_LE(warm.convergence_step(mu, 0.30, 5),
+            cold.convergence_step(mu, 0.30, 5));
+  // The warm start must respect the worst-case guarantee from round one.
+  EXPECT_LE(warm.steps.front().conflict_ratio(), 0.40);
+}
+
+}  // namespace
+}  // namespace optipar

@@ -1,0 +1,198 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/algos.hpp"
+
+namespace optipar {
+namespace {
+
+TEST(Gnm, ExactEdgeCountAndValidity) {
+  Rng rng(1);
+  const auto g = gen::gnm_random(100, 250, rng);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 250u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Gnm, RejectsImpossibleEdgeCounts) {
+  Rng rng(2);
+  EXPECT_THROW((void)gen::gnm_random(4, 7, rng), std::invalid_argument);  // > 6
+  EXPECT_THROW((void)gen::gnm_random(1, 1, rng), std::invalid_argument);
+}
+
+TEST(Gnm, CompleteGraphCase) {
+  Rng rng(3);
+  const auto g = gen::gnm_random(6, 15, rng);  // all pairs
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Gnm, SameSeedSameGraph) {
+  Rng a(42);
+  Rng b(42);
+  const auto g1 = gen::gnm_random(50, 100, a);
+  const auto g2 = gen::gnm_random(50, 100, b);
+  EXPECT_EQ(g1.edges(), g2.edges());
+}
+
+TEST(RandomWithAverageDegree, HitsTargetDegree) {
+  Rng rng(4);
+  const auto g = gen::random_with_average_degree(2000, 16.0, rng);
+  EXPECT_NEAR(g.average_degree(), 16.0, 0.01);
+}
+
+TEST(Gnp, ZeroAndOneProbabilities) {
+  Rng rng(5);
+  const auto empty = gen::gnp_random(20, 0.0, rng);
+  EXPECT_EQ(empty.num_edges(), 0u);
+  const auto full = gen::gnp_random(20, 1.0, rng);
+  EXPECT_EQ(full.num_edges(), 190u);
+}
+
+TEST(Gnp, EdgeCountNearExpectation) {
+  Rng rng(6);
+  const auto g = gen::gnp_random(500, 0.05, rng);
+  const double expected = 0.05 * 500 * 499 / 2;  // ≈ 6237
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              5 * std::sqrt(expected));
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Gnp, RejectsBadProbability) {
+  Rng rng(7);
+  EXPECT_THROW((void)gen::gnp_random(5, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW((void)gen::gnp_random(5, 1.1, rng), std::invalid_argument);
+}
+
+TEST(UnionOfCliques, StructureOfKdn) {
+  const auto g = gen::union_of_cliques(20, 4);  // 4 cliques of size 5
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 4.0);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+  const auto comps = connected_components(g);
+  EXPECT_EQ(comps.count, 4u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(UnionOfCliques, DivisibilityEnforced) {
+  EXPECT_THROW((void)gen::union_of_cliques(21, 4), std::invalid_argument);
+}
+
+TEST(UnionOfCliques, DegenerateSingletons) {
+  const auto g = gen::union_of_cliques(10, 0);  // 10 isolated nodes
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(CliquePlusIsolated, Example1Family) {
+  const auto g = gen::clique_plus_isolated(16, 4);  // K16 + D4
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_EQ(g.num_edges(), 120u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 15u);
+  for (NodeId v = 16; v < 20; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Complete, AllPairs) {
+  const auto g = gen::complete(7);
+  EXPECT_EQ(g.num_edges(), 21u);
+  EXPECT_EQ(triangle_count(g), 35u);  // C(7,3)
+}
+
+TEST(Star, HubAndLeaves) {
+  const auto g = gen::star(6);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (NodeId v = 1; v <= 6; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(PathAndCycle, DegreesAndCounts) {
+  const auto p = gen::path(10);
+  EXPECT_EQ(p.num_edges(), 9u);
+  EXPECT_EQ(p.degree(0), 1u);
+  EXPECT_EQ(p.degree(5), 2u);
+  const auto c = gen::cycle(10);
+  EXPECT_EQ(c.num_edges(), 10u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(c.degree(v), 2u);
+  EXPECT_THROW((void)gen::cycle(2), std::invalid_argument);
+}
+
+TEST(Grid, CornerEdgeInteriorDegrees) {
+  const auto g = gen::grid_2d(4, 5);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_EQ(g.num_edges(), 31u);  // 4*4 + 3*5 horizontal+vertical
+  EXPECT_EQ(g.degree(0), 2u);     // corner
+  EXPECT_EQ(g.degree(1), 3u);     // edge
+  EXPECT_EQ(g.degree(6), 4u);     // interior (row 1, col 1)
+}
+
+TEST(Torus, FourRegular) {
+  const auto g = gen::torus_2d(4, 4);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  EXPECT_THROW((void)gen::torus_2d(2, 5), std::invalid_argument);
+}
+
+class RandomRegularTest
+    : public ::testing::TestWithParam<std::pair<NodeId, std::uint32_t>> {};
+
+TEST_P(RandomRegularTest, ExactDegreeEverywhere) {
+  const auto [n, d] = GetParam();
+  Rng rng(1000 + n + d);
+  const auto g = gen::random_regular(n, d, rng);
+  EXPECT_EQ(g.num_nodes(), n);
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), d);
+  EXPECT_TRUE(g.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomRegularTest,
+                         ::testing::Values(std::pair{10u, 3u},
+                                           std::pair{50u, 4u},
+                                           std::pair{100u, 6u},
+                                           std::pair{64u, 2u}));
+
+TEST(RandomRegular, RejectsOddTotalsAndBigDegrees) {
+  Rng rng(8);
+  EXPECT_THROW((void)gen::random_regular(5, 3, rng), std::invalid_argument);
+  EXPECT_THROW((void)gen::random_regular(4, 4, rng), std::invalid_argument);
+}
+
+TEST(Rmat, ProducesRequestedEdgesWithinBudget) {
+  Rng rng(9);
+  const auto g = gen::rmat(256, 1000, 0.45, 0.22, 0.22, rng);
+  EXPECT_EQ(g.num_nodes(), 256u);
+  EXPECT_GE(g.num_edges(), 900u);  // a few duplicates may be retried away
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Rmat, SkewedParametersGiveSkewedDegrees) {
+  Rng rng(10);
+  const auto g = gen::rmat(512, 2000, 0.7, 0.1, 0.1, rng);
+  const auto stats = degree_stats(g);
+  EXPECT_GT(stats.max, 3 * stats.average);  // heavy head
+}
+
+TEST(Rmat, RejectsBadProbabilities) {
+  Rng rng(11);
+  EXPECT_THROW((void)gen::rmat(16, 10, 0.6, 0.3, 0.3, rng), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, MinimumDegreeIsK) {
+  Rng rng(12);
+  const auto g = gen::barabasi_albert(300, 3, rng);
+  EXPECT_EQ(g.num_nodes(), 300u);
+  const auto stats = degree_stats(g);
+  EXPECT_GE(stats.min, 3u);
+  EXPECT_GT(stats.max, 10u);  // hubs emerge
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(BarabasiAlbert, RejectsTooFewNodes) {
+  Rng rng(13);
+  EXPECT_THROW((void)gen::barabasi_albert(3, 3, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optipar

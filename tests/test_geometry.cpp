@@ -1,0 +1,87 @@
+#include "apps/dmr/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace optipar::dmr {
+namespace {
+
+TEST(Orient2d, SignConventions) {
+  const Point2 a{0, 0}, b{1, 0}, c{0, 1};
+  EXPECT_GT(orient2d(a, b, c), 0.0);  // CCW
+  EXPECT_LT(orient2d(a, c, b), 0.0);  // CW
+  EXPECT_DOUBLE_EQ(orient2d(a, b, Point2{2, 0}), 0.0);  // collinear
+}
+
+TEST(Orient2d, TranslationInvariance) {
+  const Point2 a{0, 0}, b{3, 1}, c{1, 4};
+  const double base = orient2d(a, b, c);
+  const double shifted = orient2d(Point2{a.x + 100, a.y - 50},
+                                  Point2{b.x + 100, b.y - 50},
+                                  Point2{c.x + 100, c.y - 50});
+  EXPECT_NEAR(base, shifted, 1e-9);
+}
+
+TEST(Incircle, UnitCircleCases) {
+  // CCW triangle on the unit circle; origin is strictly inside.
+  const Point2 a{1, 0}, b{-0.5, std::sqrt(3) / 2}, c{-0.5, -std::sqrt(3) / 2};
+  EXPECT_GT(incircle(a, b, c, Point2{0, 0}), 0.0);
+  EXPECT_LT(incircle(a, b, c, Point2{2, 0}), 0.0);
+  // A point on the circle is degenerate (≈ 0).
+  EXPECT_NEAR(incircle(a, b, c, Point2{0, 1}), 0.0, 1e-9);
+}
+
+TEST(Distance, BasicAndSquaredConsistency) {
+  const Point2 a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(distance_squared(a, b), 25.0);
+}
+
+TEST(Circumcenter, RightTriangleCenterIsHypotenuseMidpoint) {
+  const Point2 a{0, 0}, b{4, 0}, c{0, 2};
+  const Point2 cc = circumcenter(a, b, c);
+  EXPECT_NEAR(cc.x, 2.0, 1e-12);
+  EXPECT_NEAR(cc.y, 1.0, 1e-12);
+  // All three vertices are equidistant from it.
+  EXPECT_NEAR(distance(cc, a), distance(cc, b), 1e-12);
+  EXPECT_NEAR(distance(cc, a), distance(cc, c), 1e-12);
+  EXPECT_NEAR(circumradius(a, b, c), std::sqrt(5.0), 1e-12);
+}
+
+TEST(Circumcenter, EquilateralIsCentroid) {
+  const Point2 a{0, 0}, b{1, 0}, c{0.5, std::sqrt(3) / 2};
+  const Point2 cc = circumcenter(a, b, c);
+  EXPECT_NEAR(cc.x, 0.5, 1e-12);
+  EXPECT_NEAR(cc.y, std::sqrt(3) / 6, 1e-12);
+}
+
+TEST(ShortestEdge, PicksMinimum) {
+  const Point2 a{0, 0}, b{10, 0}, c{0, 1};
+  EXPECT_DOUBLE_EQ(shortest_edge(a, b, c), 1.0);
+}
+
+TEST(SignedArea, MatchesOrientation) {
+  const Point2 a{0, 0}, b{2, 0}, c{0, 2};
+  EXPECT_DOUBLE_EQ(signed_area2(a, b, c), 4.0);  // 2 * area
+  EXPECT_DOUBLE_EQ(signed_area2(a, c, b), -4.0);
+}
+
+TEST(MinAngle, EquilateralIsSixtyDegrees) {
+  const Point2 a{0, 0}, b{1, 0}, c{0.5, std::sqrt(3) / 2};
+  EXPECT_NEAR(min_angle(a, b, c), std::numbers::pi / 3, 1e-9);
+}
+
+TEST(MinAngle, RightIsoscelesIsFortyFive) {
+  const Point2 a{0, 0}, b{1, 0}, c{0, 1};
+  EXPECT_NEAR(min_angle(a, b, c), std::numbers::pi / 4, 1e-9);
+}
+
+TEST(MinAngle, SliverIsTiny) {
+  const Point2 a{0, 0}, b{1, 0}, c{0.5, 1e-4};
+  EXPECT_LT(min_angle(a, b, c), 0.01);
+}
+
+}  // namespace
+}  // namespace optipar::dmr

@@ -1,0 +1,76 @@
+#include "graph/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace optipar {
+namespace {
+
+TEST(GraphIo, StreamRoundTrip) {
+  Rng rng(1);
+  const auto g = gen::gnm_random(40, 90, rng);
+  std::stringstream ss;
+  io::write_edge_list(g, ss);
+  const auto back = io::read_edge_list(ss);
+  EXPECT_EQ(back.num_nodes(), g.num_nodes());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  Rng rng(2);
+  const auto g = gen::union_of_cliques(12, 3);
+  const std::string path = "/tmp/optipar_test_graph.txt";
+  io::write_edge_list(g, path);
+  const auto back = io::read_edge_list(path);
+  EXPECT_EQ(back.edges(), g.edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, CommentsAndBlanksAreSkipped) {
+  std::stringstream ss("# a comment\n\np 3 2\nc dimacs comment\n0 1\n1 2\n");
+  const auto g = io::read_edge_list(ss);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphIo, MissingHeaderThrows) {
+  std::stringstream ss("0 1\n");
+  EXPECT_THROW((void)io::read_edge_list(ss), std::runtime_error);
+}
+
+TEST(GraphIo, EmptyInputThrows) {
+  std::stringstream ss("");
+  EXPECT_THROW((void)io::read_edge_list(ss), std::runtime_error);
+}
+
+TEST(GraphIo, MalformedEdgeThrows) {
+  std::stringstream ss("p 3 1\n0 x\n");
+  EXPECT_THROW((void)io::read_edge_list(ss), std::runtime_error);
+}
+
+TEST(GraphIo, OutOfRangeEdgeThrows) {
+  std::stringstream ss("p 3 1\n0 9\n");
+  EXPECT_THROW((void)io::read_edge_list(ss), std::invalid_argument);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW((void)io::read_edge_list(std::string("/no/such/file.graph")),
+               std::runtime_error);
+}
+
+TEST(GraphIo, IsolatedNodesSurviveRoundTrip) {
+  const auto g = CsrGraph::from_edges(10, {{0, 1}});
+  std::stringstream ss;
+  io::write_edge_list(g, ss);
+  const auto back = io::read_edge_list(ss);
+  EXPECT_EQ(back.num_nodes(), 10u);
+  EXPECT_EQ(back.num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace optipar

@@ -1,0 +1,212 @@
+// End-to-end properties mirroring the paper's evaluation artifacts:
+// Fig. 2's curve ordering, Fig. 3's convergence behavior, and §4.1's
+// adaptation claims — each at test-sized scale (the bench binaries run the
+// full-sized versions).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "control/baselines.hpp"
+#include "control/hybrid.hpp"
+#include "control/recurrence.hpp"
+#include "graph/generators.hpp"
+#include "model/conflict_ratio.hpp"
+#include "model/theory.hpp"
+#include "sim/profile.hpp"
+#include "sim/run_loop.hpp"
+
+namespace optipar {
+namespace {
+
+TEST(Fig2Shape, WorstCaseBoundDominatesEmpiricalCurves) {
+  // n = 340, d = 16 ((d+1) | n): the Thm. 3 bound must dominate both the
+  // random graph and the union-of-cliques curve at every m.
+  const std::uint32_t n = 340, d = 16;
+  Rng rng(1);
+  const auto random_g = gen::random_with_average_degree(n, d, rng);
+  const auto cliques_g = gen::union_of_cliques(n, d);
+
+  const auto random_curve = estimate_conflict_curve(random_g, 600, rng);
+  const auto cliques_curve = estimate_conflict_curve(cliques_g, 600, rng);
+
+  for (std::uint32_t m = 1; m <= n; m += 7) {
+    const double bound = theory::conflict_ratio_bound_exact(n, d, m);
+    EXPECT_LE(random_curve.r_bar(m),
+              bound + 3 * random_curve.r_bar_ci95(m) + 1e-9)
+        << "m=" << m;
+    EXPECT_LE(cliques_curve.r_bar(m),
+              bound + 3 * cliques_curve.r_bar_ci95(m) + 1e-9)
+        << "m=" << m;
+  }
+}
+
+TEST(Fig2Shape, AllCurvesShareTheInitialSlope) {
+  // Prop. 2: at m = 1 the derivative depends only on (n, d), so the three
+  // Fig. 2 curves coincide initially.
+  const std::uint32_t n = 340, d = 16;
+  Rng rng(2);
+  const auto random_g = gen::random_with_average_degree(n, d, rng);
+  const auto cliques_g = gen::union_of_cliques(n, d);
+  const double predicted = theory::initial_derivative(n, d);
+
+  const auto c1 = estimate_conflict_curve(random_g, 30000, rng);
+  const auto c2 = estimate_conflict_curve(cliques_g, 30000, rng);
+  EXPECT_NEAR(c1.r_bar(2) - c1.r_bar(1), predicted, 4 * c1.r_bar_ci95(2));
+  EXPECT_NEAR(c2.r_bar(2) - c2.r_bar(1), predicted, 4 * c2.r_bar_ci95(2));
+}
+
+TEST(Fig2Shape, CliquesSaturateAboveRandomGraphAtLargeM) {
+  // The union-of-cliques curve (the worst case) sits above the random
+  // graph curve once m is an appreciable fraction of n.
+  const std::uint32_t n = 340, d = 16;
+  Rng rng(3);
+  const auto random_g = gen::random_with_average_degree(n, d, rng);
+  const auto cliques_g = gen::union_of_cliques(n, d);
+  const auto cr = estimate_conflict_curve(random_g, 400, rng);
+  const auto cc = estimate_conflict_curve(cliques_g, 400, rng);
+  for (const std::uint32_t m : {n / 4, n / 2, n}) {
+    EXPECT_GT(cc.r_bar(m) + 3 * cc.r_bar_ci95(m),
+              cr.r_bar(m) - 3 * cr.r_bar_ci95(m))
+        << "m=" << m;
+  }
+}
+
+TEST(Fig3Shape, HybridConvergesWithinTensOfSteps) {
+  // Paper §4.1: "in about 15 steps the controller converges close to the
+  // desired μ value" (n = 2000 random graph, ρ = 20%, m0 = 2). Windows of
+  // T = 4 rounds make that ~4 control updates; we allow some slack.
+  Rng rng(4);
+  const auto g = gen::random_with_average_degree(2000, 16, rng);
+  const auto mu = find_mu(g, 0.20, 400, rng);
+  ASSERT_GT(mu, 50u);
+
+  StationaryWorkload w(g);
+  ControllerParams p;
+  p.rho = 0.20;
+  HybridController c(p);
+  RunLoopConfig cfg;
+  cfg.max_steps = 200;
+  const auto trace = run_controlled(c, w, cfg, rng);
+  const auto conv = trace.convergence_step(mu, 0.35, 4);
+  EXPECT_LE(conv, 40u) << "mu=" << mu;
+}
+
+TEST(Fig3Shape, HybridConvergesFasterThanRecurrenceAAlone) {
+  Rng rng(5);
+  const auto g = gen::random_with_average_degree(2000, 16, rng);
+  const auto mu = find_mu(g, 0.20, 400, rng);
+
+  auto run_with = [&](Controller& c) {
+    StationaryWorkload w(g);
+    RunLoopConfig cfg;
+    cfg.max_steps = 400;
+    Rng run_rng(6);
+    return run_controlled(c, w, cfg, run_rng);
+  };
+
+  ControllerParams p;
+  p.rho = 0.20;
+  HybridController hybrid(p);
+  RecurrenceAController a_only(p);
+  const auto conv_hybrid =
+      run_with(hybrid).convergence_step(mu, 0.35, 4);
+  const auto conv_a = run_with(a_only).convergence_step(mu, 0.35, 4);
+  EXPECT_LT(conv_hybrid * 3, conv_a + 3);  // hybrid is several times faster
+}
+
+TEST(Fig3Shape, SteadyStateRatioTracksRho) {
+  Rng rng(7);
+  const auto g = gen::random_with_average_degree(1500, 12, rng);
+  StationaryWorkload w(g);
+  ControllerParams p;
+  p.rho = 0.20;
+  HybridController c(p);
+  RunLoopConfig cfg;
+  cfg.max_steps = 300;
+  const auto trace = run_controlled(c, w, cfg, rng);
+  EXPECT_NEAR(trace.mean_conflict_ratio(100), 0.20, 0.05);
+}
+
+TEST(Sec41, RefiningWorkloadRampsAndControllerFollows) {
+  // The Lonestar DMR profile: parallelism explodes within tens of steps.
+  // A good controller must grow m by an order of magnitude in response.
+  RefiningParams rp;
+  rp.seed_nodes = 8;
+  rp.children = 3;
+  rp.attach_neighbors = 2;
+  rp.total_budget = 30000;
+  Rng rng(8);
+  RefiningWorkload w(rp, rng);
+  ControllerParams p;
+  p.rho = 0.25;
+  p.m_max = 4096;
+  HybridController c(p);
+  RunLoopConfig cfg;
+  cfg.max_steps = 120;
+  const auto trace = run_controlled(c, w, cfg, rng);
+  std::uint32_t max_m = 0;
+  for (const auto& s : trace.steps) max_m = std::max(max_m, s.m);
+  EXPECT_GE(max_m, 20u * p.m0);
+}
+
+TEST(Sec41, PhaseShiftReconvergence) {
+  // Dense stage (tiny μ) then sparse stage (huge μ): after the shift the
+  // controller must raise m well above the dense-stage level.
+  Rng rng(9);
+  std::vector<PhaseShiftWorkload::Stage> stages;
+  stages.push_back({60, gen::union_of_cliques(300, 59)});   // 5 cliques of 60
+  stages.push_back({120, CsrGraph::from_edges(600, {})});   // no conflicts
+  PhaseShiftWorkload w(std::move(stages));
+  ControllerParams p;
+  p.rho = 0.25;
+  HybridController c(p);
+  RunLoopConfig cfg;
+  cfg.max_steps = 180;
+  const auto trace = run_controlled(c, w, cfg, rng);
+
+  std::uint32_t m_dense = 0;
+  for (std::size_t i = 40; i < 60; ++i) {
+    m_dense = std::max(m_dense, trace.steps[i].m);
+  }
+  std::uint32_t m_sparse_end = trace.steps.back().m;
+  EXPECT_GT(m_sparse_end, 4 * std::max(1u, m_dense));
+}
+
+TEST(Profile, RefiningWorkloadShowsLonestarStyleRamp) {
+  RefiningParams rp;
+  rp.seed_nodes = 4;
+  rp.children = 3;
+  rp.total_budget = 20000;
+  Rng rng(10);
+  RefiningWorkload w(rp, rng);
+  const auto profile = parallelism_profile(w, 200, rng);
+  const auto peak = profile_peak(profile);
+  EXPECT_GT(peak, 100u);
+  // From ~nothing to half the peak within a few tens of steps.
+  EXPECT_LE(steps_to_fraction_of_peak(profile, 0.5), 60u);
+}
+
+TEST(Profile, ConsumingWorkloadProfileSumsToAllTasks) {
+  Rng rng(11);
+  ConsumingWorkload w(gen::gnm_random(200, 800, rng));
+  const auto profile = parallelism_profile(w, 10000, rng);
+  std::uint64_t total = 0;
+  for (const auto& p : profile) total += p.executed;
+  EXPECT_EQ(total, 200u);
+  EXPECT_TRUE(w.done());
+}
+
+TEST(WarmStart, TheoryBackedInitialAllocationIsSafeEverywhere) {
+  // Starting at the Cor. 3 warm start keeps the observed ratio under rho
+  // on the worst-case graph from the very first rounds.
+  const std::uint32_t n = 1020, d = 16;  // 60 cliques of 17
+  const double rho = 0.25;
+  const auto m0 = theory::warm_start_m(n, d, rho);
+  Rng rng(12);
+  StationaryWorkload w(gen::union_of_cliques(n, d));
+  const auto stats = estimate_r_at(w.graph(), m0, 2000, rng);
+  EXPECT_LE(stats.mean(), rho + 0.02);
+}
+
+}  // namespace
+}  // namespace optipar

@@ -1,0 +1,116 @@
+#include "support/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace optipar {
+namespace {
+
+TEST(KahanSum, EmptyIsZero) { EXPECT_EQ(KahanSum{}.value(), 0.0); }
+
+TEST(KahanSum, SimpleSum) {
+  KahanSum s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.value(), 5050.0);
+}
+
+TEST(KahanSum, CompensatesTinyAddends) {
+  // Naive summation of 1 + 1e-16 * 1e4 loses every addend; Kahan keeps them.
+  KahanSum s;
+  s.add(1.0);
+  for (int i = 0; i < 10000; ++i) s.add(1e-16);
+  EXPECT_NEAR(s.value(), 1.0 + 1e-12, 1e-15);
+}
+
+TEST(FallingRatioProduct, MatchesDirectEvaluation) {
+  // Π_{i=1..m} (n-d-i)/(n+1-i) with small numbers, vs a direct loop.
+  const double n = 30, d = 4;
+  for (std::uint64_t m = 0; m <= 20; ++m) {
+    double direct = 1.0;
+    for (std::uint64_t i = 1; i <= m; ++i) {
+      direct *= (n - d - static_cast<double>(i)) /
+                (n + 1 - static_cast<double>(i));
+    }
+    EXPECT_NEAR(falling_ratio_product(n - d, n + 1, m), direct, 1e-12)
+        << "m=" << m;
+  }
+}
+
+TEST(FallingRatioProduct, EmptyProductIsOne) {
+  EXPECT_DOUBLE_EQ(falling_ratio_product(10, 20, 0), 1.0);
+}
+
+TEST(FallingRatioProduct, ZeroWhenNumeratorDepletes) {
+  // num0 = 5: factor i=5 gives 0 → whole product 0 for m >= 5.
+  EXPECT_DOUBLE_EQ(falling_ratio_product(5, 100, 5), 0.0);
+  EXPECT_DOUBLE_EQ(falling_ratio_product(5, 100, 50), 0.0);
+  EXPECT_GT(falling_ratio_product(5, 100, 4), 0.0);
+}
+
+TEST(FallingRatioProduct, StableForLongProducts) {
+  // n = 1e6, m = 5e5: log-space evaluation must neither under- nor
+  // overflow and stays within [0, 1] for d >= 0.
+  const double v = falling_ratio_product(1e6 - 10, 1e6 + 1, 500000);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(FiniteDifference, FirstOrder) {
+  const std::vector<double> f = {1, 4, 9, 16, 25};
+  const auto d = finite_difference(f);
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d[0], 3);
+  EXPECT_DOUBLE_EQ(d[3], 9);
+}
+
+TEST(FiniteDifference, SecondOrderOfQuadraticIsConstant) {
+  std::vector<double> f;
+  for (int k = 0; k < 10; ++k) f.push_back(k * k);
+  const auto d2 = finite_difference(f, 2);
+  ASSERT_EQ(d2.size(), 8u);
+  for (const double v : d2) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(FiniteDifference, ZeroOrderIsIdentity) {
+  const std::vector<double> f = {3, 1, 4};
+  EXPECT_EQ(finite_difference(f, 0), f);
+}
+
+TEST(FiniteDifference, ShortInputGivesEmpty) {
+  EXPECT_TRUE(finite_difference({1.0}).empty());
+  EXPECT_TRUE(finite_difference({}).empty());
+}
+
+TEST(LogBinomial, SmallValues) {
+  EXPECT_NEAR(std::exp(log_binomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 10)), 1.0, 1e-9);
+}
+
+TEST(LogBinomial, OutOfRangeIsMinusInfinity) {
+  EXPECT_EQ(log_binomial(5, 6), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(log_binomial(5, -1), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MonotoneBisect, FindsThreshold) {
+  // f(m) = m^2; smallest m with f(m) >= 50 is 8.
+  const auto result = monotone_bisect(
+      0, 100, 50.0, [](std::int64_t m) { return static_cast<double>(m * m); });
+  EXPECT_EQ(result, 8);
+}
+
+TEST(MonotoneBisect, ReturnsHiWhenNeverReached) {
+  const auto result =
+      monotone_bisect(0, 10, 1e9, [](std::int64_t) { return 0.0; });
+  EXPECT_EQ(result, 10);
+}
+
+TEST(MonotoneBisect, ReturnsLoWhenImmediatelySatisfied) {
+  const auto result =
+      monotone_bisect(3, 10, -1.0, [](std::int64_t) { return 0.0; });
+  EXPECT_EQ(result, 3);
+}
+
+}  // namespace
+}  // namespace optipar

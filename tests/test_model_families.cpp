@@ -1,0 +1,108 @@
+// Cross-family coverage of the model estimators: the conflict-ratio curve
+// and its invariants on every generator family the repository ships,
+// including the closed forms from exact.hpp evaluated at scale.
+#include <gtest/gtest.h>
+
+#include "graph/algos.hpp"
+#include "graph/generators.hpp"
+#include "model/conflict_ratio.hpp"
+#include "model/exact.hpp"
+#include "model/theory.hpp"
+
+namespace optipar {
+namespace {
+
+struct FamilyCase {
+  std::string name;
+  CsrGraph graph;
+};
+
+std::vector<FamilyCase> families() {
+  Rng rng(31);
+  std::vector<FamilyCase> f;
+  f.push_back({"gnm", gen::gnm_random(150, 600, rng)});
+  f.push_back({"gnp", gen::gnp_random(150, 0.05, rng)});
+  f.push_back({"regular", gen::random_regular(150, 6, rng)});
+  f.push_back({"torus", gen::torus_2d(12, 12)});
+  f.push_back({"grid", gen::grid_2d(12, 12)});
+  f.push_back({"rmat", gen::rmat(150, 600, 0.5, 0.2, 0.2, rng)});
+  f.push_back({"ba", gen::barabasi_albert(150, 3, rng)});
+  f.push_back({"cliques", gen::union_of_cliques(150, 5)});
+  f.push_back({"path", gen::path(150)});
+  f.push_back({"star", gen::star(149)});
+  return f;
+}
+
+class FamilyCurveTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FamilyCurveTest, CurveInvariantsHold) {
+  auto cases = families();
+  auto& c = cases[GetParam()];
+  const NodeId n = c.graph.num_nodes();
+  Rng rng(100 + GetParam());
+  const auto curve = estimate_conflict_curve(c.graph, 1500, rng);
+
+  // r̄(1) = 0 exactly; r̄ in [0, 1); committed + aborted = m.
+  EXPECT_EQ(curve.r_bar(1), 0.0) << c.name;
+  for (const std::uint32_t m : {1u, n / 4, n / 2, n}) {
+    if (m == 0) continue;
+    EXPECT_GE(curve.r_bar(m), 0.0) << c.name;
+    EXPECT_LT(curve.r_bar(m), 1.0) << c.name;
+    EXPECT_NEAR(curve.expected_committed(m) + curve.k_bar(m), m, 1e-9)
+        << c.name;
+  }
+  // Prop. 1 within noise at a few spot pairs.
+  EXPECT_GE(curve.r_bar(n) + 0.02, curve.r_bar(n / 2)) << c.name;
+  EXPECT_GE(curve.r_bar(n / 2) + 0.02, curve.r_bar(n / 4)) << c.name;
+  // EM_m(G) >= b_m(G) (Thm. 2's first inequality) at m = n/2.
+  EXPECT_GE(curve.expected_committed(n / 2) + 0.5,
+            theory::b_m(c.graph, n / 2))
+      << c.name;
+  // Full-launch committed == E[greedy MIS] >= Turán.
+  EXPECT_GE(curve.expected_committed(n) + 0.5,
+            theory::turan_bound(n, c.graph.average_degree()))
+      << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyCurveTest,
+                         ::testing::Range<std::size_t>(0, 10));
+
+TEST(ClosedForms, StarAtScaleMatchesMonteCarlo) {
+  const std::uint32_t leaves = 400;
+  const auto g = gen::star(leaves);
+  Rng rng(7);
+  const auto curve = estimate_conflict_curve(g, 4000, rng);
+  for (const std::uint32_t m : {2u, 10u, 100u, 401u}) {
+    EXPECT_NEAR(curve.k_bar(m), exact::star_k_bar(leaves, m),
+                4 * curve.abort_stats[m].ci95() + 1e-6)
+        << "m=" << m;
+  }
+}
+
+TEST(ClosedForms, CompleteAtScaleIsExact) {
+  const auto g = gen::complete(60);
+  Rng rng(8);
+  const auto curve = estimate_conflict_curve(g, 50, rng);
+  for (std::uint32_t m = 1; m <= 60; ++m) {
+    EXPECT_DOUBLE_EQ(curve.k_bar(m), exact::complete_k_bar(60, m));
+  }
+}
+
+TEST(ClosedForms, StarRBarSaturatesAtTwoOverN) {
+  // r̄(m) = 2(m−1)/(n·m) -> 2/n: the star never exceeds ~2 conflicts.
+  const std::uint32_t leaves = 999;
+  const double limit = 2.0 / (leaves + 1);
+  EXPECT_NEAR(exact::star_k_bar(leaves, 1000) / 1000.0, limit, 1e-5);
+}
+
+TEST(FamilyMu, DenserFamiliesHaveSmallerMu) {
+  Rng rng(9);
+  const auto sparse = gen::random_with_average_degree(400, 4, rng);
+  const auto dense = gen::random_with_average_degree(400, 32, rng);
+  const auto mu_sparse = find_mu(sparse, 0.25, 800, rng);
+  const auto mu_dense = find_mu(dense, 0.25, 800, rng);
+  EXPECT_GT(mu_sparse, 3 * mu_dense);
+}
+
+}  // namespace
+}  // namespace optipar

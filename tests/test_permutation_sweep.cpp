@@ -1,0 +1,143 @@
+#include "model/permutation_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/algos.hpp"
+#include "graph/generators.hpp"
+
+namespace optipar {
+namespace {
+
+TEST(PermutationSweep, RejectsNonPermutations) {
+  const auto g = gen::path(3);
+  EXPECT_THROW((void)sweep_full_permutation(g, std::vector<NodeId>{0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)sweep_full_permutation(g, std::vector<NodeId>{0, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)sweep_full_permutation(g, std::vector<NodeId>{0, 1, 9}),
+               std::invalid_argument);
+}
+
+TEST(PermutationSweep, NoEdgesMeansNoAborts) {
+  const auto g = CsrGraph::from_edges(6, {});
+  Rng rng(1);
+  const auto perm = rng.permutation(6);
+  const auto sweep = sweep_full_permutation(g, perm);
+  for (std::uint32_t m = 0; m <= 6; ++m) {
+    EXPECT_EQ(sweep.aborts_at_prefix[m], 0u);
+  }
+}
+
+TEST(PermutationSweep, CompleteGraphAbortsAllButFirst) {
+  const auto g = gen::complete(5);
+  Rng rng(2);
+  const auto perm = rng.permutation(5);
+  const auto sweep = sweep_full_permutation(g, perm);
+  for (std::uint32_t m = 1; m <= 5; ++m) {
+    EXPECT_EQ(sweep.aborts_at_prefix[m], m - 1);
+    EXPECT_DOUBLE_EQ(sweep.conflict_ratio(m),
+                     static_cast<double>(m - 1) / m);
+  }
+}
+
+TEST(PermutationSweep, PathIdentityOrder) {
+  const auto g = gen::path(5);
+  std::vector<NodeId> perm = {0, 1, 2, 3, 4};
+  const auto sweep = sweep_full_permutation(g, perm);
+  // 0 commits, 1 aborts (nbr 0), 2 commits, 3 aborts, 4 commits.
+  EXPECT_EQ(sweep.committed,
+            (std::vector<std::uint8_t>{1, 0, 1, 0, 1}));
+  EXPECT_EQ(sweep.aborts_at_prefix,
+            (std::vector<std::uint32_t>{0, 0, 1, 1, 2, 2}));
+}
+
+TEST(PermutationSweep, CommittedSetEqualsGreedyMis) {
+  Rng rng(3);
+  const auto g = gen::gnm_random(60, 150, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto perm = rng.permutation(60);
+    const auto sweep = sweep_full_permutation(g, perm);
+    const auto mis = greedy_mis(g, perm);
+    std::vector<std::uint8_t> expected(60, 0);
+    for (const NodeId v : mis) expected[v] = 1;
+    EXPECT_EQ(sweep.committed, expected);
+    // The committed set of a full permutation is a maximal IS.
+    EXPECT_TRUE(is_maximal_independent_set(g, mis));
+    // Total aborts == n − |MIS|.
+    EXPECT_EQ(sweep.aborts_at_prefix[60], 60 - mis.size());
+  }
+}
+
+TEST(PermutationSweep, AbortPrefixIsNonDecreasingAndStepwise) {
+  Rng rng(4);
+  const auto g = gen::gnm_random(100, 400, rng);
+  const auto perm = rng.permutation(100);
+  const auto sweep = sweep_full_permutation(g, perm);
+  for (std::uint32_t m = 1; m <= 100; ++m) {
+    const auto delta =
+        sweep.aborts_at_prefix[m] - sweep.aborts_at_prefix[m - 1];
+    EXPECT_LE(delta, 1u);
+  }
+}
+
+TEST(PermutationSweep, PrefixConsistencyWithRoundOutcome) {
+  // The key property the single-pass sweep exploits: the length-m prefix
+  // of the permutation, run as a standalone round, aborts exactly
+  // aborts_at_prefix[m] tasks.
+  Rng rng(5);
+  const auto g = gen::gnm_random(50, 200, rng);
+  const auto perm = rng.permutation(50);
+  const auto sweep = sweep_full_permutation(g, perm);
+  for (const std::uint32_t m : {1u, 2u, 7u, 25u, 50u}) {
+    const std::span<const NodeId> prefix(perm.data(), m);
+    const auto outcome = round_outcome(g, prefix);
+    std::uint32_t aborted = 0;
+    for (const auto c : outcome) aborted += (c == 0);
+    EXPECT_EQ(aborted, sweep.aborts_at_prefix[m]) << "m=" << m;
+  }
+}
+
+TEST(RoundOutcome, AbortedTaskDoesNotBlockLaterTasks) {
+  // Path 0-1-2, order {0, 1, 2}: 1 aborts on 0; 2 is adjacent only to the
+  // aborted 1, so 2 commits — the paper's §2.1 rule.
+  const auto g = gen::path(3);
+  const auto outcome = round_outcome(g, std::vector<NodeId>{0, 1, 2});
+  EXPECT_EQ(outcome, (std::vector<std::uint8_t>{1, 0, 1}));
+}
+
+TEST(RoundOutcome, EmptyActiveSet) {
+  const auto g = gen::path(3);
+  EXPECT_TRUE(round_outcome(g, std::vector<NodeId>{}).empty());
+}
+
+TEST(RoundOutcome, CommittedIsMaximalInInducedSubgraph) {
+  Rng rng(6);
+  const auto g = gen::gnm_random(80, 320, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto active = rng.sample_without_replacement(80, 30);
+    const auto outcome = round_outcome(g, active);
+    // Every aborted task must have a committed neighbor among the active
+    // set (maximality), and no two committed tasks may be adjacent.
+    std::vector<NodeId> committed;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (outcome[i]) committed.push_back(active[i]);
+    }
+    EXPECT_TRUE(is_independent_set(g, committed));
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (outcome[i]) continue;
+      bool blocked = false;
+      for (const NodeId c : committed) {
+        if (g.has_edge(active[i], c)) {
+          blocked = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(blocked) << "aborted task with no committed neighbor";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optipar

@@ -1,0 +1,127 @@
+#include "control/plant_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "control/baselines.hpp"
+#include "control/extra.hpp"
+#include "control/hybrid.hpp"
+#include "control/recurrence.hpp"
+#include "graph/generators.hpp"
+
+namespace optipar {
+namespace {
+
+ControllerParams base_params() {
+  ControllerParams p;
+  p.rho = 0.25;
+  p.m_max = 4096;
+  p.small_m_regime = false;
+  return p;
+}
+
+TEST(Plants, LinearPlantShape) {
+  const auto plant = linear_plant(0.001);
+  EXPECT_DOUBLE_EQ(plant(1), 0.0);
+  EXPECT_NEAR(plant(251), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(plant(2000), 1.0);  // clamped
+}
+
+TEST(Plants, WorstCasePlantMatchesTheory) {
+  const auto plant = worst_case_plant(1700, 16);
+  EXPECT_NEAR(plant(100), theory::conflict_ratio_bound_approx(1700, 16, 100),
+              1e-12);
+}
+
+TEST(Plants, PlantFromCurveInterpolatesAndClamps) {
+  Rng rng(1);
+  const auto g = gen::complete(10);
+  const auto curve = estimate_conflict_curve(g, 5, rng);
+  const auto plant = plant_from_curve(curve);
+  EXPECT_DOUBLE_EQ(plant(4), 0.75);   // exact on K_n
+  EXPECT_DOUBLE_EQ(plant(99), 0.9);   // clamps to m = 10
+}
+
+TEST(PlantMu, FindsOperatingPoint) {
+  const auto plant = linear_plant(0.001);  // r(m) = (m-1)/1000
+  EXPECT_EQ(plant_mu(plant, 0.25, 4096), 251u);
+}
+
+TEST(PlantTrace, SettlingStepAndPeak) {
+  PlantTrace t;
+  t.m = {2, 50, 400, 260, 250, 251, 249};
+  EXPECT_EQ(t.peak_m(), 400u);
+  EXPECT_EQ(t.settling_step(250, 0.10), 3u);
+  // A trace that leaves the band at the end never settles.
+  t.m.push_back(1000);
+  EXPECT_EQ(t.settling_step(250, 0.10), t.m.size());
+}
+
+TEST(PlantSim, HybridSettlesFastOnLinearPlant) {
+  // Noise-free version of Fig. 3: the hybrid should need only a handful
+  // of control updates (windows of T = 4 rounds).
+  auto p = base_params();
+  HybridController c(p);
+  const auto plant = linear_plant(0.001);
+  const auto trace = simulate_on_plant(c, plant, 200);
+  const auto mu = plant_mu(plant, p.rho, p.m_max);
+  EXPECT_LT(trace.settling_step(mu, 0.15), 30u);
+}
+
+TEST(PlantSim, HybridBeatsRecurrenceADeterministically) {
+  const auto plant = linear_plant(0.0005);
+  auto p = base_params();
+  HybridController hybrid(p);
+  RecurrenceAController a_only(p);
+  const auto mu = plant_mu(plant, p.rho, p.m_max);
+  const auto t_h = simulate_on_plant(hybrid, plant, 600);
+  const auto t_a = simulate_on_plant(a_only, plant, 600);
+  EXPECT_LT(t_h.settling_step(mu, 0.15) * 4, t_a.settling_step(mu, 0.15));
+}
+
+TEST(PlantSim, TinyRMinOvershootsOnConvexPlant) {
+  // On the worst-case (concave-up only near 0... effectively sublinear)
+  // plant, Recurrence B with a tiny r_min overshoots far past mu on its
+  // first jump; the paper's 3% clamp bounds the jump.
+  const auto plant = worst_case_plant(2006, 16);
+  const auto mu = plant_mu(plant, 0.25, 4096);
+  auto tiny = base_params();
+  tiny.r_min = 1e-6;
+  HybridController c_tiny(tiny);
+  auto paper = base_params();
+  HybridController c_paper(paper);
+  const auto t_tiny = simulate_on_plant(c_tiny, plant, 100);
+  const auto t_paper = simulate_on_plant(c_paper, plant, 100);
+  EXPECT_GT(t_tiny.peak_m(), 4 * mu);          // unclamped: wild first jump
+  EXPECT_LT(t_paper.peak_m(), t_tiny.peak_m());  // clamp tames it
+}
+
+TEST(PlantSim, SteadyStateSitsInDeadBand) {
+  const auto plant = linear_plant(0.001);
+  auto p = base_params();
+  HybridController c(p);
+  const auto trace = simulate_on_plant(c, plant, 400);
+  // After settling, the observed ratio stays within the dead band of rho:
+  // |1 - r/rho| <= alpha1 (+ quantization from integer m).
+  for (std::size_t i = 200; i < trace.r.size(); ++i) {
+    EXPECT_NEAR(trace.r[i], p.rho, p.rho * (p.alpha1 + 0.05)) << "i=" << i;
+  }
+}
+
+TEST(PlantSim, FixedControllerTracksNothing) {
+  FixedController c(10);
+  const auto plant = linear_plant(0.01);
+  const auto trace = simulate_on_plant(c, plant, 50);
+  for (const auto m : trace.m) EXPECT_EQ(m, 10u);
+}
+
+TEST(PlantSim, PidSettlesOnWorstCasePlant) {
+  const auto plant = worst_case_plant(2006, 16);
+  auto p = base_params();
+  PidController c(p);
+  const auto mu = plant_mu(plant, p.rho, p.m_max);
+  const auto trace = simulate_on_plant(c, plant, 600);
+  EXPECT_LT(trace.settling_step(mu, 0.25), 400u);
+}
+
+}  // namespace
+}  // namespace optipar

@@ -1,0 +1,173 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace optipar {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(123);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIsInHalfOpenUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsNearHalf) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(23);
+  for (const std::uint32_t n : {0u, 1u, 2u, 10u, 257u}) {
+    auto p = rng.permutation(n);
+    ASSERT_EQ(p.size(), n);
+    std::sort(p.begin(), p.end());
+    for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(p[i], i);
+  }
+}
+
+TEST(Rng, PermutationIsNotIdentityForLargeN) {
+  Rng rng(29);
+  const auto p = rng.permutation(100);
+  std::vector<std::uint32_t> id(100);
+  std::iota(id.begin(), id.end(), 0u);
+  EXPECT_NE(p, id);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(31);
+  std::vector<int> xs = {1, 1, 2, 3, 5, 8, 13};
+  auto sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  rng.shuffle(std::span<int>(xs));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_EQ(xs, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(37);
+  Rng child = a.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == child());
+  EXPECT_LT(same, 3);
+}
+
+class SampleWithoutReplacementTest
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(SampleWithoutReplacementTest, DistinctInRangeRightCount) {
+  const auto [n, k] = GetParam();
+  Rng rng(41 + n * 1000 + k);
+  const auto sample = rng.sample_without_replacement(n, k);
+  EXPECT_EQ(sample.size(), std::min(n, k));
+  std::set<std::uint32_t> seen;
+  for (const auto v : sample) {
+    EXPECT_LT(v, n);
+    EXPECT_TRUE(seen.insert(v).second) << "duplicate " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SampleWithoutReplacementTest,
+    ::testing::Values(std::pair{10u, 0u}, std::pair{10u, 1u},
+                      std::pair{10u, 5u}, std::pair{10u, 10u},
+                      std::pair{10u, 15u},  // k > n clamps
+                      std::pair{1000u, 3u},  // sparse rejection branch
+                      std::pair{1000u, 900u},  // dense Fisher–Yates branch
+                      std::pair{1u, 1u}));
+
+TEST(Rng, SampleWithoutReplacementIsUniformish) {
+  // Each of 10 values should appear in a 5-of-10 sample about half the time.
+  Rng rng(43);
+  std::vector<int> hits(10, 0);
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (const auto v : rng.sample_without_replacement(10, 5)) ++hits[v];
+  }
+  for (const int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / kTrials, 0.5, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace optipar

@@ -1,0 +1,178 @@
+#include "sim/run_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "control/baselines.hpp"
+#include "control/hybrid.hpp"
+#include "graph/generators.hpp"
+#include "model/conflict_ratio.hpp"
+
+namespace optipar {
+namespace {
+
+TEST(TraceMetrics, TotalsAndWaste) {
+  Trace t;
+  StepRecord a;
+  a.launched = 10;
+  a.committed = 7;
+  a.aborted = 3;
+  StepRecord b;
+  b.launched = 20;
+  b.committed = 15;
+  b.aborted = 5;
+  t.steps = {a, b};
+  EXPECT_EQ(t.total_committed(), 22u);
+  EXPECT_EQ(t.total_aborted(), 8u);
+  EXPECT_NEAR(t.wasted_fraction(), 8.0 / 30.0, 1e-12);
+  EXPECT_NEAR(t.mean_conflict_ratio(), (0.3 + 0.25) / 2, 1e-12);
+  EXPECT_NEAR(t.mean_conflict_ratio(1), 0.25, 1e-12);
+}
+
+TEST(TraceMetrics, EmptyTraceIsSafe) {
+  Trace t;
+  EXPECT_EQ(t.total_committed(), 0u);
+  EXPECT_EQ(t.wasted_fraction(), 0.0);
+  EXPECT_EQ(t.mean_conflict_ratio(), 0.0);
+  EXPECT_EQ(t.convergence_step(10, 0.2), 0u);
+  EXPECT_EQ(t.rms_relative_error(10, 0), 0.0);
+}
+
+TEST(TraceMetrics, ConvergenceStepFindsFirstStableWindow) {
+  Trace t;
+  const std::uint32_t ms[] = {2, 5, 40, 95, 100, 103, 99, 101, 97, 100};
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    StepRecord r;
+    r.step = i;
+    r.m = ms[i];
+    t.steps.push_back(r);
+  }
+  // mu = 100, band 10%: values within [90, 110] start at index 3 and hold.
+  EXPECT_EQ(t.convergence_step(100.0, 0.10, 5), 3u);
+  // Band 1%: only indices 4, 7, 9 qualify; no 3-run -> never converges.
+  EXPECT_EQ(t.convergence_step(100.0, 0.01, 3), t.steps.size());
+}
+
+TEST(TraceMetrics, RmsRelativeError) {
+  Trace t;
+  for (const std::uint32_t m : {90u, 110u}) {
+    StepRecord r;
+    r.m = m;
+    t.steps.push_back(r);
+  }
+  EXPECT_NEAR(t.rms_relative_error(100.0, 0), 0.1, 1e-12);
+}
+
+TEST(RunControlled, StopsAtMaxSteps) {
+  Rng rng(1);
+  StationaryWorkload w(gen::gnm_random(50, 150, rng));
+  FixedController c(8);
+  RunLoopConfig cfg;
+  cfg.max_steps = 25;
+  const auto trace = run_controlled(c, w, cfg, rng);
+  EXPECT_EQ(trace.steps.size(), 25u);
+  for (const auto& s : trace.steps) EXPECT_EQ(s.m, 8u);
+}
+
+TEST(RunControlled, StopsWhenWorkloadDrains) {
+  Rng rng(2);
+  ConsumingWorkload w(gen::gnm_random(30, 60, rng));
+  FixedController c(10);
+  RunLoopConfig cfg;
+  cfg.max_steps = 10000;
+  const auto trace = run_controlled(c, w, cfg, rng);
+  EXPECT_TRUE(w.done());
+  EXPECT_EQ(trace.total_committed(), 30u);  // every task commits once
+  EXPECT_EQ(trace.steps.back().pending_after, 0u);
+}
+
+TEST(RunControlled, LaunchIsCappedByPendingWork) {
+  Rng rng(3);
+  ConsumingWorkload w(CsrGraph::from_edges(5, {}));
+  FixedController c(100);
+  RunLoopConfig cfg;
+  const auto trace = run_controlled(c, w, cfg, rng);
+  ASSERT_EQ(trace.steps.size(), 1u);  // all 5 commit in one round
+  EXPECT_EQ(trace.steps[0].launched, 5u);
+  EXPECT_EQ(trace.steps[0].committed, 5u);
+}
+
+TEST(RunControlled, HybridTracksTargetOnStationaryGraph) {
+  // The integration property behind Fig. 3: on a fixed random CC graph the
+  // hybrid controller's steady-state conflict ratio sits near ρ.
+  Rng rng(4);
+  const auto g = gen::random_with_average_degree(2000, 16, rng);
+  StationaryWorkload w(g);
+  ControllerParams p;
+  p.rho = 0.25;
+  HybridController c(p);
+  RunLoopConfig cfg;
+  cfg.max_steps = 300;
+  const auto trace = run_controlled(c, w, cfg, rng);
+  // Average observed ratio over the second half of the run ≈ ρ.
+  EXPECT_NEAR(trace.mean_conflict_ratio(150), 0.25, 0.06);
+}
+
+TEST(RunControlled, HybridConvergesNearMu) {
+  Rng rng(5);
+  const auto g = gen::random_with_average_degree(1000, 12, rng);
+  const auto mu = find_mu(g, 0.25, 800, rng);
+  StationaryWorkload w(g);
+  ControllerParams p;
+  p.rho = 0.25;
+  HybridController c(p);
+  RunLoopConfig cfg;
+  cfg.max_steps = 400;
+  const auto trace = run_controlled(c, w, cfg, rng);
+  const auto conv = trace.convergence_step(mu, 0.30, 5);
+  EXPECT_LT(conv, 100u) << "mu=" << mu;
+}
+
+TEST(RunControlled, HybridShrinksOnTheDrainTail) {
+  // On a consuming workload the pending cap forces launched <= pending, so
+  // the final rounds must launch small batches even if m_t stayed high.
+  Rng rng(7);
+  ConsumingWorkload w(gen::gnm_random(400, 1200, rng));
+  ControllerParams p;
+  p.rho = 0.25;
+  HybridController c(p);
+  RunLoopConfig cfg;
+  cfg.max_steps = 100000;
+  const auto trace = run_controlled(c, w, cfg, rng);
+  ASSERT_TRUE(w.done());
+  EXPECT_EQ(trace.total_committed(), 400u);
+  EXPECT_LE(trace.steps.back().launched, 8u);  // the tail is tiny
+}
+
+TEST(RunControlled, BisectionRecoversAfterWorkloadDrift) {
+  // Dense stage then a sparse stage: the bisection controller's converged
+  // bracket becomes wrong; its drift check must restart the search and
+  // re-approach the new (much larger) operating point.
+  Rng rng(8);
+  std::vector<PhaseShiftWorkload::Stage> stages;
+  stages.push_back({120, gen::union_of_cliques(600, 59)});   // mu small
+  stages.push_back({200, CsrGraph::from_edges(600, {})});    // mu = 600
+  PhaseShiftWorkload w(std::move(stages));
+  ControllerParams p;
+  p.rho = 0.25;
+  p.m_max = 1024;
+  BisectionController c(p);
+  RunLoopConfig cfg;
+  cfg.max_steps = 320;
+  const auto trace = run_controlled(c, w, cfg, rng);
+  std::uint32_t m_dense_end = trace.steps[119].m;
+  std::uint32_t m_sparse_end = trace.steps.back().m;
+  EXPECT_GT(m_sparse_end, 4 * std::max(1u, m_dense_end));
+}
+
+TEST(RunControlled, RecordsGraphDensity) {
+  Rng rng(6);
+  StationaryWorkload w(gen::union_of_cliques(60, 5));
+  FixedController c(4);
+  RunLoopConfig cfg;
+  cfg.max_steps = 3;
+  const auto trace = run_controlled(c, w, cfg, rng);
+  for (const auto& s : trace.steps) EXPECT_DOUBLE_EQ(s.avg_degree, 5.0);
+}
+
+}  // namespace
+}  // namespace optipar

@@ -1,0 +1,106 @@
+#include "model/seating.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/algos.hpp"
+#include "graph/generators.hpp"
+
+namespace optipar {
+namespace {
+
+/// Brute force: exact E[greedy MIS] by enumerating all permutations.
+double brute_force_expected_mis(const CsrGraph& g) {
+  std::vector<NodeId> perm(g.num_nodes());
+  std::iota(perm.begin(), perm.end(), 0u);
+  double total = 0.0;
+  std::uint64_t count = 0;
+  do {
+    total += static_cast<double>(greedy_mis(g, perm).size());
+    ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return total / static_cast<double>(count);
+}
+
+TEST(Seating, PathBaseCases) {
+  EXPECT_DOUBLE_EQ(seating::expected_path(0), 0.0);
+  EXPECT_DOUBLE_EQ(seating::expected_path(1), 1.0);
+  EXPECT_DOUBLE_EQ(seating::expected_path(2), 1.0);
+  EXPECT_NEAR(seating::expected_path(3), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Seating, PathDpMatchesBruteForce) {
+  for (std::uint32_t n = 2; n <= 8; ++n) {
+    EXPECT_NEAR(seating::expected_path(n),
+                brute_force_expected_mis(gen::path(n)), 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(Seating, CycleMatchesBruteForce) {
+  for (std::uint32_t n = 3; n <= 8; ++n) {
+    EXPECT_NEAR(seating::expected_cycle(n),
+                brute_force_expected_mis(gen::cycle(n)), 1e-9)
+        << "n=" << n;
+  }
+  EXPECT_THROW((void)seating::expected_cycle(2), std::invalid_argument);
+}
+
+TEST(Seating, TableIsConsistentWithScalar) {
+  const auto table = seating::expected_path_table(50);
+  ASSERT_EQ(table.size(), 51u);
+  for (const std::uint32_t n : {0u, 1u, 10u, 50u}) {
+    EXPECT_DOUBLE_EQ(table[n], seating::expected_path(n));
+  }
+}
+
+TEST(Seating, DensityConvergesToClassicalLimit) {
+  // E(n)/n → (1 − e^{−2})/2 ≈ 0.432332.
+  const double limit = seating::path_density_limit();
+  EXPECT_NEAR(limit, 0.432332, 1e-6);
+  EXPECT_NEAR(seating::expected_path(2000) / 2000.0, limit, 1e-3);
+  EXPECT_NEAR(seating::expected_path(20000) / 20000.0, limit, 1e-4);
+}
+
+TEST(Seating, PathExpectationRespectsTuran) {
+  // Path average degree -> 2, so Turán gives n/3; jamming 0.4323n beats it.
+  for (const std::uint32_t n : {10u, 100u, 1000u}) {
+    EXPECT_GE(seating::expected_path(n),
+              static_cast<double>(n) / 3.0);
+  }
+}
+
+TEST(Seating, MonteCarloMatchesDpOnPath) {
+  Rng rng(1);
+  const auto g = gen::path(60);
+  const auto mc = seating::estimate(g, 4000, rng);
+  EXPECT_NEAR(mc.mean(), seating::expected_path(60), 4 * mc.ci95());
+}
+
+TEST(Seating, MonteCarloMatchesDpOnCycle) {
+  Rng rng(2);
+  const auto g = gen::cycle(60);
+  const auto mc = seating::estimate(g, 4000, rng);
+  EXPECT_NEAR(mc.mean(), seating::expected_cycle(60), 4 * mc.ci95());
+}
+
+TEST(Seating, GridDensityIsInKnownRange) {
+  // The unfriendly theater seating constant for the 2-D grid is ≈ 0.3641
+  // (Georgiou, Kranakis & Krizanc [11]).
+  Rng rng(3);
+  const auto g = gen::grid_2d(40, 40);
+  const auto mc = seating::estimate(g, 400, rng);
+  EXPECT_NEAR(mc.mean() / 1600.0, 0.3641, 0.01);
+}
+
+TEST(Seating, CliqueExpectationIsOne) {
+  Rng rng(4);
+  const auto mc = seating::estimate(gen::complete(10), 50, rng);
+  EXPECT_DOUBLE_EQ(mc.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(mc.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace optipar

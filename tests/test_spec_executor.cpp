@@ -1,0 +1,261 @@
+#include "rt/spec_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "rt/adaptive_executor.hpp"
+#include "control/baselines.hpp"
+#include "control/hybrid.hpp"
+
+namespace optipar {
+namespace {
+
+TEST(UndoLog, RunsInversesInReverseOrder) {
+  UndoLog log;
+  std::vector<int> order;
+  log.record([&] { order.push_back(1); });
+  log.record([&] { order.push_back(2); });
+  EXPECT_EQ(log.size(), 2u);
+  log.rollback();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(UndoLog, DiscardSkipsInverses) {
+  UndoLog log;
+  int hits = 0;
+  log.record([&] { ++hits; });
+  log.discard();
+  log.rollback();
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(SpecExecutor, IndependentTasksAllCommitInOneRound) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> cell(16);
+  SpeculativeExecutor ex(
+      pool, 16,
+      [&](TaskId t, IterationContext& ctx) {
+        ctx.acquire(static_cast<std::uint32_t>(t));
+        cell[t].fetch_add(1);
+      },
+      /*seed=*/1);
+  std::vector<TaskId> tasks;
+  for (TaskId t = 0; t < 16; ++t) tasks.push_back(t);
+  ex.push_initial(tasks);
+  const auto stats = ex.run_round(16);
+  EXPECT_EQ(stats.launched, 16u);
+  EXPECT_EQ(stats.committed, 16u);
+  EXPECT_EQ(stats.aborted, 0u);
+  EXPECT_TRUE(ex.done());
+  for (auto& c : cell) EXPECT_EQ(c.load(), 1);
+  EXPECT_TRUE(ex.locks().all_free());
+}
+
+TEST(SpecExecutor, LaunchIsCappedByWorklist) {
+  ThreadPool pool(1);
+  SpeculativeExecutor ex(
+      pool, 4, [](TaskId, IterationContext& ctx) { ctx.acquire(0); }, 2);
+  ex.push_initial(std::vector<TaskId>{0});
+  const auto stats = ex.run_round(50);
+  EXPECT_EQ(stats.launched, 1u);
+  EXPECT_EQ(stats.committed, 1u);
+}
+
+TEST(SpecExecutor, EmptyRoundIsHarmless) {
+  ThreadPool pool(1);
+  SpeculativeExecutor ex(pool, 1, [](TaskId, IterationContext&) {}, 3);
+  const auto stats = ex.run_round(8);
+  EXPECT_EQ(stats.launched, 0u);
+  EXPECT_TRUE(ex.done());
+}
+
+TEST(SpecExecutor, ConflictingTasksRetryUntilAllCommit) {
+  // All tasks hammer item 0: exactly one commits per round, the rest are
+  // rolled back and requeued — but everything eventually commits.
+  ThreadPool pool(4);
+  std::atomic<int> commits{0};
+  SpeculativeExecutor ex(
+      pool, 1,
+      [&](TaskId, IterationContext& ctx) {
+        ctx.acquire(0);
+        commits.fetch_add(1);
+      },
+      4);
+  std::vector<TaskId> tasks{1, 2, 3, 4, 5, 6, 7, 8};
+  ex.push_initial(tasks);
+  int rounds = 0;
+  while (!ex.done() && rounds < 100) {
+    (void)ex.run_round(8);
+    ++rounds;
+  }
+  EXPECT_TRUE(ex.done());
+  EXPECT_EQ(commits.load(), 8);
+  EXPECT_EQ(ex.totals().committed, 8u);
+  EXPECT_EQ(ex.totals().launched,
+            ex.totals().committed + ex.totals().aborted);
+}
+
+TEST(SpecExecutor, AbortRollsBackSpeculativeMutations) {
+  // Tasks mutate first (atomic increment + undo), then acquire a shared
+  // item that every task collides on. Within one round only the first
+  // committer can hold item 0, so every other task mutates and then MUST
+  // roll back; the final counter equals the task count exactly.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  SpeculativeExecutor ex(
+      pool, 9,
+      [&](TaskId t, IterationContext& ctx) {
+        ctx.acquire(1 + static_cast<std::uint32_t>(t));  // private item
+        counter.fetch_add(1);
+        ctx.on_abort([&] { counter.fetch_sub(1); });
+        ctx.acquire(0);  // contended item, acquired AFTER the mutation
+      },
+      5);
+  std::vector<TaskId> tasks{0, 1, 2, 3, 4, 5, 6, 7};
+  ex.push_initial(tasks);
+  while (!ex.done()) (void)ex.run_round(8);
+  EXPECT_EQ(counter.load(), 8);
+  EXPECT_GT(ex.totals().aborted, 0u);  // rollback really happened
+  EXPECT_EQ(ex.totals().committed, 8u);
+}
+
+TEST(SpecExecutor, VoluntaryAbortViaException) {
+  ThreadPool pool(2);
+  std::atomic<int> attempts{0};
+  SpeculativeExecutor ex(
+      pool, 2,
+      [&](TaskId, IterationContext&) {
+        if (attempts.fetch_add(1) == 0) throw AbortIteration{};
+      },
+      6);
+  ex.push_initial(std::vector<TaskId>{7});
+  const auto first = ex.run_round(1);
+  EXPECT_EQ(first.aborted, 1u);
+  EXPECT_FALSE(ex.done());  // requeued
+  const auto second = ex.run_round(1);
+  EXPECT_EQ(second.committed, 1u);
+  EXPECT_TRUE(ex.done());
+}
+
+TEST(SpecExecutor, CommittedPushesJoinWorklistAbortedOnesDoNot) {
+  ThreadPool pool(2);
+  SpeculativeExecutor ex(
+      pool, 2,
+      [&](TaskId t, IterationContext& ctx) {
+        ctx.acquire(static_cast<std::uint32_t>(t % 2));
+        if (t == 0) {
+          ctx.push(100);  // will commit -> visible
+        }
+      },
+      7);
+  ex.push_initial(std::vector<TaskId>{0});
+  (void)ex.run_round(1);
+  EXPECT_EQ(ex.pending(), 1u);  // the pushed task 100
+}
+
+TEST(SpecExecutor, TryAcquireReportsConflictWithoutAborting) {
+  ThreadPool pool(1);
+  std::atomic<int> denied{0};
+  LockManager* locks = nullptr;
+  SpeculativeExecutor ex(
+      pool, 2,
+      [&](TaskId, IterationContext& ctx) {
+        // Simulate a pre-held foreign lock on item 1.
+        if (!ctx.try_acquire(1)) denied.fetch_add(1);
+      },
+      8);
+  locks = &ex.locks();
+  ASSERT_TRUE(locks->try_acquire(1, 999999));  // foreign owner
+  ex.push_initial(std::vector<TaskId>{0});
+  const auto stats = ex.run_round(1);
+  EXPECT_EQ(stats.committed, 1u);  // operator chose to continue
+  EXPECT_EQ(denied.load(), 1);
+  locks->release(1, 999999);
+}
+
+TEST(SpecExecutor, GrowItemsExtendsLockTable) {
+  ThreadPool pool(1);
+  SpeculativeExecutor ex(
+      pool, 1,
+      [&](TaskId t, IterationContext& ctx) {
+        ctx.acquire(static_cast<std::uint32_t>(t));
+      },
+      9);
+  ex.grow_items(100);
+  ex.push_initial(std::vector<TaskId>{99});
+  const auto stats = ex.run_round(1);
+  EXPECT_EQ(stats.committed, 1u);
+}
+
+TEST(SpecExecutor, TotalsAccumulateAcrossRounds) {
+  ThreadPool pool(2);
+  SpeculativeExecutor ex(
+      pool, 4,
+      [](TaskId t, IterationContext& ctx) {
+        ctx.acquire(static_cast<std::uint32_t>(t % 4));
+      },
+      10);
+  std::vector<TaskId> tasks;
+  for (TaskId t = 0; t < 12; ++t) tasks.push_back(t);
+  ex.push_initial(tasks);
+  while (!ex.done()) (void)ex.run_round(6);
+  EXPECT_EQ(ex.totals().committed, 12u);
+  EXPECT_GE(ex.totals().rounds, 2u);
+  EXPECT_EQ(ex.totals().wasted_fraction(),
+            static_cast<double>(ex.totals().aborted) /
+                static_cast<double>(ex.totals().launched));
+}
+
+TEST(RunAdaptive, DrainsWorklistAndRecordsTrace) {
+  ThreadPool pool(2);
+  SpeculativeExecutor ex(
+      pool, 8,
+      [](TaskId t, IterationContext& ctx) {
+        ctx.acquire(static_cast<std::uint32_t>(t % 8));
+      },
+      11);
+  std::vector<TaskId> tasks;
+  for (TaskId t = 0; t < 64; ++t) tasks.push_back(t);
+  ex.push_initial(tasks);
+  ControllerParams p;
+  HybridController c(p);
+  const auto trace = run_adaptive(ex, c);
+  EXPECT_TRUE(ex.done());
+  EXPECT_EQ(trace.total_committed(), 64u);
+  EXPECT_FALSE(trace.steps.empty());
+  EXPECT_EQ(trace.steps.front().m, p.m0);
+}
+
+TEST(RunAdaptive, BeforeRoundHookRuns) {
+  ThreadPool pool(1);
+  SpeculativeExecutor ex(
+      pool, 1, [](TaskId, IterationContext& ctx) { ctx.acquire(0); }, 12);
+  ex.push_initial(std::vector<TaskId>{0});
+  int hook_calls = 0;
+  AdaptiveRunConfig cfg;
+  cfg.before_round = [&](SpeculativeExecutor&) { ++hook_calls; };
+  FixedController c(1);
+  (void)run_adaptive(ex, c, cfg);
+  EXPECT_EQ(hook_calls, 1);
+}
+
+TEST(RunAdaptive, MaxRoundsIsRespected) {
+  ThreadPool pool(1);
+  // Operator always aborts, so the worklist never drains.
+  SpeculativeExecutor ex(
+      pool, 1, [](TaskId, IterationContext&) -> void { throw AbortIteration{}; },
+      13);
+  ex.push_initial(std::vector<TaskId>{0});
+  AdaptiveRunConfig cfg;
+  cfg.max_rounds = 7;
+  FixedController c(1);
+  const auto trace = run_adaptive(ex, c, cfg);
+  EXPECT_EQ(trace.steps.size(), 7u);
+  EXPECT_FALSE(ex.done());
+}
+
+}  // namespace
+}  // namespace optipar

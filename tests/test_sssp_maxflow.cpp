@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include "apps/maxflow/maxflow.hpp"
+#include "apps/sssp/sssp.hpp"
+#include "control/baselines.hpp"
+#include "control/hybrid.hpp"
+#include "graph/generators.hpp"
+
+namespace optipar {
+namespace {
+
+// ------------------------------------------------------- weighted graph
+
+TEST(WeightedGraph, BuildAndAccess) {
+  std::vector<WeightedEdgeTriple> edges = {{0, 1, 2.5}, {1, 2, 1.0}};
+  const auto g = WeightedGraph::from_edges(3, edges);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.arcs(0).size(), 1u);
+  EXPECT_EQ(g.arcs(0)[0].to, 1u);
+  EXPECT_DOUBLE_EQ(g.arcs(0)[0].weight, 2.5);
+}
+
+TEST(WeightedGraph, DuplicatesKeepLightest) {
+  std::vector<WeightedEdgeTriple> edges = {{0, 1, 5.0}, {1, 0, 2.0}};
+  const auto g = WeightedGraph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.arcs(0)[0].weight, 2.0);
+}
+
+TEST(WeightedGraph, RejectsBadInput) {
+  EXPECT_THROW((void)WeightedGraph::from_edges(2, {{0, 0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)WeightedGraph::from_edges(2, {{0, 5, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)WeightedGraph::from_edges(
+                   2, {{0, 1, std::numeric_limits<double>::infinity()}}),
+               std::invalid_argument);
+}
+
+TEST(WeightedGraph, StructureMatches) {
+  std::vector<WeightedEdgeTriple> edges = {{0, 1, 1.0}, {1, 2, 2.0}};
+  const auto g = WeightedGraph::from_edges(4, edges);
+  const auto s = g.structure();
+  EXPECT_EQ(s.num_nodes(), 4u);
+  EXPECT_TRUE(s.has_edge(0, 1));
+  EXPECT_TRUE(s.has_edge(1, 2));
+  EXPECT_FALSE(s.has_edge(0, 2));
+}
+
+// ----------------------------------------------------------------- sssp
+
+WeightedGraph random_weighted(NodeId n, double degree, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto skeleton = gen::random_with_average_degree(n, degree, rng);
+  std::vector<WeightedEdgeTriple> edges;
+  for (const auto& [u, v] : skeleton.edges()) {
+    edges.push_back({u, v, rng.uniform() * 10.0 + 0.01});
+  }
+  return WeightedGraph::from_edges(n, edges);
+}
+
+TEST(Dijkstra, TinyKnownGraph) {
+  std::vector<WeightedEdgeTriple> edges = {
+      {0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 5.0}, {2, 3, 1.0}};
+  const auto g = WeightedGraph::from_edges(5, edges);
+  const auto dist = sssp::dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[2], 2.0);
+  EXPECT_DOUBLE_EQ(dist[3], 3.0);
+  EXPECT_EQ(dist[4], sssp::kUnreachable);
+}
+
+TEST(Dijkstra, RejectsBadInput) {
+  const auto g = WeightedGraph::from_edges(2, {{0, 1, 1.0}});
+  EXPECT_THROW((void)sssp::dijkstra(g, 5), std::invalid_argument);
+  const auto neg = WeightedGraph::from_edges(2, {{0, 1, -1.0}});
+  EXPECT_THROW((void)sssp::dijkstra(neg, 0), std::invalid_argument);
+}
+
+class SsspAdaptiveTest : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(SsspAdaptiveTest, MatchesDijkstraExactly) {
+  const NodeId n = GetParam();
+  const auto g = random_weighted(n, 6.0, 100 + n);
+  const auto reference = sssp::dijkstra(g, 0);
+
+  ThreadPool pool(4);
+  ControllerParams p;
+  HybridController controller(p);
+  const auto result = sssp::sssp_adaptive(g, 0, controller, pool, n + 1);
+  ASSERT_EQ(result.dist.size(), reference.size());
+  for (NodeId v = 0; v < n; ++v) {
+    if (reference[v] == sssp::kUnreachable) {
+      EXPECT_EQ(result.dist[v], sssp::kUnreachable) << "v=" << v;
+    } else {
+      EXPECT_NEAR(result.dist[v], reference[v], 1e-9) << "v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SsspAdaptiveTest,
+                         ::testing::Values(20u, 100u, 400u));
+
+TEST(SsspAdaptive, FixedControllerAlsoCorrect) {
+  const auto g = random_weighted(150, 8.0, 7);
+  const auto reference = sssp::dijkstra(g, 3);
+  ThreadPool pool(2);
+  FixedController controller(16);
+  const auto result = sssp::sssp_adaptive(g, 3, controller, pool, 8);
+  for (NodeId v = 0; v < 150; ++v) {
+    if (reference[v] != sssp::kUnreachable) {
+      EXPECT_NEAR(result.dist[v], reference[v], 1e-9);
+    }
+  }
+}
+
+TEST(SsspPriorityAdaptive, MatchesDijkstraExactly) {
+  const auto g = random_weighted(200, 7.0, 17);
+  const auto reference = sssp::dijkstra(g, 0);
+  ThreadPool pool(4);
+  ControllerParams p;
+  HybridController controller(p);
+  const auto result = sssp::sssp_priority_adaptive(g, 0, controller, pool,
+                                                   18);
+  for (NodeId v = 0; v < 200; ++v) {
+    if (reference[v] == sssp::kUnreachable) {
+      EXPECT_EQ(result.dist[v], sssp::kUnreachable);
+    } else {
+      EXPECT_NEAR(result.dist[v], reference[v], 1e-9);
+    }
+  }
+}
+
+TEST(SsspPriorityAdaptive, CommitsNoMoreRelaxationsThanRandomOrder) {
+  // Relaxing near-source nodes first is Dijkstra-like: each node settles
+  // with few re-relaxations, so the total committed work is smaller than
+  // under uniformly random selection (usually much smaller).
+  const auto g = random_weighted(400, 8.0, 19);
+  ThreadPool pool(4);
+  ControllerParams p;
+  HybridController c1(p);
+  const auto random_order = sssp::sssp_adaptive(g, 0, c1, pool, 20);
+  HybridController c2(p);
+  const auto priority_order =
+      sssp::sssp_priority_adaptive(g, 0, c2, pool, 20);
+  EXPECT_LE(priority_order.trace.total_committed(),
+            random_order.trace.total_committed());
+}
+
+TEST(SsspAdaptive, DisconnectedNodesStayUnreachable) {
+  const auto g = WeightedGraph::from_edges(6, {{0, 1, 1.0}, {1, 2, 1.0}});
+  ThreadPool pool(2);
+  ControllerParams p;
+  HybridController controller(p);
+  const auto result = sssp::sssp_adaptive(g, 0, controller, pool, 9);
+  EXPECT_EQ(result.dist[4], sssp::kUnreachable);
+  EXPECT_EQ(result.dist[5], sssp::kUnreachable);
+}
+
+// -------------------------------------------------------------- maxflow
+
+maxflow::FlowNetwork diamond() {
+  // s=0, t=3: two length-2 paths with caps (3,2) and (2,3), plus a cross
+  // arc 1->2 of cap 1. Max flow = 5.
+  maxflow::FlowNetwork net(4);
+  net.add_arc(0, 1, 3);
+  net.add_arc(0, 2, 2);
+  net.add_arc(1, 3, 2);
+  net.add_arc(2, 3, 3);
+  net.add_arc(1, 2, 1);
+  return net;
+}
+
+TEST(FlowNetwork, ArcBookkeeping) {
+  auto net = diamond();
+  EXPECT_EQ(net.num_nodes(), 4u);
+  EXPECT_EQ(net.arcs(0).size(), 2u);
+  EXPECT_EQ(net.arcs(1).size(), 3u);  // rev of 0->1, fwd 1->3, fwd 1->2
+  net.push(0, 0, 2.0);
+  EXPECT_DOUBLE_EQ(net.arcs(0)[0].flow, 2.0);
+  EXPECT_DOUBLE_EQ(net.arcs(0)[0].residual(), 1.0);
+  // Reverse arc gained residual.
+  const auto& fwd = net.arcs(0)[0];
+  EXPECT_DOUBLE_EQ(net.arcs(fwd.rev_node)[fwd.rev_index].residual(), 2.0);
+  net.reset_flow();
+  EXPECT_DOUBLE_EQ(net.arcs(0)[0].flow, 0.0);
+}
+
+TEST(FlowNetwork, AddArcValidation) {
+  maxflow::FlowNetwork net(3);
+  EXPECT_THROW((void)net.add_arc(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)net.add_arc(0, 9, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)net.add_arc(0, 1, -2.0), std::invalid_argument);
+}
+
+TEST(EdmondsKarp, DiamondIsFive) {
+  EXPECT_DOUBLE_EQ(maxflow::edmonds_karp(diamond(), 0, 3), 5.0);
+}
+
+TEST(EdmondsKarp, DisconnectedIsZero) {
+  maxflow::FlowNetwork net(4);
+  net.add_arc(0, 1, 7);
+  EXPECT_DOUBLE_EQ(maxflow::edmonds_karp(net, 0, 3), 0.0);
+}
+
+TEST(MaxflowAdaptive, DiamondMatches) {
+  auto net = diamond();
+  ThreadPool pool(2);
+  ControllerParams p;
+  HybridController controller(p);
+  const auto result = maxflow::maxflow_adaptive(net, 0, 3, controller, pool,
+                                                11);
+  EXPECT_DOUBLE_EQ(result.flow_value, 5.0);
+  EXPECT_TRUE(result.feasible);
+}
+
+class MaxflowRandomTest : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(MaxflowRandomTest, MatchesEdmondsKarpOnRandomNetworks) {
+  const NodeId n = GetParam();
+  Rng rng(500 + n);
+  maxflow::FlowNetwork net(n);
+  // Random DAG-ish network with integer capacities plus guaranteed
+  // s-connectivity structure.
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    net.add_arc(v, v + 1, static_cast<double>(1 + rng.below(8)));
+  }
+  const auto extra = static_cast<std::size_t>(n) * 3;
+  for (std::size_t e = 0; e < extra; ++e) {
+    const auto u = static_cast<NodeId>(rng.below(n));
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (u == v) continue;
+    net.add_arc(u, v, static_cast<double>(1 + rng.below(12)));
+  }
+  const NodeId s = 0;
+  const NodeId t = n - 1;
+  const double reference = maxflow::edmonds_karp(net, s, t);
+
+  ThreadPool pool(4);
+  ControllerParams p;
+  HybridController controller(p);
+  const auto result =
+      maxflow::maxflow_adaptive(net, s, t, controller, pool, n * 3 + 1);
+  EXPECT_DOUBLE_EQ(result.flow_value, reference);
+  EXPECT_TRUE(result.feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MaxflowRandomTest,
+                         ::testing::Values(8u, 24u, 60u, 120u));
+
+TEST(MaxflowAdaptive, FixedControllerAlsoCorrect) {
+  auto net = diamond();
+  ThreadPool pool(2);
+  FixedController controller(4);
+  const auto result =
+      maxflow::maxflow_adaptive(net, 0, 3, controller, pool, 13);
+  EXPECT_DOUBLE_EQ(result.flow_value, 5.0);
+}
+
+TEST(GlobalRelabel, HeightsBecomeValidDistanceLabels) {
+  auto net = diamond();
+  maxflow::PushRelabelState state(4, 0);
+  maxflow::global_relabel(net, state, 0, 3);
+  // With zero flow every arc is residual: heights = BFS distance to t.
+  EXPECT_EQ(state.height(1), 1u);
+  EXPECT_EQ(state.height(2), 1u);
+  EXPECT_EQ(state.height(3), 0u);
+  EXPECT_EQ(state.height(0), 4u);  // source untouched (n)
+}
+
+TEST(GlobalRelabel, NeverLowersHeights) {
+  auto net = diamond();
+  maxflow::PushRelabelState state(4, 0);
+  state.set_height(1, 9);
+  maxflow::global_relabel(net, state, 0, 3);
+  EXPECT_EQ(state.height(1), 9u);
+}
+
+TEST(MaxflowAdaptive, CorrectWithoutGlobalRelabel) {
+  auto net = diamond();
+  ThreadPool pool(2);
+  ControllerParams p;
+  HybridController controller(p);
+  const auto res = maxflow::maxflow_adaptive(net, 0, 3, controller, pool, 14,
+                                             1000000, /*interval=*/0);
+  EXPECT_DOUBLE_EQ(res.flow_value, 5.0);
+}
+
+TEST(MaxflowAdaptive, GlobalRelabelCutsRounds) {
+  Rng rng(321);
+  maxflow::FlowNetwork base(80);
+  for (NodeId v = 0; v + 1 < 80; ++v) {
+    base.add_arc(v, v + 1, static_cast<double>(1 + rng.below(6)));
+  }
+  for (int e = 0; e < 240; ++e) {
+    const auto u = static_cast<NodeId>(rng.below(80));
+    const auto v = static_cast<NodeId>(rng.below(80));
+    if (u != v) base.add_arc(u, v, static_cast<double>(1 + rng.below(10)));
+  }
+  const double reference = maxflow::edmonds_karp(base, 0, 79);
+  ThreadPool pool(2);
+
+  auto run = [&](std::uint32_t interval) {
+    maxflow::FlowNetwork net = base;
+    net.reset_flow();
+    ControllerParams p;
+    HybridController c(p);
+    return maxflow::maxflow_adaptive(net, 0, 79, c, pool, 15, 1000000,
+                                     interval);
+  };
+  const auto with = run(32);
+  const auto without = run(0);
+  EXPECT_DOUBLE_EQ(with.flow_value, reference);
+  EXPECT_DOUBLE_EQ(without.flow_value, reference);
+  EXPECT_LT(with.trace.steps.size(), without.trace.steps.size());
+}
+
+TEST(MaxflowAdaptive, RejectsSourceEqualsSink) {
+  auto net = diamond();
+  ThreadPool pool(1);
+  ControllerParams p;
+  HybridController controller(p);
+  EXPECT_THROW((void)maxflow::maxflow_adaptive(net, 1, 1, controller, pool, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optipar

@@ -1,0 +1,144 @@
+// Table / Options / Timer / padded-counter coverage.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/csv.hpp"
+#include "support/options.hpp"
+#include "support/padded.hpp"
+#include "support/timer.hpp"
+
+namespace optipar {
+namespace {
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW((void)Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowArityIsChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW((void)t.add_row({std::string("x")}), std::invalid_argument);
+  t.add_row({std::string("x"), 1.5});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, FormatCellVariants) {
+  EXPECT_EQ(Table::format_cell(std::string("hi")), "hi");
+  EXPECT_EQ(Table::format_cell(std::int64_t{42}), "42");
+  EXPECT_EQ(Table::format_cell(2.5, 2), "2.5");
+  EXPECT_EQ(Table::format_cell(2.0, 4), "2");
+  EXPECT_EQ(Table::format_cell(0.126, 2), "0.13");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), std::int64_t{1}});
+  t.add_row({std::string("b"), std::int64_t{100}});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(Table, CsvRoundtripAndEscaping) {
+  Table t({"k", "v"});
+  t.add_row({std::string("has,comma"), std::int64_t{1}});
+  t.add_row({std::string("has\"quote"), std::int64_t{2}});
+  const std::string path = "/tmp/optipar_test_table.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"has,comma\",1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"has\"\"quote\",2");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvToBadPathThrows) {
+  Table t({"a"});
+  EXPECT_THROW((void)t.write_csv("/nonexistent_dir_xyz/file.csv"),
+               std::runtime_error);
+}
+
+TEST(Options, ParsesKeyValueFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--n=100", "--verbose", "input.txt",
+                        "--rho=0.25"};
+  Options opt(5, argv);
+  EXPECT_TRUE(opt.has("n"));
+  EXPECT_EQ(opt.get_int("n", 0), 100);
+  EXPECT_TRUE(opt.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(opt.get_double("rho", 0.0), 0.25);
+  ASSERT_EQ(opt.positional().size(), 1u);
+  EXPECT_EQ(opt.positional()[0], "input.txt");
+}
+
+TEST(Options, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Options opt(1, argv);
+  EXPECT_FALSE(opt.has("x"));
+  EXPECT_EQ(opt.get("x", "def"), "def");
+  EXPECT_EQ(opt.get_int("x", -7), -7);
+  EXPECT_DOUBLE_EQ(opt.get_double("x", 1.5), 1.5);
+  EXPECT_TRUE(opt.get_bool("x", true));
+}
+
+TEST(Options, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=yes", "--b=off", "--c=1", "--d=false"};
+  Options opt(5, argv);
+  EXPECT_TRUE(opt.get_bool("a", false));
+  EXPECT_FALSE(opt.get_bool("b", true));
+  EXPECT_TRUE(opt.get_bool("c", false));
+  EXPECT_FALSE(opt.get_bool("d", true));
+}
+
+TEST(Options, BadBooleanThrows) {
+  const char* argv[] = {"prog", "--a=maybe"};
+  Options opt(2, argv);
+  EXPECT_THROW((void)opt.get_bool("a", false), std::invalid_argument);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.millis(), t.seconds());  // same instant, scaled
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const double before = t.seconds();
+  t.reset();
+  EXPECT_LE(t.seconds(), before + 1.0);
+}
+
+TEST(PaddedCounter, OccupiesFullCacheLine) {
+  static_assert(sizeof(PaddedCounter) >= kCacheLine);
+  static_assert(alignof(PaddedCounter) == kCacheLine);
+  PaddedCounter c;
+  c.bump();
+  c.bump(5);
+  EXPECT_EQ(c.load(), 6u);
+  c.reset();
+  EXPECT_EQ(c.load(), 0u);
+}
+
+TEST(Padded, WrapsArbitraryTypes) {
+  Padded<int> p;
+  p.value = 9;
+  static_assert(sizeof(Padded<int>) >= kCacheLine);
+  EXPECT_EQ(p.value, 9);
+}
+
+}  // namespace
+}  // namespace optipar

@@ -1,0 +1,178 @@
+#include "model/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algos.hpp"
+#include "graph/generators.hpp"
+#include "model/conflict_ratio.hpp"
+
+namespace optipar {
+namespace {
+
+TEST(Theory, TuranBoundBasics) {
+  EXPECT_DOUBLE_EQ(theory::turan_bound(100, 4), 20.0);
+  EXPECT_DOUBLE_EQ(theory::turan_bound(100, 0), 100.0);
+  EXPECT_THROW((void)theory::turan_bound(-1, 2), std::invalid_argument);
+}
+
+TEST(Theory, InitialDerivative) {
+  EXPECT_DOUBLE_EQ(theory::initial_derivative(2000, 16),
+                   16.0 / (2.0 * 1999.0));
+  EXPECT_THROW((void)theory::initial_derivative(1, 0), std::invalid_argument);
+}
+
+TEST(Theory, PrNodeInInducedMisDegenerateCases) {
+  // m = 0: never selected, probability 0.
+  EXPECT_DOUBLE_EQ(theory::pr_node_in_induced_mis(10, 3, 0), 0.0);
+  // Degree 0, m = n: always in the IS -> probability 1.
+  EXPECT_NEAR(theory::pr_node_in_induced_mis(10, 0, 10), 1.0, 1e-12);
+  // Degree 0, m < n: probability m/n (just selection probability).
+  EXPECT_NEAR(theory::pr_node_in_induced_mis(10, 0, 4), 0.4, 1e-12);
+  EXPECT_THROW((void)theory::pr_node_in_induced_mis(5, 1, 6),
+               std::invalid_argument);
+}
+
+TEST(Theory, PrNodeInInducedMisIsDecreasingInDegree) {
+  for (std::uint32_t d = 0; d + 1 < 20; ++d) {
+    EXPECT_GE(theory::pr_node_in_induced_mis(20, d, 10),
+              theory::pr_node_in_induced_mis(20, d + 1, 10));
+  }
+}
+
+TEST(Theory, BmEqualsEmOnUnionOfCliques) {
+  // For the worst-case graph K_d^n the paper's eq. (21) shows
+  // b_m(K_d^n) = EM_m(K_d^n); our two independent implementations (the
+  // per-degree sum and the hypergeometric closed form) must agree.
+  const std::uint32_t n = 60, d = 4;
+  std::vector<std::uint32_t> degrees(n, d);
+  for (const std::uint32_t m : {1u, 3u, 10u, 30u, 60u}) {
+    EXPECT_NEAR(theory::b_m(degrees, m), theory::em_union_of_cliques(n, d, m),
+                1e-9)
+        << "m=" << m;
+  }
+}
+
+TEST(Theory, Thm2OrderingHoldsOnRandomGraphs) {
+  // EM_m(G) >= b_m(G) >= b_m(K_d^n) = EM_m(K_d^n).
+  Rng rng(1);
+  const std::uint32_t n = 60, d = 4;
+  const auto g = gen::gnm_random(n, n * d / 2, rng);
+  ASSERT_DOUBLE_EQ(g.average_degree(), static_cast<double>(d));
+  for (const std::uint32_t m : {5u, 15u, 30u, 60u}) {
+    const double b_g = theory::b_m(g, m);
+    const double em_kdn = theory::em_union_of_cliques(n, d, m);
+    EXPECT_GE(b_g, em_kdn - 1e-9) << "m=" << m;  // Jensen step (eq. 22)
+    const auto em_g = estimate_committed_at(g, m, 4000, rng);
+    EXPECT_GE(em_g.mean() + 3 * em_g.ci95(), b_g) << "m=" << m;
+  }
+}
+
+TEST(Theory, EmUnionOfCliquesBoundaryValues) {
+  const std::uint32_t n = 30, d = 4;  // s = 6 cliques
+  // m = 0: nothing launched.
+  EXPECT_DOUBLE_EQ(theory::em_union_of_cliques(n, d, 0), 0.0);
+  // m = 1: exactly one committed.
+  EXPECT_NEAR(theory::em_union_of_cliques(n, d, 1), 1.0, 1e-12);
+  // m = n: every clique is hit -> s committed.
+  EXPECT_NEAR(theory::em_union_of_cliques(n, d, n), 6.0, 1e-12);
+  EXPECT_THROW((void)theory::em_union_of_cliques(31, 4, 1), std::invalid_argument);
+  EXPECT_THROW((void)theory::em_union_of_cliques(30, 4, 31), std::invalid_argument);
+}
+
+TEST(Theory, EmUnionOfCliquesIsMonotoneInM) {
+  for (std::uint32_t m = 0; m < 60; ++m) {
+    EXPECT_LE(theory::em_union_of_cliques(60, 5, m),
+              theory::em_union_of_cliques(60, 5, m + 1) + 1e-12);
+  }
+}
+
+TEST(Theory, ConflictRatioBoundExactIsMonotoneAndInUnitInterval) {
+  double prev = 0.0;
+  for (std::uint32_t m = 1; m <= 100; ++m) {
+    const double r = theory::conflict_ratio_bound_exact(100, 4, m);
+    EXPECT_GE(r, prev - 1e-12);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+    prev = r;
+  }
+}
+
+TEST(Theory, Cor2ApproxTracksExactForLargeN) {
+  // Use n divisible by d+1: 2006 = 17 * 118.
+  for (const std::uint32_t m : {10u, 50u, 100u, 500u, 1000u}) {
+    const double exact = theory::conflict_ratio_bound_exact(2006, 16, m);
+    const double approx = theory::conflict_ratio_bound_approx(2006, 16, m);
+    EXPECT_NEAR(exact, approx, 0.01) << "m=" << m;
+  }
+}
+
+TEST(Theory, Cor3AlphaFormAgreesWithCor2) {
+  // Setting m = αn/(d+1) in Cor. 2 gives Cor. 3's bound.
+  const double n = 1700, d = 16;  // n/(d+1) = 100
+  for (const double alpha : {0.25, 0.5, 1.0, 2.0}) {
+    const double m = alpha * n / (d + 1.0);
+    EXPECT_NEAR(theory::conflict_ratio_bound_approx(n, d, m),
+                theory::conflict_ratio_bound_alpha(alpha, d), 1e-9);
+  }
+}
+
+TEST(Theory, Cor3LimitDominatesFiniteD) {
+  // (1 − α/(d+1))^{d+1} increases to e^{−α}, so the limit bound dominates.
+  for (const double alpha : {0.3, 0.7, 1.5}) {
+    for (const double d : {4.0, 16.0, 64.0}) {
+      EXPECT_LE(theory::conflict_ratio_bound_alpha(alpha, d),
+                theory::conflict_ratio_bound_alpha_limit(alpha) + 1e-12);
+    }
+  }
+}
+
+TEST(Theory, PaperHeadlineNumberTwentyOnePointThreePercent) {
+  // §4: "using m = n/(2(d+1)) processors we will have at most a conflict
+  // ratio of 21.3%", i.e. the α = 1/2 limit bound.
+  EXPECT_NEAR(theory::conflict_ratio_bound_alpha_limit(0.5), 0.213, 0.0005);
+}
+
+TEST(Theory, AlphaLimitIsIncreasingFromZero) {
+  EXPECT_NEAR(theory::conflict_ratio_bound_alpha_limit(1e-9), 0.0, 1e-6);
+  double prev = 0.0;
+  for (double alpha = 0.1; alpha <= 5.0; alpha += 0.1) {
+    const double b = theory::conflict_ratio_bound_alpha_limit(alpha);
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Theory, AlphaForTargetRatioInvertsTheLimit) {
+  for (const double rho : {0.1, 0.213, 0.25, 0.3, 0.5}) {
+    const double alpha = theory::alpha_for_target_ratio(rho);
+    EXPECT_NEAR(theory::conflict_ratio_bound_alpha_limit(alpha), rho, 1e-6);
+  }
+  EXPECT_THROW((void)theory::alpha_for_target_ratio(0.0), std::invalid_argument);
+  EXPECT_THROW((void)theory::alpha_for_target_ratio(1.0), std::invalid_argument);
+}
+
+TEST(Theory, WarmStartRespectsWorstCase) {
+  // The warm start must keep even the worst-case (K_d^n) ratio under rho.
+  const std::uint32_t n = 1700;
+  const std::uint32_t d = 16;
+  const double rho = 0.25;
+  const auto m0 = theory::warm_start_m(n, d, rho);
+  EXPECT_GE(m0, 2u);
+  EXPECT_LE(theory::conflict_ratio_bound_exact(n, d, m0), rho + 0.01);
+}
+
+TEST(Theory, WarmStartFloorsAtTwo) {
+  EXPECT_EQ(theory::warm_start_m(10, 100.0, 0.2), 2u);
+}
+
+TEST(Theory, TuranHoldsForBm) {
+  // b_n(G) (full launch) is exactly Turán's random-greedy expectation and
+  // must respect n/(d+1) for regular degree sequences.
+  std::vector<std::uint32_t> degrees(50, 6);
+  EXPECT_GE(theory::b_m(degrees, 50), theory::turan_bound(50, 6) - 1e-9);
+}
+
+}  // namespace
+}  // namespace optipar

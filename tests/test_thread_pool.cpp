@@ -1,0 +1,126 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "support/barrier.hpp"
+
+namespace optipar {
+namespace {
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  auto f = pool.submit([&] { hits.fetch_add(1); });
+  f.get();
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionsThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManySubmitsAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&] { hits.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(hits.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForWithGrainVisitsAll) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { visits[i].fetch_add(1); }, 64);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForWorksOnSingleThreadPool) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, RunOnWorkersGivesDistinctLaneIndices) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::size_t> lanes;
+  pool.run_on_workers(4, [&](std::size_t lane) {
+    const std::lock_guard lock(mu);
+    lanes.insert(lane);
+  });
+  EXPECT_EQ(lanes, (std::set<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, RunOnWorkersClampsToPoolSizePlusCaller) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.run_on_workers(100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);  // 2 workers + calling thread
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr std::size_t kParties = 4;
+  ThreadPool pool(kParties - 1);
+  SpinBarrier barrier(kParties);
+  std::atomic<int> phase_counter{0};
+  std::vector<int> seen(kParties, -1);
+
+  pool.run_on_workers(kParties, [&](std::size_t lane) {
+    phase_counter.fetch_add(1);
+    barrier.arrive_and_wait();
+    // After the barrier every party must observe all arrivals.
+    seen[lane] = phase_counter.load();
+    barrier.arrive_and_wait();
+  });
+  for (const int s : seen) EXPECT_EQ(s, kParties);
+}
+
+TEST(SpinBarrier, IsReusableAcrossManyRounds) {
+  constexpr std::size_t kParties = 3;
+  ThreadPool pool(kParties - 1);
+  SpinBarrier barrier(kParties);
+  std::atomic<int> counter{0};
+  pool.run_on_workers(kParties, [&](std::size_t) {
+    for (int round = 0; round < 50; ++round) {
+      counter.fetch_add(1);
+      barrier.arrive_and_wait();
+    }
+  });
+  EXPECT_EQ(counter.load(), 150);
+}
+
+}  // namespace
+}  // namespace optipar

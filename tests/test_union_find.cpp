@@ -1,0 +1,81 @@
+#include "graph/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/rng.hpp"
+
+namespace optipar {
+namespace {
+
+TEST(UnionFind, StartsFullyDisjoint) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.set_size(i), 1u);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndReportsNovelty) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));  // already joined
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.set_size(0), 2u);
+}
+
+TEST(UnionFind, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.connected(0, 3));
+  EXPECT_EQ(uf.set_size(3), 4u);
+  EXPECT_EQ(uf.num_sets(), 3u);
+}
+
+TEST(UnionFind, ChainCollapsesToOneSet) {
+  constexpr std::uint32_t kN = 1000;
+  UnionFind uf(kN);
+  for (std::uint32_t i = 0; i + 1 < kN; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_EQ(uf.set_size(0), kN);
+  EXPECT_TRUE(uf.connected(0, kN - 1));
+}
+
+TEST(UnionFind, RandomizedAgainstNaiveModel) {
+  constexpr std::uint32_t kN = 64;
+  UnionFind uf(kN);
+  // Naive model: component label array, unions by relabel.
+  std::vector<std::uint32_t> label(kN);
+  for (std::uint32_t i = 0; i < kN; ++i) label[i] = i;
+
+  Rng rng(77);
+  for (int step = 0; step < 500; ++step) {
+    const auto a = static_cast<std::uint32_t>(rng.below(kN));
+    const auto b = static_cast<std::uint32_t>(rng.below(kN));
+    uf.unite(a, b);
+    const auto la = label[a];
+    const auto lb = label[b];
+    if (la != lb) {
+      for (auto& l : label) {
+        if (l == lb) l = la;
+      }
+    }
+    // Spot-check a few pairs every iteration.
+    for (int probe = 0; probe < 4; ++probe) {
+      const auto x = static_cast<std::uint32_t>(rng.below(kN));
+      const auto y = static_cast<std::uint32_t>(rng.below(kN));
+      EXPECT_EQ(uf.connected(x, y), label[x] == label[y]);
+    }
+  }
+  std::set<std::uint32_t> labels(label.begin(), label.end());
+  EXPECT_EQ(uf.num_sets(), labels.size());
+}
+
+}  // namespace
+}  // namespace optipar

@@ -1,0 +1,172 @@
+#include "sim/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "sim/step_simulator.hpp"
+
+namespace optipar {
+namespace {
+
+CsrGraph small_random(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return gen::gnm_random(40, 100, rng);
+}
+
+TEST(StationaryWorkload, SamplesDistinctPendingTasks) {
+  StationaryWorkload w(small_random());
+  Rng rng(2);
+  EXPECT_EQ(w.pending(), 40u);
+  EXPECT_FALSE(w.done());
+  const auto active = w.sample_active(10, rng);
+  EXPECT_EQ(active.size(), 10u);
+  std::set<NodeId> distinct(active.begin(), active.end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(StationaryWorkload, SampleClampsToPending) {
+  StationaryWorkload w(small_random());
+  Rng rng(3);
+  EXPECT_EQ(w.sample_active(1000, rng).size(), 40u);
+}
+
+TEST(StationaryWorkload, RoundsDoNotConsume) {
+  StationaryWorkload w(small_random());
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) (void)run_round(w, 20, rng);
+  EXPECT_EQ(w.pending(), 40u);
+  EXPECT_FALSE(w.done());
+}
+
+TEST(StationaryWorkload, ConflictsMirrorGraphEdges) {
+  const auto g = gen::path(4);
+  StationaryWorkload w(g);
+  EXPECT_TRUE(w.conflicts(0, 1));
+  EXPECT_FALSE(w.conflicts(0, 2));
+  EXPECT_DOUBLE_EQ(w.average_degree(), g.average_degree());
+}
+
+TEST(RunRound, CommittedIsIndependentAbortedIsBlocked) {
+  StationaryWorkload w(small_random(7));
+  Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto out = run_round(w, 15, rng);
+    EXPECT_EQ(out.committed.size() + out.aborted.size(), 15u);
+    for (std::size_t i = 0; i < out.committed.size(); ++i) {
+      for (std::size_t j = i + 1; j < out.committed.size(); ++j) {
+        EXPECT_FALSE(w.conflicts(out.committed[i], out.committed[j]));
+      }
+    }
+    for (const NodeId a : out.aborted) {
+      bool blocked = false;
+      for (const NodeId c : out.committed) {
+        if (w.conflicts(a, c)) blocked = true;
+      }
+      EXPECT_TRUE(blocked);
+    }
+  }
+}
+
+TEST(RunRound, StatsAreConsistent) {
+  StationaryWorkload w(small_random(9));
+  Rng rng(10);
+  const auto out = run_round(w, 12, rng);
+  const auto stats = out.stats();
+  EXPECT_EQ(stats.launched, 12u);
+  EXPECT_EQ(stats.committed + stats.aborted, stats.launched);
+  EXPECT_NEAR(stats.conflict_ratio(),
+              static_cast<double>(stats.aborted) / 12.0, 1e-12);
+}
+
+TEST(ConsumingWorkload, DrainsToEmpty) {
+  ConsumingWorkload w(small_random(11));
+  Rng rng(12);
+  int rounds = 0;
+  while (!w.done() && rounds < 1000) {
+    (void)run_round(w, 10, rng);
+    ++rounds;
+  }
+  EXPECT_TRUE(w.done());
+  EXPECT_EQ(w.pending(), 0u);
+  EXPECT_TRUE(w.graph().validate());
+}
+
+TEST(ConsumingWorkload, OnlyCommittedLeave) {
+  ConsumingWorkload w(gen::complete(10));
+  Rng rng(13);
+  // On a clique exactly one task commits per round.
+  const auto out = run_round(w, 5, rng);
+  EXPECT_EQ(out.committed.size(), 1u);
+  EXPECT_EQ(w.pending(), 9u);
+}
+
+TEST(RefiningWorkload, ParallelismRampsUp) {
+  RefiningParams params;
+  params.seed_nodes = 4;
+  params.children = 3;
+  params.total_budget = 2000;
+  Rng rng(14);
+  RefiningWorkload w(params, rng);
+  const auto initial = w.pending();
+  std::uint32_t peak = initial;
+  for (int i = 0; i < 30 && !w.done(); ++i) {
+    (void)run_round(w, w.pending(), rng);
+    peak = std::max(peak, w.pending());
+  }
+  EXPECT_GT(peak, 5 * initial);  // the DMR-style explosion
+  EXPECT_TRUE(w.graph().validate());
+}
+
+TEST(RefiningWorkload, BudgetBoundsSpawning) {
+  RefiningParams params;
+  params.seed_nodes = 4;
+  params.children = 3;
+  params.total_budget = 100;
+  Rng rng(15);
+  RefiningWorkload w(params, rng);
+  int rounds = 0;
+  while (!w.done() && rounds < 10000) {
+    (void)run_round(w, std::max(1u, w.pending() / 2), rng);
+    ++rounds;
+  }
+  EXPECT_TRUE(w.done());
+  EXPECT_LE(w.spawned(), 100u + params.children);
+}
+
+TEST(RefiningWorkload, ValidatesParams) {
+  RefiningParams params;
+  params.seed_nodes = 0;
+  Rng rng(16);
+  EXPECT_THROW((void)RefiningWorkload(params, rng), std::invalid_argument);
+}
+
+TEST(PhaseShiftWorkload, AdvancesThroughStages) {
+  Rng rng(17);
+  std::vector<PhaseShiftWorkload::Stage> stages;
+  stages.push_back({3, gen::complete(8)});
+  stages.push_back({2, CsrGraph::from_edges(50, {})});
+  PhaseShiftWorkload w(std::move(stages));
+
+  EXPECT_EQ(w.current_stage(), 0u);
+  EXPECT_EQ(w.pending(), 8u);
+  EXPECT_GT(w.average_degree(), 6.9);
+  for (int i = 0; i < 3; ++i) (void)run_round(w, 4, rng);
+  EXPECT_EQ(w.current_stage(), 1u);
+  EXPECT_EQ(w.pending(), 50u);
+  EXPECT_DOUBLE_EQ(w.average_degree(), 0.0);
+  for (int i = 0; i < 2; ++i) (void)run_round(w, 4, rng);
+  EXPECT_TRUE(w.done());
+  EXPECT_EQ(w.pending(), 0u);
+}
+
+TEST(PhaseShiftWorkload, ValidatesStages) {
+  EXPECT_THROW((void)PhaseShiftWorkload({}), std::invalid_argument);
+  std::vector<PhaseShiftWorkload::Stage> stages;
+  stages.push_back({0, gen::complete(3)});
+  EXPECT_THROW((void)PhaseShiftWorkload(std::move(stages)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optipar

@@ -1,0 +1,231 @@
+// optipar command-line tool — the library's functionality without writing
+// C++: generate CC graphs, estimate conflict-ratio curves, locate operating
+// points, evaluate the paper's bounds, and run controllers.
+//
+//   optipar_cli gen     --family=gnm --n=2000 --d=16 --seed=1 --out=g.txt
+//   optipar_cli curve   --graph=g.txt --trials=300 [--csv=curve.csv]
+//   optipar_cli mu      --graph=g.txt --rho=0.25
+//   optipar_cli theory  --n=2000 --d=16 [--m=100]
+//   optipar_cli control --graph=g.txt --controller=hybrid --rho=0.25
+//                       --steps=120 [--csv=trace.csv]
+//   optipar_cli seating --n=1000   (unfriendly seating reference numbers)
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "control/baselines.hpp"
+#include "control/extra.hpp"
+#include "control/hybrid.hpp"
+#include "control/recurrence.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_io.hpp"
+#include "model/conflict_ratio.hpp"
+#include "model/seating.hpp"
+#include "model/theory.hpp"
+#include "sim/run_loop.hpp"
+#include "support/csv.hpp"
+#include "support/options.hpp"
+
+namespace {
+
+using namespace optipar;
+
+int usage() {
+  std::cerr <<
+      "usage: optipar_cli <gen|curve|mu|theory|control|seating> [--options]\n"
+      "run with a subcommand and no options to see its parameters\n";
+  return 2;
+}
+
+CsrGraph make_graph(const Options& opt, Rng& rng) {
+  const std::string family = opt.get("family", "gnm");
+  const auto n = static_cast<NodeId>(opt.get_int("n", 2000));
+  const double d = opt.get_double("d", 16.0);
+  if (family == "gnm") return gen::random_with_average_degree(n, d, rng);
+  if (family == "gnp") {
+    return gen::gnp_random(n, d / static_cast<double>(n - 1), rng);
+  }
+  if (family == "cliques") {
+    return gen::union_of_cliques(n - n % (static_cast<NodeId>(d) + 1),
+                                 static_cast<std::uint32_t>(d));
+  }
+  if (family == "regular") {
+    return gen::random_regular(n, static_cast<std::uint32_t>(d), rng);
+  }
+  if (family == "grid") {
+    const auto side = static_cast<NodeId>(std::sqrt(double(n)));
+    return gen::grid_2d(side, side);
+  }
+  if (family == "rmat") {
+    return gen::rmat(n, static_cast<std::uint64_t>(n * d / 2), 0.55, 0.15,
+                     0.15, rng);
+  }
+  if (family == "ba") {
+    return gen::barabasi_albert(n, static_cast<std::uint32_t>(d / 2), rng);
+  }
+  throw std::invalid_argument("unknown --family=" + family);
+}
+
+CsrGraph load_graph(const Options& opt, Rng& rng) {
+  if (opt.has("graph")) return io::read_edge_list(opt.get("graph", ""));
+  return make_graph(opt, rng);  // allow generating on the fly
+}
+
+/// Stream for the measurement phase, decorrelated from graph generation.
+/// Without this, measuring a file generated with the same --seed would
+/// REPLAY the generator's node-pair stream — e.g. every sampled pair of
+/// tasks would be a conflict edge.
+Rng measurement_rng(Rng& base) { return base.split(); }
+
+int cmd_gen(const Options& opt) {
+  Rng rng(opt.get_int("seed", 1));
+  const auto g = make_graph(opt, rng);
+  const std::string out = opt.get("out", "graph.txt");
+  io::write_edge_list(g, out);
+  std::cout << "wrote " << out << ": n=" << g.num_nodes() << " m="
+            << g.num_edges() << " avg_degree=" << g.average_degree() << "\n";
+  return 0;
+}
+
+int cmd_curve(const Options& opt) {
+  Rng rng(opt.get_int("seed", 1));
+  const auto g = load_graph(opt, rng);
+  Rng measure = measurement_rng(rng);
+  const auto trials = static_cast<std::uint32_t>(opt.get_int("trials", 300));
+  const auto curve = estimate_conflict_curve(g, trials, measure);
+  Table t({"m", "r_bar", "ci95", "expected_committed"});
+  const NodeId n = g.num_nodes();
+  for (std::uint32_t m = 1; m <= n; m = std::max(m + 1, m * 5 / 4)) {
+    t.add_row({static_cast<std::int64_t>(m), curve.r_bar(m),
+               curve.r_bar_ci95(m), curve.expected_committed(m)});
+  }
+  t.print(std::cout);
+  if (opt.has("csv")) t.write_csv(opt.get("csv", "curve.csv"));
+  return 0;
+}
+
+int cmd_mu(const Options& opt) {
+  Rng rng(opt.get_int("seed", 1));
+  const auto g = load_graph(opt, rng);
+  const double rho = opt.get_double("rho", 0.25);
+  const auto trials = static_cast<std::uint32_t>(opt.get_int("trials", 400));
+  Rng measure = measurement_rng(rng);
+  const auto mu = find_mu(g, rho, trials, measure);
+  std::cout << "n=" << g.num_nodes() << " d=" << g.average_degree()
+            << " rho=" << rho << "\nmu ~= " << mu
+            << "  (largest m with r_bar(m) <= rho)\n"
+            << "theory warm start (Cor. 3, worst case): m0 = "
+            << theory::warm_start_m(g.num_nodes(), g.average_degree(), rho)
+            << "\n";
+  return 0;
+}
+
+int cmd_theory(const Options& opt) {
+  const auto n = static_cast<std::uint32_t>(opt.get_int("n", 2000));
+  const auto d = static_cast<std::uint32_t>(opt.get_int("d", 16));
+  const std::uint32_t n_exact = n - n % (d + 1);
+  std::cout << "n=" << n << " d=" << d << "\n"
+            << "Turan bound (E[MIS] >=): " << theory::turan_bound(n, d)
+            << "\ninitial derivative d/(2(n-1)): "
+            << theory::initial_derivative(n, d) << "\n";
+  Table t({"m", "EM_Kdn_exact", "bound_exact", "bound_cor2"});
+  for (std::uint32_t m = 1; m <= n_exact;
+       m = std::max(m + 1, m * 2)) {
+    t.add_row({static_cast<std::int64_t>(m),
+               theory::em_union_of_cliques(n_exact, d, m),
+               theory::conflict_ratio_bound_exact(n_exact, d, m),
+               theory::conflict_ratio_bound_approx(n, d, m)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_control(const Options& opt) {
+  Rng rng(opt.get_int("seed", 1));
+  const auto g = load_graph(opt, rng);
+  ControllerParams params;
+  params.rho = opt.get_double("rho", 0.25);
+  params.m0 = static_cast<std::uint32_t>(opt.get_int("m0", params.m0));
+  params.m_max =
+      static_cast<std::uint32_t>(opt.get_int("m-max", params.m_max));
+  params.T = static_cast<std::uint32_t>(opt.get_int("T", params.T));
+  if (opt.get_bool("warm-start", false)) {
+    params = with_warm_start(params, g.num_nodes(), g.average_degree());
+  }
+  const std::string name = opt.get("controller", "hybrid");
+  std::unique_ptr<Controller> controller;
+  if (name == "hybrid") {
+    controller = std::make_unique<HybridController>(params);
+  } else if (name == "recurrence-A") {
+    controller = std::make_unique<RecurrenceAController>(params);
+  } else if (name == "recurrence-B") {
+    controller = std::make_unique<RecurrenceBController>(params);
+  } else if (name == "bisection") {
+    controller = std::make_unique<BisectionController>(params);
+  } else if (name == "aimd") {
+    controller = std::make_unique<AimdController>(params);
+  } else if (name == "pid") {
+    controller = std::make_unique<PidController>(params);
+  } else if (name == "ewma") {
+    controller = std::make_unique<EwmaHybridController>(params);
+  } else if (name.rfind("fixed-", 0) == 0) {
+    controller = std::make_unique<FixedController>(
+        static_cast<std::uint32_t>(std::stoul(name.substr(6))));
+  } else {
+    std::cerr << "unknown --controller=" << name << "\n";
+    return 2;
+  }
+
+  StationaryWorkload workload(g);
+  RunLoopConfig config;
+  config.max_steps =
+      static_cast<std::uint32_t>(opt.get_int("steps", 120));
+  Rng measure = measurement_rng(rng);
+  const auto trace = run_controlled(*controller, workload, config, measure);
+
+  Table t({"step", "m", "launched", "committed", "aborted", "r"});
+  for (const auto& s : trace.steps) {
+    t.add_row({static_cast<std::int64_t>(s.step),
+               static_cast<std::int64_t>(s.m),
+               static_cast<std::int64_t>(s.launched),
+               static_cast<std::int64_t>(s.committed),
+               static_cast<std::int64_t>(s.aborted), s.conflict_ratio()});
+  }
+  t.print(std::cout);
+  std::cout << "mean r = " << trace.mean_conflict_ratio()
+            << ", wasted = " << trace.wasted_fraction() << "\n";
+  if (opt.has("csv")) t.write_csv(opt.get("csv", "trace.csv"));
+  return 0;
+}
+
+int cmd_seating(const Options& opt) {
+  const auto n = static_cast<std::uint32_t>(opt.get_int("n", 1000));
+  std::cout << "unfriendly seating, n=" << n << "\n"
+            << "path  E[MIS] = " << seating::expected_path(n)
+            << " (density " << seating::expected_path(n) / n << ")\n"
+            << "cycle E[MIS] = " << seating::expected_cycle(std::max(3u, n))
+            << "\nlimit density (1-e^-2)/2 = " << seating::path_density_limit()
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Options opt(argc - 1, argv + 1);
+  try {
+    if (command == "gen") return cmd_gen(opt);
+    if (command == "curve") return cmd_curve(opt);
+    if (command == "mu") return cmd_mu(opt);
+    if (command == "theory") return cmd_theory(opt);
+    if (command == "control") return cmd_control(opt);
+    if (command == "seating") return cmd_seating(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
