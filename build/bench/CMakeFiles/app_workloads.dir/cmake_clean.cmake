@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_workloads.dir/app_workloads.cpp.o"
+  "CMakeFiles/app_workloads.dir/app_workloads.cpp.o.d"
+  "app_workloads"
+  "app_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_controller.dir/fig3_controller.cpp.o"
+  "CMakeFiles/fig3_controller.dir/fig3_controller.cpp.o.d"
+  "fig3_controller"
+  "fig3_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

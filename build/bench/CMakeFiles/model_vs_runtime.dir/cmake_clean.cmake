@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_vs_runtime.dir/model_vs_runtime.cpp.o"
+  "CMakeFiles/model_vs_runtime.dir/model_vs_runtime.cpp.o.d"
+  "model_vs_runtime"
+  "model_vs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_vs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

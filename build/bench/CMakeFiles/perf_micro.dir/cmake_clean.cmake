@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_micro.dir/perf_micro.cpp.o"
+  "CMakeFiles/perf_micro.dir/perf_micro.cpp.o.d"
+  "perf_micro"
+  "perf_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

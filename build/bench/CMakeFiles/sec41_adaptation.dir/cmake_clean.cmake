@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec41_adaptation.dir/sec41_adaptation.cpp.o"
+  "CMakeFiles/sec41_adaptation.dir/sec41_adaptation.cpp.o.d"
+  "sec41_adaptation"
+  "sec41_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec41_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

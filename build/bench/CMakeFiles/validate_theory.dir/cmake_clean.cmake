@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_theory.dir/validate_theory.cpp.o"
+  "CMakeFiles/validate_theory.dir/validate_theory.cpp.o.d"
+  "validate_theory"
+  "validate_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_vs_fixed.dir/adaptive_vs_fixed.cpp.o"
+  "CMakeFiles/adaptive_vs_fixed.dir/adaptive_vs_fixed.cpp.o.d"
+  "adaptive_vs_fixed"
+  "adaptive_vs_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_vs_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boruvka_mst.dir/boruvka_mst.cpp.o"
+  "CMakeFiles/boruvka_mst.dir/boruvka_mst.cpp.o.d"
+  "boruvka_mst"
+  "boruvka_mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boruvka_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for boruvka_mst.
+# This may be replaced when dependencies are built.

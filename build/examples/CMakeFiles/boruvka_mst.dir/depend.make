@@ -1,0 +1,2 @@
+# Empty dependencies file for boruvka_mst.
+# This may be replaced when dependencies are built.

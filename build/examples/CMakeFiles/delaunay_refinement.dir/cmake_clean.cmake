@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delaunay_refinement.dir/delaunay_refinement.cpp.o"
+  "CMakeFiles/delaunay_refinement.dir/delaunay_refinement.cpp.o.d"
+  "delaunay_refinement"
+  "delaunay_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delaunay_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for delaunay_refinement.
+# This may be replaced when dependencies are built.

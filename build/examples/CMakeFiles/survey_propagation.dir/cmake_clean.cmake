@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_propagation.dir/survey_propagation.cpp.o"
+  "CMakeFiles/survey_propagation.dir/survey_propagation.cpp.o.d"
+  "survey_propagation"
+  "survey_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/boruvka/boruvka.cpp" "src/CMakeFiles/optipar.dir/apps/boruvka/boruvka.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/apps/boruvka/boruvka.cpp.o.d"
+  "/root/repo/src/apps/coloring/coloring.cpp" "src/CMakeFiles/optipar.dir/apps/coloring/coloring.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/apps/coloring/coloring.cpp.o.d"
+  "/root/repo/src/apps/dmr/delaunay.cpp" "src/CMakeFiles/optipar.dir/apps/dmr/delaunay.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/apps/dmr/delaunay.cpp.o.d"
+  "/root/repo/src/apps/dmr/geometry.cpp" "src/CMakeFiles/optipar.dir/apps/dmr/geometry.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/apps/dmr/geometry.cpp.o.d"
+  "/root/repo/src/apps/dmr/mesh.cpp" "src/CMakeFiles/optipar.dir/apps/dmr/mesh.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/apps/dmr/mesh.cpp.o.d"
+  "/root/repo/src/apps/dmr/refine.cpp" "src/CMakeFiles/optipar.dir/apps/dmr/refine.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/apps/dmr/refine.cpp.o.d"
+  "/root/repo/src/apps/maxflow/maxflow.cpp" "src/CMakeFiles/optipar.dir/apps/maxflow/maxflow.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/apps/maxflow/maxflow.cpp.o.d"
+  "/root/repo/src/apps/mis/mis.cpp" "src/CMakeFiles/optipar.dir/apps/mis/mis.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/apps/mis/mis.cpp.o.d"
+  "/root/repo/src/apps/sp/formula.cpp" "src/CMakeFiles/optipar.dir/apps/sp/formula.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/apps/sp/formula.cpp.o.d"
+  "/root/repo/src/apps/sp/survey.cpp" "src/CMakeFiles/optipar.dir/apps/sp/survey.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/apps/sp/survey.cpp.o.d"
+  "/root/repo/src/apps/sssp/sssp.cpp" "src/CMakeFiles/optipar.dir/apps/sssp/sssp.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/apps/sssp/sssp.cpp.o.d"
+  "/root/repo/src/control/baselines.cpp" "src/CMakeFiles/optipar.dir/control/baselines.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/control/baselines.cpp.o.d"
+  "/root/repo/src/control/extra.cpp" "src/CMakeFiles/optipar.dir/control/extra.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/control/extra.cpp.o.d"
+  "/root/repo/src/control/hybrid.cpp" "src/CMakeFiles/optipar.dir/control/hybrid.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/control/hybrid.cpp.o.d"
+  "/root/repo/src/control/recurrence.cpp" "src/CMakeFiles/optipar.dir/control/recurrence.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/control/recurrence.cpp.o.d"
+  "/root/repo/src/graph/algos.cpp" "src/CMakeFiles/optipar.dir/graph/algos.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/graph/algos.cpp.o.d"
+  "/root/repo/src/graph/csr_graph.cpp" "src/CMakeFiles/optipar.dir/graph/csr_graph.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/graph/csr_graph.cpp.o.d"
+  "/root/repo/src/graph/dynamic_graph.cpp" "src/CMakeFiles/optipar.dir/graph/dynamic_graph.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/graph/dynamic_graph.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/optipar.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "src/CMakeFiles/optipar.dir/graph/graph_io.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/graph/graph_io.cpp.o.d"
+  "/root/repo/src/graph/weighted_graph.cpp" "src/CMakeFiles/optipar.dir/graph/weighted_graph.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/graph/weighted_graph.cpp.o.d"
+  "/root/repo/src/model/conflict_ratio.cpp" "src/CMakeFiles/optipar.dir/model/conflict_ratio.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/model/conflict_ratio.cpp.o.d"
+  "/root/repo/src/model/exact.cpp" "src/CMakeFiles/optipar.dir/model/exact.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/model/exact.cpp.o.d"
+  "/root/repo/src/model/permutation_sweep.cpp" "src/CMakeFiles/optipar.dir/model/permutation_sweep.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/model/permutation_sweep.cpp.o.d"
+  "/root/repo/src/model/seating.cpp" "src/CMakeFiles/optipar.dir/model/seating.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/model/seating.cpp.o.d"
+  "/root/repo/src/model/theory.cpp" "src/CMakeFiles/optipar.dir/model/theory.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/model/theory.cpp.o.d"
+  "/root/repo/src/rt/adaptive_executor.cpp" "src/CMakeFiles/optipar.dir/rt/adaptive_executor.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/rt/adaptive_executor.cpp.o.d"
+  "/root/repo/src/rt/item_lock.cpp" "src/CMakeFiles/optipar.dir/rt/item_lock.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/rt/item_lock.cpp.o.d"
+  "/root/repo/src/rt/spec_executor.cpp" "src/CMakeFiles/optipar.dir/rt/spec_executor.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/rt/spec_executor.cpp.o.d"
+  "/root/repo/src/sim/profile.cpp" "src/CMakeFiles/optipar.dir/sim/profile.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/sim/profile.cpp.o.d"
+  "/root/repo/src/sim/run_loop.cpp" "src/CMakeFiles/optipar.dir/sim/run_loop.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/sim/run_loop.cpp.o.d"
+  "/root/repo/src/sim/step_simulator.cpp" "src/CMakeFiles/optipar.dir/sim/step_simulator.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/sim/step_simulator.cpp.o.d"
+  "/root/repo/src/sim/workloads.cpp" "src/CMakeFiles/optipar.dir/sim/workloads.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/sim/workloads.cpp.o.d"
+  "/root/repo/src/support/csv.cpp" "src/CMakeFiles/optipar.dir/support/csv.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/support/csv.cpp.o.d"
+  "/root/repo/src/support/options.cpp" "src/CMakeFiles/optipar.dir/support/options.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/support/options.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/optipar.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/CMakeFiles/optipar.dir/support/thread_pool.cpp.o" "gcc" "src/CMakeFiles/optipar.dir/support/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algos.dir/test_algos.cpp.o"
+  "CMakeFiles/test_algos.dir/test_algos.cpp.o.d"
+  "test_algos"
+  "test_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arbitration.dir/test_arbitration.cpp.o"
+  "CMakeFiles/test_arbitration.dir/test_arbitration.cpp.o.d"
+  "test_arbitration"
+  "test_arbitration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arbitration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_ascii_plot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boruvka.dir/test_boruvka.cpp.o"
+  "CMakeFiles/test_boruvka.dir/test_boruvka.cpp.o.d"
+  "test_boruvka"
+  "test_boruvka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boruvka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conflict_extraction.dir/test_conflict_extraction.cpp.o"
+  "CMakeFiles/test_conflict_extraction.dir/test_conflict_extraction.cpp.o.d"
+  "test_conflict_extraction"
+  "test_conflict_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conflict_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conflict_ratio.dir/test_conflict_ratio.cpp.o"
+  "CMakeFiles/test_conflict_ratio.dir/test_conflict_ratio.cpp.o.d"
+  "test_conflict_ratio"
+  "test_conflict_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conflict_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

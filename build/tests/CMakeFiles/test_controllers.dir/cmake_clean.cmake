@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controllers.dir/test_controllers.cpp.o"
+  "CMakeFiles/test_controllers.dir/test_controllers.cpp.o.d"
+  "test_controllers"
+  "test_controllers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

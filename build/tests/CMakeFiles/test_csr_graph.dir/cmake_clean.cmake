@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csr_graph.dir/test_csr_graph.cpp.o"
+  "CMakeFiles/test_csr_graph.dir/test_csr_graph.cpp.o.d"
+  "test_csr_graph"
+  "test_csr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

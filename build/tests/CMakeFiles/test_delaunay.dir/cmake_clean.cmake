@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delaunay.dir/test_delaunay.cpp.o"
+  "CMakeFiles/test_delaunay.dir/test_delaunay.cpp.o.d"
+  "test_delaunay"
+  "test_delaunay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delaunay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

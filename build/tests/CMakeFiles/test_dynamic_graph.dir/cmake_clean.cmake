@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_graph.dir/test_dynamic_graph.cpp.o"
+  "CMakeFiles/test_dynamic_graph.dir/test_dynamic_graph.cpp.o.d"
+  "test_dynamic_graph"
+  "test_dynamic_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor_chaos.dir/test_executor_chaos.cpp.o"
+  "CMakeFiles/test_executor_chaos.dir/test_executor_chaos.cpp.o.d"
+  "test_executor_chaos"
+  "test_executor_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry.dir/test_geometry.cpp.o"
+  "CMakeFiles/test_geometry.dir/test_geometry.cpp.o.d"
+  "test_geometry"
+  "test_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

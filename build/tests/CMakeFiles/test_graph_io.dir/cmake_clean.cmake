@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_io.dir/test_graph_io.cpp.o"
+  "CMakeFiles/test_graph_io.dir/test_graph_io.cpp.o.d"
+  "test_graph_io"
+  "test_graph_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

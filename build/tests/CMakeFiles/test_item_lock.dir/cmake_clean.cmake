@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_item_lock.dir/test_item_lock.cpp.o"
+  "CMakeFiles/test_item_lock.dir/test_item_lock.cpp.o.d"
+  "test_item_lock"
+  "test_item_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_item_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mis_coloring.dir/test_mis_coloring.cpp.o"
+  "CMakeFiles/test_mis_coloring.dir/test_mis_coloring.cpp.o.d"
+  "test_mis_coloring"
+  "test_mis_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mis_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

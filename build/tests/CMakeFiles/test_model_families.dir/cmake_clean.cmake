@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_families.dir/test_model_families.cpp.o"
+  "CMakeFiles/test_model_families.dir/test_model_families.cpp.o.d"
+  "test_model_families"
+  "test_model_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

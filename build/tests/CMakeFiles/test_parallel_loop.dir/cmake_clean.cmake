@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_loop.dir/test_parallel_loop.cpp.o"
+  "CMakeFiles/test_parallel_loop.dir/test_parallel_loop.cpp.o.d"
+  "test_parallel_loop"
+  "test_parallel_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_permutation_sweep.dir/test_permutation_sweep.cpp.o"
+  "CMakeFiles/test_permutation_sweep.dir/test_permutation_sweep.cpp.o.d"
+  "test_permutation_sweep"
+  "test_permutation_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_permutation_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refine.dir/test_refine.cpp.o"
+  "CMakeFiles/test_refine.dir/test_refine.cpp.o.d"
+  "test_refine"
+  "test_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_run_loop.dir/test_run_loop.cpp.o"
+  "CMakeFiles/test_run_loop.dir/test_run_loop.cpp.o.d"
+  "test_run_loop"
+  "test_run_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_run_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seating.dir/test_seating.cpp.o"
+  "CMakeFiles/test_seating.dir/test_seating.cpp.o.d"
+  "test_seating"
+  "test_seating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

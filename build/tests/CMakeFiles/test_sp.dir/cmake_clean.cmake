@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sp.dir/test_sp.cpp.o"
+  "CMakeFiles/test_sp.dir/test_sp.cpp.o.d"
+  "test_sp"
+  "test_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_executor.dir/test_spec_executor.cpp.o"
+  "CMakeFiles/test_spec_executor.dir/test_spec_executor.cpp.o.d"
+  "test_spec_executor"
+  "test_spec_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

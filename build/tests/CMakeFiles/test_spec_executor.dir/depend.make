@@ -1,0 +1,2 @@
+# Empty dependencies file for test_spec_executor.
+# This may be replaced when dependencies are built.

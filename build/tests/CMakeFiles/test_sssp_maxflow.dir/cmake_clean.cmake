@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sssp_maxflow.dir/test_sssp_maxflow.cpp.o"
+  "CMakeFiles/test_sssp_maxflow.dir/test_sssp_maxflow.cpp.o.d"
+  "test_sssp_maxflow"
+  "test_sssp_maxflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sssp_maxflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_misc.dir/test_support_misc.cpp.o"
+  "CMakeFiles/test_support_misc.dir/test_support_misc.cpp.o.d"
+  "test_support_misc"
+  "test_support_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

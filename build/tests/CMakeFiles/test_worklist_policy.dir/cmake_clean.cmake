@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_worklist_policy.dir/test_worklist_policy.cpp.o"
+  "CMakeFiles/test_worklist_policy.dir/test_worklist_policy.cpp.o.d"
+  "test_worklist_policy"
+  "test_worklist_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_worklist_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

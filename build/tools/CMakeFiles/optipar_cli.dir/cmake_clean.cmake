@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optipar_cli.dir/optipar_cli.cpp.o"
+  "CMakeFiles/optipar_cli.dir/optipar_cli.cpp.o.d"
+  "optipar_cli"
+  "optipar_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optipar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
