@@ -177,9 +177,10 @@ int main(int argc, char** argv) {
     bench::banner("5. target conflict ratio rho sweep");
     Table t({"rho", "mu(rho)", "convergence_step", "steady_r", "wasted",
              "throughput(committed/step)"});
+    Rng mu_rng(13);
+    const auto mu_curve = estimate_conflict_curve(g, 300, mu_rng);
     for (const double r : {0.10, 0.20, 0.25, 0.30, 0.40}) {
-      Rng mu_rng(13);
-      const auto mu_r = static_cast<double>(find_mu(g, r, 300, mu_rng));
+      const auto mu_r = static_cast<double>(find_mu(mu_curve, r));
       auto p = base;
       p.rho = r;
       HybridController c(p);

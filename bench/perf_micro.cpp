@@ -21,9 +21,12 @@ void BM_PermutationSweep(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));
   Rng rng(1);
   const auto g = gen::random_with_average_degree(n, 16, rng);
+  std::vector<NodeId> perm;
+  SweepScratch scratch;
+  PrefixSweep sweep;
   for (auto _ : state) {
-    const auto perm = rng.permutation(n);
-    const auto sweep = sweep_full_permutation(g, perm);
+    rng.permutation_into(n, perm);
+    sweep_full_permutation(g, perm, scratch, sweep);
     benchmark::DoNotOptimize(sweep.aborts_at_prefix.back());
   }
   state.SetItemsProcessed(state.iterations() * n);
@@ -34,9 +37,14 @@ void BM_RoundOutcome(benchmark::State& state) {
   const auto m = static_cast<std::uint32_t>(state.range(0));
   Rng rng(2);
   const auto g = gen::random_with_average_degree(2000, 16, rng);
+  Rng::SampleScratch sample_scratch;
+  SweepScratch sweep_scratch;
+  std::vector<NodeId> active;
+  std::vector<std::uint8_t> outcome;
   for (auto _ : state) {
-    const auto active = rng.sample_without_replacement(2000, m);
-    benchmark::DoNotOptimize(round_outcome(g, active));
+    rng.sample_without_replacement_into(2000, m, sample_scratch, active);
+    round_outcome(g, active, sweep_scratch, outcome);
+    benchmark::DoNotOptimize(outcome.data());
   }
   state.SetItemsProcessed(state.iterations() * m);
 }
@@ -115,6 +123,32 @@ void BM_ExecutorRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * m);
 }
 BENCHMARK(BM_ExecutorRound)->Arg(16)->Arg(256)->Arg(2048);
+
+// Steady-state round overhead: the executor, its worklist, and its
+// iteration contexts are reused across rounds — this is the dispatch path
+// an adaptive run loop actually sits in (thousands of rounds per run).
+// Every committed task re-pushes itself, so the worklist size is invariant
+// and each timed iteration performs one full round of m conflict-free
+// tasks.
+void BM_SpecExecutorRound(benchmark::State& state) {
+  const auto m = static_cast<std::uint32_t>(state.range(0));
+  ThreadPool pool(2);
+  SpeculativeExecutor ex(
+      pool, 4096,
+      [](TaskId t, IterationContext& ctx) {
+        ctx.acquire(static_cast<std::uint32_t>(t));
+        ctx.push(t);  // keep the worklist at steady state
+      },
+      5);
+  std::vector<TaskId> tasks(m);
+  for (std::uint32_t t = 0; t < m; ++t) tasks[t] = t;
+  ex.push_initial(tasks);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.run_round(m).committed);
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_SpecExecutorRound)->Arg(16)->Arg(256)->Arg(2048);
 
 void BM_DelaunayBuild(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

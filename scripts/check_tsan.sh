@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build the four concurrency-critical test binaries under ThreadSanitizer
+# (CMake preset "tsan") and run them. Any data race, lock-order inversion,
+# or racy signal in the fork-join pool, the sharded speculative executor,
+# or the abstract lock table fails this script.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)"
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+
+status=0
+for bin in test_spec_executor test_executor_chaos test_thread_pool \
+           test_item_lock; do
+  echo "== tsan: $bin =="
+  if ! "build-tsan/tests/$bin"; then
+    status=1
+  fi
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "tsan: all concurrency test binaries clean"
+fi
+exit $status

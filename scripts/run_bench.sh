@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Run the runtime micro-benchmarks (bench/perf_micro) and write BENCH_rt.json
+# at the repository root.
+#
+# Usage:
+#   scripts/run_bench.sh [baseline.json]
+#
+# With no argument, BENCH_rt.json holds the raw google-benchmark JSON of the
+# current build. With a baseline file (google-benchmark JSON captured from an
+# earlier build, e.g. the pre-refactor seed), every benchmark entry gains
+# "baseline_real_time" and "speedup" fields so before/after lives in one
+# artifact.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+OUT="$ROOT/BENCH_rt.json"
+BASELINE="${1:-}"
+
+if [[ ! -d "$BUILD" ]]; then
+  cmake -B "$BUILD" -S "$ROOT"
+fi
+cmake --build "$BUILD" --target perf_micro -j"$(nproc)"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+REPS="${BENCH_REPS:-3}"
+"$BUILD/bench/perf_micro" \
+  --benchmark_format=json \
+  --benchmark_min_time="${BENCH_MIN_TIME:-0.2}" \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  > "$RAW"
+
+python3 - "$RAW" "$OUT" "$BASELINE" <<'EOF'
+import json
+import sys
+
+raw_path, out_path, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
+doc = json.load(open(raw_path))
+doc["generated_by"] = "scripts/run_bench.sh"
+
+def comparable(b):
+    # With aggregate reporting, compare medians only (means/stddev/cv are
+    # not meaningful as ratios).
+    agg = b.get("aggregate_name")
+    return "real_time" in b and (agg is None or agg == "median")
+
+if baseline_path:
+    base = json.load(open(baseline_path))
+    base_times = {b["name"]: b["real_time"] for b in base.get("benchmarks", [])
+                  if comparable(b)}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name")
+        if comparable(b) and name in base_times and b.get("real_time"):
+            b["baseline_real_time"] = base_times[name]
+            b["speedup"] = round(base_times[name] / b["real_time"], 3)
+    doc["baseline_context"] = base.get("context", {})
+
+json.dump(doc, open(out_path, "w"), indent=1)
+print(f"wrote {out_path}")
+for b in doc.get("benchmarks", []):
+    if "speedup" in b:
+        print(f"  {b['name']:45s} {b['baseline_real_time']:>12.0f} ns -> "
+              f"{b['real_time']:>12.0f} ns   {b['speedup']:.2f}x")
+EOF

@@ -6,22 +6,39 @@
 
 namespace optipar {
 
-ConflictCurve estimate_conflict_curve(const CsrGraph& g, std::uint32_t trials,
-                                      Rng& rng) {
-  if (trials == 0) {
-    throw std::invalid_argument("estimate_conflict_curve: trials == 0");
-  }
+namespace {
+
+/// Accumulate `trials` full-permutation sweeps into `curve` using `rng`'s
+/// stream. Shared by the serial estimator and each parallel lane; all O(n)
+/// buffers (permutation, sweep output, stamps) are reused across trials.
+void accumulate_sweeps(const CsrGraph& g, std::uint32_t first_trial,
+                       std::uint32_t trials, std::uint32_t stride, Rng& rng,
+                       ConflictCurve& curve) {
   const NodeId n = g.num_nodes();
-  ConflictCurve curve;
-  curve.abort_stats.assign(static_cast<std::size_t>(n) + 1, StreamingStats{});
-  for (std::uint32_t t = 0; t < trials; ++t) {
-    const auto perm = rng.permutation(n);
-    const auto sweep = sweep_full_permutation(g, perm);
+  std::vector<std::uint32_t> perm;
+  SweepScratch scratch;
+  PrefixSweep sweep;
+  for (std::uint32_t t = first_trial; t < trials; t += stride) {
+    rng.permutation_into(n, perm);
+    sweep_full_permutation(g, perm, scratch, sweep);
     for (std::uint32_t m = 0; m <= n; ++m) {
       curve.abort_stats[m].add(
           static_cast<double>(sweep.aborts_at_prefix[m]));
     }
   }
+}
+
+}  // namespace
+
+ConflictCurve estimate_conflict_curve(const CsrGraph& g, std::uint32_t trials,
+                                      Rng& rng) {
+  if (trials == 0) {
+    throw std::invalid_argument("estimate_conflict_curve: trials == 0");
+  }
+  ConflictCurve curve;
+  curve.abort_stats.assign(static_cast<std::size_t>(g.num_nodes()) + 1,
+                           StreamingStats{});
+  accumulate_sweeps(g, 0, trials, 1, rng, curve);
   return curve;
 }
 
@@ -49,17 +66,9 @@ ConflictCurve estimate_conflict_curve_parallel(const CsrGraph& g,
 
   pool.run_on_workers(lanes, [&](std::size_t lane) {
     // Deal trials round-robin so every lane count divides evenly enough.
-    Rng& rng = lane_rngs[lane];
-    ConflictCurve& mine = partials[lane];
-    for (std::uint32_t t = static_cast<std::uint32_t>(lane); t < trials;
-         t += static_cast<std::uint32_t>(lanes)) {
-      const auto perm = rng.permutation(n);
-      const auto sweep = sweep_full_permutation(g, perm);
-      for (std::uint32_t m = 0; m <= n; ++m) {
-        mine.abort_stats[m].add(
-            static_cast<double>(sweep.aborts_at_prefix[m]));
-      }
-    }
+    accumulate_sweeps(g, static_cast<std::uint32_t>(lane), trials,
+                      static_cast<std::uint32_t>(lanes), lane_rngs[lane],
+                      partials[lane]);
   });
 
   ConflictCurve merged = std::move(partials[0]);
@@ -71,48 +80,49 @@ ConflictCurve estimate_conflict_curve_parallel(const CsrGraph& g,
   return merged;
 }
 
+RoundPointEstimate estimate_round_point(const CsrGraph& g, std::uint32_t m,
+                                        std::uint32_t trials, Rng& rng) {
+  if (m == 0 || m > g.num_nodes()) {
+    throw std::invalid_argument("estimate_round_point: bad m");
+  }
+  RoundPointEstimate est;
+  Rng::SampleScratch sample_scratch;
+  SweepScratch sweep_scratch;
+  std::vector<NodeId> active;
+  std::vector<std::uint8_t> outcome;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    rng.sample_without_replacement_into(g.num_nodes(), m, sample_scratch,
+                                        active);
+    round_outcome(g, active, sweep_scratch, outcome);
+    std::uint32_t committed = 0;
+    for (const auto c : outcome) committed += (c == 1);
+    est.r.add(static_cast<double>(m - committed) / static_cast<double>(m));
+    est.committed.add(static_cast<double>(committed));
+  }
+  return est;
+}
+
 StreamingStats estimate_r_at(const CsrGraph& g, std::uint32_t m,
                              std::uint32_t trials, Rng& rng) {
-  if (m == 0 || m > g.num_nodes()) {
-    throw std::invalid_argument("estimate_r_at: bad m");
-  }
-  StreamingStats stats;
-  for (std::uint32_t t = 0; t < trials; ++t) {
-    const auto active = rng.sample_without_replacement(g.num_nodes(), m);
-    const auto outcome =
-        round_outcome(g, std::span<const NodeId>(active));
-    std::uint32_t aborted = 0;
-    for (const auto c : outcome) aborted += (c == 0);
-    stats.add(static_cast<double>(aborted) / static_cast<double>(m));
-  }
-  return stats;
+  return estimate_round_point(g, m, trials, rng).r;
 }
 
 StreamingStats estimate_committed_at(const CsrGraph& g, std::uint32_t m,
                                      std::uint32_t trials, Rng& rng) {
-  if (m == 0 || m > g.num_nodes()) {
-    throw std::invalid_argument("estimate_committed_at: bad m");
-  }
-  StreamingStats stats;
-  for (std::uint32_t t = 0; t < trials; ++t) {
-    const auto active = rng.sample_without_replacement(g.num_nodes(), m);
-    const auto outcome =
-        round_outcome(g, std::span<const NodeId>(active));
-    std::uint32_t committed = 0;
-    for (const auto c : outcome) committed += (c == 1);
-    stats.add(static_cast<double>(committed));
-  }
-  return stats;
+  return estimate_round_point(g, m, trials, rng).committed;
 }
 
-std::uint32_t find_mu(const CsrGraph& g, double rho, std::uint32_t trials,
-                      Rng& rng) {
-  const auto curve = estimate_conflict_curve(g, trials, rng);
+std::uint32_t find_mu(const ConflictCurve& curve, double rho) {
   std::uint32_t mu = 1;
   for (std::uint32_t m = 1; m <= curve.max_m(); ++m) {
     if (curve.r_bar(m) <= rho) mu = m;
   }
   return mu;
+}
+
+std::uint32_t find_mu(const CsrGraph& g, double rho, std::uint32_t trials,
+                      Rng& rng) {
+  return find_mu(estimate_conflict_curve(g, trials, rng), rho);
 }
 
 }  // namespace optipar

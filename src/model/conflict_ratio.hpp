@@ -53,6 +53,23 @@ struct ConflictCurve {
     const CsrGraph& g, std::uint32_t trials, std::uint64_t seed,
     ThreadPool& pool);
 
+/// Point estimates at a single m: both r̄(m) and EM_m(G) come from the same
+/// per-trial round outcome (committed = m − aborted), so one simulation
+/// feeds both statistics.
+struct RoundPointEstimate {
+  StreamingStats r;          // per-trial aborted / m
+  StreamingStats committed;  // per-trial committed count
+};
+
+/// Simulate `trials` independent rounds of exactly m random launches and
+/// accumulate both point statistics. Cheaper than the full curve when only
+/// one m matters. The draw stream matches the historical estimate_r_at /
+/// estimate_committed_at exactly (one sample per trial).
+[[nodiscard]] RoundPointEstimate estimate_round_point(const CsrGraph& g,
+                                                      std::uint32_t m,
+                                                      std::uint32_t trials,
+                                                      Rng& rng);
+
 /// Point estimate of r̄(m) only (cheaper when the full curve is not needed:
 /// each trial stops after m nodes).
 [[nodiscard]] StreamingStats estimate_r_at(const CsrGraph& g, std::uint32_t m,
@@ -70,5 +87,9 @@ struct ConflictCurve {
 /// a single high-trial-count curve evaluation.
 [[nodiscard]] std::uint32_t find_mu(const CsrGraph& g, double rho,
                                     std::uint32_t trials, Rng& rng);
+
+/// Read μ(ρ) off an already-estimated curve. Callers that need μ at several
+/// thresholds (sweeps, ablations) estimate the curve once and query this.
+[[nodiscard]] std::uint32_t find_mu(const ConflictCurve& curve, double rho);
 
 }  // namespace optipar

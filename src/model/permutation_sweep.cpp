@@ -4,59 +4,66 @@
 
 namespace optipar {
 
-PrefixSweep sweep_full_permutation(const CsrGraph& g,
-                                   std::span<const NodeId> perm) {
+void sweep_full_permutation(const CsrGraph& g, std::span<const NodeId> perm,
+                            SweepScratch& scratch, PrefixSweep& out) {
   const NodeId n = g.num_nodes();
   if (perm.size() != n) {
     throw std::invalid_argument("sweep_full_permutation: size mismatch");
   }
-  PrefixSweep out;
   out.committed.assign(n, 0);
-  out.aborts_at_prefix.assign(static_cast<std::size_t>(n) + 1, 0);
+  out.aborts_at_prefix.resize(static_cast<std::size_t>(n) + 1);
+  out.aborts_at_prefix[0] = 0;
+  scratch.begin(n);
 
-  std::vector<std::uint8_t> seen(n, 0);
   std::uint32_t aborted = 0;
   for (std::uint32_t pos = 0; pos < n; ++pos) {
     const NodeId v = perm[pos];
-    if (v >= n || seen[v]) {
+    if (v >= n || scratch.seen_epoch[v] == scratch.epoch) {
       throw std::invalid_argument("sweep_full_permutation: not a permutation");
     }
-    seen[v] = 1;
-    bool blocked = false;
-    for (const NodeId w : g.neighbors(v)) {
-      if (out.committed[w]) {
-        blocked = true;
-        break;
-      }
-    }
-    if (blocked) {
+    scratch.seen_epoch[v] = scratch.epoch;
+    if (scratch.blocked_epoch[v] == scratch.epoch) {
       ++aborted;
     } else {
       out.committed[v] = 1;
+      // Push the block: later neighbors learn their fate in O(1).
+      for (const NodeId w : g.neighbors(v)) {
+        scratch.blocked_epoch[w] = scratch.epoch;
+      }
     }
     out.aborts_at_prefix[pos + 1] = aborted;
   }
+}
+
+PrefixSweep sweep_full_permutation(const CsrGraph& g,
+                                   std::span<const NodeId> perm) {
+  SweepScratch scratch;
+  PrefixSweep out;
+  sweep_full_permutation(g, perm, scratch, out);
   return out;
+}
+
+void round_outcome(const CsrGraph& g,
+                   std::span<const NodeId> active_in_commit_order,
+                   SweepScratch& scratch, std::vector<std::uint8_t>& result) {
+  scratch.begin(g.num_nodes());
+  result.assign(active_in_commit_order.size(), 0);
+  for (std::size_t pos = 0; pos < active_in_commit_order.size(); ++pos) {
+    const NodeId v = active_in_commit_order[pos];
+    if (scratch.blocked_epoch[v] != scratch.epoch) {
+      result[pos] = 1;
+      for (const NodeId w : g.neighbors(v)) {
+        scratch.blocked_epoch[w] = scratch.epoch;
+      }
+    }
+  }
 }
 
 std::vector<std::uint8_t> round_outcome(
     const CsrGraph& g, std::span<const NodeId> active_in_commit_order) {
-  std::vector<std::uint8_t> committed_flag(g.num_nodes(), 0);
-  std::vector<std::uint8_t> result(active_in_commit_order.size(), 0);
-  for (std::size_t pos = 0; pos < active_in_commit_order.size(); ++pos) {
-    const NodeId v = active_in_commit_order[pos];
-    bool blocked = false;
-    for (const NodeId w : g.neighbors(v)) {
-      if (committed_flag[w]) {
-        blocked = true;
-        break;
-      }
-    }
-    if (!blocked) {
-      committed_flag[v] = 1;
-      result[pos] = 1;
-    }
-  }
+  SweepScratch scratch;
+  std::vector<std::uint8_t> result;
+  round_outcome(g, active_in_commit_order, scratch, result);
   return result;
 }
 

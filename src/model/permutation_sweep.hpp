@@ -8,8 +8,21 @@
 // ONE pass over a full permutation yields k(π, m), the abort count of the
 // length-m prefix, for EVERY m simultaneously in O(n + |E|). All
 // Monte-Carlo estimates of r̄(m) (Fig. 2) build on this sweep.
+//
+// The kernels are push-based: when a node commits it stamps its neighbors
+// as blocked, so a later node's fate is one O(1) lookup instead of a scan
+// of its adjacency list for a committed member. Total edge work is
+// Σ deg(committed) rather than the pull-based Σ (prefix of deg(v) scanned),
+// and the results are bit-identical ("some earlier committed neighbor
+// exists" ⟺ "an earlier committed node stamped me").
+//
+// Stamps live in a SweepScratch that callers reuse across trials: an epoch
+// counter makes clearing O(1) (bump the epoch; stale stamps from previous
+// trials simply stop matching), so an m ≪ n round touches O(m + Σ deg)
+// memory, not O(n).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -32,15 +45,49 @@ struct PrefixSweep {
   }
 };
 
+/// Reusable epoch-stamped scratch for the sweep kernels. One instance per
+/// thread; begin() is O(1) except on first use (or epoch wraparound), so a
+/// Monte-Carlo loop of T trials allocates O(n) once instead of T times.
+struct SweepScratch {
+  std::vector<std::uint32_t> blocked_epoch;  // node stamped by a committed
+                                             // earlier neighbor this epoch
+  std::vector<std::uint32_t> seen_epoch;     // permutation validation
+  std::uint32_t epoch = 0;
+
+  /// Start a fresh trial over n nodes; invalidates all previous stamps.
+  void begin(std::uint32_t n) {
+    if (blocked_epoch.size() < n) {
+      blocked_epoch.resize(n, 0);
+      seen_epoch.resize(n, 0);
+    }
+    if (++epoch == 0) {  // wraparound: stale stamps could collide — wipe
+      std::fill(blocked_epoch.begin(), blocked_epoch.end(), 0u);
+      std::fill(seen_epoch.begin(), seen_epoch.end(), 0u);
+      epoch = 1;
+    }
+  }
+};
+
 /// Run the commit-order semantics over a full permutation of all nodes of g.
-/// `perm` must be a permutation of 0..n-1 (checked).
+/// `perm` must be a permutation of 0..n-1 (checked). Scratch-reusing
+/// variant: `out`'s buffers are overwritten (and only grow once).
+void sweep_full_permutation(const CsrGraph& g, std::span<const NodeId> perm,
+                            SweepScratch& scratch, PrefixSweep& out);
+
+/// Convenience wrapper that owns its scratch (one-shot callers, tests).
 [[nodiscard]] PrefixSweep sweep_full_permutation(const CsrGraph& g,
                                                  std::span<const NodeId> perm);
 
 /// Outcome of one round restricted to an explicit active set in commit
-/// order: returns per-position commit flags (1 = committed). Conflicts are
+/// order: fills per-position commit flags (1 = committed). Conflicts are
 /// evaluated only among the active nodes, matching a round in which exactly
-/// these m tasks were launched.
+/// these m tasks were launched. Touches O(m + Σ deg(committed)) state — the
+/// epoch scratch means no O(n) clear even though stamps are per-node.
+void round_outcome(const CsrGraph& g,
+                   std::span<const NodeId> active_in_commit_order,
+                   SweepScratch& scratch, std::vector<std::uint8_t>& result);
+
+/// Convenience wrapper that owns its scratch (one-shot callers, tests).
 [[nodiscard]] std::vector<std::uint8_t> round_outcome(
     const CsrGraph& g, std::span<const NodeId> active_in_commit_order);
 

@@ -5,7 +5,28 @@
 #include <stdexcept>
 #include <thread>
 
+#include "support/barrier.hpp"
+
 namespace optipar {
+
+namespace {
+// Tickets (slots) are claimed in chunks so that lanes draw several tasks
+// under one shard lock and touch the shared cursors rarely. A single lane
+// claims every chunk in order, so the chunked draw replays the centralized
+// draw sequence exactly.
+constexpr std::size_t kDrawChunk = 16;
+constexpr std::size_t kFinalizeChunk = 64;
+
+// With several lanes the chunk must shrink as the round does: a task that
+// blocks mid-operator (a priority-wins waiter, or a test choreography)
+// stalls the rest of its lane's chunk, so small rounds need the seed's
+// grain-1 interleaving where every other slot can proceed on another lane.
+std::size_t draw_chunk(std::size_t take, std::size_t lanes) {
+  if (lanes <= 1) return kDrawChunk;
+  return std::max<std::size_t>(
+      1, std::min<std::size_t>(kDrawChunk, take / (lanes * 2)));
+}
+}  // namespace
 
 void IterationContext::acquire(std::uint32_t item) {
   if (executor_ != nullptr &&
@@ -34,18 +55,47 @@ SpeculativeExecutor::SpeculativeExecutor(ThreadPool& pool, std::size_t items,
                                          WorklistPolicy policy,
                                          ArbitrationPolicy arbitration)
     : pool_(pool), locks_(items), op_(std::move(op)), rng_(seed),
-      policy_(policy), arbitration_(arbitration) {}
+      policy_(policy), arbitration_(arbitration),
+      shard_count_(std::max<std::size_t>(1, pool.size())),
+      shards_(std::make_unique<Shard[]>(shard_count_)) {
+  // Helper lanes get independent draw streams derived from the seed with a
+  // PRF — NOT splits of rng_, whose state must stay byte-identical to a
+  // single-lane executor's until the first draw.
+  SplitMix64 sm(seed ^ 0xa02bdbf7bb3c0a7dULL);
+  helper_rngs_.reserve(shard_count_ - 1);
+  for (std::size_t l = 1; l < shard_count_; ++l) {
+    helper_rngs_.emplace_back(sm.next());
+  }
+}
 
 void SpeculativeExecutor::push_initial(std::span<const TaskId> tasks) {
-  const std::lock_guard lock(worklist_mutex_);
   if (policy_ == WorklistPolicy::kPriority) {
+    const std::lock_guard lock(worklist_mutex_);
     if (!priority_fn_) {
       throw std::logic_error(
           "SpeculativeExecutor: kPriority requires set_priority_function");
     }
     for (const TaskId t : tasks) priority_heap_.emplace(priority_fn_(t), t);
-  } else {
-    worklist_.insert(worklist_.end(), tasks.begin(), tasks.end());
+    return;
+  }
+  if (shard_count_ == 1) {
+    Shard& s = shards_[0];
+    const std::lock_guard guard(s.mutex);
+    s.tasks.insert(s.tasks.end(), tasks.begin(), tasks.end());
+    return;
+  }
+  // Deal round-robin across shards, continuing where the last push left off
+  // so repeated small pushes stay balanced.
+  const std::size_t start =
+      push_cursor_.fetch_add(tasks.size(), std::memory_order_relaxed) %
+      shard_count_;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    const std::lock_guard guard(shard.mutex);
+    for (std::size_t i = (s + shard_count_ - start) % shard_count_;
+         i < tasks.size(); i += shard_count_) {
+      shard.tasks.push_back(tasks[i]);
+    }
   }
 }
 
@@ -56,18 +106,20 @@ void SpeculativeExecutor::set_priority_function(
 }
 
 std::size_t SpeculativeExecutor::pending() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    const std::lock_guard guard(shards_[s].mutex);
+    total += shards_[s].tasks.size() - shards_[s].head;
+  }
   const std::lock_guard lock(worklist_mutex_);
-  return policy_ == WorklistPolicy::kPriority
-             ? priority_heap_.size()
-             : worklist_.size() - head_;
+  return total + priority_heap_.size();
 }
 
 IterationContext* SpeculativeExecutor::context_of(std::uint32_t iter_id) {
-  if (round_contexts_ == nullptr) return nullptr;
   if (iter_id < round_base_id_) return nullptr;
   const std::size_t slot = iter_id - round_base_id_;
-  if (slot >= round_contexts_->size()) return nullptr;
-  return (*round_contexts_)[slot].get();
+  if (slot >= round_slots_) return nullptr;
+  return arena_[slot].get();
 }
 
 void SpeculativeExecutor::acquire_arbitrated(IterationContext& ctx,
@@ -130,129 +182,243 @@ void SpeculativeExecutor::acquire_arbitrated(IterationContext& ctx,
   }
 }
 
-RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
-  // 1. Draw up to m tasks from the work-set according to the policy
-  //    (random: swap-remove with the tail; FIFO: advance head_ cursor;
-  //    LIFO: pop the back; priority: pop the heap).
-  std::vector<TaskId> active;
-  {
-    const std::lock_guard lock(worklist_mutex_);
-    const std::size_t available = policy_ == WorklistPolicy::kPriority
-                                      ? priority_heap_.size()
-                                      : worklist_.size() - head_;
-    const auto take = std::min<std::size_t>(m, available);
-    active.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-      switch (policy_) {
-        case WorklistPolicy::kRandom: {
-          const std::size_t j =
-              head_ + rng_.below(worklist_.size() - head_);
-          active.push_back(worklist_[j]);
-          worklist_[j] = worklist_.back();
-          worklist_.pop_back();
-          break;
-        }
-        case WorklistPolicy::kFifo:
-          active.push_back(worklist_[head_++]);
-          break;
-        case WorklistPolicy::kLifo:
-          active.push_back(worklist_.back());
-          worklist_.pop_back();
-          break;
-        case WorklistPolicy::kPriority:
-          active.push_back(priority_heap_.top().second);
-          priority_heap_.pop();
-          break;
+TaskId SpeculativeExecutor::pop_from(Shard& s, Rng& rng) {
+  switch (policy_) {
+    case WorklistPolicy::kRandom: {
+      const std::size_t j = s.head + rng.below(s.tasks.size() - s.head);
+      const TaskId t = s.tasks[j];
+      s.tasks[j] = s.tasks.back();
+      s.tasks.pop_back();
+      return t;
+    }
+    case WorklistPolicy::kFifo: {
+      const TaskId t = s.tasks[s.head++];
+      // Compact the consumed prefix once it dominates the buffer.
+      if (s.head > 1024 && s.head * 2 > s.tasks.size()) {
+        s.tasks.erase(s.tasks.begin(),
+                      s.tasks.begin() + static_cast<std::ptrdiff_t>(s.head));
+        s.head = 0;
       }
+      return t;
     }
-    // Compact the consumed FIFO prefix once it dominates the buffer.
-    if (head_ > 1024 && head_ * 2 > worklist_.size()) {
-      worklist_.erase(worklist_.begin(),
-                      worklist_.begin() + static_cast<std::ptrdiff_t>(head_));
-      head_ = 0;
+    case WorklistPolicy::kLifo: {
+      const TaskId t = s.tasks.back();
+      s.tasks.pop_back();
+      return t;
     }
+    case WorklistPolicy::kPriority:
+      break;  // centralized path never reaches the shards
   }
+  assert(false && "pop_from: unreachable policy");
+  return 0;
+}
 
+TaskId SpeculativeExecutor::draw_one(std::size_t lane, Rng& rng) {
+  // Own shard first, then steal round-robin. Because every ticket maps to a
+  // task that was present at round start and requeues are buffered until
+  // round end, shards only shrink during a round — a full scan observing
+  // every shard empty would mean more pops than tickets, which cannot
+  // happen. The outer loop is defensive only.
+  for (;;) {
+    for (std::size_t k = 0; k < shard_count_; ++k) {
+      Shard& s = shards_[(lane + k) % shard_count_];
+      const std::lock_guard guard(s.mutex);
+      if (s.head < s.tasks.size()) return pop_from(s, rng);
+    }
+    std::this_thread::yield();
+  }
+}
+
+void SpeculativeExecutor::record_round_error() noexcept {
+  const std::lock_guard lock(round_error_mutex_);
+  if (!round_error_) round_error_ = std::current_exception();
+}
+
+RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
   RoundStats stats;
-  stats.launched = static_cast<std::uint32_t>(active.size());
-  if (active.empty()) return stats;
+  const bool prioritized = policy_ == WorklistPolicy::kPriority;
+  std::size_t take = 0;
+  if (prioritized) {
+    // kPriority stays on the centralized path: the heap IS the policy (the
+    // m globally-smallest tasks run), so the draw happens up front.
+    const std::lock_guard lock(worklist_mutex_);
+    take = std::min<std::size_t>(m, priority_heap_.size());
+    active_.resize(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      active_[i] = priority_heap_.top().second;
+      priority_heap_.pop();
+    }
+  } else {
+    std::size_t available = 0;
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      const std::lock_guard guard(shards_[s].mutex);
+      available += shards_[s].tasks.size() - shards_[s].head;
+    }
+    take = std::min<std::size_t>(m, available);
+    active_.resize(take);  // slots are filled by the drawing lanes
+  }
+  stats.launched = static_cast<std::uint32_t>(take);
+  if (take == 0) return stats;
 
-  // 2. Execute all active tasks speculatively across the pool. Each slot
-  //    gets a stable iteration id for the lock table.
+  // Arena: slot i of this round recycles arena_[i]; only first-time slots
+  // allocate. Iteration ids stay dense per round for the lock table.
   const std::uint32_t base_id = next_iteration_id_;
   next_iteration_id_ += stats.launched;
-
-  std::vector<std::unique_ptr<IterationContext>> contexts(active.size());
-  std::vector<std::uint8_t> committed(active.size(), 0);
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    contexts[i] = std::make_unique<IterationContext>(
-        locks_, base_id + static_cast<std::uint32_t>(i));
-    contexts[i]->executor_ = this;
-    contexts[i]->priority_ =
-        priority_fn_ ? priority_fn_(active[i]) : active[i];
+  while (arena_.size() < take) {
+    auto ctx = std::make_unique<IterationContext>(locks_, 0);
+    ctx->executor_ = this;
+    arena_.push_back(std::move(ctx));
   }
-  round_contexts_ = &contexts;
   round_base_id_ = base_id;
+  round_slots_ = take;
 
-  pool_.parallel_for(active.size(), [&](std::size_t i) {
-    IterationContext& ctx = *contexts[i];
-    bool wants_commit = false;
-    try {
-      op_(active[i], ctx);
-      wants_commit = true;
-    } catch (const AbortIteration&) {
-      wants_commit = false;
+  // Lane count mirrors the old parallel_for policy (at most one lane per
+  // pool worker), so a pool of one worker runs exactly one deterministic
+  // lane. A nested call site (inside a pool worker) cannot get concurrent
+  // lanes from the pool, so it must run single-lane for the barrier below.
+  const std::size_t lanes =
+      pool_.in_worker_context()
+          ? 1
+          : std::max<std::size_t>(
+                1, std::min<std::size_t>(shard_count_, take));
+  if (lane_requeue_.size() < lanes) lane_requeue_.resize(lanes);
+  if (lane_committed_.size() < lanes) lane_committed_.resize(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    lane_requeue_[l].value.clear();
+    lane_committed_[l].value = 0;
+  }
+  draw_cursor_.store(0, std::memory_order_relaxed);
+  finalize_cursor_.store(0, std::memory_order_relaxed);
+  round_error_ = nullptr;
+
+  SpinBarrier round_barrier(lanes);
+  const std::size_t chunk = draw_chunk(take, lanes);
+  pool_.run_on_workers(lanes, [&](std::size_t lane) {
+    Rng& rng = lane == 0 ? rng_ : helper_rngs_[lane - 1];
+    // --- Speculative phase: draw and execute in ticket chunks. ----------
+    for (;;) {
+      const std::size_t begin =
+          draw_cursor_.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= take) break;
+      const std::size_t end = std::min(take, begin + chunk);
+      if (!prioritized) {
+        // Draw the chunk: own shard under one lock, then steal.
+        std::size_t slot = begin;
+        {
+          Shard& own = shards_[lane];
+          const std::lock_guard guard(own.mutex);
+          while (slot < end && own.head < own.tasks.size()) {
+            active_[slot++] = pop_from(own, rng);
+          }
+        }
+        while (slot < end) active_[slot++] = draw_one(lane, rng);
+      }
+      for (std::size_t slot = begin; slot < end; ++slot) {
+        const TaskId task = active_[slot];
+        IterationContext& ctx = *arena_[slot];
+        std::uint64_t prio = task;
+        if (priority_fn_) {
+          try {
+            prio = priority_fn_(task);
+          } catch (...) {
+            record_round_error();
+          }
+        }
+        ctx.reset(base_id + static_cast<std::uint32_t>(slot), prio);
+        bool wants_commit = false;
+        try {
+          op_(task, ctx);
+          wants_commit = true;
+        } catch (const AbortIteration&) {
+          // speculative conflict or voluntary abort
+        } catch (...) {
+          // Application bug: surfaced after the round, but the iteration
+          // still rolls back so the runtime invariants hold.
+          record_round_error();
+        }
+        // Finalize: a poisoned iteration may not commit even if it
+        // finished.
+        if (wants_commit && ctx.try_commit()) {
+          // Committed iterations keep their items locked until the round
+          // ends (the paper's semantics: an earlier committed neighbor
+          // blocks).
+        } else {
+          // Roll back while still owning the touched items, then release
+          // them immediately: an aborted task must not block later tasks
+          // (§2.1), and a priority-wins waiter may be spinning on one of
+          // our items.
+          try {
+            ctx.undo_.rollback();
+          } catch (...) {
+            record_round_error();
+          }
+          ctx.release_all();
+        }
+      }
     }
-    // Finalize: a poisoned iteration may not commit even if it finished.
-    if (wants_commit && ctx.try_commit()) {
-      committed[i] = 1;
-      // Committed iterations keep their items locked until the round ends
-      // (the paper's semantics: an earlier committed neighbor blocks).
-    } else {
-      // Roll back while still owning the touched items, then release them
-      // immediately: an aborted task must not block later tasks (§2.1),
-      // and a priority-wins waiter may be spinning on one of our items.
-      ctx.undo_.rollback();
-      ctx.release_all();
+    // --- Round barrier: commits become final, locks still held. ---------
+    round_barrier.arrive_and_wait();
+    // --- Epilogue phase (parallel): publish pushes of committed
+    //     iterations, buffer requeues lane-locally, release locks. -------
+    auto& requeue = lane_requeue_[lane].value;
+    std::uint32_t committed = 0;
+    for (;;) {
+      const std::size_t begin =
+          finalize_cursor_.fetch_add(kFinalizeChunk,
+                                     std::memory_order_relaxed);
+      if (begin >= take) break;
+      const std::size_t end = std::min(take, begin + kFinalizeChunk);
+      for (std::size_t slot = begin; slot < end; ++slot) {
+        IterationContext& ctx = *arena_[slot];
+        if (ctx.status_.load(std::memory_order_relaxed) ==
+            IterationContext::kCommitted) {
+          ctx.undo_.discard();
+          ++committed;
+          requeue.insert(requeue.end(), ctx.pushed_.begin(),
+                         ctx.pushed_.end());
+          ctx.release_all();
+        } else {
+          requeue.push_back(active_[slot]);
+        }
+      }
+    }
+    lane_committed_[lane].value = committed;
+    // --- Splice this lane's requeue buffer back into the work-set. ------
+    if (!requeue.empty()) {
+      if (prioritized) {
+        // Re-evaluate priorities at (re)insertion time: the state a task's
+        // priority derives from may have changed while it ran or waited.
+        const std::lock_guard lock(worklist_mutex_);
+        for (const TaskId t : requeue) {
+          priority_heap_.emplace(priority_fn_(t), t);
+        }
+      } else {
+        Shard& s = shards_[lane];
+        const std::lock_guard guard(s.mutex);
+        s.tasks.insert(s.tasks.end(), requeue.begin(), requeue.end());
+      }
     }
   });
-  round_contexts_ = nullptr;
+  round_slots_ = 0;
 
-  // 3. Sequential epilogue: publish pushes of committed iterations,
-  //    requeue aborted tasks, release the committed iterations' locks.
-  std::vector<TaskId> to_requeue;
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    IterationContext& ctx = *contexts[i];
-    if (committed[i]) {
-      ctx.undo_.discard();
-      ++stats.committed;
-      to_requeue.insert(to_requeue.end(), ctx.pushed_.begin(),
-                        ctx.pushed_.end());
-    } else {
-      ++stats.aborted;
-      to_requeue.push_back(active[i]);
-    }
-    ctx.release_all();
+  for (std::size_t l = 0; l < lanes; ++l) {
+    stats.committed += lane_committed_[l].value;
   }
-  {
-    const std::lock_guard lock(worklist_mutex_);
-    if (policy_ == WorklistPolicy::kPriority) {
-      // Re-evaluate priorities at (re)insertion time: the state a task's
-      // priority derives from may have changed while it ran or waited.
-      for (const TaskId t : to_requeue) {
-        priority_heap_.emplace(priority_fn_(t), t);
-      }
-    } else {
-      worklist_.insert(worklist_.end(), to_requeue.begin(),
-                       to_requeue.end());
-    }
-  }
+  stats.aborted = stats.launched - stats.committed;
   assert(locks_.all_free());
 
   ++totals_.rounds;
   totals_.launched += stats.launched;
   totals_.committed += stats.committed;
   totals_.aborted += stats.aborted;
+
+  if (round_error_) {
+    // The round's bookkeeping is complete (locks free, tasks requeued,
+    // totals counted); now surface the application error.
+    std::exception_ptr error = round_error_;
+    round_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
   return stats;
 }
 

@@ -1,6 +1,6 @@
 // Round-synchronous speculative executor — the substrate that stands in for
-// the Galois runtime (see DESIGN.md §4). Each round, m tasks are drawn
-// from the work-set (uniformly at random by default) and executed
+// the Galois runtime (see DESIGN.md §4 and §7). Each round, m tasks are
+// drawn from the work-set (uniformly at random by default) and executed
 // concurrently on the thread pool. An iteration acquires the abstract lock
 // of every item it touches; conflicts are resolved by the arbitration
 // policy (abort-self, or KDG-style priority-wins with cooperative
@@ -8,6 +8,15 @@
 // committed iterations publish their newly created tasks. The per-round
 // (launched, committed, aborted) statistics are exactly the observations
 // Algorithm 1's controller needs.
+//
+// Hot-path structure (DESIGN.md §7): the work-set is sharded per lane with
+// work stealing, so task draw and requeue never funnel through one global
+// mutex; IterationContext objects live in a per-slot arena that survives
+// across rounds (reset, not reallocated); and one fork-join dispatch per
+// round runs both the speculative phase and the commit/requeue epilogue,
+// separated by a barrier. With a single lane (pool of one worker) the
+// draw/requeue sequence is byte-identical to a centralized worklist, which
+// pins the determinism contract tests rely on.
 #pragma once
 
 #include <atomic>
@@ -23,6 +32,7 @@
 #include "control/controller.hpp"
 #include "rt/item_lock.hpp"
 #include "rt/undo_log.hpp"
+#include "support/padded.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
@@ -74,6 +84,18 @@ class IterationContext {
   friend class SpeculativeExecutor;
 
   enum : std::uint32_t { kRunning = 0, kCommitted = 1, kPoisoned = 2 };
+
+  /// Re-arm a recycled arena context for a fresh iteration. held_, pushed_
+  /// and the undo log keep their capacity — the whole point of the arena is
+  /// that a steady-state round performs no allocation here.
+  void reset(std::uint32_t iter_id, std::uint64_t priority) noexcept {
+    iter_id_ = iter_id;
+    priority_ = priority;
+    status_.store(kRunning, std::memory_order_relaxed);
+    held_.clear();
+    pushed_.clear();
+    undo_.discard();
+  }
 
   /// Finalize: only an un-poisoned iteration may commit.
   [[nodiscard]] bool try_commit() noexcept {
@@ -172,33 +194,68 @@ class SpeculativeExecutor {
  private:
   friend class IterationContext;
 
+  /// One per-lane slice of the work-set. Shard 0 with a single lane
+  /// replays the centralized worklist exactly: the FIFO cursor (head),
+  /// LIFO tail, and random swap-remove all operate per shard.
+  struct alignas(kCacheLine) Shard {
+    mutable std::mutex mutex;
+    std::vector<TaskId> tasks;
+    std::size_t head = 0;  // consumed FIFO prefix, compacted periodically
+  };
+
   /// Blocking acquire implementing kPriorityWins (called from contexts).
   void acquire_arbitrated(IterationContext& ctx, std::uint32_t item);
   [[nodiscard]] IterationContext* context_of(std::uint32_t iter_id);
 
+  /// Pop one task from shard `s` per the draw policy (shard mutex held).
+  TaskId pop_from(Shard& s, Rng& rng);
+  /// Draw one task: own shard first, then steal round-robin. The round
+  /// invariant (tickets <= tasks available at round start; requeues are
+  /// buffered) guarantees a single scan always finds work.
+  TaskId draw_one(std::size_t lane, Rng& rng);
+  void record_round_error() noexcept;
+
   ThreadPool& pool_;
   LockManager locks_;
   TaskOperator op_;
-  Rng rng_;
+  Rng rng_;                       // lane 0's draw stream (the seeded stream)
+  std::vector<Rng> helper_rngs_;  // lanes 1..S-1, derived from the seed
   WorklistPolicy policy_;
   ArbitrationPolicy arbitration_;
 
+  // Sharded work-set (kRandom/kFifo/kLifo). Shard count is fixed at
+  // construction to the pool's worker count; lane l of a round owns
+  // shards_[l] for draws and splices its requeue buffer back into it.
+  std::size_t shard_count_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<std::size_t> push_cursor_{0};  // round-robin initial placement
+
+  // Centralized priority scheduler (kPriority only), CP.50-guarded.
   mutable std::mutex worklist_mutex_;
-  // Guarded by worklist_mutex_ (CP.50). head_ is the FIFO cursor; the
-  // consumed prefix is compacted away periodically. Under kPriority the
-  // heap is used instead of the vector.
-  std::vector<TaskId> worklist_;
-  std::size_t head_ = 0;
   using PrioritizedTask = std::pair<std::uint64_t, TaskId>;
   std::priority_queue<PrioritizedTask, std::vector<PrioritizedTask>,
                       std::greater<>>
       priority_heap_;
   std::function<std::uint64_t(TaskId)> priority_fn_;
 
-  // Valid only while run_round's parallel section executes (read by
-  // workers through acquire_arbitrated).
-  std::vector<std::unique_ptr<IterationContext>>* round_contexts_ = nullptr;
+  // Context arena: slot s of every round reuses arena_[s]. Valid only while
+  // run_round's parallel section executes (read by workers through
+  // acquire_arbitrated); round_slots_ bounds the live prefix.
+  std::vector<std::unique_ptr<IterationContext>> arena_;
   std::uint32_t round_base_id_ = 0;
+  std::size_t round_slots_ = 0;
+
+  // Per-round scratch, reused across rounds. active_[slot] is written by
+  // the drawing lane in the speculative phase and read after the round
+  // barrier. Lane-indexed buffers/counters are padded so that commit and
+  // requeue accounting never false-shares.
+  std::vector<TaskId> active_;
+  std::vector<Padded<std::vector<TaskId>>> lane_requeue_;
+  std::vector<Padded<std::uint32_t>> lane_committed_;
+  alignas(kCacheLine) std::atomic<std::size_t> draw_cursor_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> finalize_cursor_{0};
+  std::exception_ptr round_error_;  // first non-Abort operator exception
+  std::mutex round_error_mutex_;
 
   ExecutorTotals totals_;
   std::uint32_t next_iteration_id_ = 0;

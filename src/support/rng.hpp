@@ -4,6 +4,7 @@
 // figure and test in the repository replays bit-identically.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <limits>
@@ -111,17 +112,40 @@ class Rng {
 
   /// A uniformly random permutation of {0, 1, ..., n-1}.
   std::vector<std::uint32_t> permutation(std::uint32_t n) {
-    std::vector<std::uint32_t> p(n);
-    std::iota(p.begin(), p.end(), 0u);
-    shuffle(std::span<std::uint32_t>(p));
+    std::vector<std::uint32_t> p;
+    permutation_into(n, p);
     return p;
   }
+
+  /// Scratch-reusing permutation: same draw stream as permutation(), but
+  /// `out`'s capacity is reused across calls (Monte-Carlo loops).
+  void permutation_into(std::uint32_t n, std::vector<std::uint32_t>& out) {
+    out.resize(n);
+    std::iota(out.begin(), out.end(), 0u);
+    shuffle(std::span<std::uint32_t>(out));
+  }
+
+  /// Reusable state for sample_without_replacement_into. The epoch stamp
+  /// replaces the per-call O(n) bitmap of the sparse branch with an O(1)
+  /// reset; the dense branch reuses the index vector's storage.
+  struct SampleScratch {
+    std::vector<std::uint32_t> idx;    // dense branch work array
+    std::vector<std::uint32_t> stamp;  // sparse branch "taken" epochs
+    std::uint32_t epoch = 0;
+  };
 
   /// Sample k distinct values uniformly from {0, ..., n-1}. Uses a partial
   /// Fisher–Yates over an index vector when k is a large fraction of n and
   /// rejection sampling otherwise; result order is random in both cases.
   std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
                                                         std::uint32_t k);
+
+  /// Scratch-reusing variant with the IDENTICAL draw stream (same branch
+  /// choice, same below() call sequence, same accept/reject decisions) —
+  /// results match sample_without_replacement exactly.
+  void sample_without_replacement_into(std::uint32_t n, std::uint32_t k,
+                                       SampleScratch& scratch,
+                                       std::vector<std::uint32_t>& out);
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
@@ -132,28 +156,42 @@ class Rng {
 
 inline std::vector<std::uint32_t> Rng::sample_without_replacement(
     std::uint32_t n, std::uint32_t k) {
-  if (k > n) k = n;
+  SampleScratch scratch;
   std::vector<std::uint32_t> out;
+  sample_without_replacement_into(n, k, scratch, out);
+  return out;
+}
+
+inline void Rng::sample_without_replacement_into(
+    std::uint32_t n, std::uint32_t k, SampleScratch& scratch,
+    std::vector<std::uint32_t>& out) {
+  if (k > n) k = n;
+  out.clear();
   out.reserve(k);
   if (k * 3 >= n) {  // dense: partial Fisher–Yates
-    std::vector<std::uint32_t> idx(n);
+    auto& idx = scratch.idx;
+    idx.resize(n);
     std::iota(idx.begin(), idx.end(), 0u);
     for (std::uint32_t i = 0; i < k; ++i) {
       const std::size_t j = i + below(n - i);
       std::swap(idx[i], idx[j]);
       out.push_back(idx[i]);
     }
-  } else {  // sparse: rejection with a scratch bitmap
-    std::vector<bool> taken(n, false);
+  } else {  // sparse: rejection against an epoch-stamped "taken" array
+    auto& stamp = scratch.stamp;
+    if (stamp.size() < n) stamp.resize(n, 0);
+    if (++scratch.epoch == 0) {  // wraparound: wipe stale stamps
+      std::fill(stamp.begin(), stamp.end(), 0u);
+      scratch.epoch = 1;
+    }
     while (out.size() < k) {
       const auto v = static_cast<std::uint32_t>(below(n));
-      if (!taken[v]) {
-        taken[v] = true;
+      if (stamp[v] != scratch.epoch) {
+        stamp[v] = scratch.epoch;
         out.push_back(v);
       }
     }
   }
-  return out;
 }
 
 }  // namespace optipar

@@ -1,10 +1,24 @@
 #include "support/thread_pool.hpp"
 
-#include <atomic>
 #include <algorithm>
 #include <stdexcept>
 
 namespace optipar {
+
+namespace {
+
+// Which pool (if any) owns the current thread, and whether the thread is
+// already inside a fork-join region (as dispatcher or lane). Both gate the
+// serial-inline fallback for nested fork-join calls.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+thread_local int tl_fork_depth = 0;
+
+struct ForkDepthGuard {
+  ForkDepthGuard() noexcept { ++tl_fork_depth; }
+  ~ForkDepthGuard() noexcept { --tl_fork_depth; }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -12,100 +26,175 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard lock(queue_.mutex);
-    queue_.stopping = true;
+    const std::lock_guard lock(wake_mutex_);
+    stopping_ = true;
   }
-  queue_.cv.notify_all();
+  wake_cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::in_worker_context() const noexcept {
+  return tl_worker_pool == this || tl_fork_depth > 0;
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
   {
-    const std::lock_guard lock(queue_.mutex);
-    if (queue_.stopping) {
+    const std::lock_guard lock(wake_mutex_);
+    if (stopping_) {
       throw std::runtime_error("ThreadPool::submit after shutdown");
     }
-    queue_.tasks.push(std::move(packaged));
+    tasks_.push(std::move(packaged));
   }
-  queue_.cv.notify_one();
+  wake_cv_.notify_one();
   return future;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::record_error() noexcept {
+  const std::lock_guard lock(error_mutex_);
+  if (!job_error_) job_error_ = std::current_exception();
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  tl_worker_pool = this;
+  std::uint64_t seen_epoch = 0;
   for (;;) {
+    // 1) A fork-join job published since we last looked? The acquire load
+    //    pairs with the dispatcher's release bump and publishes job_fn_ /
+    //    job_worker_lanes_. A worker can observe at most one outstanding
+    //    job: the next dispatch cannot start until this one fully joins.
+    const std::uint64_t epoch = job_epoch_.load(std::memory_order_acquire);
+    if (epoch != seen_epoch) {
+      seen_epoch = epoch;
+      if (id < job_worker_lanes_) {
+        {
+          const ForkDepthGuard nested;
+          try {
+            (*job_fn_)(id + 1);
+          } catch (...) {
+            record_error();
+          }
+        }
+        if (job_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          // Last lane out: wake the dispatcher. Taking the mutex (empty
+          // critical section) closes the race with a dispatcher that is
+          // between its predicate check and its wait.
+          { const std::lock_guard lock(wake_mutex_); }
+          done_cv_.notify_all();
+        }
+      }
+      continue;
+    }
+    // 2) A queued one-off task?
     std::packaged_task<void()> task;
     {
-      std::unique_lock lock(queue_.mutex);
-      queue_.cv.wait(lock,
-                     [this] { return queue_.stopping || !queue_.tasks.empty(); });
-      if (queue_.tasks.empty()) return;  // stopping and drained
-      task = std::move(queue_.tasks.front());
-      queue_.tasks.pop();
+      std::unique_lock lock(wake_mutex_);
+      wake_cv_.wait(lock, [&] {
+        return stopping_ || !tasks_.empty() ||
+               job_epoch_.load(std::memory_order_relaxed) != seen_epoch;
+      });
+      if (job_epoch_.load(std::memory_order_relaxed) != seen_epoch) {
+        continue;  // re-read with acquire at the top of the loop
+      }
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      } else {
+        return;  // stopping and drained
+      }
     }
     task();
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn,
-                              std::size_t grain) {
+void ThreadPool::fork_join(std::size_t participants, const WorkFnRef& fn) {
+  if (participants == 0) return;
+  if (participants == 1 || in_worker_context()) {
+    // Single lane, or nested inside a worker/fork-join region: the resident
+    // workers are either unnecessary or already occupied, so run every lane
+    // inline. Exception semantics match the concurrent path: the first
+    // throwing lane stops, later lanes still run, first error is rethrown.
+    std::exception_ptr error;
+    for (std::size_t lane = 0; lane < participants; ++lane) {
+      try {
+        fn(lane);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  const std::lock_guard fork_lock(fork_mutex_);
+  const ForkDepthGuard nested;
+  job_error_ = nullptr;
+  const std::size_t worker_lanes = participants - 1;  // caller is lane 0
+  job_remaining_.store(worker_lanes, std::memory_order_relaxed);
+  {
+    const std::lock_guard lock(wake_mutex_);
+    job_fn_ = &fn;
+    job_worker_lanes_ = worker_lanes;
+    job_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+
+  try {
+    fn(0);
+  } catch (...) {
+    record_error();
+  }
+
+  // Join: spin briefly (rounds are short), then block on done_cv_.
+  int spins = 0;
+  while (job_remaining_.load(std::memory_order_acquire) != 0) {
+    if (++spins > 1024) {
+      std::unique_lock lock(wake_mutex_);
+      done_cv_.wait(lock, [&] {
+        return job_remaining_.load(std::memory_order_acquire) == 0;
+      });
+      break;
+    }
+    std::this_thread::yield();
+  }
+
+  if (job_error_) {
+    std::exception_ptr error = job_error_;
+    job_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, WorkFnRef fn, std::size_t grain) {
   if (n == 0) return;
   grain = std::max<std::size_t>(1, grain);
-  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
-  const std::size_t lanes = std::min(workers_.size(), (n + grain - 1) / grain);
+  const std::size_t blocks = (n + grain - 1) / grain;
+  const std::size_t participants =
+      std::max<std::size_t>(1, std::min(workers_.size(), blocks));
 
-  auto body = [cursor, n, grain, &fn] {
+  std::atomic<std::size_t> cursor{0};
+  const auto body = [&](std::size_t) {
     for (;;) {
       const std::size_t begin =
-          cursor->fetch_add(grain, std::memory_order_relaxed);
+          cursor.fetch_add(grain, std::memory_order_relaxed);
       if (begin >= n) return;
       const std::size_t end = std::min(n, begin + grain);
       for (std::size_t i = begin; i < end; ++i) fn(i);
     }
   };
-
-  std::vector<std::future<void>> helpers;
-  helpers.reserve(lanes > 0 ? lanes - 1 : 0);
-  for (std::size_t l = 1; l < lanes; ++l) helpers.push_back(submit(body));
-  // The caller is a lane too, so a 1-thread pool still makes progress. If
-  // fn throws, every other lane is still drained before the first
-  // exception is rethrown — the captured state stays alive until all
-  // lanes have stopped touching it.
-  std::exception_ptr error;
-  try {
-    body();
-  } catch (...) {
-    error = std::current_exception();
-  }
-  for (auto& h : helpers) {
-    try {
-      h.get();
-    } catch (...) {
-      if (!error) error = std::current_exception();
-    }
-  }
-  if (error) std::rethrow_exception(error);
+  fork_join(participants, WorkFnRef(body));
 }
 
-void ThreadPool::run_on_workers(std::size_t k,
-                                const std::function<void(std::size_t)>& fn) {
+void ThreadPool::run_on_workers(std::size_t k, WorkFnRef fn) {
   k = std::min(k, workers_.size() + 1);  // caller participates as lane 0
-  if (k == 0) return;
-  std::vector<std::future<void>> helpers;
-  helpers.reserve(k - 1);
-  for (std::size_t i = 1; i < k; ++i) {
-    helpers.push_back(submit([&fn, i] { fn(i); }));
-  }
-  fn(0);
-  for (auto& h : helpers) h.get();
+  fork_join(k, fn);
 }
 
 }  // namespace optipar

@@ -242,6 +242,55 @@ TEST(RunAdaptive, BeforeRoundHookRuns) {
   EXPECT_EQ(hook_calls, 1);
 }
 
+TEST(SpecExecutor, RecycledContextsStayCleanAcrossThousandsOfRounds) {
+  // Arena contexts are reset, not reallocated, between rounds. Stale state
+  // from a previous occupant of a slot (held locks, pushed tasks, undo
+  // entries) must never leak into a later iteration: run a mutate+abort
+  // workload through the same executor for thousands of rounds and check
+  // the final state against the sequential oracle every time the worklist
+  // drains.
+  constexpr std::uint32_t kCells = 12;
+  ThreadPool pool(2);
+  std::vector<std::int64_t> cells(kCells, 0);
+  Rng chaos(321);
+  SpeculativeExecutor ex(
+      pool, kCells,
+      [&](TaskId t, IterationContext& ctx) {
+        const auto base = static_cast<std::uint32_t>(t % kCells);
+        for (std::uint32_t i = 0; i < 3; ++i) {
+          const std::uint32_t cell = (base + i) % kCells;
+          ctx.acquire(cell);
+          cells[cell] += 1;
+          ctx.on_abort([&cells, cell] { cells[cell] -= 1; });
+        }
+        if (t % 7 == 0) throw AbortIteration{};  // voluntary churn
+      },
+      /*seed=*/77, WorklistPolicy::kRandom);
+  std::uint64_t waves = 0;
+  std::uint64_t expected_total = 0;
+  for (int wave = 0; wave < 40; ++wave) {
+    std::vector<TaskId> tasks;
+    for (TaskId t = 1; t <= 50; ++t) {
+      if (t % 7 == 0) continue;  // would abort forever; keep it drainable
+      tasks.push_back(t);
+    }
+    ex.push_initial(tasks);
+    expected_total += static_cast<std::uint64_t>(tasks.size()) * 3;
+    int rounds = 0;
+    while (!ex.done() && rounds++ < 100000) {
+      (void)ex.run_round(1 + static_cast<std::uint32_t>(chaos.below(16)));
+    }
+    ASSERT_TRUE(ex.done());
+    ASSERT_TRUE(ex.locks().all_free());
+    std::uint64_t total = 0;
+    for (const auto c : cells) total += static_cast<std::uint64_t>(c);
+    ASSERT_EQ(total, expected_total) << "wave " << wave;
+    ++waves;
+  }
+  EXPECT_EQ(waves, 40u);
+  EXPECT_GT(ex.totals().rounds, 100u);  // the arena really was recycled
+}
+
 TEST(RunAdaptive, MaxRoundsIsRespected) {
   ThreadPool pool(1);
   // Operator always aborts, so the worklist never drains.

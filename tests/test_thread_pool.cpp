@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+
 #include <atomic>
 #include <numeric>
 #include <set>
@@ -89,6 +91,82 @@ TEST(ThreadPool, RunOnWorkersClampsToPoolSizePlusCaller) {
   std::atomic<int> count{0};
   pool.run_on_workers(100, [&](std::size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 3);  // 2 workers + calling thread
+}
+
+TEST(ThreadPool, ParallelForPropagatesLaneExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("lane boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForRunsSeriallyAndPropagatesExceptions) {
+  // A fork-join region entered from inside a lane cannot recruit the
+  // already-busy workers: it must degrade to serial execution, complete
+  // every index, and still transport exceptions out through both levels.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(50, [&](std::size_t i) {
+      inner_total.fetch_add(static_cast<int>(i));
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 1225);
+
+  EXPECT_THROW(pool.parallel_for(2,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(8, [&](std::size_t i) {
+                                     if (i == 5) {
+                                       throw std::runtime_error("nested");
+                                     }
+                                   });
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SingleWorkerPoolMakesProgressOnEveryPath) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.run_on_workers(2, [&](std::size_t lane) {
+    sum.fetch_add(static_cast<int>(lane) + 1);
+  });
+  EXPECT_EQ(sum.load(), 3);  // lanes 0 and 1 both ran
+  auto f = pool.submit([&] { sum.fetch_add(10); });
+  f.get();
+  EXPECT_EQ(sum.load(), 13);
+  pool.parallel_for(10, [&](std::size_t) { sum.fetch_add(1); });
+  EXPECT_EQ(sum.load(), 23);
+}
+
+TEST(ThreadPool, FortyThousandForkJoinsReuseResidentWorkers) {
+  // The fork-join path must not create a thread, fd, or queue entry per
+  // call — dispatch 10k parallel_for and 10k run_on_workers rounds twice
+  // and check the process' thread count stays put.
+  ThreadPool pool(2);
+  const auto count_threads = [] {
+    std::size_t n = 0;
+    // /proc/self/task has one entry per live thread on Linux.
+    if (auto* d = opendir("/proc/self/task")) {
+      while (readdir(d) != nullptr) ++n;
+      closedir(d);
+    }
+    return n;
+  };
+  std::atomic<std::uint64_t> total{0};
+  const auto burst = [&] {
+    for (int call = 0; call < 10000; ++call) {
+      pool.parallel_for(3, [&](std::size_t) { total.fetch_add(1); });
+      pool.run_on_workers(3, [&](std::size_t) { total.fetch_add(1); });
+    }
+  };
+  burst();
+  const std::size_t threads_after_warmup = count_threads();
+  burst();
+  EXPECT_EQ(count_threads(), threads_after_warmup);
+  EXPECT_EQ(total.load(), 2u * 10000u * 6u);
 }
 
 TEST(SpinBarrier, SynchronizesPhases) {

@@ -159,5 +159,78 @@ TEST(WorklistPolicy, RandomPolicyIsSeedDeterministic) {
   EXPECT_NE(run(42), run(43));  // overwhelmingly likely for 8 tasks
 }
 
+// ---------------------------------------------------------------------------
+// Golden single-lane traces: the exact execution orders and per-round commit
+// counts the ORIGINAL centralized-worklist executor produced for this
+// workload (pool of 1 worker, 8 items, tasks 0..19, seed 12345, rounds of
+// 5; committed tasks t < 40 push t + 100). The sharded executor must replay
+// them byte-for-byte — this is the determinism contract of DESIGN.md §7:
+// with a single lane the draw sequence, the worklist evolution, and hence
+// the whole schedule are identical to the centralized implementation.
+// ---------------------------------------------------------------------------
+
+struct GoldenTrace {
+  std::vector<TaskId> exec_order;
+  std::vector<std::uint32_t> per_round_committed;
+};
+
+GoldenTrace run_golden_workload(WorklistPolicy policy) {
+  ThreadPool pool(1);
+  GoldenTrace out;
+  std::mutex mu;
+  SpeculativeExecutor ex(
+      pool, 8,
+      [&](TaskId t, IterationContext& ctx) {
+        {
+          const std::lock_guard lock(mu);
+          out.exec_order.push_back(t);
+        }
+        ctx.acquire(static_cast<std::uint32_t>(t % 8));
+        if (t < 40) ctx.push(t + 100);
+      },
+      /*seed=*/12345, policy);
+  std::vector<TaskId> tasks;
+  for (TaskId t = 0; t < 20; ++t) tasks.push_back(t);
+  ex.push_initial(tasks);
+  int rounds = 0;
+  while (!ex.done() && rounds++ < 200) {
+    out.per_round_committed.push_back(ex.run_round(5).committed);
+  }
+  return out;
+}
+
+TEST(WorklistPolicy, GoldenTraceRandomSingleLaneMatchesCentralizedSeed) {
+  const auto got = run_golden_workload(WorklistPolicy::kRandom);
+  const std::vector<TaskId> want_order{
+      14,  2,   17,  0,   8,   16,  3,   5,   6,   19,  116, 10,  19,
+      103, 18,  110, 7,   13,  15,  102, 1,   117, 102, 4,   8,   12,
+      108, 119, 114, 106, 108, 101, 15,  9,   100, 113, 105, 18,  100,
+      107, 11,  118, 112, 109, 105, 104, 111, 106, 115};
+  const std::vector<std::uint32_t> want_committed{4, 4, 4, 3, 5, 3, 4, 4, 5, 4};
+  EXPECT_EQ(got.exec_order, want_order);
+  EXPECT_EQ(got.per_round_committed, want_committed);
+}
+
+TEST(WorklistPolicy, GoldenTraceFifoSingleLaneMatchesCentralizedSeed) {
+  const auto got = run_golden_workload(WorklistPolicy::kFifo);
+  std::vector<TaskId> want_order;
+  for (TaskId t = 0; t < 20; ++t) want_order.push_back(t);
+  for (TaskId t = 100; t < 120; ++t) want_order.push_back(t);
+  EXPECT_EQ(got.exec_order, want_order);
+  EXPECT_EQ(got.per_round_committed,
+            (std::vector<std::uint32_t>(8, 5)));
+}
+
+TEST(WorklistPolicy, GoldenTraceLifoSingleLaneMatchesCentralizedSeed) {
+  const auto got = run_golden_workload(WorklistPolicy::kLifo);
+  const std::vector<TaskId> want_order{
+      19,  18,  17,  16,  15,  115, 116, 117, 118, 119, 14,  13,  12,  11,
+      10,  110, 111, 112, 113, 114, 9,   8,   7,   6,   5,   105, 106, 107,
+      108, 109, 4,   3,   2,   1,   0,   100, 101, 102, 103, 104};
+  EXPECT_EQ(got.exec_order, want_order);
+  EXPECT_EQ(got.per_round_committed,
+            (std::vector<std::uint32_t>(8, 5)));
+}
+
 }  // namespace
 }  // namespace optipar
