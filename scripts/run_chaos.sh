@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Chaos sweep over the failure-hardened speculative runtime (DESIGN.md §8).
+# Runs `optipar_cli chaos` across a grid of fault rates and seeds and
+# asserts the recovery invariants the CLI self-checks (state == oracle over
+# non-quarantined tasks, zero lock leaks, every task accounted for), plus
+# two sweep-level properties:
+#   * at fault rate 0 the run is transparent: no retries, no quarantines,
+#     no watchdog firing, no degradation (zero false positives);
+#   * with the same fault seed, two runs print identical summary lines
+#     (deterministic chaos replay).
+# Usage: scripts/run_chaos.sh [path-to-optipar_cli]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CLI="${1:-$ROOT/build/tools/optipar_cli}"
+if [[ ! -x "$CLI" ]]; then
+  echo "run_chaos: $CLI not found; build first (cmake --build build)" >&2
+  exit 2
+fi
+
+status=0
+fail() {
+  echo "run_chaos: FAIL: $*" >&2
+  status=1
+}
+
+field() {  # field <line> <key>  -> value of key=value in the summary line
+  sed -n "s/.*[[:space:]]$2=\([^[:space:]]*\).*/\1/p" <<<"$1"
+}
+
+# --- 1. Fault-free transparency: rate 0 must be a plain run. ---------------
+for threads in 1 4; do
+  line="$("$CLI" chaos --fault-rate=0 --threads="$threads" --seed=3 | tail -1)"
+  echo "$line"
+  [[ "$(field "$line" verdict)" == "pass" ]] || fail "rate 0 verdict (t=$threads)"
+  [[ "$(field "$line" quarantined)" == "0" ]] || fail "rate 0 quarantine leak"
+  [[ "$(field "$line" retried)" == "0" ]] || fail "rate 0 spurious retries"
+  [[ "$(field "$line" injected)" == "0" ]] || fail "rate 0 spurious injections"
+  [[ "$(field "$line" watchdog)" == "0" ]] || fail "rate 0 watchdog false positive"
+  [[ "$(field "$line" degraded)" == "0" ]] || fail "rate 0 spurious degradation"
+  [[ "$(field "$line" lock_leaks)" == "0" ]] || fail "rate 0 lock leak"
+done
+
+# --- 2. Fault-rate sweep: recovery invariants at every rate. ---------------
+for rate in 0.05 0.2 0.5; do
+  for fseed in 11 42; do
+    for threads in 1 4; do
+      line="$("$CLI" chaos --fault-rate="$rate" --fault-seed="$fseed" \
+                    --threads="$threads" --max-retries=3 | tail -1)"
+      echo "$line"
+      [[ "$(field "$line" verdict)" == "pass" ]] \
+        || fail "rate=$rate seed=$fseed t=$threads verdict"
+      [[ "$(field "$line" lock_leaks)" == "0" ]] \
+        || fail "rate=$rate seed=$fseed t=$threads lock leak"
+    done
+  done
+done
+
+# --- 3. Pool-lane death: salvage + graceful serial degradation. ------------
+line="$("$CLI" chaos --lane-rate=1 --threads=4 --fault-seed=7 | tail -1)"
+echo "$line"
+[[ "$(field "$line" verdict)" == "pass" ]] || fail "lane-death verdict"
+[[ "$(field "$line" degraded)" == "1" ]] || fail "lane death did not degrade"
+
+# --- 4. Deterministic replay: same fault seed, identical summary. ----------
+a="$("$CLI" chaos --fault-rate=0.4 --fault-seed=123 --threads=1 | tail -1)"
+b="$("$CLI" chaos --fault-rate=0.4 --fault-seed=123 --threads=1 | tail -1)"
+echo "$a"
+[[ "$a" == "$b" ]] || fail "chaos replay with fixed fault seed diverged"
+
+if [[ $status -eq 0 ]]; then
+  echo "run_chaos: all chaos invariants hold"
+fi
+exit $status

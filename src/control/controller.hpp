@@ -8,15 +8,25 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <string>
 
 namespace optipar {
 
 /// What one optimistic round observed. launched == committed + aborted.
+/// The failure-handling fields (DESIGN.md §8) are zero in fault-free runs:
+/// retried/quarantined count tasks whose operator (or rollback) threw a
+/// real, non-AbortIteration exception, and first_error preserves the first
+/// such exception of the round so it is never silently dropped — even when
+/// a FailurePolicy absorbs it instead of rethrowing.
 struct RoundStats {
   std::uint32_t launched = 0;
   std::uint32_t committed = 0;
   std::uint32_t aborted = 0;
+  std::uint32_t retried = 0;      ///< faulted tasks requeued with backoff
+  std::uint32_t quarantined = 0;  ///< faulted tasks dead-lettered this round
+  std::uint32_t injected = 0;     ///< faults the injector fired this round
+  std::exception_ptr first_error; ///< first operator/rollback/lane error
 
   [[nodiscard]] double conflict_ratio() const noexcept {
     return launched == 0
@@ -67,6 +77,13 @@ class Controller {
 
   /// Forget all state (back to m_0).
   virtual void reset() = 0;
+
+  /// Externally cap future proposals at `m_cap` — the livelock watchdog's
+  /// degradation hook (DESIGN.md §8). run_adaptive enforces the cap on the
+  /// applied allocation regardless; overriding lets a stateful controller
+  /// also clamp its internal state (e.g. shrink m_max) so its recurrences
+  /// stop proposing allocations the runtime will refuse. Default: no-op.
+  virtual void clamp_max(std::uint32_t m_cap) { (void)m_cap; }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

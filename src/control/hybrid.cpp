@@ -24,6 +24,16 @@ HybridController::HybridController(const ControllerParams& params)
   }
 }
 
+void HybridController::clamp_max(std::uint32_t m_cap) {
+  // Watchdog degradation: shrink the feasible band so the recurrences stop
+  // proposing allocations the runtime will refuse. A cap of 1 deliberately
+  // overrides Remark 1's m_min >= 2 — serial is the last-resort mode.
+  if (m_cap < 1) m_cap = 1;
+  if (m_cap < params_.m_max) params_.m_max = m_cap;
+  if (params_.m_min > params_.m_max) params_.m_min = params_.m_max;
+  if (m_ > params_.m_max) m_ = params_.m_max;
+}
+
 void HybridController::reset() {
   m_ = params_.clamp(params_.m0);
   r_accum_ = 0.0;

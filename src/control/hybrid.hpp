@@ -20,6 +20,7 @@ class HybridController final : public Controller {
   [[nodiscard]] std::uint32_t initial_m() const override { return m_; }
   std::uint32_t observe(const RoundStats& round) override;
   void reset() override;
+  void clamp_max(std::uint32_t m_cap) override;
   [[nodiscard]] std::string name() const override { return "hybrid"; }
 
   [[nodiscard]] const ControllerParams& params() const noexcept {

@@ -8,6 +8,8 @@ Trace run_adaptive(SpeculativeExecutor& executor, Controller& controller,
                    const AdaptiveRunConfig& config) {
   Trace trace;
   std::uint32_t m = controller.initial_m();
+  std::uint32_t stalled = 0;  // consecutive zero-progress rounds
+  bool degraded = false;
   for (std::uint32_t round = 0;
        round < config.max_rounds && !executor.done(); ++round) {
     if (config.before_round) config.before_round(executor);
@@ -18,10 +20,43 @@ Trace run_adaptive(SpeculativeExecutor& executor, Controller& controller,
     rec.launched = stats.launched;
     rec.committed = stats.committed;
     rec.aborted = stats.aborted;
+    rec.retried = stats.retried;
+    rec.quarantined = stats.quarantined;
+    rec.injected = stats.injected;
+    rec.degraded = degraded || executor.serial_degraded();
     rec.pending_after = static_cast<std::uint32_t>(
         std::min<std::size_t>(executor.pending(), UINT32_MAX));
     trace.steps.push_back(rec);
+
+    // Progress = a task left the work-set for good: it committed, or it was
+    // quarantined. Aborts and retries leave pending unchanged, and a round
+    // that launched nothing (all tasks parked in backoff) is waiting, not
+    // stalled.
+    const bool progress = stats.committed > 0 || stats.quarantined > 0;
+    if (stats.launched > 0 && !progress) {
+      ++stalled;
+    } else {
+      stalled = 0;
+    }
+    if (config.watchdog_rounds > 0 && !degraded &&
+        stalled >= config.watchdog_rounds) {
+      // Livelock watchdog: speculation is churning without retiring work.
+      // Serial execution cannot conflict, so cap the allocation at 1 — both
+      // on the applied m and inside the controller, so its recurrences stop
+      // proposing allocations we would refuse.
+      degraded = true;
+      trace.degraded_at_step = round;
+      controller.clamp_max(1);
+      stalled = 0;
+    } else if (degraded && stalled >= config.serial_grace) {
+      // Even conflict-free serial rounds retire nothing: the work itself
+      // cannot commit. Surface a structured diagnostic instead of spinning
+      // for the remaining max_rounds.
+      throw LivelockError(stalled, executor.pending(),
+                          executor.dead_letters().size());
+    }
     m = controller.observe(stats);
+    if (degraded) m = 1;  // enforce the cap even on no-op controllers
   }
   return trace;
 }

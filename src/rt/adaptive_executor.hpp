@@ -3,9 +3,22 @@
 // the observed conflict ratio feeds back. This is the "integration into the
 // Galois system" the paper's conclusion describes, realized on our
 // from-scratch substrate.
+//
+// The loop also hosts the livelock watchdog (DESIGN.md §8): speculation can
+// wedge — every round launches, every iteration aborts — when the conflict
+// structure is denser than any allocation the controller can reach (e.g. a
+// clique bundle under priority-wins churn, or a pathological operator).
+// After `watchdog_rounds` consecutive zero-progress rounds the loop
+// degrades gracefully: it caps the controller at m = 1 (serial execution is
+// conflict-free by construction, so if the workload CAN commit, it will).
+// If even serial rounds make no progress for `serial_grace` more rounds,
+// the run aborts with a structured LivelockError instead of spinning
+// forever.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "control/controller.hpp"
 #include "rt/spec_executor.hpp"
@@ -13,8 +26,46 @@
 
 namespace optipar {
 
+/// Thrown by run_adaptive when even forced-serial execution makes no
+/// progress — the workload is genuinely stuck (an operator that always
+/// fails without a FailurePolicy to quarantine it, or a task set whose
+/// tasks can never commit). Carries the diagnostic state at the stall.
+class LivelockError final : public std::runtime_error {
+ public:
+  LivelockError(std::uint32_t stalled_rounds, std::size_t pending,
+                std::size_t quarantined)
+      : std::runtime_error(
+            "livelock: " + std::to_string(stalled_rounds) +
+            " consecutive zero-progress rounds at m=1 (pending=" +
+            std::to_string(pending) +
+            ", quarantined=" + std::to_string(quarantined) +
+            "); no allocation can commit this work"),
+        stalled_rounds_(stalled_rounds),
+        pending_(pending),
+        quarantined_(quarantined) {}
+
+  [[nodiscard]] std::uint32_t stalled_rounds() const noexcept {
+    return stalled_rounds_;
+  }
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+  [[nodiscard]] std::size_t quarantined() const noexcept {
+    return quarantined_;
+  }
+
+ private:
+  std::uint32_t stalled_rounds_;
+  std::size_t pending_;
+  std::size_t quarantined_;
+};
+
 struct AdaptiveRunConfig {
   std::uint32_t max_rounds = 1'000'000;  ///< safety stop
+  /// Consecutive zero-progress rounds (launched > 0 but nothing committed
+  /// or quarantined) before the watchdog forces m = 1. Zero disables it.
+  std::uint32_t watchdog_rounds = 12;
+  /// Additional zero-progress rounds tolerated AFTER degradation before
+  /// the run aborts with LivelockError.
+  std::uint32_t serial_grace = 8;
   /// Invoked before every round; applications use it to extend the lock
   /// table over items allocated by the previous round's commits (e.g.
   /// freshly created mesh triangles).

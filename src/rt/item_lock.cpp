@@ -53,6 +53,14 @@ void LockManager::release(std::uint32_t item, std::uint32_t iter) {
   owner.store(kFree, std::memory_order_release);
 }
 
+std::size_t LockManager::owned_count() const {
+  std::size_t owned = 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (owners_[i].value.load(std::memory_order_acquire) != kFree) ++owned;
+  }
+  return owned;
+}
+
 bool LockManager::all_free() const {
   for (std::size_t i = 0; i < size_; ++i) {
     if (owners_[i].value.load(std::memory_order_acquire) != kFree) {

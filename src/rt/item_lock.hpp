@@ -40,6 +40,11 @@ class LockManager {
   /// True iff no item is owned — the executor checks this between rounds.
   [[nodiscard]] bool all_free() const;
 
+  /// Number of currently owned items — failure-path diagnostic (a leaked
+  /// lock after a salvaged round shows up here before all_free() trips an
+  /// assert in release builds where asserts are compiled out).
+  [[nodiscard]] std::size_t owned_count() const;
+
  private:
   // Atomics are neither copyable nor movable, so growth re-creates the
   // array and copies the raw values — safe because grow() is only legal

@@ -17,6 +17,11 @@ namespace {
 constexpr std::size_t kDrawChunk = 16;
 constexpr std::size_t kFinalizeChunk = 64;
 
+// Sentinel marking a ticket whose task was never drawn (hardened rounds
+// only): after a pool-lane death the salvage pass must distinguish "task
+// still in its shard" from "task drawn but never executed".
+constexpr TaskId kNoTask = ~TaskId{0};
+
 // With several lanes the chunk must shrink as the round does: a task that
 // blocks mid-operator (a priority-wins waiter, or a test choreography)
 // stalls the rest of its lane's chunk, so small rounds need the seed's
@@ -26,9 +31,25 @@ std::size_t draw_chunk(std::size_t take, std::size_t lanes) {
   return std::max<std::size_t>(
       1, std::min<std::size_t>(kDrawChunk, take / (lanes * 2)));
 }
+
+std::string describe_exception(const std::exception_ptr& error) {
+  if (!error) return "unknown error";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "non-std exception";
+  }
+}
 }  // namespace
 
 void IterationContext::acquire(std::uint32_t item) {
+  if (executor_ != nullptr && executor_->injector_ != nullptr) {
+    // Injection site: a lock acquire that stalls (bounded, deterministic).
+    executor_->injector_->maybe_stall(FaultSite::kLockAcquire, item,
+                                      iter_id_);
+  }
   if (executor_ != nullptr &&
       executor_->arbitration() == ArbitrationPolicy::kPriorityWins) {
     executor_->acquire_arbitrated(*this, item);
@@ -55,9 +76,10 @@ SpeculativeExecutor::SpeculativeExecutor(ThreadPool& pool, std::size_t items,
                                          WorklistPolicy policy,
                                          ArbitrationPolicy arbitration)
     : pool_(pool), locks_(items), op_(std::move(op)), rng_(seed),
-      policy_(policy), arbitration_(arbitration),
+      policy_wl_(policy), arbitration_(arbitration),
       shard_count_(std::max<std::size_t>(1, pool.size())),
-      shards_(std::make_unique<Shard[]>(shard_count_)) {
+      shards_(std::make_unique<Shard[]>(shard_count_)),
+      backoff_seed_(seed ^ 0x6c62272e07bb0142ULL) {
   // Helper lanes get independent draw streams derived from the seed with a
   // PRF — NOT splits of rng_, whose state must stay byte-identical to a
   // single-lane executor's until the first draw.
@@ -69,7 +91,7 @@ SpeculativeExecutor::SpeculativeExecutor(ThreadPool& pool, std::size_t items,
 }
 
 void SpeculativeExecutor::push_initial(std::span<const TaskId> tasks) {
-  if (policy_ == WorklistPolicy::kPriority) {
+  if (policy_wl_ == WorklistPolicy::kPriority) {
     const std::lock_guard lock(worklist_mutex_);
     if (!priority_fn_) {
       throw std::logic_error(
@@ -106,7 +128,7 @@ void SpeculativeExecutor::set_priority_function(
 }
 
 std::size_t SpeculativeExecutor::pending() const {
-  std::size_t total = 0;
+  std::size_t total = deferred_.size();  // backoff parking is still work
   for (std::size_t s = 0; s < shard_count_; ++s) {
     const std::lock_guard guard(shards_[s].mutex);
     total += shards_[s].tasks.size() - shards_[s].head;
@@ -183,7 +205,7 @@ void SpeculativeExecutor::acquire_arbitrated(IterationContext& ctx,
 }
 
 TaskId SpeculativeExecutor::pop_from(Shard& s, Rng& rng) {
-  switch (policy_) {
+  switch (policy_wl_) {
     case WorklistPolicy::kRandom: {
       const std::size_t j = s.head + rng.below(s.tasks.size() - s.head);
       const TaskId t = s.tasks[j];
@@ -234,9 +256,163 @@ void SpeculativeExecutor::record_round_error() noexcept {
   if (!round_error_) round_error_ = std::current_exception();
 }
 
+std::uint32_t SpeculativeExecutor::attempt_of(TaskId task) const noexcept {
+  if (failure_attempts_.empty()) return 1;
+  const auto it = failure_attempts_.find(task);
+  return it == failure_attempts_.end() ? 1 : it->second + 1;
+}
+
+std::uint64_t SpeculativeExecutor::backoff_rounds(
+    TaskId task, std::uint32_t attempt) const {
+  const FailurePolicy& fp = *policy_;
+  const std::uint64_t base =
+      std::max<std::uint64_t>(1, fp.backoff_base_rounds);
+  const std::uint64_t cap = std::max<std::uint64_t>(base,
+                                                    fp.backoff_cap_rounds);
+  // Decorrelated jitter over an exponential envelope: attempt k waits a
+  // uniform number of rounds in [base, min(cap, base·3^(k-1))], with the
+  // jitter drawn from a PRF over (seed, task, attempt) so replays match.
+  std::uint64_t envelope = base;
+  for (std::uint32_t k = 1; k < attempt && envelope < cap; ++k) {
+    envelope = std::min(cap, envelope * 3);
+  }
+  if (envelope <= base) return base;
+  SplitMix64 sm(backoff_seed_ ^ (task * 0x9e3779b97f4a7c15ULL) ^ attempt);
+  return base + sm.next() % (envelope - base + 1);
+}
+
+void SpeculativeExecutor::release_due_deferred() {
+  if (deferred_.empty()) return;
+  const auto due_end = std::partition(
+      deferred_.begin(), deferred_.end(),
+      [&](const Deferred& d) { return d.due_round <= round_index_; });
+  if (due_end == deferred_.begin()) return;
+  // Reinsertion order is pinned to (due_round, task) so chaos runs with a
+  // fixed fault seed replay the same worklist evolution.
+  std::sort(deferred_.begin(), due_end,
+            [](const Deferred& a, const Deferred& b) {
+              return a.due_round != b.due_round ? a.due_round < b.due_round
+                                                : a.task < b.task;
+            });
+  std::vector<TaskId> due;
+  due.reserve(static_cast<std::size_t>(due_end - deferred_.begin()));
+  for (auto it = deferred_.begin(); it != due_end; ++it) {
+    due.push_back(it->task);
+  }
+  deferred_.erase(deferred_.begin(), due_end);
+  push_initial(due);
+}
+
+void SpeculativeExecutor::requeue_tasks(std::span<const TaskId> tasks) {
+  if (tasks.empty()) return;
+  if (policy_wl_ == WorklistPolicy::kPriority) {
+    const std::lock_guard lock(worklist_mutex_);
+    for (const TaskId t : tasks) {
+      std::uint64_t prio = t;
+      try {
+        prio = priority_fn_(t);
+      } catch (...) {
+        record_round_error();  // degrade to id-priority, never drop a task
+      }
+      priority_heap_.emplace(prio, t);
+    }
+    return;
+  }
+  Shard& s = shards_[0];
+  const std::lock_guard guard(s.mutex);
+  s.tasks.insert(s.tasks.end(), tasks.begin(), tasks.end());
+}
+
+void SpeculativeExecutor::process_faulted_slots(
+    RoundStats& stats, std::vector<std::size_t>& slots) {
+  if (slots.empty()) return;
+  const FailurePolicy& fp = *policy_;
+  for (const std::size_t slot : slots) {
+    const TaskId task = active_[slot];
+    IterationContext& ctx = *arena_[slot];
+    const std::exception_ptr error =
+        ctx.fault_ ? ctx.fault_ : ctx.rollback_fault_;
+    if (!stats.first_error) stats.first_error = error;
+    const std::uint32_t attempts = ++failure_attempts_[task];
+    if (attempts <= fp.max_retries) {
+      ++stats.retried;
+      deferred_.push_back(
+          {round_index_ + backoff_rounds(task, attempts), task});
+    } else {
+      ++stats.quarantined;
+      dead_letters_.push_back({task, attempts, describe_exception(error)});
+      failure_attempts_.erase(task);
+    }
+  }
+}
+
+void SpeculativeExecutor::salvage_round(
+    RoundStats& stats, std::size_t take, std::size_t lanes,
+    std::vector<std::size_t>& faulted_slots) {
+  // A lane died (exception escaped the lane body — not a task operator).
+  // The surviving lanes already finalized every stamped slot the cursor
+  // handed them; what remains is bounded and done serially here: slots the
+  // dead lane claimed but never executed, slots executed but never
+  // finalized (a lane died mid-epilogue), requeue buffers never spliced,
+  // and a from-scratch recount of launched/committed (a dead lane's local
+  // commit counter is lost).
+  const bool absorbing = absorbs_faults();
+  const bool active_valid =
+      round_hardened_ || policy_wl_ == WorklistPolicy::kPriority;
+  std::vector<TaskId> salvage_requeue;
+  std::uint32_t launched = 0;
+  std::uint32_t committed = 0;
+  for (std::size_t slot = 0; slot < take; ++slot) {
+    IterationContext& ctx = *arena_[slot];
+    if (slot_executed_[slot] != round_index_) {
+      // Ticket never redeemed. If the task was already drawn, return it to
+      // the work-set; a sentinel means it never left its shard.
+      if (active_valid && active_[slot] != kNoTask) {
+        salvage_requeue.push_back(active_[slot]);
+      }
+      continue;
+    }
+    ++launched;
+    const bool is_committed = ctx.status_.load(std::memory_order_relaxed) ==
+                              IterationContext::kCommitted;
+    if (is_committed) ++committed;
+    if (slot_finalized_[slot] == round_index_) continue;
+    // Finalize serially what the dead lane left behind.
+    if (is_committed) {
+      ctx.undo_.discard();
+      salvage_requeue.insert(salvage_requeue.end(), ctx.pushed_.begin(),
+                             ctx.pushed_.end());
+      ctx.release_all();
+    } else if (absorbing && (ctx.fault_ || ctx.rollback_fault_)) {
+      faulted_slots.push_back(slot);
+    } else {
+      salvage_requeue.push_back(active_[slot]);
+    }
+    slot_finalized_[slot] = round_index_;
+  }
+  stats.launched = launched;
+  stats.committed = committed;
+  // Dead lanes may have buffered requeues without splicing them (buffers
+  // are cleared after a successful splice, so leftovers are unspliced).
+  for (std::size_t l = 0; l < lanes; ++l) {
+    auto& requeue = lane_requeue_[l].value;
+    if (!requeue.empty()) {
+      salvage_requeue.insert(salvage_requeue.end(), requeue.begin(),
+                             requeue.end());
+      requeue.clear();
+    }
+  }
+  requeue_tasks(salvage_requeue);
+}
+
 RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
+  ++round_index_;
+  release_due_deferred();
   RoundStats stats;
-  const bool prioritized = policy_ == WorklistPolicy::kPriority;
+  const std::uint64_t injected_before =
+      injector_ != nullptr ? injector_->total_fired() : 0;
+  const bool prioritized = policy_wl_ == WorklistPolicy::kPriority;
+  round_hardened_ = injector_ != nullptr || policy_.has_value();
   std::size_t take = 0;
   if (prioritized) {
     // kPriority stays on the centralized path: the heap IS the policy (the
@@ -256,6 +432,10 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
     }
     take = std::min<std::size_t>(m, available);
     active_.resize(take);  // slots are filled by the drawing lanes
+    if (round_hardened_) {
+      // Salvage after a lane death must know which tickets were redeemed.
+      std::fill_n(active_.begin(), take, kNoTask);
+    }
   }
   stats.launched = static_cast<std::uint32_t>(take);
   if (take == 0) return stats;
@@ -271,153 +451,274 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
   }
   round_base_id_ = base_id;
   round_slots_ = take;
+  if (slot_executed_.size() < take) {
+    slot_executed_.resize(take, 0);
+    slot_finalized_.resize(take, 0);
+  }
 
   // Lane count mirrors the old parallel_for policy (at most one lane per
   // pool worker), so a pool of one worker runs exactly one deterministic
   // lane. A nested call site (inside a pool worker) cannot get concurrent
   // lanes from the pool, so it must run single-lane for the barrier below.
-  const std::size_t lanes =
+  // After graceful degradation the executor pins itself to the serial
+  // single-lane path regardless of the pool.
+  std::size_t lanes =
       pool_.in_worker_context()
           ? 1
           : std::max<std::size_t>(
                 1, std::min<std::size_t>(shard_count_, take));
+  if (serial_fallback_) lanes = 1;
   if (lane_requeue_.size() < lanes) lane_requeue_.resize(lanes);
   if (lane_committed_.size() < lanes) lane_committed_.resize(lanes);
+  if (lane_faulted_.size() < lanes) lane_faulted_.resize(lanes);
+  if (lane_pool_fault_.size() < lanes) lane_pool_fault_.resize(lanes);
   for (std::size_t l = 0; l < lanes; ++l) {
     lane_requeue_[l].value.clear();
     lane_committed_[l].value = 0;
+    lane_faulted_[l].value.clear();
+    lane_pool_fault_[l].value = nullptr;
   }
   draw_cursor_.store(0, std::memory_order_relaxed);
   finalize_cursor_.store(0, std::memory_order_relaxed);
   round_error_ = nullptr;
+  const bool absorbing = absorbs_faults();
+  // kPoolLane models a dying pool worker; the serial path runs on the
+  // caller's thread, which this site does not model — gating it keeps the
+  // degraded executor guaranteed to drain.
+  const bool inject_lane_faults = injector_ != nullptr && lanes > 1;
 
   SpinBarrier round_barrier(lanes);
   const std::size_t chunk = draw_chunk(take, lanes);
   pool_.run_on_workers(lanes, [&](std::size_t lane) {
     Rng& rng = lane == 0 ? rng_ : helper_rngs_[lane - 1];
     // --- Speculative phase: draw and execute in ticket chunks. ----------
-    for (;;) {
-      const std::size_t begin =
-          draw_cursor_.fetch_add(chunk, std::memory_order_relaxed);
-      if (begin >= take) break;
-      const std::size_t end = std::min(take, begin + chunk);
-      if (!prioritized) {
-        // Draw the chunk: own shard under one lock, then steal.
-        std::size_t slot = begin;
-        {
-          Shard& own = shards_[lane];
-          const std::lock_guard guard(own.mutex);
-          while (slot < end && own.head < own.tasks.size()) {
-            active_[slot++] = pop_from(own, rng);
-          }
+    // The phase-level catch turns a dying lane into a recorded pool fault
+    // instead of a wedged barrier: the lane still arrives below, and the
+    // serial tail salvages whatever it left behind.
+    try {
+      for (;;) {
+        if (inject_lane_faults) {
+          injector_->maybe_throw(FaultSite::kPoolLane, round_index_, lane);
         }
-        while (slot < end) active_[slot++] = draw_one(lane, rng);
-      }
-      for (std::size_t slot = begin; slot < end; ++slot) {
-        const TaskId task = active_[slot];
-        IterationContext& ctx = *arena_[slot];
-        std::uint64_t prio = task;
-        if (priority_fn_) {
+        const std::size_t begin =
+            draw_cursor_.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= take) break;
+        const std::size_t end = std::min(take, begin + chunk);
+        if (!prioritized) {
+          // Draw the chunk: own shard under one lock, then steal.
+          std::size_t slot = begin;
+          {
+            Shard& own = shards_[lane];
+            const std::lock_guard guard(own.mutex);
+            while (slot < end && own.head < own.tasks.size()) {
+              active_[slot++] = pop_from(own, rng);
+            }
+          }
+          while (slot < end) active_[slot++] = draw_one(lane, rng);
+        }
+        for (std::size_t slot = begin; slot < end; ++slot) {
+          const TaskId task = active_[slot];
+          IterationContext& ctx = *arena_[slot];
+          std::uint64_t prio = task;
+          if (priority_fn_) {
+            try {
+              prio = priority_fn_(task);
+            } catch (...) {
+              record_round_error();
+            }
+          }
+          ctx.reset(base_id + static_cast<std::uint32_t>(slot), prio);
+          const std::uint32_t attempt = attempt_of(task);
+          if (injector_ != nullptr &&
+              injector_->should_fire(FaultSite::kRollbackInverse, task,
+                                     attempt)) {
+            // Injection site: an undo inverse that throws. Recorded first
+            // so it runs LAST in the unwind — the two-phase rollback must
+            // still run every real inverse before surfacing the error.
+            FaultInjector* inj = injector_;
+            ctx.on_abort([inj, task, attempt] {
+              inj->count_fired(FaultSite::kRollbackInverse);
+              throw InjectedFault(FaultSite::kRollbackInverse, task,
+                                  attempt);
+            });
+          }
+          bool wants_commit = false;
           try {
-            prio = priority_fn_(task);
+            if (injector_ != nullptr) {
+              // Injection sites: a slow task, then an operator that
+              // throws a real (non-Abort) exception.
+              injector_->maybe_stall(FaultSite::kOperatorDelay, task,
+                                     attempt);
+              injector_->maybe_throw(FaultSite::kOperatorThrow, task,
+                                     attempt);
+            }
+            op_(task, ctx);
+            wants_commit = true;
+          } catch (const AbortIteration&) {
+            // speculative conflict or voluntary abort
           } catch (...) {
+            // Application failure: preserved per-slot for the retry/
+            // quarantine decision, and in round_error_ so it is never
+            // silently dropped (RoundStats::first_error).
+            ctx.fault_ = std::current_exception();
             record_round_error();
           }
-        }
-        ctx.reset(base_id + static_cast<std::uint32_t>(slot), prio);
-        bool wants_commit = false;
-        try {
-          op_(task, ctx);
-          wants_commit = true;
-        } catch (const AbortIteration&) {
-          // speculative conflict or voluntary abort
-        } catch (...) {
-          // Application bug: surfaced after the round, but the iteration
-          // still rolls back so the runtime invariants hold.
-          record_round_error();
-        }
-        // Finalize: a poisoned iteration may not commit even if it
-        // finished.
-        if (wants_commit && ctx.try_commit()) {
-          // Committed iterations keep their items locked until the round
-          // ends (the paper's semantics: an earlier committed neighbor
-          // blocks).
-        } else {
-          // Roll back while still owning the touched items, then release
-          // them immediately: an aborted task must not block later tasks
-          // (§2.1), and a priority-wins waiter may be spinning on one of
-          // our items.
-          try {
-            ctx.undo_.rollback();
-          } catch (...) {
-            record_round_error();
+          // Finalize: a poisoned iteration may not commit even if it
+          // finished.
+          if (wants_commit && ctx.try_commit()) {
+            // Committed iterations keep their items locked until the round
+            // ends (the paper's semantics: an earlier committed neighbor
+            // blocks).
+          } else {
+            // Roll back while still owning the touched items, then release
+            // them immediately: an aborted task must not block later tasks
+            // (§2.1), and a priority-wins waiter may be spinning on one of
+            // our items. The unwind is two-phase (UndoLog::rollback): a
+            // throwing inverse never strands the inverses below it.
+            try {
+              ctx.undo_.rollback();
+            } catch (...) {
+              ctx.rollback_fault_ = std::current_exception();
+              record_round_error();
+            }
+            ctx.release_all();
           }
-          ctx.release_all();
+          slot_executed_[slot] = round_index_;
         }
       }
+    } catch (...) {
+      lane_pool_fault_[lane].value = std::current_exception();
+      record_round_error();
     }
     // --- Round barrier: commits become final, locks still held. ---------
+    // Every lane arrives exactly once, even after a pool fault above —
+    // otherwise the surviving lanes would spin forever.
     round_barrier.arrive_and_wait();
     // --- Epilogue phase (parallel): publish pushes of committed
     //     iterations, buffer requeues lane-locally, release locks. -------
-    auto& requeue = lane_requeue_[lane].value;
-    std::uint32_t committed = 0;
-    for (;;) {
-      const std::size_t begin =
-          finalize_cursor_.fetch_add(kFinalizeChunk,
-                                     std::memory_order_relaxed);
-      if (begin >= take) break;
-      const std::size_t end = std::min(take, begin + kFinalizeChunk);
-      for (std::size_t slot = begin; slot < end; ++slot) {
-        IterationContext& ctx = *arena_[slot];
-        if (ctx.status_.load(std::memory_order_relaxed) ==
-            IterationContext::kCommitted) {
-          ctx.undo_.discard();
-          ++committed;
-          requeue.insert(requeue.end(), ctx.pushed_.begin(),
-                         ctx.pushed_.end());
-          ctx.release_all();
+    try {
+      auto& requeue = lane_requeue_[lane].value;
+      std::uint32_t committed = 0;
+      for (;;) {
+        const std::size_t begin =
+            finalize_cursor_.fetch_add(kFinalizeChunk,
+                                       std::memory_order_relaxed);
+        if (begin >= take) break;
+        const std::size_t end = std::min(take, begin + kFinalizeChunk);
+        for (std::size_t slot = begin; slot < end; ++slot) {
+          if (slot_executed_[slot] != round_index_) {
+            continue;  // a dead lane's ticket; salvaged serially
+          }
+          IterationContext& ctx = *arena_[slot];
+          if (ctx.status_.load(std::memory_order_relaxed) ==
+              IterationContext::kCommitted) {
+            ctx.undo_.discard();
+            ++committed;
+            requeue.insert(requeue.end(), ctx.pushed_.begin(),
+                           ctx.pushed_.end());
+            ctx.release_all();
+          } else if (absorbing && (ctx.fault_ || ctx.rollback_fault_)) {
+            // Failed, not merely conflicted: the serial tail decides
+            // retry-with-backoff vs quarantine. Not requeued here.
+            lane_faulted_[lane].value.push_back(slot);
+          } else {
+            requeue.push_back(active_[slot]);
+          }
+          slot_finalized_[slot] = round_index_;
+        }
+      }
+      lane_committed_[lane].value = committed;
+      // --- Splice this lane's requeue buffer back into the work-set. ----
+      if (!requeue.empty()) {
+        if (prioritized) {
+          // Re-evaluate priorities at (re)insertion time: the state a
+          // task's priority derives from may have changed while it ran or
+          // waited.
+          const std::lock_guard lock(worklist_mutex_);
+          for (const TaskId t : requeue) {
+            priority_heap_.emplace(priority_fn_(t), t);
+          }
         } else {
-          requeue.push_back(active_[slot]);
+          Shard& s = shards_[lane];
+          const std::lock_guard guard(s.mutex);
+          s.tasks.insert(s.tasks.end(), requeue.begin(), requeue.end());
         }
+        requeue.clear();  // spliced; salvage treats leftovers as unspliced
       }
-    }
-    lane_committed_[lane].value = committed;
-    // --- Splice this lane's requeue buffer back into the work-set. ------
-    if (!requeue.empty()) {
-      if (prioritized) {
-        // Re-evaluate priorities at (re)insertion time: the state a task's
-        // priority derives from may have changed while it ran or waited.
-        const std::lock_guard lock(worklist_mutex_);
-        for (const TaskId t : requeue) {
-          priority_heap_.emplace(priority_fn_(t), t);
-        }
-      } else {
-        Shard& s = shards_[lane];
-        const std::lock_guard guard(s.mutex);
-        s.tasks.insert(s.tasks.end(), requeue.begin(), requeue.end());
+    } catch (...) {
+      if (!lane_pool_fault_[lane].value) {
+        lane_pool_fault_[lane].value = std::current_exception();
       }
+      record_round_error();
     }
   });
   round_slots_ = 0;
 
+  // --- Serial tail: pool-fault salvage, then retry/quarantine. -----------
+  std::vector<std::size_t> faulted_slots;
+  bool lane_fault = false;
   for (std::size_t l = 0; l < lanes; ++l) {
-    stats.committed += lane_committed_[l].value;
+    if (lane_pool_fault_[l].value) lane_fault = true;
+  }
+  if (lane_fault) {
+    ++pool_failures_;
+    salvage_round(stats, take, lanes, faulted_slots);
+    if (policy_.has_value() &&
+        pool_failures_ >= policy_->max_pool_failures) {
+      serial_fallback_ = true;  // graceful degradation: serial from now on
+    }
+  } else {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      stats.committed += lane_committed_[l].value;
+    }
+  }
+  if (absorbing) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      auto& faulted = lane_faulted_[l].value;
+      faulted_slots.insert(faulted_slots.end(), faulted.begin(),
+                           faulted.end());
+    }
+    // Ascending slot order makes the retry/quarantine sequence (and the
+    // dead-letter list) deterministic for a fixed fault seed.
+    std::sort(faulted_slots.begin(), faulted_slots.end());
+    process_faulted_slots(stats, faulted_slots);
+    if (!failure_attempts_.empty()) {
+      // A task that finally committed clears its attempt history.
+      for (std::size_t slot = 0; slot < take; ++slot) {
+        if (slot_executed_[slot] == round_index_ &&
+            arena_[slot]->status_.load(std::memory_order_relaxed) ==
+                IterationContext::kCommitted) {
+          failure_attempts_.erase(active_[slot]);
+        }
+      }
+    }
+    if (dead_letters_.size() > policy_->quarantine_budget) {
+      serial_fallback_ = true;
+    }
   }
   stats.aborted = stats.launched - stats.committed;
   assert(locks_.all_free());
+  if (injector_ != nullptr) {
+    stats.injected =
+        static_cast<std::uint32_t>(injector_->total_fired() -
+                                   injected_before);
+  }
 
   ++totals_.rounds;
   totals_.launched += stats.launched;
   totals_.committed += stats.committed;
   totals_.aborted += stats.aborted;
+  totals_.retried += stats.retried;
+  totals_.quarantined += stats.quarantined;
 
+  if (!stats.first_error && round_error_) stats.first_error = round_error_;
   if (round_error_) {
-    // The round's bookkeeping is complete (locks free, tasks requeued,
-    // totals counted); now surface the application error.
+    // The round's bookkeeping is complete (locks free, tasks requeued or
+    // quarantined, totals counted). Legacy contract: surface the error.
+    // With an absorbing FailurePolicy it stays on the stats instead.
     std::exception_ptr error = round_error_;
     round_error_ = nullptr;
-    std::rethrow_exception(error);
+    if (!absorbing) std::rethrow_exception(error);
   }
   return stats;
 }

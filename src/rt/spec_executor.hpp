@@ -17,6 +17,14 @@
 // separated by a barrier. With a single lane (pool of one worker) the
 // draw/requeue sequence is byte-identical to a centralized worklist, which
 // pins the determinism contract tests rely on.
+//
+// Failure hardening (DESIGN.md §8): beyond the benign AbortIteration, the
+// executor treats real failures — operator exceptions, rollback-inverse
+// exceptions, dead pool lanes — as first-class inputs. Installing a
+// FailurePolicy switches from "rethrow the first error at round end" to
+// retry-with-backoff and dead-letter quarantine; an optional FaultInjector
+// fires deterministic, seeded faults at the execute/commit/rollback paths
+// so chaos runs replay exactly.
 #pragma once
 
 #include <atomic>
@@ -24,14 +32,19 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <span>
+#include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "control/controller.hpp"
+#include "rt/fault_injector.hpp"
 #include "rt/item_lock.hpp"
 #include "rt/undo_log.hpp"
+#include "support/failure_policy.hpp"
 #include "support/padded.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
@@ -95,6 +108,8 @@ class IterationContext {
     held_.clear();
     pushed_.clear();
     undo_.discard();
+    fault_ = nullptr;
+    rollback_fault_ = nullptr;
   }
 
   /// Finalize: only an un-poisoned iteration may commit.
@@ -108,11 +123,16 @@ class IterationContext {
   LockManager& locks_;
   std::uint32_t iter_id_;
   std::uint64_t priority_ = 0;
-  SpeculativeExecutor* executor_ = nullptr;  // set for priority arbitration
+  SpeculativeExecutor* executor_ = nullptr;  // set for arbitration/faults
   std::atomic<std::uint32_t> status_{kRunning};
   std::vector<std::uint32_t> held_;
   std::vector<TaskId> pushed_;
   UndoLog undo_;
+  // Failure records of the current attempt (read in the round's serial
+  // tail): a non-Abort exception out of the operator, and a RollbackError
+  // out of the (completed, two-phase) unwind.
+  std::exception_ptr fault_;
+  std::exception_ptr rollback_fault_;
 };
 
 /// The user operator: process one task inside a speculative iteration. It
@@ -125,6 +145,8 @@ struct ExecutorTotals {
   std::uint64_t launched = 0;
   std::uint64_t committed = 0;
   std::uint64_t aborted = 0;
+  std::uint64_t retried = 0;      ///< faulted tasks requeued with backoff
+  std::uint64_t quarantined = 0;  ///< tasks moved to the dead-letter list
 
   [[nodiscard]] double wasted_fraction() const noexcept {
     return launched == 0
@@ -156,6 +178,14 @@ enum class ArbitrationPolicy { kAbortSelf, kPriorityWins };
 
 class SpeculativeExecutor {
  public:
+  /// A task retired to the dead-letter list after exhausting its retry
+  /// budget (FailurePolicy::max_retries).
+  struct DeadLetter {
+    TaskId task = 0;
+    std::uint32_t attempts = 0;  ///< executions performed (all failed)
+    std::string error;           ///< what() of the final failure
+  };
+
   /// `items` sizes the lock table (growable between rounds via grow_items).
   SpeculativeExecutor(ThreadPool& pool, std::size_t items, TaskOperator op,
                       std::uint64_t seed,
@@ -171,6 +201,23 @@ class SpeculativeExecutor {
   /// Maps a task to its priority (smaller = sooner / stronger). Evaluated
   /// at push time (scheduling) and at launch time (arbitration).
   void set_priority_function(std::function<std::uint64_t(TaskId)> fn);
+
+  /// Install retry/quarantine failure handling (DESIGN.md §8). Without a
+  /// policy the executor keeps the legacy contract: the first non-Abort
+  /// operator error is rethrown at round end and faulted tasks requeue
+  /// unconditionally. Call between rounds only.
+  void set_failure_policy(const FailurePolicy& policy) { policy_ = policy; }
+  [[nodiscard]] const std::optional<FailurePolicy>& failure_policy()
+      const noexcept {
+    return policy_;
+  }
+
+  /// Attach a deterministic fault injector (non-owning; nullptr detaches).
+  /// Injection points: operator throw/delay per attempt, rollback-inverse
+  /// throw, lock-acquire stall, and pool-lane death. Call between rounds.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
 
   [[nodiscard]] std::size_t pending() const;
   [[nodiscard]] bool done() const { return pending() == 0; }
@@ -191,6 +238,28 @@ class SpeculativeExecutor {
     return arbitration_;
   }
 
+  /// Quarantined tasks, in retirement order.
+  [[nodiscard]] const std::vector<DeadLetter>& dead_letters() const noexcept {
+    return dead_letters_;
+  }
+  /// Tasks currently waiting out a retry backoff (still counted pending).
+  [[nodiscard]] std::size_t deferred_count() const noexcept {
+    return deferred_.size();
+  }
+  /// True once the executor has fallen back to the single-lane serial path
+  /// (repeated pool-lane failure or quarantine-budget exhaustion).
+  [[nodiscard]] bool serial_degraded() const noexcept {
+    return serial_fallback_;
+  }
+  /// Rounds in which a pool lane died (exception outside any task).
+  [[nodiscard]] std::uint32_t pool_failures() const noexcept {
+    return pool_failures_;
+  }
+  /// Rounds started so far — the executor's logical clock for backoff.
+  [[nodiscard]] std::uint64_t round_index() const noexcept {
+    return round_index_;
+  }
+
  private:
   friend class IterationContext;
 
@@ -201,6 +270,12 @@ class SpeculativeExecutor {
     mutable std::mutex mutex;
     std::vector<TaskId> tasks;
     std::size_t head = 0;  // consumed FIFO prefix, compacted periodically
+  };
+
+  /// A faulted task waiting out its backoff (due_round is absolute).
+  struct Deferred {
+    std::uint64_t due_round = 0;
+    TaskId task = 0;
   };
 
   /// Blocking acquire implementing kPriorityWins (called from contexts).
@@ -215,12 +290,36 @@ class SpeculativeExecutor {
   TaskId draw_one(std::size_t lane, Rng& rng);
   void record_round_error() noexcept;
 
+  /// True when a FailurePolicy absorbs faults (retry/quarantine) instead
+  /// of the legacy round-end rethrow.
+  [[nodiscard]] bool absorbs_faults() const noexcept {
+    return policy_.has_value() && !policy_->rethrow_operator_errors;
+  }
+  /// Attempt number the next execution of `task` would be (1 + failures).
+  [[nodiscard]] std::uint32_t attempt_of(TaskId task) const noexcept;
+  /// Deterministic decorrelated-jitter backoff, in rounds.
+  [[nodiscard]] std::uint64_t backoff_rounds(TaskId task,
+                                             std::uint32_t attempt) const;
+  /// Move deferred tasks whose backoff expired back into the work-set.
+  void release_due_deferred();
+  /// Serial per-round fault handling: retry-or-quarantine every faulted
+  /// slot (ascending slot order — deterministic), update stats/dead list.
+  void process_faulted_slots(RoundStats& stats,
+                             std::vector<std::size_t>& slots);
+  /// Serial recovery after a pool-lane death: finish un-finalized slots,
+  /// recount launched/committed, requeue drawn-but-unexecuted tasks, and
+  /// splice dead lanes' buffered requeues. Returns faulted slots found.
+  void salvage_round(RoundStats& stats, std::size_t take, std::size_t lanes,
+                     std::vector<std::size_t>& faulted_slots);
+  /// Splice tasks into the work-set per policy (serial tail only).
+  void requeue_tasks(std::span<const TaskId> tasks);
+
   ThreadPool& pool_;
   LockManager locks_;
   TaskOperator op_;
   Rng rng_;                       // lane 0's draw stream (the seeded stream)
   std::vector<Rng> helper_rngs_;  // lanes 1..S-1, derived from the seed
-  WorklistPolicy policy_;
+  WorklistPolicy policy_wl_;
   ArbitrationPolicy arbitration_;
 
   // Sharded work-set (kRandom/kFifo/kLifo). Shard count is fixed at
@@ -256,6 +355,27 @@ class SpeculativeExecutor {
   alignas(kCacheLine) std::atomic<std::size_t> finalize_cursor_{0};
   std::exception_ptr round_error_;  // first non-Abort operator exception
   std::mutex round_error_mutex_;
+
+  // --- failure hardening (DESIGN.md §8) ----------------------------------
+  FaultInjector* injector_ = nullptr;  // non-owning; nullptr = no injection
+  std::optional<FailurePolicy> policy_;
+  std::uint64_t backoff_seed_;  // jitter PRF seed (derived from `seed`)
+  std::uint64_t round_index_ = 0;
+  // Per-slot stamps: executed (speculative phase ran commit-or-rollback)
+  // and finalized (epilogue processed it). A slot whose stamp is stale
+  // after a lane death is salvaged serially.
+  std::vector<std::uint64_t> slot_executed_;
+  std::vector<std::uint64_t> slot_finalized_;
+  std::vector<Padded<std::vector<std::size_t>>> lane_faulted_;
+  std::vector<Padded<std::exception_ptr>> lane_pool_fault_;
+  std::unordered_map<TaskId, std::uint32_t> failure_attempts_;
+  std::vector<Deferred> deferred_;
+  std::vector<DeadLetter> dead_letters_;
+  std::uint32_t pool_failures_ = 0;
+  bool serial_fallback_ = false;
+  // True while the current round sentinel-fills active_ (injector or policy
+  // installed), so salvage can tell drawn slots from never-drawn ones.
+  bool round_hardened_ = false;
 
   ExecutorTotals totals_;
   std::uint32_t next_iteration_id_ = 0;

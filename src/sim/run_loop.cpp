@@ -19,6 +19,24 @@ std::uint64_t Trace::total_aborted() const noexcept {
   return sum;
 }
 
+std::uint64_t Trace::total_retried() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& s : steps) sum += s.retried;
+  return sum;
+}
+
+std::uint64_t Trace::total_quarantined() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& s : steps) sum += s.quarantined;
+  return sum;
+}
+
+std::uint64_t Trace::total_injected() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& s : steps) sum += s.injected;
+  return sum;
+}
+
 double Trace::wasted_fraction() const noexcept {
   const double aborted = static_cast<double>(total_aborted());
   const double launched = aborted + static_cast<double>(total_committed());

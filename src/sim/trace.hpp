@@ -18,6 +18,12 @@ struct StepRecord {
   std::uint32_t aborted = 0;
   std::uint32_t pending_after = 0;  ///< tasks remaining after the round
   double avg_degree = 0.0;          ///< CC-graph density when launched
+  // Failure-handling observations (DESIGN.md §8); all zero in fault-free
+  // runs and in the discrete-step simulator.
+  std::uint32_t retried = 0;      ///< faulted tasks requeued with backoff
+  std::uint32_t quarantined = 0;  ///< faulted tasks dead-lettered
+  std::uint32_t injected = 0;     ///< faults the injector fired
+  bool degraded = false;          ///< round ran in forced-serial mode
 
   [[nodiscard]] double conflict_ratio() const noexcept {
     return launched == 0
@@ -28,9 +34,18 @@ struct StepRecord {
 
 struct Trace {
   std::vector<StepRecord> steps;
+  /// Step at which the livelock watchdog degraded the run to serial
+  /// (DESIGN.md §8); SIZE_MAX when it never fired.
+  std::size_t degraded_at_step = static_cast<std::size_t>(-1);
 
+  [[nodiscard]] bool watchdog_fired() const noexcept {
+    return degraded_at_step != static_cast<std::size_t>(-1);
+  }
   [[nodiscard]] std::uint64_t total_committed() const noexcept;
   [[nodiscard]] std::uint64_t total_aborted() const noexcept;
+  [[nodiscard]] std::uint64_t total_retried() const noexcept;
+  [[nodiscard]] std::uint64_t total_quarantined() const noexcept;
+  [[nodiscard]] std::uint64_t total_injected() const noexcept;
   /// Fraction of all launched work that was wasted on aborts.
   [[nodiscard]] double wasted_fraction() const noexcept;
   /// Mean observed conflict ratio over rounds in [from, steps.size()).

@@ -58,6 +58,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::record_error() noexcept {
+  lane_errors_.fetch_add(1, std::memory_order_relaxed);
   const std::lock_guard lock(error_mutex_);
   if (!job_error_) job_error_ = std::current_exception();
 }

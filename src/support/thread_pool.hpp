@@ -97,6 +97,13 @@ class ThreadPool {
   /// must fall back to a single lane when this holds.
   [[nodiscard]] bool in_worker_context() const noexcept;
 
+  /// Lifetime count of lane exceptions caught by the fork-join paths —
+  /// failure-path observability (scripts/run_chaos.sh asserts this stays 0
+  /// when the executor's own lane wrappers absorb every injected fault).
+  [[nodiscard]] std::uint64_t lane_errors() const noexcept {
+    return lane_errors_.load(std::memory_order_relaxed);
+  }
+
  private:
   void worker_loop(std::size_t id);
   /// Shared fork-join dispatch: caller is lane 0, workers 0..p-2 are lanes
@@ -118,6 +125,7 @@ class ThreadPool {
   alignas(64) std::atomic<std::size_t> job_remaining_{0};
   std::exception_ptr job_error_;  // first lane exception (error_mutex_)
   std::mutex error_mutex_;
+  std::atomic<std::uint64_t> lane_errors_{0};
 
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;  // workers: new job / queue task / stop

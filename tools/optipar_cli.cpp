@@ -9,10 +9,15 @@
 //   optipar_cli control --graph=g.txt --controller=hybrid --rho=0.25
 //                       --steps=120 [--csv=trace.csv]
 //   optipar_cli seating --n=1000   (unfriendly seating reference numbers)
+//   optipar_cli chaos   --tasks=400 --threads=4 --fault-seed=42
+//                       --fault-rate=0.2 --max-retries=3
+//                       (fault-injected speculative run; DESIGN.md §8)
 #include <cmath>
 #include <iostream>
 #include <memory>
+#include <numeric>
 #include <string>
+#include <vector>
 
 #include "control/baselines.hpp"
 #include "control/extra.hpp"
@@ -23,9 +28,14 @@
 #include "model/conflict_ratio.hpp"
 #include "model/seating.hpp"
 #include "model/theory.hpp"
+#include "rt/adaptive_executor.hpp"
+#include "rt/fault_injector.hpp"
+#include "rt/spec_executor.hpp"
 #include "sim/run_loop.hpp"
 #include "support/csv.hpp"
+#include "support/failure_policy.hpp"
 #include "support/options.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -33,7 +43,8 @@ using namespace optipar;
 
 int usage() {
   std::cerr <<
-      "usage: optipar_cli <gen|curve|mu|theory|control|seating> [--options]\n"
+      "usage: optipar_cli <gen|curve|mu|theory|control|seating|chaos>"
+      " [--options]\n"
       "run with a subcommand and no options to see its parameters\n";
   return 2;
 }
@@ -199,6 +210,144 @@ int cmd_control(const Options& opt) {
   return 0;
 }
 
+int cmd_chaos(const Options& opt) {
+  // A fault-injected speculative run over the reference chaos workload
+  // (random counter updates under abstract locks with undo), driven by the
+  // adaptive closed loop. The run self-checks the §8 recovery invariants:
+  // the shared state must equal the oracle restricted to non-quarantined
+  // tasks, and no abstract lock may leak. Ends with one machine-parsable
+  // summary line that scripts/run_chaos.sh asserts over.
+  const auto tasks_n = static_cast<std::uint32_t>(opt.get_int("tasks", 400));
+  const auto cells_n = static_cast<std::uint32_t>(opt.get_int("cells", 64));
+  const auto threads = static_cast<std::size_t>(opt.get_int("threads", 4));
+  const auto m0 = static_cast<std::uint32_t>(opt.get_int("m", 16));
+  const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+  const auto fault_seed =
+      static_cast<std::uint64_t>(opt.get_int("fault-seed", 42));
+  const double rate = opt.get_double("fault-rate", 0.0);
+  const double delay_rate = opt.get_double("delay-rate", rate / 2.0);
+  const double rollback_rate = opt.get_double("rollback-rate", rate / 4.0);
+  const double lock_rate = opt.get_double("lock-rate", rate / 4.0);
+  const double lane_rate = opt.get_double("lane-rate", 0.0);
+
+  // Per-task effects and their sequential oracle.
+  Rng gen_rng(seed);
+  struct Effect {
+    std::uint32_t first;
+    std::uint32_t count;
+    std::int64_t delta;
+  };
+  std::vector<Effect> effects(tasks_n);
+  for (auto& e : effects) {
+    e.first = static_cast<std::uint32_t>(gen_rng.below(cells_n));
+    e.count = 1 + static_cast<std::uint32_t>(gen_rng.below(4));
+    e.delta = gen_rng.between(-5, 5);
+  }
+
+  std::vector<std::int64_t> cells(cells_n, 0);
+  ThreadPool pool(threads);
+  SpeculativeExecutor ex(
+      pool, cells_n,
+      [&](TaskId t, IterationContext& ctx) {
+        const Effect& e = effects[t];
+        for (std::uint32_t i = 0; i < e.count; ++i) {
+          const std::uint32_t cell = (e.first + i) % cells_n;
+          ctx.acquire(cell);
+          cells[cell] += e.delta;
+          ctx.on_abort([&cells, cell, d = e.delta] { cells[cell] -= d; });
+        }
+      },
+      seed * 7 + 1);
+
+  FaultInjector injector(fault_seed);
+  injector.set_rate(FaultSite::kOperatorThrow, rate);
+  injector.set_rate(FaultSite::kOperatorDelay, delay_rate);
+  injector.set_rate(FaultSite::kRollbackInverse, rollback_rate);
+  injector.set_rate(FaultSite::kLockAcquire, lock_rate);
+  injector.set_rate(FaultSite::kPoolLane, lane_rate);
+  ex.set_fault_injector(&injector);
+
+  FailurePolicy policy;
+  policy.max_retries =
+      static_cast<std::uint32_t>(opt.get_int("max-retries", 3));
+  policy.backoff_base_rounds =
+      static_cast<std::uint32_t>(opt.get_int("backoff-base", 1));
+  policy.backoff_cap_rounds =
+      static_cast<std::uint32_t>(opt.get_int("backoff-cap", 16));
+  policy.max_pool_failures =
+      static_cast<std::uint32_t>(opt.get_int("max-pool-failures", 2));
+  ex.set_failure_policy(policy);
+
+  std::vector<TaskId> tasks(tasks_n);
+  std::iota(tasks.begin(), tasks.end(), TaskId{0});
+  ex.push_initial(tasks);
+
+  ControllerParams params;
+  params.rho = opt.get_double("rho", 0.25);
+  params.m0 = m0;
+  params.m_max =
+      static_cast<std::uint32_t>(opt.get_int("m-max", params.m_max));
+  HybridController controller(params);
+  AdaptiveRunConfig config;
+  config.max_rounds =
+      static_cast<std::uint32_t>(opt.get_int("rounds", 100000));
+
+  bool livelock = false;
+  Trace trace;
+  try {
+    trace = run_adaptive(ex, controller, config);
+  } catch (const LivelockError& e) {
+    livelock = true;
+    std::cerr << "livelock: " << e.what() << "\n";
+  }
+
+  // Dead-letter report.
+  if (!ex.dead_letters().empty()) {
+    std::cout << "dead letters (" << ex.dead_letters().size() << "):\n";
+    for (const auto& dl : ex.dead_letters()) {
+      std::cout << "  task " << dl.task << " after " << dl.attempts
+                << " attempts: " << dl.error << "\n";
+    }
+  }
+
+  // Recovery invariants: state equals the oracle over non-quarantined
+  // tasks, every task is accounted for, and no abstract lock leaked.
+  std::vector<bool> quarantined(tasks_n, false);
+  for (const auto& dl : ex.dead_letters()) quarantined[dl.task] = true;
+  std::vector<std::int64_t> oracle(cells_n, 0);
+  for (std::uint32_t t = 0; t < tasks_n; ++t) {
+    if (quarantined[t]) continue;
+    for (std::uint32_t i = 0; i < effects[t].count; ++i) {
+      oracle[(effects[t].first + i) % cells_n] += effects[t].delta;
+    }
+  }
+  const bool state_ok = cells == oracle;
+  const std::size_t lock_leaks = ex.locks().owned_count();
+  const bool accounted =
+      ex.totals().committed + ex.dead_letters().size() == tasks_n;
+  const bool ok =
+      state_ok && lock_leaks == 0 && (accounted || livelock) && !livelock;
+
+  std::cout << "CHAOS"
+            << " fault_seed=" << fault_seed << " fault_rate=" << rate
+            << " rounds=" << trace.steps.size()
+            << " launched=" << ex.totals().launched
+            << " committed=" << ex.totals().committed
+            << " aborted=" << ex.totals().aborted
+            << " retried=" << ex.totals().retried
+            << " quarantined=" << ex.totals().quarantined
+            << " injected=" << trace.total_injected()
+            << " dead_letters=" << ex.dead_letters().size()
+            << " pool_failures=" << ex.pool_failures()
+            << " degraded=" << (ex.serial_degraded() ? 1 : 0)
+            << " watchdog=" << (trace.watchdog_fired() ? 1 : 0)
+            << " livelock=" << (livelock ? 1 : 0)
+            << " lock_leaks=" << lock_leaks
+            << " state=" << (state_ok ? "ok" : "corrupt")
+            << " verdict=" << (ok ? "pass" : "fail") << "\n";
+  return ok ? 0 : 1;
+}
+
 int cmd_seating(const Options& opt) {
   const auto n = static_cast<std::uint32_t>(opt.get_int("n", 1000));
   std::cout << "unfriendly seating, n=" << n << "\n"
@@ -223,6 +372,7 @@ int main(int argc, char** argv) {
     if (command == "theory") return cmd_theory(opt);
     if (command == "control") return cmd_control(opt);
     if (command == "seating") return cmd_seating(opt);
+    if (command == "chaos") return cmd_chaos(opt);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
