@@ -1,0 +1,38 @@
+// Build-type context for the google-benchmark binaries. The library's own
+// "library_build_type" context key describes how the *installed
+// libbenchmark* was compiled, not this binary — the checked-in
+// BENCH_rt.json of PR 1 was recorded trusting that key, which is why it
+// claims "debug" timings. These keys describe the optipar binary itself;
+// scripts/run_bench.sh refuses to record BENCH_*.json unless they report a
+// Release (NDEBUG) build.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#ifndef OPTIPAR_BUILD_TYPE
+#define OPTIPAR_BUILD_TYPE "unknown"
+#endif
+
+namespace optipar::bench {
+
+inline void add_build_context() {
+  benchmark::AddCustomContext("optipar_build_type", OPTIPAR_BUILD_TYPE);
+#ifdef NDEBUG
+  benchmark::AddCustomContext("optipar_ndebug", "1");
+#else
+  benchmark::AddCustomContext("optipar_ndebug", "0");
+#endif
+}
+
+}  // namespace optipar::bench
+
+/// BENCHMARK_MAIN() with the build-type context registered first.
+#define OPTIPAR_BENCHMARK_MAIN()                                          \
+  int main(int argc, char** argv) {                                       \
+    optipar::bench::add_build_context();                                  \
+    benchmark::Initialize(&argc, argv);                                   \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    benchmark::RunSpecifiedBenchmarks();                                  \
+    benchmark::Shutdown();                                                \
+    return 0;                                                             \
+  }

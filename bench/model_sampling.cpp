@@ -1,0 +1,146 @@
+// PERF — the adaptive-precision estimation engine vs. the fixed-trial
+// baseline, measured in the currency that matters on a single-CPU host:
+// permutation sweeps (and wall-clock) spent to pin every r̄(m) down to a
+// 95% CI half-width of epsilon.
+//
+//   BM_SweepsToEpsilon/plain/*    — stopping rule only (no antithetic, no
+//       control variates). This is exactly the sweep count a fixed-trial
+//       user must budget to certify the same precision, so it is the
+//       baseline the "sweeps" counters compare against.
+//   BM_SweepsToEpsilon/adaptive/* — full engine (antithetic pairs +
+//       clique-component control variates).
+//   BM_SweepThroughput/*          — raw sweep cost on a power-law R-MAT
+//       graph under none/bfs/degree relabeling (cache locality of the CSR
+//       traversal; statistics are label-invariant).
+//   BM_OperatingPoint             — the sim layer's adaptive μ(ρ) search.
+//
+// scripts/run_bench.sh records this binary into BENCH_model.json and
+// enforces the >= 2x adaptive-vs-plain sweep reduction sentinel on the
+// clique-structured workloads.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "bench_context.hpp"
+#include "graph/generators.hpp"
+#include "graph/relabel.hpp"
+#include "model/adaptive_estimator.hpp"
+#include "model/permutation_sweep.hpp"
+#include "sim/run_loop.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace optipar;
+
+constexpr double kEpsilon = 0.005;
+constexpr std::uint64_t kSeed = 2026;
+
+/// Workload graphs, built once per process.
+const CsrGraph& named_graph(const std::string& name) {
+  static const CsrGraph gnm = [] {
+    Rng rng(11);
+    return gen::random_with_average_degree(2000, 16, rng);
+  }();
+  static const CsrGraph cliques = gen::union_of_cliques(2040, 16);
+  static const CsrGraph mix =
+      bench::cliques_and_isolated_with_degree(2000, 16, 20);
+  static const CsrGraph rmat = [] {
+    Rng rng(13);
+    return gen::rmat(100000, 800000, 0.55, 0.15, 0.15, rng);
+  }();
+  if (name == "gnm") return gnm;
+  if (name == "cliques") return cliques;
+  if (name == "mix") return mix;
+  if (name == "rmat") return rmat;
+  throw std::invalid_argument("named_graph: " + name);
+}
+
+AdaptiveConfig engine_config(bool full) {
+  AdaptiveConfig cfg;
+  cfg.epsilon = kEpsilon;
+  cfg.antithetic = full;
+  cfg.control_variates = full;
+  return cfg;
+}
+
+void BM_SweepsToEpsilon(benchmark::State& state, const char* graph_name,
+                        bool full) {
+  const CsrGraph& g = named_graph(graph_name);
+  const AdaptiveConfig cfg = engine_config(full);
+  std::uint32_t sweeps = 0;
+  bool converged = false;
+  double worst_ci = 0.0;
+  for (auto _ : state) {
+    const auto result = estimate_conflict_curve_adaptive(g, cfg, kSeed);
+    sweeps = result.sweeps;
+    converged = result.converged;
+    worst_ci = result.worst_ci;
+    benchmark::DoNotOptimize(result.curve.abort_stats.data());
+  }
+  state.counters["sweeps"] = sweeps;
+  state.counters["converged"] = converged ? 1 : 0;
+  state.counters["worst_ci"] = worst_ci;
+}
+
+BENCHMARK_CAPTURE(BM_SweepsToEpsilon, plain_gnm, "gnm", false);
+BENCHMARK_CAPTURE(BM_SweepsToEpsilon, adaptive_gnm, "gnm", true);
+BENCHMARK_CAPTURE(BM_SweepsToEpsilon, plain_cliques, "cliques", false);
+BENCHMARK_CAPTURE(BM_SweepsToEpsilon, adaptive_cliques, "cliques", true);
+BENCHMARK_CAPTURE(BM_SweepsToEpsilon, plain_mix, "mix", false);
+BENCHMARK_CAPTURE(BM_SweepsToEpsilon, adaptive_mix, "mix", true);
+
+void BM_SweepThroughput(benchmark::State& state, RelabelOrder order) {
+  const CsrGraph& base = named_graph("rmat");
+  const CsrGraph g =
+      order == RelabelOrder::kNone ? base : relabel(base, order).graph;
+  Rng rng(17);
+  std::vector<NodeId> perm;
+  SweepScratch scratch;
+  PrefixSweep sweep;
+  for (auto _ : state) {
+    rng.permutation_into(g.num_nodes(), perm);
+    sweep_full_permutation(g, perm, scratch, sweep);
+    benchmark::DoNotOptimize(sweep.aborts_at_prefix.back());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(g.num_nodes() + 2 * g.num_edges()));
+}
+
+BENCHMARK_CAPTURE(BM_SweepThroughput, rmat_none, RelabelOrder::kNone);
+BENCHMARK_CAPTURE(BM_SweepThroughput, rmat_bfs, RelabelOrder::kBfs);
+BENCHMARK_CAPTURE(BM_SweepThroughput, rmat_degree, RelabelOrder::kDegree);
+
+void BM_OperatingPoint(benchmark::State& state) {
+  const CsrGraph& g = named_graph("gnm");
+  AdaptiveConfig cfg = engine_config(true);
+  cfg.epsilon = 0.01;  // μ only needs the curve near rho
+  std::uint32_t sweeps = 0;
+  for (auto _ : state) {
+    const auto op = find_operating_point(g, 0.25, cfg, kSeed);
+    sweeps = op.sweeps;
+    benchmark::DoNotOptimize(op.mu);
+  }
+  state.counters["sweeps"] = sweeps;
+}
+
+BENCHMARK(BM_OperatingPoint);
+
+void BM_RoundPointAdaptive(benchmark::State& state, bool full) {
+  const CsrGraph& g = named_graph("mix");
+  const AdaptiveConfig cfg = engine_config(full);
+  std::uint32_t rounds = 0;
+  for (auto _ : state) {
+    const auto est = estimate_round_point_adaptive(g, 250, cfg, kSeed);
+    rounds = est.rounds;
+    benchmark::DoNotOptimize(est.r.mean());
+  }
+  state.counters["rounds"] = rounds;
+}
+
+BENCHMARK_CAPTURE(BM_RoundPointAdaptive, plain, false);
+BENCHMARK_CAPTURE(BM_RoundPointAdaptive, adaptive, true);
+
+}  // namespace
+
+OPTIPAR_BENCHMARK_MAIN()

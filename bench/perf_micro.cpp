@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/dmr/delaunay.hpp"
+#include "bench_context.hpp"
 #include "control/hybrid.hpp"
 #include "graph/generators.hpp"
 #include "model/conflict_ratio.hpp"
@@ -168,4 +169,4 @@ BENCHMARK(BM_DelaunayBuild)->Arg(100)->Arg(500);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+OPTIPAR_BENCHMARK_MAIN()

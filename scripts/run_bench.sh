@@ -1,44 +1,77 @@
 #!/usr/bin/env bash
-# Run the runtime micro-benchmarks (bench/perf_micro) and write BENCH_rt.json
-# at the repository root.
+# Run the performance benchmarks and write BENCH_rt.json (bench/perf_micro)
+# and BENCH_model.json (bench/model_sampling) at the repository root.
 #
 # Usage:
 #   scripts/run_bench.sh [baseline.json]
 #
-# With no argument, BENCH_rt.json holds the raw google-benchmark JSON of the
+# With no argument the artifacts hold the raw google-benchmark JSON of the
 # current build. With a baseline file (google-benchmark JSON captured from an
-# earlier build, e.g. the pre-refactor seed), every benchmark entry gains
+# earlier build, e.g. the pre-refactor seed), every BENCH_rt.json entry gains
 # "baseline_real_time" and "speedup" fields so before/after lives in one
 # artifact.
+#
+# Benchmarks are only meaningful from an optimized, assert-free binary, so
+# this script builds the `release` CMake preset (CMAKE_BUILD_TYPE=Release,
+# build-release/) and then REFUSES to write either artifact unless the
+# binary's own context keys say optipar_ndebug=1 and a non-debug build type.
+# (The library's "library_build_type" key describes the installed
+# libbenchmark, not our binaries — see bench/bench_context.hpp.)
+#
+# BENCH_model.json additionally carries a regression sentinel: the adaptive
+# engine must reach epsilon in at most half the sweeps of the plain stopping
+# rule on the clique-structured workloads (cliques, mix), else exit 1.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${BUILD_DIR:-$ROOT/build}"
-OUT="$ROOT/BENCH_rt.json"
 BASELINE="${1:-}"
-
-if [[ ! -d "$BUILD" ]]; then
-  cmake -B "$BUILD" -S "$ROOT"
-fi
-cmake --build "$BUILD" --target perf_micro -j"$(nproc)"
-
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
 REPS="${BENCH_REPS:-3}"
-"$BUILD/bench/perf_micro" \
-  --benchmark_format=json \
-  --benchmark_min_time="${BENCH_MIN_TIME:-0.2}" \
-  --benchmark_repetitions="$REPS" \
-  --benchmark_report_aggregates_only=true \
-  > "$RAW"
+MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
-python3 - "$RAW" "$OUT" "$BASELINE" <<'EOF'
+if [[ -n "${BUILD_DIR:-}" ]]; then
+  BUILD="$BUILD_DIR"
+  if [[ ! -d "$BUILD" ]]; then
+    echo "run_bench.sh: BUILD_DIR=$BUILD does not exist" >&2
+    exit 1
+  fi
+  cmake --build "$BUILD" --target perf_micro model_sampling -j"$(nproc)"
+else
+  BUILD="$ROOT/build-release"
+  cmake --preset release -S "$ROOT" >/dev/null
+  cmake --build --preset release --target perf_micro model_sampling \
+    -j"$(nproc)"
+fi
+
+run_one() {  # run_one <binary> <raw-json-out>
+  "$BUILD/bench/$1" \
+    --benchmark_format=json \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_repetitions="$REPS" \
+    --benchmark_report_aggregates_only=true \
+    > "$2"
+}
+
+RAW_RT="$(mktemp)"
+RAW_MODEL="$(mktemp)"
+trap 'rm -f "$RAW_RT" "$RAW_MODEL"' EXIT
+run_one perf_micro "$RAW_RT"
+run_one model_sampling "$RAW_MODEL"
+
+python3 - "$RAW_RT" "$ROOT/BENCH_rt.json" "$BASELINE" <<'EOF'
 import json
 import sys
 
 raw_path, out_path, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
 doc = json.load(open(raw_path))
 doc["generated_by"] = "scripts/run_bench.sh"
+
+ctx = doc.get("context", {})
+if ctx.get("optipar_ndebug") != "1" or ctx.get("optipar_build_type") in (
+        None, "", "debug"):
+    sys.exit(f"run_bench.sh: refusing to record {out_path}: binary context "
+             f"optipar_build_type={ctx.get('optipar_build_type')!r} "
+             f"optipar_ndebug={ctx.get('optipar_ndebug')!r} is not an "
+             "optimized NDEBUG build")
 
 def comparable(b):
     # With aggregate reporting, compare medians only (means/stddev/cv are
@@ -63,4 +96,54 @@ for b in doc.get("benchmarks", []):
     if "speedup" in b:
         print(f"  {b['name']:45s} {b['baseline_real_time']:>12.0f} ns -> "
               f"{b['real_time']:>12.0f} ns   {b['speedup']:.2f}x")
+EOF
+
+python3 - "$RAW_MODEL" "$ROOT/BENCH_model.json" <<'EOF'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+doc = json.load(open(raw_path))
+doc["generated_by"] = "scripts/run_bench.sh"
+
+ctx = doc.get("context", {})
+if ctx.get("optipar_ndebug") != "1" or ctx.get("optipar_build_type") in (
+        None, "", "debug"):
+    sys.exit(f"run_bench.sh: refusing to record {out_path}: binary context "
+             f"optipar_build_type={ctx.get('optipar_build_type')!r} "
+             f"optipar_ndebug={ctx.get('optipar_ndebug')!r} is not an "
+             "optimized NDEBUG build")
+
+# Sweeps-to-epsilon per workload, from the deterministic "sweeps" counter
+# (identical across repetitions; any aggregate or plain entry will do —
+# run_name is the name without the aggregate suffix).
+sweeps = {}
+for b in doc.get("benchmarks", []):
+    name = b.get("run_name", b.get("name", ""))
+    if name.startswith("BM_SweepsToEpsilon/") and b.get("sweeps"):
+        sweeps[name.split("/")[1]] = b["sweeps"]
+
+sentinel = {}
+failures = []
+for wl in ("cliques", "mix"):
+    plain, adaptive = sweeps.get(f"plain_{wl}"), sweeps.get(f"adaptive_{wl}")
+    if not plain or not adaptive:
+        failures.append(f"missing sweeps counters for workload {wl!r}")
+        continue
+    ratio = plain / adaptive
+    sentinel[wl] = {"plain_sweeps": plain, "adaptive_sweeps": adaptive,
+                    "reduction": round(ratio, 2)}
+    if ratio < 2.0:
+        failures.append(f"{wl}: adaptive used {adaptive:.0f} sweeps vs plain "
+                        f"{plain:.0f} ({ratio:.2f}x < 2x reduction floor)")
+doc["adaptive_sentinel"] = sentinel
+
+json.dump(doc, open(out_path, "w"), indent=1)
+print(f"wrote {out_path}")
+for wl, s in sentinel.items():
+    print(f"  {wl:10s} plain {s['plain_sweeps']:>7.0f} sweeps -> adaptive "
+          f"{s['adaptive_sweeps']:>7.0f}   {s['reduction']:.2f}x fewer")
+if failures:
+    sys.exit("run_bench.sh: adaptive-engine regression sentinel tripped:\n  "
+             + "\n  ".join(failures))
 EOF

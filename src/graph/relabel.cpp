@@ -1,0 +1,133 @@
+#include "graph/relabel.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace optipar {
+
+RelabelOrder parse_relabel_order(const std::string& name) {
+  if (name == "none") return RelabelOrder::kNone;
+  if (name == "bfs") return RelabelOrder::kBfs;
+  if (name == "degree") return RelabelOrder::kDegree;
+  throw std::invalid_argument("unknown relabel order: " + name +
+                              " (want none|bfs|degree)");
+}
+
+const char* relabel_order_name(RelabelOrder order) {
+  switch (order) {
+    case RelabelOrder::kNone: return "none";
+    case RelabelOrder::kBfs: return "bfs";
+    case RelabelOrder::kDegree: return "degree";
+  }
+  return "?";
+}
+
+bool Relabeling::is_identity() const noexcept {
+  for (NodeId v = 0; v < old_to_new.size(); ++v) {
+    if (old_to_new[v] != v) return false;
+  }
+  return true;
+}
+
+bool Relabeling::validate() const {
+  const std::size_t n = old_to_new.size();
+  if (new_to_old.size() != n) return false;
+  for (NodeId v = 0; v < n; ++v) {
+    if (old_to_new[v] >= n || new_to_old[old_to_new[v]] != v) return false;
+  }
+  return true;
+}
+
+Relabeling identity_relabeling(NodeId n) {
+  Relabeling r;
+  r.old_to_new.resize(n);
+  std::iota(r.old_to_new.begin(), r.old_to_new.end(), NodeId{0});
+  r.new_to_old = r.old_to_new;
+  return r;
+}
+
+namespace {
+
+Relabeling from_new_to_old(std::vector<NodeId> new_to_old) {
+  Relabeling r;
+  r.old_to_new.resize(new_to_old.size());
+  for (NodeId pos = 0; pos < new_to_old.size(); ++pos) {
+    r.old_to_new[new_to_old[pos]] = pos;
+  }
+  r.new_to_old = std::move(new_to_old);
+  return r;
+}
+
+}  // namespace
+
+Relabeling bfs_relabeling(const CsrGraph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<std::uint8_t> visited(n, 0);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  for (NodeId root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visited[root] = 1;
+    queue.push_back(root);
+    // Index-front queue: the vector doubles as the component's visit order.
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId v = queue[head];
+      for (const NodeId w : g.neighbors(v)) {
+        if (!visited[w]) {
+          visited[w] = 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    order.insert(order.end(), queue.begin(), queue.end());
+    queue.clear();
+  }
+  return from_new_to_old(std::move(order));
+}
+
+Relabeling degree_relabeling(const CsrGraph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  return from_new_to_old(std::move(order));
+}
+
+Relabeling make_relabeling(const CsrGraph& g, RelabelOrder order) {
+  switch (order) {
+    case RelabelOrder::kNone: return identity_relabeling(g.num_nodes());
+    case RelabelOrder::kBfs: return bfs_relabeling(g);
+    case RelabelOrder::kDegree: return degree_relabeling(g);
+  }
+  throw std::invalid_argument("make_relabeling: bad order");
+}
+
+CsrGraph apply_relabeling(const CsrGraph& g, const Relabeling& r) {
+  const NodeId n = g.num_nodes();
+  if (r.old_to_new.size() != n || !r.validate()) {
+    throw std::invalid_argument("apply_relabeling: map is not a bijection");
+  }
+  EdgeList edges;
+  edges.reserve(g.num_edges());
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v) edges.emplace_back(r.old_to_new[u], r.old_to_new[v]);
+    }
+  }
+  return CsrGraph::from_edges(n, edges);
+}
+
+RelabeledGraph relabel(const CsrGraph& g, RelabelOrder order) {
+  RelabeledGraph out;
+  out.map = make_relabeling(g, order);
+  out.graph = order == RelabelOrder::kNone ? g
+                                           : apply_relabeling(g, out.map);
+  return out;
+}
+
+}  // namespace optipar

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "control/controller.hpp"
+#include "model/adaptive_estimator.hpp"
 #include "sim/trace.hpp"
 #include "sim/workloads.hpp"
 #include "support/rng.hpp"
@@ -20,5 +21,29 @@ struct RunLoopConfig {
 /// work each round (you cannot launch more tasks than exist).
 [[nodiscard]] Trace run_controlled(Controller& controller, Workload& workload,
                                    const RunLoopConfig& config, Rng& rng);
+
+/// The reference operating point μ(ρ) the closed loop is judged against
+/// (convergence bands, RMS error), estimated to a declared precision. The
+/// fixed-trial habit of `find_mu(g, rho, 300, rng)` either wastes sweeps on
+/// easy graphs or under-resolves μ on hard ones; this searches the curve
+/// adaptively until every r̄(m) carries a CI half-width <= config.epsilon,
+/// then reads off the largest m with r̄(m) <= rho.
+struct OperatingPoint {
+  std::uint32_t mu = 1;
+  double r_at_mu = 0.0;      ///< estimated r̄(μ)
+  double ci_at_mu = 0.0;     ///< 95% CI half-width on r̄(μ)
+  std::uint32_t sweeps = 0;  ///< permutation sweeps spent
+  bool converged = false;    ///< CI target met within the sweep budget
+};
+
+[[nodiscard]] OperatingPoint find_operating_point(const CsrGraph& cc,
+                                                  double rho,
+                                                  const AdaptiveConfig& config,
+                                                  std::uint64_t seed);
+
+/// Pool-parallel variant; deterministic given (seed, config, worker count).
+[[nodiscard]] OperatingPoint find_operating_point_parallel(
+    const CsrGraph& cc, double rho, const AdaptiveConfig& config,
+    std::uint64_t seed, ThreadPool& pool);
 
 }  // namespace optipar

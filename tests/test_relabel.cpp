@@ -1,0 +1,140 @@
+#include "graph/relabel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "model/conflict_ratio.hpp"
+#include "support/rng.hpp"
+
+namespace optipar {
+namespace {
+
+TEST(RelabelOrderNames, ParseRoundTrip) {
+  for (const auto order : {RelabelOrder::kNone, RelabelOrder::kBfs,
+                           RelabelOrder::kDegree}) {
+    EXPECT_EQ(parse_relabel_order(relabel_order_name(order)), order);
+  }
+  EXPECT_THROW((void)parse_relabel_order("hilbert"), std::invalid_argument);
+}
+
+TEST(Relabeling, IdentityIsIdentity) {
+  const auto r = identity_relabeling(17);
+  EXPECT_TRUE(r.validate());
+  EXPECT_TRUE(r.is_identity());
+  EXPECT_EQ(r.to_internal(5), 5u);
+  EXPECT_EQ(r.to_external(5), 5u);
+}
+
+/// Relabeled graph must be isomorphic to the original under the map.
+void expect_isomorphic(const CsrGraph& g, const CsrGraph& h,
+                       const Relabeling& r) {
+  ASSERT_TRUE(r.validate());
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  ASSERT_TRUE(h.validate());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(h.degree(r.to_internal(u)), g.degree(u));
+    for (const NodeId v : g.neighbors(u)) {
+      EXPECT_TRUE(h.has_edge(r.to_internal(u), r.to_internal(v)));
+    }
+  }
+}
+
+TEST(Relabel, BfsPreservesIsomorphism) {
+  Rng rng(1);
+  const auto g = gen::rmat(300, 1200, 0.55, 0.15, 0.15, rng);
+  const auto rl = relabel(g, RelabelOrder::kBfs);
+  expect_isomorphic(g, rl.graph, rl.map);
+}
+
+TEST(Relabel, DegreePreservesIsomorphism) {
+  Rng rng(2);
+  const auto g = gen::barabasi_albert(400, 4, rng);
+  const auto rl = relabel(g, RelabelOrder::kDegree);
+  expect_isomorphic(g, rl.graph, rl.map);
+}
+
+TEST(Relabel, DegreeOrderIsNonIncreasing) {
+  Rng rng(3);
+  const auto g = gen::rmat(256, 1024, 0.6, 0.15, 0.1, rng);
+  const auto rl = relabel(g, RelabelOrder::kDegree);
+  for (NodeId v = 1; v < rl.graph.num_nodes(); ++v) {
+    EXPECT_GE(rl.graph.degree(v - 1), rl.graph.degree(v));
+  }
+}
+
+TEST(Relabel, BfsPacksPathNeighborsTightly) {
+  // A path whose labels were scattered by a random permutation: BFS
+  // relabeling must bring every edge's endpoints within 2 ids of each
+  // other (the two frontier sides of a path BFS).
+  Rng rng(4);
+  const NodeId n = 200;
+  auto perm = rng.permutation(n);
+  EdgeList edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(perm[i], perm[i + 1]);
+  const auto scattered = CsrGraph::from_edges(n, edges);
+  const auto rl = relabel(scattered, RelabelOrder::kBfs);
+  for (const auto& [u, v] : rl.graph.edges()) {
+    EXPECT_LE(v - u, 2u) << "edge (" << u << "," << v << ")";
+  }
+}
+
+TEST(Relabel, BfsCoversAllComponents) {
+  // Disconnected graph: every node must still get exactly one new id.
+  const auto g = gen::union_of_cliques(60, 5);
+  const auto r = bfs_relabeling(g);
+  EXPECT_TRUE(r.validate());
+  std::vector<NodeId> sorted = r.new_to_old;
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId v = 0; v < 60; ++v) EXPECT_EQ(sorted[v], v);
+}
+
+TEST(Relabel, NoneReturnsSameGraphAndIdentityMap) {
+  Rng rng(5);
+  const auto g = gen::gnm_random(50, 120, rng);
+  const auto rl = relabel(g, RelabelOrder::kNone);
+  EXPECT_TRUE(rl.map.is_identity());
+  EXPECT_EQ(rl.graph.edges(), g.edges());
+}
+
+TEST(Relabel, ApplyRejectsNonBijection) {
+  const auto g = gen::path(4);
+  Relabeling bad;
+  bad.old_to_new = {0, 0, 1, 2};
+  bad.new_to_old = {0, 2, 3, 3};
+  EXPECT_THROW((void)apply_relabeling(g, bad), std::invalid_argument);
+  Relabeling wrong_size = identity_relabeling(3);
+  EXPECT_THROW((void)apply_relabeling(g, wrong_size), std::invalid_argument);
+}
+
+TEST(Relabel, ConflictStatisticsAreLabelInvariant) {
+  // On K_n the curve is deterministic (k(π, m) = m − 1), so relabeling
+  // must reproduce it exactly; on a random graph the relabeled estimate
+  // must agree within combined CIs.
+  const auto k = gen::complete(12);
+  Rng rng_a(6);
+  const auto curve_k = estimate_conflict_curve(
+      relabel(k, RelabelOrder::kBfs).graph, 10, rng_a);
+  for (std::uint32_t m = 1; m <= 12; ++m) {
+    EXPECT_DOUBLE_EQ(curve_k.k_bar(m), static_cast<double>(m - 1));
+  }
+
+  Rng rng_g(7);
+  const auto g = gen::gnm_random(150, 600, rng_g);
+  Rng rng_b(8);
+  Rng rng_c(9);
+  const auto plain = estimate_conflict_curve(g, 3000, rng_b);
+  const auto relabeled = estimate_conflict_curve(
+      relabel(g, RelabelOrder::kDegree).graph, 3000, rng_c);
+  for (const std::uint32_t m : {2u, 30u, 75u, 150u}) {
+    EXPECT_NEAR(relabeled.r_bar(m), plain.r_bar(m),
+                4 * (relabeled.r_bar_ci95(m) + plain.r_bar_ci95(m)) + 1e-3)
+        << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace optipar

@@ -4,7 +4,11 @@
 //
 //   optipar_cli gen     --family=gnm --n=2000 --d=16 --seed=1 --out=g.txt
 //   optipar_cli curve   --graph=g.txt --trials=300 [--csv=curve.csv]
-//   optipar_cli mu      --graph=g.txt --rho=0.25
+//                       [--epsilon=0.005 --max-trials=100000
+//                        --relabel=none|bfs|degree] (adaptive engine:
+//                       run until every r̄(m) CI half-width <= epsilon)
+//   optipar_cli mu      --graph=g.txt --rho=0.25 [--epsilon= --max-trials=
+//                       --relabel=]
 //   optipar_cli theory  --n=2000 --d=16 [--m=100]
 //   optipar_cli control --graph=g.txt --controller=hybrid --rho=0.25
 //                       --steps=120 [--csv=trace.csv]
@@ -25,6 +29,8 @@
 #include "control/recurrence.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_io.hpp"
+#include "graph/relabel.hpp"
+#include "model/adaptive_estimator.hpp"
 #include "model/conflict_ratio.hpp"
 #include "model/seating.hpp"
 #include "model/theory.hpp"
@@ -89,6 +95,25 @@ CsrGraph load_graph(const Options& opt, Rng& rng) {
 /// tasks would be a conflict edge.
 Rng measurement_rng(Rng& base) { return base.split(); }
 
+/// Adaptive-engine knobs shared by `curve` and `mu`. Only consulted when
+/// --epsilon is present; without it both subcommands keep the historical
+/// fixed-trial draw stream byte-for-byte.
+AdaptiveConfig adaptive_config(const Options& opt) {
+  AdaptiveConfig cfg;
+  cfg.epsilon = opt.get_double("epsilon", cfg.epsilon);
+  cfg.max_sweeps = static_cast<std::uint32_t>(
+      opt.get_int("max-trials", cfg.max_sweeps));
+  cfg.min_samples = static_cast<std::uint32_t>(
+      opt.get_int("min-samples", cfg.min_samples));
+  cfg.batch_samples = static_cast<std::uint32_t>(
+      opt.get_int("batch", cfg.batch_samples));
+  cfg.antithetic = opt.get_bool("antithetic", cfg.antithetic);
+  cfg.control_variates =
+      opt.get_bool("control-variates", cfg.control_variates);
+  cfg.relabel = parse_relabel_order(opt.get("relabel", "none"));
+  return cfg;
+}
+
 int cmd_gen(const Options& opt) {
   Rng rng(opt.get_int("seed", 1));
   const auto g = make_graph(opt, rng);
@@ -101,10 +126,29 @@ int cmd_gen(const Options& opt) {
 
 int cmd_curve(const Options& opt) {
   Rng rng(opt.get_int("seed", 1));
-  const auto g = load_graph(opt, rng);
-  Rng measure = measurement_rng(rng);
-  const auto trials = static_cast<std::uint32_t>(opt.get_int("trials", 300));
-  const auto curve = estimate_conflict_curve(g, trials, measure);
+  auto g = load_graph(opt, rng);
+  ConflictCurve curve;
+  if (opt.has("epsilon")) {
+    const AdaptiveConfig cfg = adaptive_config(opt);
+    auto adaptive = estimate_conflict_curve_adaptive(
+        g, cfg, static_cast<std::uint64_t>(opt.get_int("seed", 1)));
+    std::cout << "adaptive: epsilon=" << cfg.epsilon << " trials="
+              << adaptive.sweeps << " samples=" << adaptive.samples
+              << " converged=" << (adaptive.converged ? 1 : 0)
+              << " worst_ci=" << adaptive.worst_ci << "@m="
+              << adaptive.worst_m << " relabel="
+              << relabel_order_name(cfg.relabel) << " clique_cv_coverage="
+              << adaptive.clique_node_fraction << "\n";
+    curve = std::move(adaptive.curve);
+  } else {
+    if (opt.has("relabel")) {
+      g = relabel(g, parse_relabel_order(opt.get("relabel", "none"))).graph;
+    }
+    const auto trials =
+        static_cast<std::uint32_t>(opt.get_int("trials", 300));
+    Rng measure = measurement_rng(rng);
+    curve = estimate_conflict_curve(g, trials, measure);
+  }
   Table t({"m", "r_bar", "ci95", "expected_committed"});
   const NodeId n = g.num_nodes();
   for (std::uint32_t m = 1; m <= n; m = std::max(m + 1, m * 5 / 4)) {
@@ -118,11 +162,27 @@ int cmd_curve(const Options& opt) {
 
 int cmd_mu(const Options& opt) {
   Rng rng(opt.get_int("seed", 1));
-  const auto g = load_graph(opt, rng);
+  auto g = load_graph(opt, rng);
   const double rho = opt.get_double("rho", 0.25);
-  const auto trials = static_cast<std::uint32_t>(opt.get_int("trials", 400));
-  Rng measure = measurement_rng(rng);
-  const auto mu = find_mu(g, rho, trials, measure);
+  std::uint32_t mu = 1;
+  if (opt.has("epsilon")) {
+    const AdaptiveConfig cfg = adaptive_config(opt);
+    const auto op = find_operating_point(
+        g, rho, cfg, static_cast<std::uint64_t>(opt.get_int("seed", 1)));
+    mu = op.mu;
+    std::cout << "adaptive: epsilon=" << cfg.epsilon << " trials="
+              << op.sweeps << " converged=" << (op.converged ? 1 : 0)
+              << " r(mu)=" << op.r_at_mu << " ci=" << op.ci_at_mu
+              << " relabel=" << relabel_order_name(cfg.relabel) << "\n";
+  } else {
+    if (opt.has("relabel")) {
+      g = relabel(g, parse_relabel_order(opt.get("relabel", "none"))).graph;
+    }
+    const auto trials =
+        static_cast<std::uint32_t>(opt.get_int("trials", 400));
+    Rng measure = measurement_rng(rng);
+    mu = find_mu(g, rho, trials, measure);
+  }
   std::cout << "n=" << g.num_nodes() << " d=" << g.average_degree()
             << " rho=" << rho << "\nmu ~= " << mu
             << "  (largest m with r_bar(m) <= rho)\n"
