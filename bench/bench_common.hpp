@@ -20,6 +20,8 @@
 #include "support/csv.hpp"
 #include "support/options.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry/telemetry.hpp"
+#include "support/timer.hpp"
 
 namespace optipar::bench {
 
@@ -28,6 +30,32 @@ inline void banner(const std::string& title) {
 }
 
 inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+/// Named wall-clock phase breakdown for experiment binaries, built on the
+/// telemetry layer's ScopedTimer/TimerSet pair (DESIGN.md §10). Usage:
+///
+///     bench::PhaseClock phases;
+///     { ScopedTimer t(phases.acc("find-mu")); mu = find_mu(...); }
+///     phases.report();
+class PhaseClock {
+ public:
+  /// Stable accumulator pointer for `name` — hand it to a ScopedTimer.
+  [[nodiscard]] TimerAccumulator* acc(const std::string& name) {
+    return &timers_.at(name);
+  }
+
+  /// Print "  [time] name: X.X ms over N span(s)" per phase, name-sorted.
+  void report() const {
+    for (const auto& e : timers_.snapshot()) {
+      std::cout << "  [time] " << e.name << ": "
+                << static_cast<double>(e.total_ns) * 1e-6 << " ms over "
+                << e.count << " span(s)\n";
+    }
+  }
+
+ private:
+  telemetry::TimerSet timers_;
+};
 
 /// Fig. 2's third curve: a union of cliques PLUS disconnected nodes, with
 /// overall average degree ≈ d. Uses cliques of size (k+1) covering the

@@ -70,13 +70,18 @@ int main(int argc, char** argv) {
                       gen::random_with_average_degree(n, d2, rng));
 
   std::vector<Run> runs;
+  bench::PhaseClock phases;
   Table trace_table({"step", "graph", "controller", "m", "r"});
   for (const auto& [gname, g] : graphs) {
+    ScopedTimer mu_timer(phases.acc("find-mu"));
     const auto mu = find_mu(g, rho, 300, rng);
+    mu_timer.stop();
     bench::note(gname + ": mu(rho) ~= " + std::to_string(mu));
     for (const std::string cname :
          {"hybrid", "recurrence-A", "hybrid+warmstart"}) {
+      ScopedTimer run_timer(phases.acc("controller-run"));
       auto run = run_on(g, cname, rho, steps, mu, seed + 1);
+      run_timer.stop();
       for (const auto& s : run.trace.steps) {
         if (s.step < 60 || s.step % 10 == 0) {
           trace_table.add_row({static_cast<std::int64_t>(s.step), gname,
@@ -125,6 +130,7 @@ int main(int argc, char** argv) {
   bench::note(
       "paper claim: hybrid reaches the mu neighborhood in ~15 steps from "
       "m0=2; Recurrence A alone is several times slower.");
+  phases.report();
 
   if (opt.has("csv")) {
     trace_table.write_csv(opt.get("csv", "fig3.csv"));

@@ -12,6 +12,7 @@
 #include "model/permutation_sweep.hpp"
 #include "rt/spec_executor.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
 namespace {
@@ -150,6 +151,33 @@ void BM_SpecExecutorRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * m);
 }
 BENCHMARK(BM_SpecExecutorRound)->Arg(16)->Arg(256)->Arg(2048);
+
+// The same steady-state round with a RuntimeTelemetry sink attached — the
+// enabled-path cost of the per-lane counters, phase clocks, and work
+// histogram. scripts/run_bench.sh compares this bench's median against
+// BM_SpecExecutorRound's and records the ratio as `telemetry_overhead` in
+// BENCH_rt.json (budget: < 3%, DESIGN.md §10).
+void BM_SpecExecutorRoundTelemetry(benchmark::State& state) {
+  const auto m = static_cast<std::uint32_t>(state.range(0));
+  ThreadPool pool(2);
+  SpeculativeExecutor ex(
+      pool, 4096,
+      [](TaskId t, IterationContext& ctx) {
+        ctx.acquire(static_cast<std::uint32_t>(t));
+        ctx.push(t);  // keep the worklist at steady state
+      },
+      5);
+  telemetry::RuntimeTelemetry tel;
+  ex.set_telemetry(&tel);
+  std::vector<TaskId> tasks(m);
+  for (std::uint32_t t = 0; t < m; ++t) tasks[t] = t;
+  ex.push_initial(tasks);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.run_round(m).committed);
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_SpecExecutorRoundTelemetry)->Arg(16)->Arg(256)->Arg(2048);
 
 void BM_DelaunayBuild(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Validate an optipar metrics export and (optionally) a trace JSONL file.
+
+Usage:
+    check_metrics.py [metrics.json] [--trace trace.jsonl]
+
+Reads the metrics JSON document from the given path (or stdin when omitted)
+and enforces:
+
+  * the document schema is "optipar.metrics.v1" with well-formed families
+    (optipar_-prefixed names, known types, list-of-samples shape);
+  * histogram samples are cumulative, end with the "+Inf" bucket, and their
+    count equals the +Inf count;
+  * the reconciliation invariant of DESIGN.md §10 — wherever both a per-lane
+    family and its executor-side total are present, the sum over lanes
+    equals the total exactly (committed, aborted, retried, quarantined, and
+    lane-executed vs launched).
+
+With --trace, additionally checks every JSONL line is one of the known
+record types ({"type":"round"|"event"|"trace_summary"}) with its required
+fields, and that the trace_summary totals equal the sums over round lines.
+
+Exit status 0 on success, 1 with a diagnostic per violation otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_TYPES = {"counter", "gauge", "histogram"}
+
+EVENT_KINDS = {
+    "round_start", "round_end", "controller_decision", "retry",
+    "quarantine", "fault_fired", "lane_death", "watchdog_degrade",
+    "serial_degrade", "livelock", "error",
+}
+
+ROUND_FIELDS = {
+    "step", "m", "launched", "committed", "aborted", "retried",
+    "quarantined", "injected", "pending_after", "r", "degraded",
+}
+
+# per-lane family -> executor-total family whose value it must sum to
+RECONCILE = {
+    "optipar_lane_committed_total": "optipar_committed_total",
+    "optipar_lane_aborted_total": "optipar_aborted_total",
+    "optipar_lane_retried_total": "optipar_retried_total",
+    "optipar_lane_quarantined_total": "optipar_quarantined_total",
+    "optipar_lane_executed_total": "optipar_launched_total",
+}
+
+
+def check_metrics(doc, errors):
+    if doc.get("schema") != "optipar.metrics.v1":
+        errors.append(f"schema is {doc.get('schema')!r}, expected "
+                      "'optipar.metrics.v1'")
+        return {}
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        errors.append("'metrics' is not a list")
+        return {}
+
+    families = {}
+    for fam in metrics:
+        name = fam.get("name", "")
+        if not name.startswith("optipar_"):
+            errors.append(f"family {name!r} lacks the optipar_ prefix")
+        if fam.get("type") not in KNOWN_TYPES:
+            errors.append(f"family {name!r} has unknown type "
+                          f"{fam.get('type')!r}")
+        if name in families:
+            errors.append(f"family {name!r} appears twice")
+        samples = fam.get("samples")
+        if not isinstance(samples, list) or not samples:
+            errors.append(f"family {name!r} has no samples")
+            continue
+        families[name] = fam
+        for s in samples:
+            if not isinstance(s.get("labels"), dict):
+                errors.append(f"{name}: sample without a labels object")
+            if fam.get("type") == "histogram":
+                buckets = s.get("buckets")
+                if not buckets or buckets[-1].get("le") != "+Inf":
+                    errors.append(f"{name}: histogram must end with +Inf")
+                    continue
+                counts = [b.get("count", 0) for b in buckets]
+                if counts != sorted(counts):
+                    errors.append(f"{name}: bucket counts not cumulative")
+                if s.get("count") != counts[-1]:
+                    errors.append(f"{name}: count {s.get('count')} != +Inf "
+                                  f"bucket {counts[-1]}")
+            elif not isinstance(s.get("value"), (int, float)):
+                errors.append(f"{name}: sample without a numeric value")
+    return families
+
+
+def family_sum(fam):
+    return sum(s.get("value", 0) for s in fam.get("samples", []))
+
+
+def check_reconciliation(families, errors):
+    for lane_name, total_name in RECONCILE.items():
+        lane_fam = families.get(lane_name)
+        total_fam = families.get(total_name)
+        if lane_fam is None or total_fam is None:
+            continue  # standalone exports may omit either side
+        lane_sum = family_sum(lane_fam)
+        total = family_sum(total_fam)
+        if lane_sum != total:
+            errors.append(f"reconciliation: sum over lanes of {lane_name} "
+                          f"= {lane_sum} but {total_name} = {total}")
+
+
+def check_trace(path, errors):
+    sums = {"committed": 0, "aborted": 0, "retried": 0, "quarantined": 0,
+            "injected": 0}
+    summary = None
+    rounds = 0
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"{path}:{lineno}: invalid JSON: {e}")
+                continue
+            kind = rec.get("type")
+            if kind == "round":
+                rounds += 1
+                missing = ROUND_FIELDS - rec.keys()
+                if missing:
+                    errors.append(f"{path}:{lineno}: round record missing "
+                                  f"{sorted(missing)}")
+                for key in sums:
+                    sums[key] += rec.get(key, 0)
+            elif kind == "event":
+                if rec.get("kind") not in EVENT_KINDS:
+                    errors.append(f"{path}:{lineno}: unknown event kind "
+                                  f"{rec.get('kind')!r}")
+                for key in ("round", "lane", "a", "b", "x", "y"):
+                    if key not in rec:
+                        errors.append(f"{path}:{lineno}: event record "
+                                      f"missing {key!r}")
+            elif kind == "trace_summary":
+                if summary is not None:
+                    errors.append(f"{path}:{lineno}: duplicate "
+                                  "trace_summary")
+                summary = rec
+            else:
+                errors.append(f"{path}:{lineno}: unknown record type "
+                              f"{kind!r}")
+    if summary is not None:
+        if summary.get("rounds") != rounds:
+            errors.append(f"{path}: summary rounds {summary.get('rounds')} "
+                          f"!= {rounds} round lines")
+        for key, total in sums.items():
+            if summary.get(key, 0) != total:
+                errors.append(f"{path}: summary {key} "
+                              f"{summary.get(key)} != sum over rounds "
+                              f"{total}")
+    elif rounds > 0:
+        errors.append(f"{path}: round records without a trace_summary")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics", nargs="?", default="-",
+                        help="metrics JSON file ('-' or omitted: stdin)")
+    parser.add_argument("--trace", help="trace JSONL file to validate")
+    args = parser.parse_args()
+
+    errors = []
+    if args.metrics == "-":
+        doc = json.load(sys.stdin)
+    else:
+        with open(args.metrics, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    families = check_metrics(doc, errors)
+    check_reconciliation(families, errors)
+    if args.trace:
+        check_trace(args.trace, errors)
+
+    if errors:
+        for e in errors:
+            print(f"check_metrics: {e}", file=sys.stderr)
+        return 1
+    trace_note = f" + {args.trace}" if args.trace else ""
+    print(f"check_metrics: OK ({len(families)} families{trace_note})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,20 @@
 # BENCH_model.json additionally carries a regression sentinel: the adaptive
 # engine must reach epsilon in at most half the sweeps of the plain stopping
 # rule on the clique-structured workloads (cliques, mix), else exit 1.
+#
+# BENCH_rt.json records the telemetry overhead (DESIGN.md §10):
+# BM_SpecExecutorRoundTelemetry/2048 vs BM_SpecExecutorRound/2048 lands in
+# doc["telemetry_overhead"], with two sentinels:
+#   * enabled-path budget — overhead > TELEMETRY_OVERHEAD_MAX (default 0.03)
+#     exits 1;
+#   * disabled-path guard — with a baseline, the BM_SpecExecutorRound/2048
+#     median regressing more than TELEMETRY_DISABLED_REGRESSION_MAX
+#     (default 0.03) vs that baseline exits 1 (telemetry off must stay free).
+# The enabled-path delta is a few percent — below run-to-run drift on a busy
+# host — so it gets its own measurement: BENCH_OVERHEAD_PROBES (default 7)
+# short invocations of just the two executor-round benches, compared
+# pairwise within each invocation (back-to-back, so host drift cancels) and
+# reduced with the median across probes.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -53,11 +67,25 @@ run_one() {  # run_one <binary> <raw-json-out>
 
 RAW_RT="$(mktemp)"
 RAW_MODEL="$(mktemp)"
-trap 'rm -f "$RAW_RT" "$RAW_MODEL"' EXIT
+PROBE_DIR="$(mktemp -d)"
+trap 'rm -f "$RAW_RT" "$RAW_MODEL"; rm -rf "$PROBE_DIR"' EXIT
 run_one perf_micro "$RAW_RT"
 run_one model_sampling "$RAW_MODEL"
 
-python3 - "$RAW_RT" "$ROOT/BENCH_rt.json" "$BASELINE" <<'EOF'
+# Paired telemetry-overhead probes (see header). Each probe repeats the
+# pair three times and the reducer takes the per-side MIN within the probe
+# (rejecting intra-probe scheduler spikes) before forming the ratio.
+PROBES="${BENCH_OVERHEAD_PROBES:-7}"
+for i in $(seq 1 "$PROBES"); do
+  "$BUILD/bench/perf_micro" \
+    --benchmark_filter='^BM_SpecExecutorRound(Telemetry)?/2048$' \
+    --benchmark_format=json \
+    --benchmark_min_time="${BENCH_OVERHEAD_MIN_TIME:-0.1}" \
+    --benchmark_repetitions=3 \
+    > "$PROBE_DIR/probe_$i.json" 2>/dev/null
+done
+
+python3 - "$RAW_RT" "$ROOT/BENCH_rt.json" "$BASELINE" "$PROBE_DIR" <<'EOF'
 import json
 import sys
 
@@ -90,12 +118,90 @@ if baseline_path:
             b["speedup"] = round(base_times[name] / b["real_time"], 3)
     doc["baseline_context"] = base.get("context", {})
 
+# Telemetry overhead (DESIGN.md §10): enabled vs disabled on the
+# steady-state 2048-task round, measured by the paired probes (median of
+# within-invocation ratios — drift-robust), plus the disabled-path
+# regression guard on the main pass's median.
+import glob
+import os
+
+probe_dir = sys.argv[4]
+
+def median_of(prefix):
+    for b in doc.get("benchmarks", []):
+        if (b.get("run_name", b.get("name", "")) == prefix and
+                b.get("aggregate_name", "median") == "median" and
+                b.get("real_time")):
+            return b["real_time"]
+    return None
+
+ratios = []
+for path in sorted(glob.glob(os.path.join(probe_dir, "probe_*.json"))):
+    probe = json.load(open(path))
+    times = {}
+    for b in probe.get("benchmarks", []):
+        if b.get("run_type") == "iteration" and "real_time" in b:
+            name = b.get("run_name", b.get("name", ""))
+            times.setdefault(name, []).append(b["real_time"])
+    d = times.get("BM_SpecExecutorRound/2048")
+    e = times.get("BM_SpecExecutorRoundTelemetry/2048")
+    if d and e:
+        ratios.append(min(e) / min(d) - 1.0)
+
+failures = []
+disabled = median_of("BM_SpecExecutorRound/2048")
+enabled = median_of("BM_SpecExecutorRoundTelemetry/2048")
+if ratios:
+    overhead = sorted(ratios)[len(ratios) // 2]
+    budget = float(os.environ.get("TELEMETRY_OVERHEAD_MAX", "0.03"))
+    doc["telemetry_overhead"] = {
+        "bench": "BM_SpecExecutorRound/2048",
+        "overhead": round(overhead, 4),
+        "budget": budget,
+        "probe_ratios": [round(r, 4) for r in ratios],
+        "disabled_real_time": disabled,
+        "enabled_real_time": enabled,
+    }
+    if overhead > budget:
+        failures.append(f"telemetry-enabled round is {overhead:.1%} slower "
+                        f"than disabled (budget {budget:.0%}, median of "
+                        f"{len(ratios)} paired probes)")
+else:
+    failures.append("telemetry-overhead probes produced no "
+                    "SpecExecutorRound/2048 pairs")
+
+if baseline_path and disabled:
+    # Aggregate baseline entries carry the "_median" suffix in "name";
+    # single-rep baselines use the bare run name.
+    base_disabled = base_times.get(
+        "BM_SpecExecutorRound/2048_median",
+        base_times.get("BM_SpecExecutorRound/2048"))
+    if base_disabled:
+        regression = disabled / base_disabled - 1.0
+        guard = float(os.environ.get(
+            "TELEMETRY_DISABLED_REGRESSION_MAX", "0.03"))
+        doc.setdefault("telemetry_overhead", {})["disabled_vs_baseline"] = (
+            round(regression, 4))
+        if regression > guard:
+            failures.append(
+                f"telemetry-off round regressed {regression:.1%} vs the "
+                f"baseline (guard {guard:.0%}) — the disabled path must "
+                "stay free")
+
 json.dump(doc, open(out_path, "w"), indent=1)
 print(f"wrote {out_path}")
 for b in doc.get("benchmarks", []):
     if "speedup" in b:
         print(f"  {b['name']:45s} {b['baseline_real_time']:>12.0f} ns -> "
               f"{b['real_time']:>12.0f} ns   {b['speedup']:.2f}x")
+to = doc.get("telemetry_overhead")
+if to and "overhead" in to:
+    print(f"  telemetry overhead on {to['bench']}: {to['overhead']:+.1%} "
+          f"(budget {to['budget']:.0%}, median of {len(to['probe_ratios'])} "
+          "paired probes)")
+if failures:
+    sys.exit("run_bench.sh: telemetry sentinel tripped:\n  "
+             + "\n  ".join(failures))
 EOF
 
 python3 - "$RAW_MODEL" "$ROOT/BENCH_model.json" <<'EOF'

@@ -86,6 +86,12 @@ class Controller {
   virtual void clamp_max(std::uint32_t m_cap) { (void)m_cap; }
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Short diagnostic of the LAST observe() decision, consumed by the
+  /// telemetry layer's controller-decision events (DESIGN.md §10) — e.g.
+  /// which recurrence branch fired. Purely observational: implementations
+  /// must not let it affect control behavior. Default: nothing to report.
+  [[nodiscard]] virtual std::string decision_note() const { return {}; }
 };
 
 }  // namespace optipar

@@ -73,4 +73,14 @@ std::uint32_t HybridController::observe(const RoundStats& round) {
   return m_;
 }
 
+std::string HybridController::decision_note() const {
+  switch (last_branch_) {
+    case Branch::kNone: return {};
+    case Branch::kDeadBand: return "dead-band";
+    case Branch::kRecurrenceA: return "recurrence-A";
+    case Branch::kRecurrenceB: return "recurrence-B";
+  }
+  return {};
+}
+
 }  // namespace optipar

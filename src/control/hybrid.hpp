@@ -32,6 +32,10 @@ class HybridController final : public Controller {
   enum class Branch { kNone, kDeadBand, kRecurrenceA, kRecurrenceB };
   [[nodiscard]] Branch last_branch() const noexcept { return last_branch_; }
 
+  /// Telemetry rendering of last_branch() ("" mid-window, else
+  /// "dead-band" / "recurrence-A" / "recurrence-B").
+  [[nodiscard]] std::string decision_note() const override;
+
  private:
   ControllerParams params_;
   std::uint32_t m_;

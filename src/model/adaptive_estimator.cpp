@@ -6,6 +6,7 @@
 
 #include "graph/algos.hpp"
 #include "model/permutation_sweep.hpp"
+#include "support/telemetry/telemetry.hpp"
 
 namespace optipar {
 
@@ -133,6 +134,12 @@ AdaptiveCurve run_adaptive_curve(const CsrGraph& input,
                    static_cast<double>(n);
   const std::uint32_t per_sample = cfg.sweeps_per_sample();
   std::vector<StreamingStats> merged;
+  // Resolve the profiling accumulators once; nullptr means no clock reads
+  // anywhere in the loop (ScopedTimer's disabled contract).
+  TimerAccumulator* const acc_sweeps =
+      cfg.timers != nullptr ? &cfg.timers->at("estimator.sweeps") : nullptr;
+  TimerAccumulator* const acc_merge =
+      cfg.timers != nullptr ? &cfg.timers->at("estimator.merge") : nullptr;
 
   while (true) {
     const std::uint32_t want =
@@ -147,14 +154,18 @@ AdaptiveCurve run_adaptive_curve(const CsrGraph& input,
         if (i % lanes == l) draw_curve_sample(g, cfg, cv, lane[l], partial[l]);
       }
     };
-    if (pool) {
-      pool->run_on_workers(lanes, work);
-    } else {
-      work(0);
+    {
+      ScopedTimer sweep_timer(acc_sweeps);
+      if (pool) {
+        pool->run_on_workers(lanes, work);
+      } else {
+        work(0);
+      }
     }
     out.samples += batch;
     out.sweeps += batch * per_sample;
 
+    ScopedTimer merge_timer(acc_merge);
     merged = partial[0];
     for (std::size_t l = 1; l < lanes; ++l) {
       for (std::uint32_t m = 0; m <= n; ++m) merged[m].merge(partial[l][m]);
@@ -168,6 +179,7 @@ AdaptiveCurve run_adaptive_curve(const CsrGraph& input,
         out.worst_m = m;
       }
     }
+    merge_timer.stop();
     if (out.samples >= 2 && out.worst_ci <= cfg.epsilon) {
       out.converged = true;
       break;

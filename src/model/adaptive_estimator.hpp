@@ -39,6 +39,10 @@
 
 namespace optipar {
 
+namespace telemetry {
+class TimerSet;
+}  // namespace telemetry
+
 struct AdaptiveConfig {
   /// Target 95% CI half-width on r̄(m), enforced at every m in [1, n].
   double epsilon = 0.005;
@@ -55,6 +59,11 @@ struct AdaptiveConfig {
   /// Internal node relabeling applied before sweeping (statistics are
   /// label-invariant; the map is reported in the result).
   RelabelOrder relabel = RelabelOrder::kNone;
+  /// Optional profiling sink (DESIGN.md §10): batch sweep work accumulates
+  /// into "estimator.sweeps", merge + CI scans into "estimator.merge".
+  /// Non-owning; nullptr (the default) disables all clock reads. Profiling
+  /// never affects the sample stream or the stopping decision.
+  telemetry::TimerSet* timers = nullptr;
 
   [[nodiscard]] std::uint32_t sweeps_per_sample() const noexcept {
     return antithetic ? 2u : 1u;

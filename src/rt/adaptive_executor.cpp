@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "support/telemetry/telemetry.hpp"
+
 namespace optipar {
 
 Trace run_adaptive(SpeculativeExecutor& executor, Controller& controller,
                    const AdaptiveRunConfig& config) {
   Trace trace;
+  telemetry::RuntimeTelemetry* const tel = executor.telemetry();
   std::uint32_t m = controller.initial_m();
   std::uint32_t stalled = 0;  // consecutive zero-progress rounds
   bool degraded = false;
@@ -26,6 +29,11 @@ Trace run_adaptive(SpeculativeExecutor& executor, Controller& controller,
     rec.degraded = degraded || executor.serial_degraded();
     rec.pending_after = static_cast<std::uint32_t>(
         std::min<std::size_t>(executor.pending(), UINT32_MAX));
+    if (stats.first_error) {
+      // Surface the round's first failure in the trace unconditionally —
+      // an absorbed (retried/quarantined) error must never be invisible.
+      rec.error = telemetry::describe_exception(stats.first_error);
+    }
     trace.steps.push_back(rec);
 
     // Progress = a task left the work-set for good: it committed, or it was
@@ -48,15 +56,34 @@ Trace run_adaptive(SpeculativeExecutor& executor, Controller& controller,
       trace.degraded_at_step = round;
       controller.clamp_max(1);
       stalled = 0;
+      if (tel != nullptr) {
+        tel->emit({telemetry::EventKind::kWatchdogDegrade, 0,
+                   executor.round_index(), round, 0, 0.0, 0.0,
+                   "zero-progress watchdog forced m=1"});
+      }
     } else if (degraded && stalled >= config.serial_grace) {
       // Even conflict-free serial rounds retire nothing: the work itself
       // cannot commit. Surface a structured diagnostic instead of spinning
       // for the remaining max_rounds.
+      if (tel != nullptr) {
+        tel->emit({telemetry::EventKind::kLivelock, 0,
+                   executor.round_index(), stalled, executor.pending(), 0.0,
+                   0.0, "no allocation can commit this work"});
+      }
       throw LivelockError(stalled, executor.pending(),
                           executor.dead_letters().size());
     }
     m = controller.observe(stats);
     if (degraded) m = 1;  // enforce the cap even on no-op controllers
+    if (tel != nullptr) {
+      // Decision event: the controller's next allocation against what it
+      // just observed. x = observed conflict ratio r̄; y = r̄ − ρ (the
+      // tracking error when a target ρ is configured, else r̄ itself).
+      const double r = rec.conflict_ratio();
+      tel->emit({telemetry::EventKind::kControllerDecision, 0,
+                 executor.round_index(), m, stats.launched, r,
+                 r - tel->target_rho(), controller.decision_note()});
+    }
   }
   return trace;
 }

@@ -74,14 +74,18 @@ bool FaultInjector::should_fire(FaultSite site, std::uint64_t a,
 void FaultInjector::maybe_throw(FaultSite site, std::uint64_t a,
                                 std::uint64_t b) {
   if (!should_fire(site, a, b)) return;
-  count_fired(site);
+  fired_[static_cast<std::size_t>(site)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  if (on_fire_) on_fire_(site, a, b);
   throw InjectedFault(site, a, b);
 }
 
 void FaultInjector::maybe_stall(FaultSite site, std::uint64_t a,
                                 std::uint64_t b) noexcept {
   if (!should_fire(site, a, b)) return;
-  count_fired(site);
+  fired_[static_cast<std::size_t>(site)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  if (on_fire_) on_fire_(site, a, b);
   // Bounded stall: 1–64 yields, length drawn from the same PRF stream so
   // the delay profile replays under a fixed seed. A stall is observable
   // only as latency — it may reshuffle multi-lane conflict timing but can
@@ -93,6 +97,7 @@ void FaultInjector::maybe_stall(FaultSite site, std::uint64_t a,
 void FaultInjector::count_fired(FaultSite site) noexcept {
   fired_[static_cast<std::size_t>(site)].fetch_add(
       1, std::memory_order_relaxed);
+  if (on_fire_) on_fire_(site, 0, 0);
 }
 
 std::uint64_t FaultInjector::fired(FaultSite site) const noexcept {

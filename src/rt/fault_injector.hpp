@@ -21,6 +21,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -82,6 +83,16 @@ class FaultInjector {
   /// rollback inverse that actually ran).
   void count_fired(FaultSite site) noexcept;
 
+  /// Telemetry hook (DESIGN.md §10): invoked on every counted firing with
+  /// the site and its (a, b) injection point ((0, 0) for count_fired, which
+  /// has no point identity). MUST be thread-safe — firings happen on pool
+  /// lanes — and must not throw. Empty function detaches. Never alters the
+  /// firing decision, so chaos replays are unaffected.
+  void set_fire_hook(
+      std::function<void(FaultSite, std::uint64_t, std::uint64_t)> hook) {
+    on_fire_ = std::move(hook);
+  }
+
   [[nodiscard]] std::uint64_t fired(FaultSite site) const noexcept;
   [[nodiscard]] std::uint64_t total_fired() const noexcept;
 
@@ -92,6 +103,7 @@ class FaultInjector {
   std::uint64_t seed_;
   std::array<double, kFaultSiteCount> rates_{};
   std::array<std::atomic<std::uint64_t>, kFaultSiteCount> fired_{};
+  std::function<void(FaultSite, std::uint64_t, std::uint64_t)> on_fire_;
 };
 
 }  // namespace optipar

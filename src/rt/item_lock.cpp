@@ -32,7 +32,11 @@ bool LockManager::try_acquire(std::uint32_t item, std::uint32_t iter) {
                                     std::memory_order_acquire)) {
     return true;
   }
-  return expected == iter;  // re-entrant acquire
+  if (expected == iter) return true;  // re-entrant acquire
+  if (contention_ != nullptr) {
+    contention_->fetch_add(1, std::memory_order_relaxed);
+  }
+  return false;
 }
 
 std::uint32_t LockManager::owner(std::uint32_t item) const {

@@ -45,12 +45,21 @@ class LockManager {
   /// assert in release builds where asserts are compiled out).
   [[nodiscard]] std::size_t owned_count() const;
 
+  /// Telemetry hook (DESIGN.md §10): count every failed (conflicting)
+  /// try_acquire into `counter`. nullptr (the default) detaches — the
+  /// fast path then pays one predictable branch on the FAILED acquire
+  /// only, never on the success path. Not safe to swap mid-round.
+  void set_contention_counter(std::atomic<std::uint64_t>* counter) noexcept {
+    contention_ = counter;
+  }
+
  private:
   // Atomics are neither copyable nor movable, so growth re-creates the
   // array and copies the raw values — safe because grow() is only legal
   // between rounds, when no acquire/release is in flight.
   std::unique_ptr<Padded<std::atomic<std::uint32_t>>[]> owners_;
   std::size_t size_ = 0;
+  std::atomic<std::uint64_t>* contention_ = nullptr;  // non-owning
 };
 
 }  // namespace optipar

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "support/barrier.hpp"
+#include "support/telemetry/telemetry.hpp"
 
 namespace optipar {
 
@@ -16,6 +17,14 @@ namespace {
 // draw sequence exactly.
 constexpr std::size_t kDrawChunk = 16;
 constexpr std::size_t kFinalizeChunk = 64;
+
+// Phase clocks sample every N-th chunk (power of two; chunk 0 always
+// sampled, so single-chunk rounds are timed exactly) and scale the tick
+// totals up to the chunk population at flush time. Even a raw cycle read
+// costs ~20ns on virtualized hosts, so timing every chunk would by itself
+// consume the telemetry layer's <3% enabled-overhead budget.
+constexpr std::uint64_t kPhaseSamplePeriod = 8;
+static_assert((kPhaseSamplePeriod & (kPhaseSamplePeriod - 1)) == 0);
 
 // Sentinel marking a ticket whose task was never drawn (hardened rounds
 // only): after a pool-lane death the salvage pass must distinguish "task
@@ -32,16 +41,6 @@ std::size_t draw_chunk(std::size_t take, std::size_t lanes) {
       1, std::min<std::size_t>(kDrawChunk, take / (lanes * 2)));
 }
 
-std::string describe_exception(const std::exception_ptr& error) {
-  if (!error) return "unknown error";
-  try {
-    std::rethrow_exception(error);
-  } catch (const std::exception& e) {
-    return e.what();
-  } catch (...) {
-    return "non-std exception";
-  }
-}
 }  // namespace
 
 void IterationContext::acquire(std::uint32_t item) {
@@ -61,7 +60,10 @@ void IterationContext::acquire(std::uint32_t item) {
 bool IterationContext::try_acquire(std::uint32_t item) {
   // Fast path: already held (common when an operator revisits a cavity).
   if (std::find(held_.begin(), held_.end(), item) != held_.end()) return true;
-  if (!locks_.try_acquire(item, iter_id_)) return false;
+  if (!locks_.try_acquire(item, iter_id_)) {
+    if (tlm_ != nullptr) ++tlm_->lock_failures;
+    return false;
+  }
   held_.push_back(item);
   return true;
 }
@@ -87,6 +89,21 @@ SpeculativeExecutor::SpeculativeExecutor(ThreadPool& pool, std::size_t items,
   helper_rngs_.reserve(shard_count_ - 1);
   for (std::size_t l = 1; l < shard_count_; ++l) {
     helper_rngs_.emplace_back(sm.next());
+  }
+}
+
+void SpeculativeExecutor::set_telemetry(telemetry::RuntimeTelemetry* sink) {
+  telemetry_ = sink;
+  if (sink != nullptr) {
+    // Resolve the named accumulators once — the per-round ScopedTimer then
+    // costs two clock reads, no map lookups. Calibrating the tick clock
+    // here keeps its one-time spin out of the first timed chunk.
+    static_cast<void>(phase_ns_per_tick());
+    acc_round_ = &sink->timers().at("executor.round");
+    acc_salvage_ = &sink->timers().at("executor.salvage");
+  } else {
+    acc_round_ = nullptr;
+    acc_salvage_ = nullptr;
   }
 }
 
@@ -187,18 +204,32 @@ void SpeculativeExecutor::acquire_arbitrated(IterationContext& ctx,
     if (!poisoned_now && expected == IterationContext::kCommitted) {
       throw AbortIteration{};
     }
+    if (poisoned_now && ctx.tlm_ != nullptr) ++ctx.tlm_->arb_poisons;
     // Owner is poisoned (by us or someone else): it will roll back and
-    // release. Spin-wait, staying cancellable ourselves.
+    // release. Spin-wait, staying cancellable ourselves. The wait is timed
+    // only when telemetry is attached (one clock pair per wait, not per
+    // spin) — arbitrate-phase stalls are otherwise invisible to profiles.
+    const std::uint64_t wait_start =
+        ctx.tlm_ != nullptr ? phase_ticks() : 0;
     int spins = 0;
     while (locks_.owner(item) == owner) {
       if (ctx.status_.load(std::memory_order_acquire) !=
           IterationContext::kRunning) {
+        if (ctx.tlm_ != nullptr) {
+          ++ctx.tlm_->arb_waits;
+          ctx.tlm_->arb_wait_ns +=
+              phase_ticks_to_ns(phase_ticks() - wait_start);
+        }
         throw AbortIteration{};
       }
       if (++spins > 64) {
         std::this_thread::yield();
         spins = 0;
       }
+    }
+    if (ctx.tlm_ != nullptr) {
+      ++ctx.tlm_->arb_waits;
+      ctx.tlm_->arb_wait_ns += phase_ticks_to_ns(phase_ticks() - wait_start);
     }
     // Re-contend from the top (a third iteration may have grabbed it).
   }
@@ -333,15 +364,35 @@ void SpeculativeExecutor::process_faulted_slots(
     const std::exception_ptr error =
         ctx.fault_ ? ctx.fault_ : ctx.rollback_fault_;
     if (!stats.first_error) stats.first_error = error;
+    // Retry/quarantine is decided serially, but attributed back to the lane
+    // that executed the attempt (slot_lane_ stamp). Lanes are quiescent
+    // here, so pushing into a lane ring from the serial tail is safe.
+    telemetry::LaneTelemetry* tlane = nullptr;
+    if (telemetry_ != nullptr && slot < slot_lane_.size()) {
+      tlane = &telemetry_->lane(slot_lane_[slot]);
+    }
     const std::uint32_t attempts = ++failure_attempts_[task];
     if (attempts <= fp.max_retries) {
       ++stats.retried;
       deferred_.push_back(
           {round_index_ + backoff_rounds(task, attempts), task});
+      if (tlane != nullptr) {
+        ++tlane->retried;
+        tlane->ring.push({telemetry::EventKind::kRetry,
+                          slot_lane_[slot], round_index_, task, attempts,
+                          0.0, 0.0, {}});
+      }
     } else {
       ++stats.quarantined;
-      dead_letters_.push_back({task, attempts, describe_exception(error)});
+      dead_letters_.push_back(
+          {task, attempts, telemetry::describe_exception(error)});
       failure_attempts_.erase(task);
+      if (tlane != nullptr) {
+        ++tlane->quarantined;
+        tlane->ring.push({telemetry::EventKind::kQuarantine,
+                          slot_lane_[slot], round_index_, task, attempts,
+                          0.0, 0.0, dead_letters_.back().error});
+      }
     }
   }
 }
@@ -406,6 +457,8 @@ void SpeculativeExecutor::salvage_round(
 }
 
 RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
+  // nullptr accumulator → ScopedTimer performs no clock reads at all.
+  ScopedTimer round_timer(acc_round_);
   ++round_index_;
   release_due_deferred();
   RoundStats stats;
@@ -438,6 +491,10 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
     }
   }
   stats.launched = static_cast<std::uint32_t>(take);
+  if (telemetry_ != nullptr) {
+    telemetry_->emit({telemetry::EventKind::kRoundStart, 0, round_index_, m,
+                      take, 0.0, 0.0, {}});
+  }
   if (take == 0) return stats;
 
   // Arena: slot i of this round recycles arena_[i]; only first-time slots
@@ -478,6 +535,12 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
     lane_faulted_[l].value.clear();
     lane_pool_fault_[l].value = nullptr;
   }
+  if (telemetry_ != nullptr) {
+    telemetry_->ensure_lanes(lanes);
+    // slot→lane stamps let the serial tail attribute retries/quarantines
+    // to the executing lane; maintained only while a sink is attached.
+    if (slot_lane_.size() < take) slot_lane_.resize(take, 0);
+  }
   draw_cursor_.store(0, std::memory_order_relaxed);
   finalize_cursor_.store(0, std::memory_order_relaxed);
   round_error_ = nullptr;
@@ -491,6 +554,26 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
   const std::size_t chunk = draw_chunk(take, lanes);
   pool_.run_on_workers(lanes, [&](std::size_t lane) {
     Rng& rng = lane == 0 ? rng_ : helper_rngs_[lane - 1];
+    // Lane-private telemetry block (cache-line padded; no atomics on the
+    // counting path). nullptr when detached — every site below is then a
+    // single predictable branch. Phase clocks are raw cycle-counter reads
+    // (phase_ticks) on SAMPLED chunks only (kPhaseSamplePeriod), with one
+    // timestamp carried across the draw->exec boundary inside a sampled
+    // chunk; tick totals and task outcomes accumulate in locals and flush
+    // to the lane block once per round — the <3% enabled-overhead budget
+    // (DESIGN.md §10) depends on all three.
+    telemetry::LaneTelemetry* const tlane =
+        telemetry_ != nullptr
+            ? &telemetry_->lane(lane)
+            : nullptr;
+    std::uint64_t phase_t = 0;
+    std::uint64_t draw_ticks = 0;
+    std::uint64_t exec_ticks = 0;
+    std::uint64_t rollback_ticks = 0;
+    std::uint64_t chunks_seen = 0;
+    std::uint64_t lane_executed = 0;
+    std::uint64_t lane_committed = 0;
+    std::uint64_t lane_aborted = 0;
     // --- Speculative phase: draw and execute in ticket chunks. ----------
     // The phase-level catch turns a dying lane into a recorded pool fault
     // instead of a wedged barrier: the lane still arrives below, and the
@@ -504,6 +587,10 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
             draw_cursor_.fetch_add(chunk, std::memory_order_relaxed);
         if (begin >= take) break;
         const std::size_t end = std::min(take, begin + chunk);
+        const bool timed =
+            tlane != nullptr &&
+            (chunks_seen++ & (kPhaseSamplePeriod - 1)) == 0;
+        if (timed) phase_t = phase_ticks();
         if (!prioritized) {
           // Draw the chunk: own shard under one lock, then steal.
           std::size_t slot = begin;
@@ -515,6 +602,23 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
             }
           }
           while (slot < end) active_[slot++] = draw_one(lane, rng);
+          if (timed) {
+            const std::uint64_t now = phase_ticks();
+            draw_ticks += now - phase_t;
+            phase_t = now;
+          }
+        }
+        // Lane stamps are written per chunk — one vectorized fill
+        // instead of a store interleaved into every task; every slot in
+        // [begin, end) executes on this lane (or dies with it and is
+        // salvaged serially). Their only consumer is the serial tail's
+        // retry/quarantine attribution (process_faulted_slots), which can
+        // only see work when fault absorption is on — so plain rounds
+        // skip the stamping entirely.
+        if (tlane != nullptr && absorbing) {
+          std::fill(slot_lane_.begin() + static_cast<std::ptrdiff_t>(begin),
+                    slot_lane_.begin() + static_cast<std::ptrdiff_t>(end),
+                    static_cast<std::uint32_t>(lane));
         }
         for (std::size_t slot = begin; slot < end; ++slot) {
           const TaskId task = active_[slot];
@@ -528,6 +632,9 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
             }
           }
           ctx.reset(base_id + static_cast<std::uint32_t>(slot), prio);
+          if (tlane != nullptr) {
+            ctx.tlm_ = tlane;  // routes lock/arbitration counts to this lane
+          }
           const std::uint32_t attempt = attempt_of(task);
           if (injector_ != nullptr &&
               injector_->should_fire(FaultSite::kRollbackInverse, task,
@@ -563,18 +670,26 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
             ctx.fault_ = std::current_exception();
             record_round_error();
           }
+          if (tlane != nullptr) {
+            // held_ is still populated here (released below on abort), so
+            // this is the per-task "items touched" sample either way.
+            ++lane_executed;
+            tlane->work.record(ctx.held_.size());
+          }
           // Finalize: a poisoned iteration may not commit even if it
           // finished.
           if (wants_commit && ctx.try_commit()) {
             // Committed iterations keep their items locked until the round
             // ends (the paper's semantics: an earlier committed neighbor
             // blocks).
+            if (tlane != nullptr) ++lane_committed;
           } else {
             // Roll back while still owning the touched items, then release
             // them immediately: an aborted task must not block later tasks
             // (§2.1), and a priority-wins waiter may be spinning on one of
             // our items. The unwind is two-phase (UndoLog::rollback): a
             // throwing inverse never strands the inverses below it.
+            const std::uint64_t rb_t0 = timed ? phase_ticks() : 0;
             try {
               ctx.undo_.rollback();
             } catch (...) {
@@ -582,13 +697,46 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
               record_round_error();
             }
             ctx.release_all();
+            if (tlane != nullptr) {
+              ++lane_aborted;
+              if (timed) rollback_ticks += phase_ticks() - rb_t0;
+            }
           }
           slot_executed_[slot] = round_index_;
+        }
+        if (timed) {
+          // exec covers the whole speculative slice (operator + commit/
+          // rollback decisions); rollback above is a sub-slice of it.
+          exec_ticks += phase_ticks() - phase_t;
         }
       }
     } catch (...) {
       lane_pool_fault_[lane].value = std::current_exception();
       record_round_error();
+    }
+    if (tlane != nullptr) {
+      // Single flush per round — a dying lane still reaches it (the catch
+      // above absorbed the escape), so counters stay exact even on a pool
+      // fault; only the fatal chunk's partial time is understated.
+      tlane->executed += lane_executed;
+      tlane->committed += lane_committed;
+      tlane->aborted += lane_aborted;
+      if (chunks_seen > 0) {
+        // Scale the sampled tick totals up to the chunk population (the
+        // sample is deterministic: chunks 0, P, 2P, ...), then convert
+        // ticks to nanoseconds — once per phase per round.
+        const std::uint64_t timed_chunks =
+            (chunks_seen + kPhaseSamplePeriod - 1) / kPhaseSamplePeriod;
+        const double scale = phase_ns_per_tick() *
+                             static_cast<double>(chunks_seen) /
+                             static_cast<double>(timed_chunks);
+        tlane->draw_ns += static_cast<std::uint64_t>(
+            static_cast<double>(draw_ticks) * scale);
+        tlane->exec_ns += static_cast<std::uint64_t>(
+            static_cast<double>(exec_ticks) * scale);
+        tlane->rollback_ns += static_cast<std::uint64_t>(
+            static_cast<double>(rollback_ticks) * scale);
+      }
     }
     // --- Round barrier: commits become final, locks still held. ---------
     // Every lane arrives exactly once, even after a pool fault above —
@@ -599,6 +747,7 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
     try {
       auto& requeue = lane_requeue_[lane].value;
       std::uint32_t committed = 0;
+      const std::uint64_t commit_t0 = tlane != nullptr ? phase_ticks() : 0;
       for (;;) {
         const std::size_t begin =
             finalize_cursor_.fetch_add(kFinalizeChunk,
@@ -645,6 +794,9 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
         }
         requeue.clear();  // spliced; salvage treats leftovers as unspliced
       }
+      if (tlane != nullptr) {
+        tlane->commit_ns += phase_ticks_to_ns(phase_ticks() - commit_t0);
+      }
     } catch (...) {
       if (!lane_pool_fault_[lane].value) {
         lane_pool_fault_[lane].value = std::current_exception();
@@ -662,9 +814,28 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
   }
   if (lane_fault) {
     ++pool_failures_;
-    salvage_round(stats, take, lanes, faulted_slots);
+    if (telemetry_ != nullptr) {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (lane_pool_fault_[l].value) {
+          telemetry_->emit(
+              {telemetry::EventKind::kLaneDeath,
+               static_cast<std::uint32_t>(l), round_index_, pool_failures_,
+               0, 0.0, 0.0,
+               telemetry::describe_exception(lane_pool_fault_[l].value)});
+        }
+      }
+    }
+    {
+      ScopedTimer salvage_timer(acc_salvage_);
+      salvage_round(stats, take, lanes, faulted_slots);
+    }
     if (policy_.has_value() &&
         pool_failures_ >= policy_->max_pool_failures) {
+      if (!serial_fallback_ && telemetry_ != nullptr) {
+        telemetry_->emit({telemetry::EventKind::kSerialDegrade, 0,
+                          round_index_, pool_failures_, 0, 0.0, 0.0,
+                          "pool-failure budget exhausted"});
+      }
       serial_fallback_ = true;  // graceful degradation: serial from now on
     }
   } else {
@@ -693,6 +864,11 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
       }
     }
     if (dead_letters_.size() > policy_->quarantine_budget) {
+      if (!serial_fallback_ && telemetry_ != nullptr) {
+        telemetry_->emit({telemetry::EventKind::kSerialDegrade, 0,
+                          round_index_, dead_letters_.size(), 0, 0.0, 0.0,
+                          "quarantine budget exhausted"});
+      }
       serial_fallback_ = true;
     }
   }
@@ -712,6 +888,16 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
   totals_.quarantined += stats.quarantined;
 
   if (!stats.first_error && round_error_) stats.first_error = round_error_;
+  if (telemetry_ != nullptr) {
+    const double rate =
+        stats.launched == 0
+            ? 0.0
+            : static_cast<double>(stats.committed) /
+                  static_cast<double>(stats.launched);
+    telemetry_->emit({telemetry::EventKind::kRoundEnd, 0, round_index_,
+                      stats.launched, stats.committed, rate,
+                      static_cast<double>(stats.aborted), {}});
+  }
   if (round_error_) {
     // The round's bookkeeping is complete (locks free, tasks requeued or
     // quarantined, totals counted). Legacy contract: surface the error.

@@ -48,8 +48,14 @@
 #include "support/padded.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
+#include "support/timer.hpp"
 
 namespace optipar {
+
+namespace telemetry {
+class RuntimeTelemetry;
+struct LaneTelemetry;
+}  // namespace telemetry
 
 using TaskId = std::uint64_t;
 
@@ -110,6 +116,7 @@ class IterationContext {
     undo_.discard();
     fault_ = nullptr;
     rollback_fault_ = nullptr;
+    tlm_ = nullptr;
   }
 
   /// Finalize: only an un-poisoned iteration may commit.
@@ -133,6 +140,9 @@ class IterationContext {
   // out of the (completed, two-phase) unwind.
   std::exception_ptr fault_;
   std::exception_ptr rollback_fault_;
+  // Executing lane's telemetry block (DESIGN.md §10); nullptr whenever
+  // telemetry is detached, so every counting site is one branch.
+  telemetry::LaneTelemetry* tlm_ = nullptr;
 };
 
 /// The user operator: process one task inside a speculative iteration. It
@@ -217,6 +227,17 @@ class SpeculativeExecutor {
   /// throw, lock-acquire stall, and pool-lane death. Call between rounds.
   void set_fault_injector(FaultInjector* injector) noexcept {
     injector_ = injector;
+  }
+
+  /// Attach a telemetry sink (non-owning; nullptr detaches). Call between
+  /// rounds only. With a sink attached the executor records per-lane
+  /// counters, phase times, a work histogram, and structured trace events;
+  /// detached (the default) every instrumentation site reduces to one
+  /// pointer test, and the schedule is byte-identical either way — the
+  /// sink never influences draws, arbitration, or requeues (DESIGN.md §10).
+  void set_telemetry(telemetry::RuntimeTelemetry* sink);
+  [[nodiscard]] telemetry::RuntimeTelemetry* telemetry() const noexcept {
+    return telemetry_;
   }
 
   [[nodiscard]] std::size_t pending() const;
@@ -376,6 +397,17 @@ class SpeculativeExecutor {
   // True while the current round sentinel-fills active_ (injector or policy
   // installed), so salvage can tell drawn slots from never-drawn ones.
   bool round_hardened_ = false;
+
+  // --- telemetry (DESIGN.md §10) -----------------------------------------
+  // Non-owning; nullptr = detached (the default). slot_lane_ stamps which
+  // lane executed each slot so the serial tail can attribute retries and
+  // quarantines back to the executing lane; only maintained while attached
+  // AND fault absorption is on (its sole consumer is the retry/quarantine
+  // path, and plain rounds skip the stamping cost).
+  telemetry::RuntimeTelemetry* telemetry_ = nullptr;
+  std::vector<std::uint32_t> slot_lane_;
+  TimerAccumulator* acc_round_ = nullptr;    // "executor.round"
+  TimerAccumulator* acc_salvage_ = nullptr;  // "executor.salvage"
 
   ExecutorTotals totals_;
   std::uint32_t next_iteration_id_ = 0;

@@ -1,0 +1,56 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+#include "support/telemetry/metrics_registry.hpp"
+
+namespace optipar {
+
+namespace {
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) os << c;
+    }
+  }
+}
+}  // namespace
+
+void write_step_jsonl(std::ostream& os, const StepRecord& rec) {
+  os << "{\"type\":\"round\",\"step\":" << rec.step << ",\"m\":" << rec.m
+     << ",\"launched\":" << rec.launched
+     << ",\"committed\":" << rec.committed << ",\"aborted\":" << rec.aborted
+     << ",\"retried\":" << rec.retried
+     << ",\"quarantined\":" << rec.quarantined
+     << ",\"injected\":" << rec.injected
+     << ",\"pending_after\":" << rec.pending_after << ",\"r\":"
+     << MetricsRegistry::format_value(rec.conflict_ratio())
+     << ",\"degraded\":" << (rec.degraded ? "true" : "false");
+  if (!rec.error.empty()) {
+    os << ",\"error\":\"";
+    write_escaped(os, rec.error);
+    os << '"';
+  }
+  os << "}\n";
+}
+
+void write_trace_jsonl(std::ostream& os, const Trace& trace) {
+  for (const StepRecord& rec : trace.steps) write_step_jsonl(os, rec);
+  os << "{\"type\":\"trace_summary\",\"rounds\":" << trace.steps.size()
+     << ",\"committed\":" << trace.total_committed()
+     << ",\"aborted\":" << trace.total_aborted()
+     << ",\"retried\":" << trace.total_retried()
+     << ",\"quarantined\":" << trace.total_quarantined()
+     << ",\"injected\":" << trace.total_injected() << ",\"wasted\":"
+     << MetricsRegistry::format_value(trace.wasted_fraction())
+     << ",\"watchdog_fired\":"
+     << (trace.watchdog_fired() ? "true" : "false") << "}\n";
+}
+
+}  // namespace optipar

@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "control/controller.hpp"
@@ -24,6 +26,10 @@ struct StepRecord {
   std::uint32_t quarantined = 0;  ///< faulted tasks dead-lettered
   std::uint32_t injected = 0;     ///< faults the injector fired
   bool degraded = false;          ///< round ran in forced-serial mode
+  /// Rendered RoundStats::first_error of the round (empty when fault-free).
+  /// run_adaptive fills this so absorbed failures are never invisible in a
+  /// trace — previously first_error died inside RoundStats (DESIGN.md §10).
+  std::string error;
 
   [[nodiscard]] double conflict_ratio() const noexcept {
     return launched == 0
@@ -61,5 +67,15 @@ struct Trace {
   [[nodiscard]] double rms_relative_error(double mu_ref,
                                           std::size_t from) const;
 };
+
+/// One `{"type":"round",...}` JSONL object per line. This is the canonical
+/// structured form of a StepRecord; the telemetry layer's TraceEvent lines
+/// (support/telemetry) interleave with these in a --trace-out file rather
+/// than duplicating the per-round fields.
+void write_step_jsonl(std::ostream& os, const StepRecord& rec);
+
+/// Every step of the trace, plus a final `{"type":"trace_summary",...}`
+/// line with the aggregate totals.
+void write_trace_jsonl(std::ostream& os, const Trace& trace);
 
 }  // namespace optipar

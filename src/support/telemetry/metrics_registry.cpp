@@ -1,0 +1,185 @@
+#include "support/telemetry/metrics_registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace optipar {
+
+namespace {
+
+const char* type_name(MetricsRegistry::Type type) {
+  switch (type) {
+    case MetricsRegistry::Type::kCounter: return "counter";
+    case MetricsRegistry::Type::kGauge: return "gauge";
+    case MetricsRegistry::Type::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+void write_json_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void write_label_set(std::ostream& os, const MetricsRegistry::Labels& labels) {
+  if (labels.empty()) return;
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << k << "=\"" << v << '"';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::format_value(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_of(const std::string& name,
+                                                    Type type,
+                                                    const std::string& help) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    Family& family = families_[it->second];
+    if (family.type != type) {
+      throw std::logic_error("MetricsRegistry: metric '" + name +
+                             "' re-registered with a different type");
+    }
+    return family;
+  }
+  index_.emplace(name, families_.size());
+  families_.push_back({name, type, help, {}});
+  return families_.back();
+}
+
+void MetricsRegistry::add(const std::string& name, Type type,
+                          const std::string& help, Labels labels,
+                          double value) {
+  if (type == Type::kHistogram) {
+    throw std::logic_error("MetricsRegistry: use add_histogram for '" +
+                           name + "'");
+  }
+  family_of(name, type, help).samples.push_back(
+      {std::move(labels), value, {}, 0.0});
+}
+
+void MetricsRegistry::add_histogram(const std::string& name,
+                                    const std::string& help, Labels labels,
+                                    std::vector<Bucket> buckets, double sum) {
+  if (buckets.empty() || buckets.back().le != "+Inf") {
+    throw std::logic_error("MetricsRegistry: histogram '" + name +
+                           "' must end with the +Inf bucket");
+  }
+  family_of(name, Type::kHistogram, help)
+      .samples.push_back({std::move(labels),
+                          static_cast<double>(buckets.back().count),
+                          std::move(buckets), sum});
+}
+
+void MetricsRegistry::render_prometheus(std::ostream& os) const {
+  for (const Family& family : families_) {
+    if (!family.help.empty()) {
+      os << "# HELP " << family.name << ' ' << family.help << '\n';
+    }
+    os << "# TYPE " << family.name << ' ' << type_name(family.type) << '\n';
+    for (const Sample& sample : family.samples) {
+      if (family.type == Type::kHistogram) {
+        for (const Bucket& bucket : sample.buckets) {
+          Labels with_le = sample.labels;
+          with_le["le"] = bucket.le;
+          os << family.name << "_bucket";
+          write_label_set(os, with_le);
+          os << ' ' << bucket.count << '\n';
+        }
+        os << family.name << "_sum";
+        write_label_set(os, sample.labels);
+        os << ' ' << format_value(sample.sum) << '\n';
+        os << family.name << "_count";
+        write_label_set(os, sample.labels);
+        os << ' ' << sample.buckets.back().count << '\n';
+      } else {
+        os << family.name;
+        write_label_set(os, sample.labels);
+        os << ' ' << format_value(sample.value) << '\n';
+      }
+    }
+  }
+}
+
+void MetricsRegistry::render_json(std::ostream& os) const {
+  os << "{\"schema\":\"optipar.metrics.v1\",\"metrics\":[";
+  bool first_family = true;
+  for (const Family& family : families_) {
+    if (!first_family) os << ',';
+    first_family = false;
+    os << "{\"name\":\"";
+    write_json_escaped(os, family.name);
+    os << "\",\"type\":\"" << type_name(family.type) << "\",\"help\":\"";
+    write_json_escaped(os, family.help);
+    os << "\",\"samples\":[";
+    bool first_sample = true;
+    for (const Sample& sample : family.samples) {
+      if (!first_sample) os << ',';
+      first_sample = false;
+      os << "{\"labels\":{";
+      bool first_label = true;
+      for (const auto& [k, v] : sample.labels) {
+        if (!first_label) os << ',';
+        first_label = false;
+        os << '"';
+        write_json_escaped(os, k);
+        os << "\":\"";
+        write_json_escaped(os, v);
+        os << '"';
+      }
+      os << '}';
+      if (family.type == Type::kHistogram) {
+        os << ",\"buckets\":[";
+        bool first_bucket = true;
+        for (const Bucket& bucket : sample.buckets) {
+          if (!first_bucket) os << ',';
+          first_bucket = false;
+          os << "{\"le\":\"" << bucket.le << "\",\"count\":" << bucket.count
+             << '}';
+        }
+        os << "],\"sum\":" << format_value(sample.sum)
+           << ",\"count\":" << sample.buckets.back().count;
+      } else {
+        os << ",\"value\":" << format_value(sample.value);
+      }
+      os << '}';
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+}
+
+}  // namespace optipar

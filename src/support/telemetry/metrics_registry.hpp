@@ -1,0 +1,78 @@
+// The metrics export surface (DESIGN.md §10): a flat registry of metric
+// families — counters, gauges, histograms — rendered as Prometheus
+// exposition text or as JSON (schema "optipar.metrics.v1", validated by
+// scripts/check_metrics.py). Renderings are deterministic: families appear
+// in registration order, samples in insertion order, and floating-point
+// values use a fixed shortest-round-trip format — so golden-file tests can
+// pin the exact bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace optipar {
+
+class MetricsRegistry {
+ public:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  /// Label set; rendered sorted by key.
+  using Labels = std::map<std::string, std::string>;
+
+  /// One cumulative histogram bucket: count of observations <= `le`.
+  struct Bucket {
+    std::string le;  ///< upper bound as text ("1", "2.5", "+Inf")
+    std::uint64_t count = 0;
+  };
+
+  /// Add a counter/gauge sample. The first add of a `name` fixes its type
+  /// and help text; later adds append samples (e.g. one per lane label).
+  void add(const std::string& name, Type type, const std::string& help,
+           Labels labels, double value);
+
+  /// Add a histogram sample: `buckets` must be cumulative and end with the
+  /// "+Inf" bucket (whose count equals the observation total).
+  void add_histogram(const std::string& name, const std::string& help,
+                     Labels labels, std::vector<Bucket> buckets,
+                     double sum = 0.0);
+
+  [[nodiscard]] std::size_t family_count() const noexcept {
+    return families_.size();
+  }
+
+  /// Prometheus text exposition format (# HELP / # TYPE / samples).
+  void render_prometheus(std::ostream& os) const;
+
+  /// JSON document: {"schema":"optipar.metrics.v1","metrics":[...]}.
+  void render_json(std::ostream& os) const;
+
+  /// Format a double exactly the way both renderers do (integral values
+  /// without a decimal point, otherwise shortest round-trip).
+  [[nodiscard]] static std::string format_value(double value);
+
+ private:
+  struct Sample {
+    Labels labels;
+    double value = 0.0;
+    std::vector<Bucket> buckets;  ///< histogram samples only
+    double sum = 0.0;             ///< histogram samples only
+  };
+  struct Family {
+    std::string name;
+    Type type = Type::kCounter;
+    std::string help;
+    std::vector<Sample> samples;
+  };
+
+  Family& family_of(const std::string& name, Type type,
+                    const std::string& help);
+
+  std::vector<Family> families_;
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace optipar

@@ -1,7 +1,17 @@
-// Monotonic wall-clock timing for benches and the runtime's round loop.
+// Monotonic wall-clock timing for benches and the runtime's round loop,
+// plus the accumulator/RAII pair the telemetry layer (DESIGN.md §10) feeds
+// per-phase time breakdowns through. A ScopedTimer constructed over a null
+// accumulator performs no clock read at all — that is the disabled-path
+// guarantee every instrumentation site relies on.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
 
 namespace optipar {
 
@@ -20,6 +30,118 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Monotonic nanoseconds since an arbitrary epoch — the raw unit the
+/// per-lane phase accumulators store (one subtraction per measured span,
+/// no duration<double> conversion on the hot path).
+[[nodiscard]] inline std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Raw cycle-counter read for the executor's per-chunk phase clocks —
+/// several times cheaper than monotonic_ns() on x86 (no vDSO call, no
+/// conversion). Values are opaque ticks: accumulate deltas and convert the
+/// running total with phase_ticks_to_ns() on a cold path. Falls back to
+/// monotonic_ns() where no invariant cycle counter is available, so the
+/// tick unit is then already nanoseconds.
+[[nodiscard]] inline std::uint64_t phase_ticks() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return monotonic_ns();
+#endif
+}
+
+/// Nanoseconds per phase_ticks() tick, calibrated once per process against
+/// monotonic_ns() (~100us spin on first use — call it from a cold path,
+/// e.g. when attaching a telemetry sink, so the first timed chunk does not
+/// pay for it).
+[[nodiscard]] inline double phase_ns_per_tick() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  static const double ns_per_tick = [] {
+    const std::uint64_t ns0 = monotonic_ns();
+    const std::uint64_t t0 = __rdtsc();
+    std::uint64_t ns1 = ns0;
+    while (ns1 - ns0 < 100'000) ns1 = monotonic_ns();
+    const std::uint64_t t1 = __rdtsc();
+    return t1 > t0 ? static_cast<double>(ns1 - ns0) /
+                         static_cast<double>(t1 - t0)
+                   : 1.0;
+  }();
+  return ns_per_tick;
+#else
+  return 1.0;
+#endif
+}
+
+/// Convert an accumulated phase_ticks() delta to nanoseconds.
+[[nodiscard]] inline std::uint64_t phase_ticks_to_ns(
+    std::uint64_t ticks) noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return static_cast<std::uint64_t>(static_cast<double>(ticks) *
+                                    phase_ns_per_tick());
+#else
+  return ticks;
+#endif
+}
+
+/// A named span's running total: nanoseconds and number of recorded spans.
+/// Thread-safe (relaxed atomics — totals are read only at export time, when
+/// all writers have quiesced or exactness does not matter).
+class TimerAccumulator {
+ public:
+  void add(std::uint64_t ns, std::uint64_t spans = 1) noexcept {
+    ns_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(spans, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double total_seconds() const noexcept {
+    return static_cast<double>(total_ns()) * 1e-9;
+  }
+
+  void reset() noexcept {
+    ns_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> ns_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// RAII span feeding a TimerAccumulator on destruction. Pass nullptr to
+/// disable: no clock is read and the destructor is a single branch, so an
+/// instrumentation site costs nothing when telemetry is off.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimerAccumulator* acc) noexcept
+      : acc_(acc), start_(acc ? monotonic_ns() : 0) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Record the span now instead of at scope exit (idempotent).
+  void stop() noexcept {
+    if (acc_ == nullptr) return;
+    acc_->add(monotonic_ns() - start_);
+    acc_ = nullptr;
+  }
+
+ private:
+  TimerAccumulator* acc_;
+  std::uint64_t start_;
 };
 
 }  // namespace optipar

@@ -19,6 +19,7 @@
 #include "rt/undo_log.hpp"
 #include "support/failure_policy.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
 namespace optipar {
@@ -630,6 +631,119 @@ TEST(Watchdog, QuarantineCountsAsProgress) {
   EXPECT_FALSE(trace.watchdog_fired());
   EXPECT_EQ(trace.total_quarantined(), 8u);
   EXPECT_EQ(ex.dead_letters().size(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry surfacing (DESIGN.md §10): absorbed failures must be visible.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetrySurfacing, FirstErrorAndQuarantinesReachTraceAndEvents) {
+  // One poisoned task among friends: the failure policy absorbs the throws
+  // (retry, then quarantine), so nothing surfaces as an exception — the
+  // trace's per-round `error` field, the kRetry/kQuarantine events, and the
+  // lane quarantine counters are the ONLY places the failure is visible.
+  ThreadPool pool(2);
+  SpeculativeExecutor ex(
+      pool, 8,
+      [&](TaskId t, IterationContext& ctx) {
+        ctx.acquire(static_cast<std::uint32_t>(t));
+        if (t == 5) throw std::runtime_error("task five is poisoned");
+      },
+      21);
+  FailurePolicy fp;
+  fp.max_retries = 2;
+  fp.backoff_base_rounds = 1;
+  fp.backoff_cap_rounds = 2;
+  ex.set_failure_policy(fp);
+  telemetry::RuntimeTelemetry tel;
+  ex.set_telemetry(&tel);
+
+  std::vector<TaskId> tasks(8);
+  std::iota(tasks.begin(), tasks.end(), TaskId{0});
+  ex.push_initial(tasks);
+  ControllerParams params;
+  params.m0 = 4;
+  HybridController controller(params);
+  const Trace trace = run_adaptive(ex, controller, {});
+  ASSERT_TRUE(ex.done());
+  ASSERT_EQ(ex.dead_letters().size(), 1u);
+  const auto& dl = ex.dead_letters()[0];
+
+  // (1) RoundStats::first_error is rendered into the trace, not swallowed.
+  std::size_t rounds_with_error = 0;
+  for (const auto& step : trace.steps) {
+    if (!step.error.empty()) {
+      ++rounds_with_error;
+      EXPECT_EQ(step.error, "task five is poisoned");
+    }
+  }
+  EXPECT_EQ(rounds_with_error, 3u);  // initial attempt + max_retries rounds
+
+  // (2) The lane counters reconcile with the executor's view of the faults.
+  const auto totals = tel.totals();
+  EXPECT_EQ(totals.quarantined, ex.dead_letters().size());
+  EXPECT_EQ(totals.retried, ex.totals().retried);
+  EXPECT_EQ(totals.committed, 7u);
+
+  // (3) The event stream carries a dead-letter summary per quarantine and a
+  // retry event per absorbed transient.
+  std::size_t retries = 0;
+  std::size_t quarantines = 0;
+  for (const auto& ev : tel.drain_events()) {
+    if (ev.kind == telemetry::EventKind::kRetry) ++retries;
+    if (ev.kind == telemetry::EventKind::kQuarantine) {
+      ++quarantines;
+      EXPECT_EQ(ev.a, dl.task);
+      EXPECT_EQ(ev.b, dl.attempts);
+      EXPECT_EQ(ev.note, dl.error);
+    }
+  }
+  EXPECT_EQ(quarantines, 1u);
+  EXPECT_EQ(retries, ex.totals().retried);
+}
+
+TEST(TelemetrySurfacing, InjectedFaultsEmitFaultFiredEvents) {
+  // The injector's fire hook routes every firing into the control event
+  // stream, so chaos post-mortems can line injections up with outcomes.
+  ThreadPool pool(1);
+  SpeculativeExecutor ex(
+      pool, 4,
+      [](TaskId t, IterationContext& ctx) {
+        ctx.acquire(static_cast<std::uint32_t>(t));
+      },
+      7);
+  telemetry::RuntimeTelemetry tel;
+  ex.set_telemetry(&tel);
+  FaultInjector inj(99);
+  inj.set_rate(FaultSite::kOperatorThrow, 1.0);
+  inj.set_fire_hook([&](FaultSite site, std::uint64_t a, std::uint64_t b) {
+    tel.emit({telemetry::EventKind::kFaultFired, 0, ex.round_index(), a, b,
+              0.0, 0.0, fault_site_name(site)});
+  });
+  ex.set_fault_injector(&inj);
+  FailurePolicy fp;
+  fp.max_retries = 8;
+  fp.backoff_base_rounds = 1;
+  ex.set_failure_policy(fp);
+  std::vector<TaskId> tasks{0, 1, 2, 3};
+  ex.push_initial(tasks);
+  int rounds = 0;
+  // Rate 1.0 fires on every attempt regardless of re-keying; drop it after
+  // the first round so the workload drains while firings remain on record.
+  while (!ex.done() && rounds++ < 1000) {
+    (void)ex.run_round(4);
+    inj.set_rate(FaultSite::kOperatorThrow, 0.0);
+  }
+  ASSERT_TRUE(ex.done());
+  ASSERT_GT(inj.total_fired(), 0u);
+  std::size_t fault_events = 0;
+  for (const auto& ev : tel.drain_events()) {
+    if (ev.kind == telemetry::EventKind::kFaultFired) {
+      ++fault_events;
+      EXPECT_EQ(ev.note, "operator-throw");
+    }
+  }
+  EXPECT_EQ(fault_events, inj.total_fired());
 }
 
 }  // namespace

@@ -16,7 +16,22 @@
 //   optipar_cli chaos   --tasks=400 --threads=4 --fault-seed=42
 //                       --fault-rate=0.2 --max-retries=3
 //                       (fault-injected speculative run; DESIGN.md §8)
+//   optipar_cli run     --graph=g.txt --threads=4 --controller=hybrid
+//                       --rho=0.25 [--steps=N --metrics-out=m.prom
+//                       --trace-out=t.jsonl --csv=trace.csv]
+//                       (adaptive closed loop on the REAL speculative
+//                       runtime: one task per node, each acquiring its
+//                       closed neighborhood)
+//   optipar_cli metrics [--format=prometheus|json] (run a small
+//                       deterministic workload with telemetry attached and
+//                       print the metrics export — the scrape surface demo)
+//
+// `run`, `curve`, `mu`, and `chaos` all accept --metrics-out=FILE (metrics
+// rendered as Prometheus text, or JSON when FILE ends in .json) and
+// --trace-out=FILE (JSONL: `{"type":"round",...}` per-round records
+// interleaved with `{"type":"event",...}` sub-round telemetry events).
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <numeric>
@@ -38,9 +53,12 @@
 #include "rt/fault_injector.hpp"
 #include "rt/spec_executor.hpp"
 #include "sim/run_loop.hpp"
+#include "sim/trace.hpp"
 #include "support/csv.hpp"
 #include "support/failure_policy.hpp"
 #include "support/options.hpp"
+#include "support/telemetry/metrics_registry.hpp"
+#include "support/telemetry/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
 namespace {
@@ -49,10 +67,114 @@ using namespace optipar;
 
 int usage() {
   std::cerr <<
-      "usage: optipar_cli <gen|curve|mu|theory|control|seating|chaos>"
+      "usage: optipar_cli"
+      " <gen|curve|mu|theory|control|seating|chaos|run|metrics>"
       " [--options]\n"
       "run with a subcommand and no options to see its parameters\n";
   return 2;
+}
+
+/// Shared controller factory (`control`, `run`, `chaos`). Returns nullptr
+/// for an unknown name.
+std::unique_ptr<Controller> make_controller(const std::string& name,
+                                            const ControllerParams& params) {
+  if (name == "hybrid") return std::make_unique<HybridController>(params);
+  if (name == "recurrence-A") {
+    return std::make_unique<RecurrenceAController>(params);
+  }
+  if (name == "recurrence-B") {
+    return std::make_unique<RecurrenceBController>(params);
+  }
+  if (name == "bisection") {
+    return std::make_unique<BisectionController>(params);
+  }
+  if (name == "aimd") return std::make_unique<AimdController>(params);
+  if (name == "pid") return std::make_unique<PidController>(params);
+  if (name == "ewma") return std::make_unique<EwmaHybridController>(params);
+  if (name.rfind("fixed-", 0) == 0) {
+    return std::make_unique<FixedController>(
+        static_cast<std::uint32_t>(std::stoul(name.substr(6))));
+  }
+  return nullptr;
+}
+
+// --- telemetry plumbing shared by run/curve/mu/chaos -----------------------
+
+bool telemetry_requested(const Options& opt) {
+  return opt.has("metrics-out") || opt.has("trace-out");
+}
+
+/// Executor-level facts that live outside the per-lane counters: totals the
+/// controller observed, dead letters, and the degradation flags.
+void export_executor_metrics(MetricsRegistry& reg,
+                             const SpeculativeExecutor& ex) {
+  using Type = MetricsRegistry::Type;
+  const ExecutorTotals& t = ex.totals();
+  reg.add("optipar_rounds_total", Type::kCounter, "Executor rounds run", {},
+          static_cast<double>(t.rounds));
+  reg.add("optipar_launched_total", Type::kCounter,
+          "Speculative tasks launched", {}, static_cast<double>(t.launched));
+  reg.add("optipar_committed_total", Type::kCounter, "Tasks committed", {},
+          static_cast<double>(t.committed));
+  reg.add("optipar_aborted_total", Type::kCounter,
+          "Tasks aborted (conflicted or faulted)", {},
+          static_cast<double>(t.aborted));
+  reg.add("optipar_retried_total", Type::kCounter,
+          "Faulted tasks requeued with backoff", {},
+          static_cast<double>(t.retried));
+  reg.add("optipar_quarantined_total", Type::kCounter,
+          "Tasks moved to the dead-letter list", {},
+          static_cast<double>(t.quarantined));
+  reg.add("optipar_dead_letters", Type::kGauge,
+          "Tasks currently quarantined", {},
+          static_cast<double>(ex.dead_letters().size()));
+  reg.add("optipar_pool_failures_total", Type::kCounter,
+          "Rounds in which a pool lane died", {},
+          static_cast<double>(ex.pool_failures()));
+  reg.add("optipar_serial_degraded", Type::kGauge,
+          "1 once the executor pinned itself to the serial path", {},
+          ex.serial_degraded() ? 1.0 : 0.0);
+  reg.add("optipar_wasted_fraction", Type::kGauge,
+          "aborted / launched over the whole run", {}, t.wasted_fraction());
+}
+
+/// Write `reg` to `path`: JSON when the extension is .json, Prometheus
+/// text exposition otherwise.
+void write_metrics_file(const std::string& path, const MetricsRegistry& reg) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open --metrics-out=" + path);
+  if (path.size() >= 5 && path.rfind(".json") == path.size() - 5) {
+    reg.render_json(os);
+  } else {
+    reg.render_prometheus(os);
+  }
+}
+
+/// Write the structured trace: per-round StepRecord lines (plus the
+/// summary), then the drained sub-round telemetry events.
+void write_trace_file(const std::string& path, const Trace* trace,
+                      telemetry::RuntimeTelemetry* tel) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open --trace-out=" + path);
+  if (trace != nullptr) write_trace_jsonl(os, *trace);
+  if (tel != nullptr) {
+    const auto events = tel->drain_events();
+    telemetry::write_events_jsonl(os, events);
+  }
+}
+
+/// Route injector firings into the telemetry event stream. The hook runs on
+/// pool lanes and must not throw; emit() failures are swallowed.
+void hook_injector(FaultInjector& injector, telemetry::RuntimeTelemetry& tel,
+                   const SpeculativeExecutor& ex) {
+  injector.set_fire_hook(
+      [&tel, &ex](FaultSite site, std::uint64_t a, std::uint64_t b) {
+        try {
+          tel.emit({telemetry::EventKind::kFaultFired, 0, ex.round_index(),
+                    a, b, 0.0, 0.0, fault_site_name(site)});
+        } catch (...) {
+        }
+      });
 }
 
 CsrGraph make_graph(const Options& opt, Rng& rng) {
@@ -128,8 +250,11 @@ int cmd_curve(const Options& opt) {
   Rng rng(opt.get_int("seed", 1));
   auto g = load_graph(opt, rng);
   ConflictCurve curve;
+  telemetry::RuntimeTelemetry tel;
+  MetricsRegistry reg;
   if (opt.has("epsilon")) {
-    const AdaptiveConfig cfg = adaptive_config(opt);
+    AdaptiveConfig cfg = adaptive_config(opt);
+    if (telemetry_requested(opt)) cfg.timers = &tel.timers();
     auto adaptive = estimate_conflict_curve_adaptive(
         g, cfg, static_cast<std::uint64_t>(opt.get_int("seed", 1)));
     std::cout << "adaptive: epsilon=" << cfg.epsilon << " trials="
@@ -139,6 +264,23 @@ int cmd_curve(const Options& opt) {
               << adaptive.worst_m << " relabel="
               << relabel_order_name(cfg.relabel) << " clique_cv_coverage="
               << adaptive.clique_node_fraction << "\n";
+    if (telemetry_requested(opt)) {
+      using Type = MetricsRegistry::Type;
+      reg.add("optipar_estimator_sweeps_total", Type::kCounter,
+              "Permutation sweeps executed", {},
+              static_cast<double>(adaptive.sweeps));
+      reg.add("optipar_estimator_samples_total", Type::kCounter,
+              "Statistical samples accumulated", {},
+              static_cast<double>(adaptive.samples));
+      reg.add("optipar_estimator_converged", Type::kGauge,
+              "1 when worst_ci <= epsilon at stop", {},
+              adaptive.converged ? 1.0 : 0.0);
+      reg.add("optipar_estimator_worst_ci", Type::kGauge,
+              "Max CI half-width on r(m) at stop", {}, adaptive.worst_ci);
+      tel.emit({telemetry::EventKind::kRoundEnd, 0, 0, adaptive.sweeps,
+                adaptive.samples, adaptive.worst_ci, cfg.epsilon,
+                "adaptive-curve"});
+    }
     curve = std::move(adaptive.curve);
   } else {
     if (opt.has("relabel")) {
@@ -157,6 +299,13 @@ int cmd_curve(const Options& opt) {
   }
   t.print(std::cout);
   if (opt.has("csv")) t.write_csv(opt.get("csv", "curve.csv"));
+  if (opt.has("metrics-out")) {
+    tel.export_metrics(reg);
+    write_metrics_file(opt.get("metrics-out", ""), reg);
+  }
+  if (opt.has("trace-out")) {
+    write_trace_file(opt.get("trace-out", ""), nullptr, &tel);
+  }
   return 0;
 }
 
@@ -165,8 +314,11 @@ int cmd_mu(const Options& opt) {
   auto g = load_graph(opt, rng);
   const double rho = opt.get_double("rho", 0.25);
   std::uint32_t mu = 1;
+  telemetry::RuntimeTelemetry tel;
+  MetricsRegistry reg;
   if (opt.has("epsilon")) {
-    const AdaptiveConfig cfg = adaptive_config(opt);
+    AdaptiveConfig cfg = adaptive_config(opt);
+    if (telemetry_requested(opt)) cfg.timers = &tel.timers();
     const auto op = find_operating_point(
         g, rho, cfg, static_cast<std::uint64_t>(opt.get_int("seed", 1)));
     mu = op.mu;
@@ -174,6 +326,20 @@ int cmd_mu(const Options& opt) {
               << op.sweeps << " converged=" << (op.converged ? 1 : 0)
               << " r(mu)=" << op.r_at_mu << " ci=" << op.ci_at_mu
               << " relabel=" << relabel_order_name(cfg.relabel) << "\n";
+    if (telemetry_requested(opt)) {
+      using Type = MetricsRegistry::Type;
+      reg.add("optipar_estimator_sweeps_total", Type::kCounter,
+              "Permutation sweeps executed", {},
+              static_cast<double>(op.sweeps));
+      reg.add("optipar_estimator_converged", Type::kGauge,
+              "1 when the CI target was met at stop", {},
+              op.converged ? 1.0 : 0.0);
+      reg.add("optipar_mu", Type::kGauge,
+              "Estimated operating point mu(rho)", {},
+              static_cast<double>(op.mu));
+      tel.emit({telemetry::EventKind::kRoundEnd, 0, 0, op.sweeps, op.mu,
+                op.r_at_mu, op.ci_at_mu, "adaptive-mu"});
+    }
   } else {
     if (opt.has("relabel")) {
       g = relabel(g, parse_relabel_order(opt.get("relabel", "none"))).graph;
@@ -189,6 +355,13 @@ int cmd_mu(const Options& opt) {
             << "theory warm start (Cor. 3, worst case): m0 = "
             << theory::warm_start_m(g.num_nodes(), g.average_degree(), rho)
             << "\n";
+  if (opt.has("metrics-out")) {
+    tel.export_metrics(reg);
+    write_metrics_file(opt.get("metrics-out", ""), reg);
+  }
+  if (opt.has("trace-out")) {
+    write_trace_file(opt.get("trace-out", ""), nullptr, &tel);
+  }
   return 0;
 }
 
@@ -225,25 +398,8 @@ int cmd_control(const Options& opt) {
     params = with_warm_start(params, g.num_nodes(), g.average_degree());
   }
   const std::string name = opt.get("controller", "hybrid");
-  std::unique_ptr<Controller> controller;
-  if (name == "hybrid") {
-    controller = std::make_unique<HybridController>(params);
-  } else if (name == "recurrence-A") {
-    controller = std::make_unique<RecurrenceAController>(params);
-  } else if (name == "recurrence-B") {
-    controller = std::make_unique<RecurrenceBController>(params);
-  } else if (name == "bisection") {
-    controller = std::make_unique<BisectionController>(params);
-  } else if (name == "aimd") {
-    controller = std::make_unique<AimdController>(params);
-  } else if (name == "pid") {
-    controller = std::make_unique<PidController>(params);
-  } else if (name == "ewma") {
-    controller = std::make_unique<EwmaHybridController>(params);
-  } else if (name.rfind("fixed-", 0) == 0) {
-    controller = std::make_unique<FixedController>(
-        static_cast<std::uint32_t>(std::stoul(name.substr(6))));
-  } else {
+  std::unique_ptr<Controller> controller = make_controller(name, params);
+  if (!controller) {
     std::cerr << "unknown --controller=" << name << "\n";
     return 2;
   }
@@ -338,6 +494,13 @@ int cmd_chaos(const Options& opt) {
       static_cast<std::uint32_t>(opt.get_int("max-pool-failures", 2));
   ex.set_failure_policy(policy);
 
+  telemetry::RuntimeTelemetry tel;
+  if (telemetry_requested(opt)) {
+    tel.set_target_rho(opt.get_double("rho", 0.25));
+    ex.set_telemetry(&tel);
+    hook_injector(injector, tel, ex);
+  }
+
   std::vector<TaskId> tasks(tasks_n);
   std::iota(tasks.begin(), tasks.end(), TaskId{0});
   ex.push_initial(tasks);
@@ -388,6 +551,17 @@ int cmd_chaos(const Options& opt) {
   const bool ok =
       state_ok && lock_leaks == 0 && (accounted || livelock) && !livelock;
 
+  if (opt.has("metrics-out")) {
+    MetricsRegistry reg;
+    tel.export_metrics(reg);
+    export_executor_metrics(reg, ex);
+    write_metrics_file(opt.get("metrics-out", ""), reg);
+  }
+  if (opt.has("trace-out")) {
+    write_trace_file(opt.get("trace-out", ""), &trace,
+                     telemetry_requested(opt) ? &tel : nullptr);
+  }
+
   std::cout << "CHAOS"
             << " fault_seed=" << fault_seed << " fault_rate=" << rate
             << " rounds=" << trace.steps.size()
@@ -406,6 +580,132 @@ int cmd_chaos(const Options& opt) {
             << " state=" << (state_ok ? "ok" : "corrupt")
             << " verdict=" << (ok ? "pass" : "fail") << "\n";
   return ok ? 0 : 1;
+}
+
+int cmd_run(const Options& opt) {
+  // The paper's closed loop on the REAL runtime (not the step simulator):
+  // one task per graph node, each acquiring its closed neighborhood — so
+  // two tasks conflict iff their nodes are adjacent, which is exactly the
+  // CC-graph semantics the model analyzes. Tasks drain (commit removes
+  // them), the controller adapts m round by round, and the telemetry layer
+  // observes every phase.
+  Rng rng(opt.get_int("seed", 1));
+  const auto g = load_graph(opt, rng);
+  const auto threads = static_cast<std::size_t>(opt.get_int("threads", 4));
+  const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+
+  ControllerParams params;
+  params.rho = opt.get_double("rho", 0.25);
+  params.m0 = static_cast<std::uint32_t>(opt.get_int("m0", params.m0));
+  params.m_max =
+      static_cast<std::uint32_t>(opt.get_int("m-max", params.m_max));
+  if (opt.get_bool("warm-start", false)) {
+    params = with_warm_start(params, g.num_nodes(), g.average_degree());
+  }
+  const std::string name = opt.get("controller", "hybrid");
+  std::unique_ptr<Controller> controller = make_controller(name, params);
+  if (!controller) {
+    std::cerr << "unknown --controller=" << name << "\n";
+    return 2;
+  }
+
+  ThreadPool pool(threads);
+  SpeculativeExecutor ex(
+      pool, g.num_nodes(),
+      [&g](TaskId t, IterationContext& ctx) {
+        const auto v = static_cast<NodeId>(t);
+        ctx.acquire(v);
+        for (const NodeId u : g.neighbors(v)) ctx.acquire(u);
+      },
+      seed * 11 + 3);
+
+  telemetry::RuntimeTelemetry tel;
+  tel.set_target_rho(params.rho);
+  ex.set_telemetry(&tel);  // `run` exists to observe: always attached
+
+  std::vector<TaskId> tasks(g.num_nodes());
+  std::iota(tasks.begin(), tasks.end(), TaskId{0});
+  ex.push_initial(tasks);
+
+  AdaptiveRunConfig config;
+  config.max_rounds =
+      static_cast<std::uint32_t>(opt.get_int("steps", 100000));
+  const Trace trace = run_adaptive(ex, *controller, config);
+
+  Table t({"step", "m", "launched", "committed", "aborted", "pending", "r"});
+  for (const auto& s : trace.steps) {
+    t.add_row({static_cast<std::int64_t>(s.step),
+               static_cast<std::int64_t>(s.m),
+               static_cast<std::int64_t>(s.launched),
+               static_cast<std::int64_t>(s.committed),
+               static_cast<std::int64_t>(s.aborted),
+               static_cast<std::int64_t>(s.pending_after),
+               s.conflict_ratio()});
+  }
+  t.print(std::cout);
+  std::cout << "rounds=" << trace.steps.size()
+            << " committed=" << ex.totals().committed
+            << " wasted=" << trace.wasted_fraction()
+            << " mean_r=" << trace.mean_conflict_ratio()
+            << " drained=" << (ex.done() ? 1 : 0) << "\n";
+  if (opt.has("csv")) t.write_csv(opt.get("csv", "run.csv"));
+  if (opt.has("metrics-out")) {
+    MetricsRegistry reg;
+    tel.export_metrics(reg);
+    export_executor_metrics(reg, ex);
+    write_metrics_file(opt.get("metrics-out", ""), reg);
+  }
+  if (opt.has("trace-out")) {
+    write_trace_file(opt.get("trace-out", ""), &trace, &tel);
+  }
+  return 0;
+}
+
+int cmd_metrics(const Options& opt) {
+  // Scrape-surface demo: run a small deterministic workload with telemetry
+  // attached and print the export. The counter values are reproducible
+  // (fixed seed, fixed graph); the phase timings naturally are not.
+  const auto threads = static_cast<std::size_t>(opt.get_int("threads", 2));
+  const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 12345));
+  const CsrGraph g = gen::union_of_cliques(60, 5);
+
+  ThreadPool pool(threads);
+  SpeculativeExecutor ex(
+      pool, g.num_nodes(),
+      [&g](TaskId t, IterationContext& ctx) {
+        const auto v = static_cast<NodeId>(t);
+        ctx.acquire(v);
+        for (const NodeId u : g.neighbors(v)) ctx.acquire(u);
+      },
+      seed);
+
+  telemetry::RuntimeTelemetry tel;
+  tel.set_target_rho(0.25);
+  ex.set_telemetry(&tel);
+
+  std::vector<TaskId> tasks(g.num_nodes());
+  std::iota(tasks.begin(), tasks.end(), TaskId{0});
+  ex.push_initial(tasks);
+
+  ControllerParams params;
+  params.rho = 0.25;
+  HybridController controller(params);
+  const Trace trace = run_adaptive(ex, controller, {});
+  (void)trace;
+
+  MetricsRegistry reg;
+  tel.export_metrics(reg);
+  export_executor_metrics(reg, ex);
+  const std::string format = opt.get("format", "prometheus");
+  if (format == "json") {
+    reg.render_json(std::cout);
+  } else if (format == "prometheus") {
+    reg.render_prometheus(std::cout);
+  } else {
+    std::cerr << "unknown --format=" << format << " (prometheus|json)\n";
+    return 2;
+  }
+  return 0;
 }
 
 int cmd_seating(const Options& opt) {
@@ -433,6 +733,8 @@ int main(int argc, char** argv) {
     if (command == "control") return cmd_control(opt);
     if (command == "seating") return cmd_seating(opt);
     if (command == "chaos") return cmd_chaos(opt);
+    if (command == "run") return cmd_run(opt);
+    if (command == "metrics") return cmd_metrics(opt);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
