@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Build the memory/UB-critical test binaries under AddressSanitizer +
+# UndefinedBehaviorSanitizer (CMake preset "asan") and run them. The restore
+# path deserializes UNTRUSTED bytes (snapshots, journals, graph files), so
+# any heap overflow, use-after-free, or signed-overflow reachable from a
+# corrupt input fails this script.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake --preset asan
+cmake --build --preset asan -j"$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=0}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+
+status=0
+for bin in test_checkpoint test_graph_io test_graph_io_fuzz \
+           test_executor_chaos test_spec_executor; do
+  echo "== asan+ubsan: $bin =="
+  if ! "build-asan/tests/$bin"; then
+    status=1
+  fi
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "asan: all memory/UB-critical test binaries clean"
+fi
+exit $status

@@ -32,7 +32,7 @@ KNOWN_TYPES = {"counter", "gauge", "histogram"}
 EVENT_KINDS = {
     "round_start", "round_end", "controller_decision", "retry",
     "quarantine", "fault_fired", "lane_death", "watchdog_degrade",
-    "serial_degrade", "livelock", "error",
+    "serial_degrade", "livelock", "error", "checkpoint", "recovery",
 }
 
 ROUND_FIELDS = {
@@ -40,13 +40,21 @@ ROUND_FIELDS = {
     "quarantined", "injected", "pending_after", "r", "degraded",
 }
 
-# per-lane family -> executor-total family whose value it must sum to
+# per-lane family -> (executor-total family, checkpoint-restored family).
+# A resumed run's executor totals include work done by pre-crash processes
+# (DESIGN.md §11), exported separately as optipar_restored_*_total, so the
+# invariant is sum(lanes) + restored == total (restored is 0 when absent).
 RECONCILE = {
-    "optipar_lane_committed_total": "optipar_committed_total",
-    "optipar_lane_aborted_total": "optipar_aborted_total",
-    "optipar_lane_retried_total": "optipar_retried_total",
-    "optipar_lane_quarantined_total": "optipar_quarantined_total",
-    "optipar_lane_executed_total": "optipar_launched_total",
+    "optipar_lane_committed_total":
+        ("optipar_committed_total", "optipar_restored_committed_total"),
+    "optipar_lane_aborted_total":
+        ("optipar_aborted_total", "optipar_restored_aborted_total"),
+    "optipar_lane_retried_total":
+        ("optipar_retried_total", "optipar_restored_retried_total"),
+    "optipar_lane_quarantined_total":
+        ("optipar_quarantined_total", "optipar_restored_quarantined_total"),
+    "optipar_lane_executed_total":
+        ("optipar_launched_total", "optipar_restored_launched_total"),
 }
 
 
@@ -99,16 +107,18 @@ def family_sum(fam):
 
 
 def check_reconciliation(families, errors):
-    for lane_name, total_name in RECONCILE.items():
+    for lane_name, (total_name, restored_name) in RECONCILE.items():
         lane_fam = families.get(lane_name)
         total_fam = families.get(total_name)
         if lane_fam is None or total_fam is None:
             continue  # standalone exports may omit either side
         lane_sum = family_sum(lane_fam)
+        restored = family_sum(families.get(restored_name, {}))
         total = family_sum(total_fam)
-        if lane_sum != total:
+        if lane_sum + restored != total:
             errors.append(f"reconciliation: sum over lanes of {lane_name} "
-                          f"= {lane_sum} but {total_name} = {total}")
+                          f"= {lane_sum} (+ {restored} restored) "
+                          f"but {total_name} = {total}")
 
 
 def check_trace(path, errors):

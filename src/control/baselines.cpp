@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/snapshot/snapshot.hpp"
+
 namespace optipar {
 
 BisectionController::BisectionController(const ControllerParams& params)
@@ -47,6 +49,22 @@ std::uint32_t BisectionController::observe(const RoundStats& round) {
   return m_;
 }
 
+void BisectionController::save_state(snapshot::Writer& out) const {
+  out.u32(lo_);
+  out.u32(hi_);
+  out.u32(m_);
+  out.f64(r_accum_);
+  out.u32(rounds_in_window_);
+}
+
+void BisectionController::load_state(snapshot::Reader& in) {
+  lo_ = in.u32();
+  hi_ = in.u32();
+  m_ = in.u32();
+  r_accum_ = in.f64();
+  rounds_in_window_ = in.u32();
+}
+
 AimdController::AimdController(const ControllerParams& params,
                                std::uint32_t increase, double decay)
     : params_(params), increase_(increase), decay_(decay),
@@ -76,6 +94,18 @@ std::uint32_t AimdController::observe(const RoundStats& round) {
     m_ = params_.clamp(static_cast<std::uint64_t>(m_) + increase_);
   }
   return m_;
+}
+
+void AimdController::save_state(snapshot::Writer& out) const {
+  out.u32(m_);
+  out.f64(r_accum_);
+  out.u32(rounds_in_window_);
+}
+
+void AimdController::load_state(snapshot::Reader& in) {
+  m_ = in.u32();
+  r_accum_ = in.f64();
+  rounds_in_window_ = in.u32();
 }
 
 }  // namespace optipar

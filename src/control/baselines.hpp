@@ -39,6 +39,8 @@ class BisectionController final : public Controller {
   std::uint32_t observe(const RoundStats& round) override;
   void reset() override;
   [[nodiscard]] std::string name() const override { return "bisection"; }
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
 
  private:
   void restart_bracket();
@@ -60,6 +62,8 @@ class AimdController final : public Controller {
   std::uint32_t observe(const RoundStats& round) override;
   void reset() override;
   [[nodiscard]] std::string name() const override { return "aimd"; }
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
 
  private:
   ControllerParams params_;

@@ -13,6 +13,11 @@
 
 namespace optipar {
 
+namespace snapshot {
+class Writer;
+class Reader;
+}  // namespace snapshot
+
 /// What one optimistic round observed. launched == committed + aborted.
 /// The failure-handling fields (DESIGN.md §8) are zero in fault-free runs:
 /// retried/quarantined count tasks whose operator (or rollback) threw a
@@ -86,6 +91,17 @@ class Controller {
   virtual void clamp_max(std::uint32_t m_cap) { (void)m_cap; }
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Checkpoint hooks (DESIGN.md §11): serialize every field observe()
+  /// depends on into `out`, and restore it from `in`, so that a controller
+  /// reloaded mid-run proposes the exact allocation sequence the
+  /// uninterrupted run would have. Stateless controllers keep the defaults
+  /// (nothing written, nothing read); stateful implementations must
+  /// override BOTH or neither — the checkpoint layer frames the blob and
+  /// verifies the controller's name(), so a partial override surfaces as a
+  /// typed restore error, never a silently diverging run.
+  virtual void save_state(snapshot::Writer& /*out*/) const {}
+  virtual void load_state(snapshot::Reader& /*in*/) {}
 
   /// Short diagnostic of the LAST observe() decision, consumed by the
   /// telemetry layer's controller-decision events (DESIGN.md §10) — e.g.

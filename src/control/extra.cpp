@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "model/theory.hpp"
+#include "support/snapshot/snapshot.hpp"
 
 namespace optipar {
 
@@ -50,6 +51,24 @@ std::uint32_t PidController::observe(const RoundStats& round) {
   return m_;
 }
 
+void PidController::save_state(snapshot::Writer& out) const {
+  out.u32(m_);
+  out.f64(r_accum_);
+  out.u32(rounds_in_window_);
+  out.f64(integral_);
+  out.f64(last_error_);
+  out.u8(has_last_error_ ? 1 : 0);
+}
+
+void PidController::load_state(snapshot::Reader& in) {
+  m_ = in.u32();
+  r_accum_ = in.f64();
+  rounds_in_window_ = in.u32();
+  integral_ = in.f64();
+  last_error_ = in.f64();
+  has_last_error_ = in.u8() != 0;
+}
+
 EwmaHybridController::EwmaHybridController(const ControllerParams& params,
                                            double alpha,
                                            std::uint32_t cooldown)
@@ -88,6 +107,21 @@ std::uint32_t EwmaHybridController::observe(const RoundStats& round) {
     rounds_since_change_ = 0;
   }
   return m_;
+}
+
+void EwmaHybridController::save_state(snapshot::Writer& out) const {
+  out.u32(m_);
+  out.f64(ewma_.raw());
+  out.f64(ewma_.norm());
+  out.u32(rounds_since_change_);
+}
+
+void EwmaHybridController::load_state(snapshot::Reader& in) {
+  m_ = in.u32();
+  const double raw = in.f64();
+  const double norm = in.f64();
+  ewma_.restore(raw, norm);
+  rounds_since_change_ = in.u32();
 }
 
 ControllerParams with_warm_start(ControllerParams params, std::uint32_t n,

@@ -31,6 +31,8 @@ class PidController final : public Controller {
   std::uint32_t observe(const RoundStats& round) override;
   void reset() override;
   [[nodiscard]] std::string name() const override { return "pid"; }
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
 
  private:
   ControllerParams params_;
@@ -54,6 +56,8 @@ class EwmaHybridController final : public Controller {
   std::uint32_t observe(const RoundStats& round) override;
   void reset() override;
   [[nodiscard]] std::string name() const override { return "ewma-hybrid"; }
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
 
  private:
   ControllerParams params_;

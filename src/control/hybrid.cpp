@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/snapshot/snapshot.hpp"
+
 namespace optipar {
 
 HybridController::HybridController(const ControllerParams& params)
@@ -71,6 +73,29 @@ std::uint32_t HybridController::observe(const RoundStats& round) {
     last_branch_ = Branch::kDeadBand;
   }
   return m_;
+}
+
+void HybridController::save_state(snapshot::Writer& out) const {
+  out.u32(params_.m_min);
+  out.u32(params_.m_max);
+  out.u32(m_);
+  out.f64(r_accum_);
+  out.u32(rounds_in_window_);
+  out.u8(static_cast<std::uint8_t>(last_branch_));
+}
+
+void HybridController::load_state(snapshot::Reader& in) {
+  params_.m_min = in.u32();
+  params_.m_max = in.u32();
+  m_ = in.u32();
+  r_accum_ = in.f64();
+  rounds_in_window_ = in.u32();
+  const std::uint8_t branch = in.u8();
+  if (branch > static_cast<std::uint8_t>(Branch::kRecurrenceB)) {
+    throw snapshot::SnapshotError(snapshot::SnapshotError::Kind::kMalformed,
+                                  "hybrid controller: bad branch tag");
+  }
+  last_branch_ = static_cast<Branch>(branch);
 }
 
 std::string HybridController::decision_note() const {

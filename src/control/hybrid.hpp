@@ -36,6 +36,11 @@ class HybridController final : public Controller {
   /// "dead-band" / "recurrence-A" / "recurrence-B").
   [[nodiscard]] std::string decision_note() const override;
 
+  /// Also serializes params_.m_min/m_max — clamp_max() mutates them, so a
+  /// watchdog-degraded run must restore the shrunken band, not the original.
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
+
  private:
   ControllerParams params_;
   std::uint32_t m_;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/snapshot/snapshot.hpp"
+
 namespace optipar {
 
 RecurrenceControllerBase::RecurrenceControllerBase(
@@ -39,6 +41,18 @@ std::uint32_t RecurrenceControllerBase::observe(const RoundStats& round) {
     }
   }
   return m_;
+}
+
+void RecurrenceControllerBase::save_state(snapshot::Writer& out) const {
+  out.u32(m_);
+  out.f64(r_accum_);
+  out.u32(rounds_in_window_);
+}
+
+void RecurrenceControllerBase::load_state(snapshot::Reader& in) {
+  m_ = in.u32();
+  r_accum_ = in.f64();
+  rounds_in_window_ = in.u32();
 }
 
 std::uint64_t RecurrenceAController::step(double r_avg,

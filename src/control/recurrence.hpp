@@ -25,6 +25,9 @@ class RecurrenceControllerBase : public Controller {
   }
   [[nodiscard]] std::uint32_t current_m() const noexcept { return m_; }
 
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
+
  protected:
   /// Apply the recurrence to (r_avg, m); return the unclamped proposal.
   [[nodiscard]] virtual std::uint64_t step(double r_avg,

@@ -1,8 +1,11 @@
 #include "graph/graph_io.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
+#include <unordered_set>
 
 namespace optipar::io {
 
@@ -17,15 +20,31 @@ void write_edge_list(const CsrGraph& g, std::ostream& out) {
 
 void write_edge_list(const CsrGraph& g, const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_edge_list: cannot open " + path);
+  if (!out) {
+    throw GraphIoError(GraphIoError::Kind::kIo, 0, "cannot open " + path);
+  }
   write_edge_list(g, out);
 }
 
+namespace {
+
+// Cap speculative pre-allocation from the header's CLAIMED edge count: a
+// hostile "p 2 9999999999" header must not reserve gigabytes before the
+// (absent) edges fail to arrive. Beyond the cap the vector grows only as
+// real edges are parsed.
+constexpr std::uint64_t kReserveCap = 1u << 20;
+
+}  // namespace
+
 CsrGraph read_edge_list(std::istream& in) {
   std::string line;
-  NodeId n = 0;
+  std::int64_t n = 0;
+  std::int64_t m = 0;
   bool have_header = false;
   EdgeList edges;
+  // Duplicate detection over packed (min, max) endpoint pairs — O(1) per
+  // edge, and the set's size is bounded by the edges actually present.
+  std::unordered_set<std::uint64_t> seen;
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
@@ -33,29 +52,94 @@ CsrGraph read_edge_list(std::istream& in) {
     std::istringstream ls(line);
     if (!have_header) {
       std::string tag;
-      std::uint64_t m = 0;
+      // Extract into SIGNED 64-bit first: istream extraction into an
+      // unsigned type wraps "-3" to a huge value instead of failing, which
+      // would turn a nonsense header into a resource-exhaustion attempt.
       if (!(ls >> tag >> n >> m) || tag != "p") {
-        throw std::runtime_error("read_edge_list: missing 'p n m' header");
+        throw GraphIoError(GraphIoError::Kind::kBadHeader, lineno,
+                           "missing 'p n m' header");
+      }
+      std::string extra;
+      if (ls >> extra) {
+        throw GraphIoError(GraphIoError::Kind::kBadHeader, lineno,
+                           "trailing tokens after 'p n m' header");
+      }
+      if (n < 0 || m < 0) {
+        throw GraphIoError(GraphIoError::Kind::kBadHeader, lineno,
+                           "negative node or edge count");
+      }
+      if (n > static_cast<std::int64_t>(
+                  std::numeric_limits<NodeId>::max())) {
+        throw GraphIoError(GraphIoError::Kind::kOverflow, lineno,
+                           "node count " + std::to_string(n) +
+                               " exceeds the 32-bit node id space");
+      }
+      // A simple undirected graph holds at most n(n-1)/2 edges. n fits in
+      // 32 bits here, so the product fits in 64 without overflow.
+      const std::uint64_t max_edges =
+          static_cast<std::uint64_t>(n) * (n > 0 ? n - 1 : 0) / 2;
+      if (static_cast<std::uint64_t>(m) > max_edges) {
+        throw GraphIoError(GraphIoError::Kind::kOverflow, lineno,
+                           "edge count " + std::to_string(m) +
+                               " exceeds n(n-1)/2 = " +
+                               std::to_string(max_edges));
       }
       have_header = true;
-      edges.reserve(m);
+      edges.reserve(static_cast<std::size_t>(
+          std::min<std::uint64_t>(static_cast<std::uint64_t>(m),
+                                  kReserveCap)));
       continue;
     }
-    NodeId u = 0;
-    NodeId v = 0;
+    std::int64_t u = 0;
+    std::int64_t v = 0;
     if (!(ls >> u >> v)) {
-      throw std::runtime_error("read_edge_list: bad edge at line " +
-                               std::to_string(lineno));
+      throw GraphIoError(GraphIoError::Kind::kBadEdge, lineno, "bad edge");
     }
-    edges.emplace_back(u, v);
+    std::string extra;
+    if (ls >> extra) {
+      throw GraphIoError(GraphIoError::Kind::kBadEdge, lineno,
+                         "trailing tokens after edge");
+    }
+    if (u < 0 || v < 0 || u >= n || v >= n) {
+      throw GraphIoError(GraphIoError::Kind::kOutOfRange, lineno,
+                         "endpoint outside [0, " + std::to_string(n) + ")");
+    }
+    if (u == v) {
+      throw GraphIoError(GraphIoError::Kind::kSelfLoop, lineno,
+                         "self-loop on node " + std::to_string(u));
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(u, v)) << 32) |
+        static_cast<std::uint64_t>(std::max(u, v));
+    if (!seen.insert(key).second) {
+      throw GraphIoError(GraphIoError::Kind::kDuplicateEdge, lineno,
+                         "duplicate edge " + std::to_string(u) + "-" +
+                             std::to_string(v));
+    }
+    if (edges.size() == static_cast<std::size_t>(m)) {
+      throw GraphIoError(GraphIoError::Kind::kCountMismatch, lineno,
+                         "more edges than the header's " +
+                             std::to_string(m));
+    }
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
   }
-  if (!have_header) throw std::runtime_error("read_edge_list: empty input");
-  return CsrGraph::from_edges(n, edges);
+  if (!have_header) {
+    throw GraphIoError(GraphIoError::Kind::kBadHeader, 0, "empty input");
+  }
+  if (edges.size() != static_cast<std::size_t>(m)) {
+    throw GraphIoError(GraphIoError::Kind::kCountMismatch, 0,
+                       "header promises " + std::to_string(m) +
+                           " edges, input has " +
+                           std::to_string(edges.size()));
+  }
+  return CsrGraph::from_edges(static_cast<NodeId>(n), edges);
 }
 
 CsrGraph read_edge_list(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("read_edge_list: cannot open " + path);
+  if (!in) {
+    throw GraphIoError(GraphIoError::Kind::kIo, 0, "cannot open " + path);
+  }
   return read_edge_list(in);
 }
 

@@ -1,21 +1,61 @@
 // Plain-text graph persistence: whitespace edge lists ("u v" per line, `#`
 // comments, a "p <n> <m>" header) and DIMACS-like format. Enough to move
 // generated CC graphs between the bench binaries and external tools.
+//
+// The reader treats its input as HOSTILE (DESIGN.md §11): node ids are
+// bounds-checked against the header, self and duplicate edges are rejected,
+// the edge count must match the header exactly, and claimed sizes can never
+// drive an allocation beyond the bytes actually present. Every failure is a
+// typed GraphIoError carrying the offending line, so a fuzzer corpus can
+// assert the *reason* each corrupt file was refused, not just that it threw.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "graph/csr_graph.hpp"
 
 namespace optipar::io {
 
+/// Typed failure taxonomy of read_edge_list. Derives from
+/// std::runtime_error so pre-existing catch sites keep working.
+class GraphIoError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kIo,             ///< file cannot be opened
+    kBadHeader,      ///< missing or unparseable "p n m" header
+    kBadEdge,        ///< unparseable or trailing-garbage edge line
+    kOutOfRange,     ///< endpoint negative or >= n
+    kSelfLoop,       ///< u == v
+    kDuplicateEdge,  ///< the same undirected edge appears twice
+    kCountMismatch,  ///< edges present != header's m
+    kOverflow,       ///< n or m exceed what the graph types can represent
+  };
+
+  GraphIoError(Kind kind, std::size_t line, const std::string& what)
+      : std::runtime_error("read_edge_list: " + what +
+                           (line == 0 ? std::string{}
+                                      : " at line " + std::to_string(line))),
+        kind_(kind), line_(line) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  /// 1-based input line of the offense (0 when not line-specific).
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  Kind kind_;
+  std::size_t line_;
+};
+
 /// Write "p n m" header then one "u v" line per undirected edge.
 void write_edge_list(const CsrGraph& g, std::ostream& out);
 void write_edge_list(const CsrGraph& g, const std::string& path);
 
 /// Parse the format produced by write_edge_list. Lines starting with '#' or
-/// 'c' are comments. Throws std::runtime_error on malformed input.
+/// 'c' are comments. Throws GraphIoError (a std::runtime_error) on
+/// malformed, out-of-range, duplicated, or truncated input.
 CsrGraph read_edge_list(std::istream& in);
 CsrGraph read_edge_list(const std::string& path);
 

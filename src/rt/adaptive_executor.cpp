@@ -1,7 +1,9 @@
 #include "rt/adaptive_executor.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "rt/checkpoint.hpp"
 #include "support/telemetry/telemetry.hpp"
 
 namespace optipar {
@@ -10,10 +12,26 @@ Trace run_adaptive(SpeculativeExecutor& executor, Controller& controller,
                    const AdaptiveRunConfig& config) {
   Trace trace;
   telemetry::RuntimeTelemetry* const tel = executor.telemetry();
+  CheckpointManager* const cp = config.checkpoint;
   std::uint32_t m = controller.initial_m();
   std::uint32_t stalled = 0;  // consecutive zero-progress rounds
   bool degraded = false;
-  for (std::uint32_t round = 0;
+  std::uint32_t start_round = 0;
+  if (cp != nullptr) {
+    // Recovery ladder: newest valid snapshot → older generation → clean
+    // start. On success the executor/controller hold round R's state, the
+    // journal's first R records become the trace prefix, and the loop
+    // resumes at round R exactly as the uninterrupted run would enter it.
+    if (auto resume = cp->try_restore(executor, controller)) {
+      trace.steps = std::move(resume->replayed);
+      m = resume->loop.next_m;
+      stalled = resume->loop.stalled;
+      degraded = resume->loop.degraded;
+      trace.degraded_at_step = resume->loop.degraded_at_step;
+      start_round = static_cast<std::uint32_t>(resume->rounds_done);
+    }
+  }
+  for (std::uint32_t round = start_round;
        round < config.max_rounds && !executor.done(); ++round) {
     if (config.before_round) config.before_round(executor);
     StepRecord rec;
@@ -35,6 +53,10 @@ Trace run_adaptive(SpeculativeExecutor& executor, Controller& controller,
       rec.error = telemetry::describe_exception(stats.first_error);
     }
     trace.steps.push_back(rec);
+    // Write-ahead: the round's record is durable before any snapshot (or
+    // any throw below) can reference it.
+    if (cp != nullptr) cp->on_round(round, rec);
+    bool force_snapshot = false;
 
     // Progress = a task left the work-set for good: it committed, or it was
     // quarantined. Aborts and retries leave pending unchanged, and a round
@@ -56,6 +78,7 @@ Trace run_adaptive(SpeculativeExecutor& executor, Controller& controller,
       trace.degraded_at_step = round;
       controller.clamp_max(1);
       stalled = 0;
+      force_snapshot = true;  // a post-degradation crash must resume degraded
       if (tel != nullptr) {
         tel->emit({telemetry::EventKind::kWatchdogDegrade, 0,
                    executor.round_index(), round, 0, 0.0, 0.0,
@@ -70,8 +93,13 @@ Trace run_adaptive(SpeculativeExecutor& executor, Controller& controller,
                    executor.round_index(), stalled, executor.pending(), 0.0,
                    0.0, "no allocation can commit this work"});
       }
-      throw LivelockError(stalled, executor.pending(),
+      LivelockError error(stalled, executor.pending(),
                           executor.dead_letters().size());
+      // The stalling round's StepRecord is already in the trace (and the
+      // journal); hand the whole partial trace to the catcher so the run
+      // stays diagnosable from --trace-out.
+      error.partial_trace = trace;
+      throw error;
     }
     m = controller.observe(stats);
     if (degraded) m = 1;  // enforce the cap even on no-op controllers
@@ -83,6 +111,17 @@ Trace run_adaptive(SpeculativeExecutor& executor, Controller& controller,
       tel->emit({telemetry::EventKind::kControllerDecision, 0,
                  executor.round_index(), m, stats.launched, r,
                  r - tel->target_rho(), controller.decision_note()});
+    }
+    if (cp != nullptr) {
+      // Snapshot AFTER observe: the saved loop state carries the next
+      // round's allocation, so a resume re-enters the loop exactly here.
+      CheckpointManager::LoopState loop;
+      loop.next_m = m;
+      loop.stalled = stalled;
+      loop.degraded = degraded;
+      loop.degraded_at_step = trace.degraded_at_step;
+      cp->maybe_snapshot(round, executor, controller, loop,
+                         trace.steps.size(), force_snapshot);
     }
   }
   return trace;

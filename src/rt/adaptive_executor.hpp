@@ -26,6 +26,8 @@
 
 namespace optipar {
 
+class CheckpointManager;
+
 /// Thrown by run_adaptive when even forced-serial execution makes no
 /// progress — the workload is genuinely stuck (an operator that always
 /// fails without a FailurePolicy to quarantine it, or a task set whose
@@ -52,6 +54,12 @@ class LivelockError final : public std::runtime_error {
     return quarantined_;
   }
 
+  /// Everything the run recorded up to (and including) the stalling round.
+  /// run_adaptive fills this before unwinding so a livelocked run is still
+  /// diagnosable from --trace-out: the final round's StepRecord carries the
+  /// stall, and the kLivelock telemetry event was emitted before the throw.
+  Trace partial_trace;
+
  private:
   std::uint32_t stalled_rounds_;
   std::size_t pending_;
@@ -70,6 +78,15 @@ struct AdaptiveRunConfig {
   /// table over items allocated by the previous round's commits (e.g.
   /// freshly created mesh triangles).
   std::function<void(SpeculativeExecutor&)> before_round;
+  /// Crash-consistent checkpointing (DESIGN.md §11); non-owning, nullptr
+  /// disables. With a manager attached, run_adaptive first walks the
+  /// recovery ladder (resuming mid-run when a valid snapshot exists), then
+  /// journals every round's StepRecord write-ahead and snapshots on the
+  /// manager's cadence — plus immediately when the livelock watchdog
+  /// degrades the run, so a post-degradation crash resumes degraded. The
+  /// schedule itself is unaffected: with no snapshot on disk the trace is
+  /// byte-identical to an uncheckpointed run.
+  CheckpointManager* checkpoint = nullptr;
 };
 
 /// Drive the executor to completion under the controller's allocation

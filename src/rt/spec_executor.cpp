@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "support/barrier.hpp"
+#include "support/snapshot/snapshot.hpp"
 #include "support/telemetry/telemetry.hpp"
 
 namespace optipar {
@@ -907,6 +908,187 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
     if (!absorbing) std::rethrow_exception(error);
   }
   return stats;
+}
+
+// ---- checkpoint/restore (DESIGN.md §11) -----------------------------------
+//
+// Serialization invariants the format relies on:
+//  * Between rounds every per-round scratch structure (arena, active_,
+//    lane buffers, cursors, round_error_) is logically empty, so only the
+//    durable state below needs to cross the snapshot.
+//  * Shard task vectors are stored live-suffix-only (tasks[head..end], in
+//    order) and restored with head = 0. That compaction is draw-stream
+//    safe: kRandom indexes relative to head, kFifo consumes from head, and
+//    kLifo pops the back — none observe the consumed prefix.
+//  * The priority heap's pop order is a pure function of its contents (the
+//    (priority, task) pair comparison is total), so draining a copy and
+//    re-pushing on load reproduces the schedule exactly.
+//  * failure_attempts_ is only ever probed point-wise (find/erase), so the
+//    rebuilt map's iteration order is irrelevant; entries are written
+//    sorted by task purely to make the snapshot bytes canonical.
+
+namespace {
+
+[[noreturn]] void state_mismatch(const std::string& what) {
+  throw snapshot::SnapshotError(snapshot::SnapshotError::Kind::kMismatch,
+                                "executor state: " + what);
+}
+
+void write_rng(snapshot::Writer& out, const Rng& rng) {
+  for (const std::uint64_t w : rng.state()) out.u64(w);
+}
+
+void read_rng(snapshot::Reader& in, Rng& rng) {
+  std::array<std::uint64_t, 4> s{};
+  for (auto& w : s) w = in.u64();
+  rng.set_state(s);
+}
+
+}  // namespace
+
+void SpeculativeExecutor::save_state(snapshot::Writer& out) const {
+  // Shape header: everything load_state cross-checks before touching state.
+  out.u64(backoff_seed_);
+  out.u64(static_cast<std::uint64_t>(shard_count_));
+  out.u8(static_cast<std::uint8_t>(policy_wl_));
+  out.u8(static_cast<std::uint8_t>(arbitration_));
+  out.u64(static_cast<std::uint64_t>(locks_.size()));
+
+  write_rng(out, rng_);
+  for (const Rng& rng : helper_rngs_) write_rng(out, rng);
+
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    const Shard& shard = shards_[s];
+    const std::lock_guard guard(shard.mutex);
+    out.u64_vec(std::span<const TaskId>(shard.tasks.data() + shard.head,
+                                        shard.tasks.size() - shard.head));
+  }
+  out.u64(push_cursor_.load(std::memory_order_relaxed));
+
+  {
+    const std::lock_guard lock(worklist_mutex_);
+    auto heap = priority_heap_;  // drain a copy; pop order == schedule order
+    out.u64(heap.size());
+    while (!heap.empty()) {
+      out.u64(heap.top().first);
+      out.u64(heap.top().second);
+      heap.pop();
+    }
+  }
+
+  out.u64(round_index_);
+  out.u32(next_iteration_id_);
+  out.u64(totals_.rounds);
+  out.u64(totals_.launched);
+  out.u64(totals_.committed);
+  out.u64(totals_.aborted);
+  out.u64(totals_.retried);
+  out.u64(totals_.quarantined);
+
+  std::vector<std::pair<TaskId, std::uint32_t>> attempts(
+      failure_attempts_.begin(), failure_attempts_.end());
+  std::sort(attempts.begin(), attempts.end());
+  out.u64(attempts.size());
+  for (const auto& [task, count] : attempts) {
+    out.u64(task);
+    out.u32(count);
+  }
+
+  out.u64(deferred_.size());
+  for (const Deferred& d : deferred_) {
+    out.u64(d.due_round);
+    out.u64(d.task);
+  }
+
+  out.u64(dead_letters_.size());
+  for (const DeadLetter& dl : dead_letters_) {
+    out.u64(dl.task);
+    out.u32(dl.attempts);
+    out.str(dl.error);
+  }
+
+  out.u32(pool_failures_);
+  out.u8(serial_fallback_ ? 1 : 0);
+}
+
+void SpeculativeExecutor::load_state(snapshot::Reader& in) {
+  if (in.u64() != backoff_seed_) state_mismatch("seed differs");
+  if (in.u64() != shard_count_) state_mismatch("shard count differs");
+  if (in.u8() != static_cast<std::uint8_t>(policy_wl_)) {
+    state_mismatch("worklist policy differs");
+  }
+  if (in.u8() != static_cast<std::uint8_t>(arbitration_)) {
+    state_mismatch("arbitration policy differs");
+  }
+  const std::uint64_t lock_items = in.u64();
+  if (lock_items < locks_.size()) state_mismatch("lock table shrank");
+  locks_.grow(lock_items);  // mid-run grow_items calls replayed in one step
+
+  read_rng(in, rng_);
+  for (Rng& rng : helper_rngs_) read_rng(in, rng);
+
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    const std::lock_guard guard(shard.mutex);
+    shard.tasks = in.u64_vec();
+    shard.head = 0;
+  }
+  push_cursor_.store(in.u64(), std::memory_order_relaxed);
+
+  {
+    const std::lock_guard lock(worklist_mutex_);
+    priority_heap_ = {};
+    const std::uint64_t heap_size = in.u64();
+    for (std::uint64_t i = 0; i < heap_size; ++i) {
+      const std::uint64_t prio = in.u64();
+      const TaskId task = in.u64();
+      priority_heap_.emplace(prio, task);
+    }
+  }
+
+  round_index_ = in.u64();
+  next_iteration_id_ = in.u32();
+  totals_.rounds = in.u64();
+  totals_.launched = in.u64();
+  totals_.committed = in.u64();
+  totals_.aborted = in.u64();
+  totals_.retried = in.u64();
+  totals_.quarantined = in.u64();
+
+  failure_attempts_.clear();
+  const std::uint64_t attempt_count = in.u64();
+  for (std::uint64_t i = 0; i < attempt_count; ++i) {
+    const TaskId task = in.u64();
+    failure_attempts_[task] = in.u32();
+  }
+
+  deferred_.clear();
+  const std::uint64_t deferred_count = in.u64();
+  // Pre-size from the bytes actually present, never the claimed count — a
+  // hostile length must hit a bounds-checked read, not an allocation.
+  deferred_.reserve(std::min<std::uint64_t>(deferred_count,
+                                            in.remaining() / 16));
+  for (std::uint64_t i = 0; i < deferred_count; ++i) {
+    Deferred d;
+    d.due_round = in.u64();
+    d.task = in.u64();
+    deferred_.push_back(d);
+  }
+
+  dead_letters_.clear();
+  const std::uint64_t dead_count = in.u64();
+  dead_letters_.reserve(std::min<std::uint64_t>(dead_count,
+                                                in.remaining() / 20));
+  for (std::uint64_t i = 0; i < dead_count; ++i) {
+    DeadLetter dl;
+    dl.task = in.u64();
+    dl.attempts = in.u32();
+    dl.error = in.str();
+    dead_letters_.push_back(std::move(dl));
+  }
+
+  pool_failures_ = in.u32();
+  serial_fallback_ = in.u8() != 0;
 }
 
 }  // namespace optipar

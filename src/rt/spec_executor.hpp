@@ -57,6 +57,11 @@ class RuntimeTelemetry;
 struct LaneTelemetry;
 }  // namespace telemetry
 
+namespace snapshot {
+class Writer;
+class Reader;
+}  // namespace snapshot
+
 using TaskId = std::uint64_t;
 
 /// Thrown (internally) when an acquire conflicts; user operators may also
@@ -280,6 +285,21 @@ class SpeculativeExecutor {
   [[nodiscard]] std::uint64_t round_index() const noexcept {
     return round_index_;
   }
+
+  /// Checkpoint hooks (DESIGN.md §11). Between rounds the executor's future
+  /// behavior is fully determined by the work-set, the draw RNG streams,
+  /// the round clock, and the failure-hardening ledgers — save_state
+  /// captures exactly that set, and load_state rebuilds it so that every
+  /// subsequent run_round draws, arbitrates, backs off, and quarantines
+  /// byte-identically to the uninterrupted run. The snapshot leads with a
+  /// shape header (seed derivative, shard count, worklist/arbitration
+  /// policy); load_state throws SnapshotError{kMismatch} when the receiving
+  /// executor was constructed differently, rather than resuming a run that
+  /// would silently diverge. Configuration that cannot be serialized (the
+  /// operator, priority function, failure policy, injector, telemetry) must
+  /// be reinstalled by the host before load_state. Call between rounds only.
+  void save_state(snapshot::Writer& out) const;
+  void load_state(snapshot::Reader& in);
 
  private:
   friend class IterationContext;

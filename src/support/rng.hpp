@@ -94,6 +94,16 @@ class Rng {
   /// Bernoulli trial with success probability p.
   bool chance(double p) noexcept { return uniform() < p; }
 
+  /// Raw generator state, for checkpoint/restore (support/snapshot): the
+  /// four words fully determine every future draw, so saving and restoring
+  /// them resumes the stream byte-identically.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
   /// Derive an independent child generator. Use one split per PURPOSE
   /// (generation vs measurement vs execution): feeding the same raw stream
   /// to two consumers can correlate them catastrophically — e.g. sampling

@@ -1,0 +1,159 @@
+#include "support/snapshot/journal.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "support/snapshot/snapshot.hpp"
+
+namespace optipar::snapshot {
+
+namespace {
+
+constexpr std::size_t kFrameHeader = 12;  // magic, len, crc
+
+std::uint32_t le32_at(const std::byte* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void le32_out(std::vector<std::byte>& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+[[noreturn]] void throw_errno(const std::string& op, const std::string& path) {
+  throw SnapshotError(SnapshotError::Kind::kIo,
+                      op + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+RoundJournal::RoundJournal(std::string path) : path_(std::move(path)) {
+  // --- Recovery scan: committed prefix + torn-tail truncation. -----------
+  std::vector<std::byte> raw;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      std::vector<char> data((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+      raw.resize(data.size());
+      if (!data.empty()) {  // memcpy(null, null, 0) is still UB
+        std::memcpy(raw.data(), data.data(), data.size());
+      }
+    }
+  }
+  offsets_.push_back(0);
+  std::size_t pos = 0;
+  while (pos + kFrameHeader <= raw.size()) {
+    const std::uint32_t magic = le32_at(raw.data() + pos);
+    const std::uint32_t len = le32_at(raw.data() + pos + 4);
+    const std::uint32_t crc = le32_at(raw.data() + pos + 8);
+    if (magic != kJournalMagic) break;
+    if (pos + kFrameHeader + len > raw.size()) break;  // short frame
+    const std::span<const std::byte> payload{raw.data() + pos + kFrameHeader,
+                                             len};
+    if (crc32(payload) != crc) break;  // bit rot or torn write
+    records_.emplace_back(payload.begin(), payload.end());
+    pos += kFrameHeader + len;
+    offsets_.push_back(pos);
+  }
+  committed_count_ = records_.size();
+  truncated_torn_tail_ = pos != raw.size();
+
+  open_for_append();
+  if (truncated_torn_tail_) {
+    if (::ftruncate(fd_, static_cast<off_t>(pos)) != 0) {
+      throw_errno("ftruncate", path_);
+    }
+    if (::fsync(fd_) != 0) throw_errno("fsync", path_);
+  }
+  if (::lseek(fd_, static_cast<off_t>(pos), SEEK_SET) < 0) {
+    throw_errno("lseek", path_);
+  }
+}
+
+RoundJournal::~RoundJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void RoundJournal::open_for_append() {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) throw_errno("open", path_);
+}
+
+namespace {
+
+std::vector<std::byte> build_frame(std::span<const std::byte> payload) {
+  std::vector<std::byte> frame;
+  frame.reserve(kFrameHeader + payload.size());
+  le32_out(frame, kJournalMagic);
+  le32_out(frame, static_cast<std::uint32_t>(payload.size()));
+  le32_out(frame, crc32(payload));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+}  // namespace
+
+void RoundJournal::append(std::span<const std::byte> payload) {
+  const std::vector<std::byte> frame = build_frame(payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write", path_);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) throw_errno("fsync", path_);
+  offsets_.push_back(offsets_.back() + kFrameHeader + payload.size());
+  ++committed_count_;
+}
+
+void RoundJournal::append_torn(std::span<const std::byte> payload,
+                               std::size_t prefix_bytes) {
+  const std::vector<std::byte> frame = build_frame(payload);
+  const std::size_t limit = std::min(prefix_bytes, frame.size());
+  std::size_t off = 0;
+  while (off < limit) {
+    const ssize_t n = ::write(fd_, frame.data() + off, limit - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write", path_);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) throw_errno("fsync", path_);
+  // Deliberately NOT counted: the bytes are a torn tail, not a record.
+}
+
+void RoundJournal::rewind_to(std::uint64_t count) {
+  if (count >= committed_count_) return;
+  const std::uint64_t cut = offsets_[count];
+  if (::ftruncate(fd_, static_cast<off_t>(cut)) != 0) {
+    throw_errno("ftruncate", path_);
+  }
+  if (::fsync(fd_) != 0) throw_errno("fsync", path_);
+  if (::lseek(fd_, static_cast<off_t>(cut), SEEK_SET) < 0) {
+    throw_errno("lseek", path_);
+  }
+  offsets_.resize(count + 1);
+  if (records_.size() > count) {
+    records_.resize(count);
+  }
+  committed_count_ = count;
+}
+
+}  // namespace optipar::snapshot

@@ -1,0 +1,85 @@
+// Write-ahead round journal (DESIGN.md §11). One record is appended — and
+// fsynced — per executor round, BEFORE any snapshot that covers the round is
+// written, so the journal is always at least as current as the newest
+// snapshot. Each record is independently framed:
+//
+//   [magic u32][payload_len u32][crc32 u32][payload bytes]
+//
+// Recovery scans the file front to back and stops at the first frame that is
+// short, mis-magicked, or checksum-broken: everything before it is the
+// committed prefix, everything from it on is a torn tail from the crash and
+// is physically truncated away. Appends after recovery continue at the
+// truncation point, so a resumed run's journal is byte-identical to an
+// uninterrupted run's.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace optipar::snapshot {
+
+class RoundJournal {
+ public:
+  /// Opens (creating if absent) the journal at `path` and runs torn-tail
+  /// recovery immediately: after construction, records() holds exactly the
+  /// committed prefix and the file has been truncated to match.
+  explicit RoundJournal(std::string path);
+  ~RoundJournal();
+
+  RoundJournal(const RoundJournal&) = delete;
+  RoundJournal& operator=(const RoundJournal&) = delete;
+
+  /// The committed records recovered at open, oldest first. Appends during
+  /// this process's lifetime are NOT reflected here — the vector is the
+  /// recovery view, consumed once at restore time.
+  [[nodiscard]] const std::vector<std::vector<std::byte>>& records()
+      const noexcept {
+    return records_;
+  }
+  /// Committed record count: recovered records plus appends made since.
+  [[nodiscard]] std::uint64_t committed_count() const noexcept {
+    return committed_count_;
+  }
+  /// True when recovery found (and truncated) a torn tail.
+  [[nodiscard]] bool truncated_torn_tail() const noexcept {
+    return truncated_torn_tail_;
+  }
+
+  /// Append one record; fsyncs before returning (the write-ahead
+  /// guarantee). Throws SnapshotError{kIo} on failure.
+  void append(std::span<const std::byte> payload);
+
+  /// Crash-injection support: write only the first `prefix_bytes` of the
+  /// frame append(payload) would write (clamped to the full frame size) and
+  /// fsync, WITHOUT counting the record — simulating a crash mid-append.
+  /// The torn bytes are exactly what the next open's recovery scan must
+  /// detect and truncate.
+  void append_torn(std::span<const std::byte> payload,
+                   std::size_t prefix_bytes);
+
+  /// Drop every record at index >= `count` (a restore rewinding to a
+  /// snapshot older than the journal head). Truncates the file; subsequent
+  /// appends continue from the cut.
+  void rewind_to(std::uint64_t count);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void open_for_append();
+
+  std::string path_;
+  int fd_ = -1;
+  std::vector<std::vector<std::byte>> records_;
+  /// Byte offset where record i begins; size() == records_.size() + 1, the
+  /// last entry being the committed end of file (append position).
+  std::vector<std::uint64_t> offsets_;
+  std::uint64_t committed_count_ = 0;
+  bool truncated_torn_tail_ = false;
+};
+
+inline constexpr std::uint32_t kJournalMagic = 0x4F504A4Cu;  // "OPJL"
+
+}  // namespace optipar::snapshot

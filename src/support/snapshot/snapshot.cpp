@@ -1,0 +1,279 @@
+#include "support/snapshot/snapshot.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace optipar::snapshot {
+
+namespace {
+
+/// CRC-32 lookup table for polynomial 0xEDB88320, built once.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void put_le32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+std::uint32_t get_le32(const std::byte* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+[[noreturn]] void throw_errno(const std::string& op, const std::string& path) {
+  throw SnapshotError(SnapshotError::Kind::kIo,
+                      op + " " + path + ": " + std::strerror(errno));
+}
+
+/// Directory component of `path` ("." when none) for the post-rename fsync.
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data,
+                    std::uint32_t seed) noexcept {
+  const auto& table = crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::byte b : data) {
+    c = table[(c ^ std::to_integer<std::uint8_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32_bytes(const void* data, std::size_t size,
+                          std::uint32_t seed) noexcept {
+  return crc32({static_cast<const std::byte*>(data), size}, seed);
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+void Writer::u32(std::uint32_t v) { put_le32(buf_, v); }
+
+void Writer::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Writer::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Writer::str(const std::string& s) {
+  u64(s.size());
+  raw(s.data(), s.size());
+}
+
+void Writer::u64_vec(std::span<const std::uint64_t> xs) {
+  u64(xs.size());
+  for (const std::uint64_t x : xs) u64(x);
+}
+
+void Writer::u32_vec(std::span<const std::uint32_t> xs) {
+  u64(xs.size());
+  for (const std::uint32_t x : xs) u32(x);
+}
+
+void Writer::raw(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::byte*>(data);
+  buf_.insert(buf_.end(), p, p + size);
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+void Reader::need(std::size_t n) const {
+  if (remaining() < n) {
+    throw SnapshotError(SnapshotError::Kind::kMalformed,
+                        "payload truncated: need " + std::to_string(n) +
+                            " bytes, have " + std::to_string(remaining()));
+  }
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return std::to_integer<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  const std::uint32_t v = get_le32(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+double Reader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Reader::str() {
+  const std::uint64_t n = u64();
+  need(n);  // length validated against remaining bytes BEFORE allocating
+  std::string s(n, '\0');
+  std::memcpy(s.data(), data_.data() + pos_, n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<std::uint64_t> Reader::u64_vec() {
+  const std::uint64_t n = u64();
+  need(n * 8 < n ? static_cast<std::size_t>(-1) : n * 8);  // overflow-safe
+  std::vector<std::uint64_t> xs(n);
+  for (auto& x : xs) x = u64();
+  return xs;
+}
+
+std::vector<std::uint32_t> Reader::u32_vec() {
+  const std::uint64_t n = u64();
+  need(n * 4 < n ? static_cast<std::size_t>(-1) : n * 4);
+  std::vector<std::uint32_t> xs(n);
+  for (auto& x : xs) x = u32();
+  return xs;
+}
+
+void Reader::expect_end() const {
+  if (remaining() != 0) {
+    throw SnapshotError(SnapshotError::Kind::kMalformed,
+                        std::to_string(remaining()) +
+                            " trailing bytes after payload");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Durable file I/O
+// ---------------------------------------------------------------------------
+
+void write_file_atomic_until(const std::string& path,
+                             std::span<const std::byte> payload,
+                             AtomicWriteStop stop) {
+  std::vector<std::byte> framed;
+  framed.reserve(kFileHeaderBytes + payload.size());
+  put_le32(framed, kSnapshotMagic);
+  put_le32(framed, kSnapshotVersion);
+  put_le32(framed, static_cast<std::uint32_t>(payload.size()));
+  put_le32(framed, crc32(payload));
+  framed.insert(framed.end(), payload.begin(), payload.end());
+
+  // A mid-write crash leaves half the frame: past the header, inside the
+  // payload, so recovery sees a length the file cannot satisfy.
+  const std::size_t limit =
+      stop == AtomicWriteStop::kMidWrite ? framed.size() / 2 : framed.size();
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open", tmp);
+  std::size_t off = 0;
+  while (off < limit) {
+    const ssize_t n = ::write(fd, framed.data() + off, limit - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("write", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_errno("fsync", tmp);
+  }
+  if (::close(fd) != 0) throw_errno("close", tmp);
+  if (stop != AtomicWriteStop::kComplete) return;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_errno("rename", path);
+  }
+  // fsync the directory so the rename itself is durable.
+  const int dfd = ::open(dir_of(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+void write_file_atomic(const std::string& path,
+                       std::span<const std::byte> payload) {
+  write_file_atomic_until(path, payload, AtomicWriteStop::kComplete);
+}
+
+std::vector<std::byte> read_file_validated(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SnapshotError(SnapshotError::Kind::kIo, "cannot open " + path);
+  }
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  if (raw.size() < kFileHeaderBytes) {
+    throw SnapshotError(SnapshotError::Kind::kTruncated,
+                        path + ": shorter than the file header");
+  }
+  const auto* bytes = reinterpret_cast<const std::byte*>(raw.data());
+  if (get_le32(bytes) != kSnapshotMagic) {
+    throw SnapshotError(SnapshotError::Kind::kBadMagic,
+                        path + ": not a snapshot file");
+  }
+  const std::uint32_t version = get_le32(bytes + 4);
+  if (version != kSnapshotVersion) {
+    throw SnapshotError(SnapshotError::Kind::kBadVersion,
+                        path + ": format version " + std::to_string(version) +
+                            " (supported: " +
+                            std::to_string(kSnapshotVersion) + ")");
+  }
+  const std::uint32_t length = get_le32(bytes + 8);
+  const std::uint32_t checksum = get_le32(bytes + 12);
+  if (raw.size() - kFileHeaderBytes != length) {
+    throw SnapshotError(SnapshotError::Kind::kTruncated,
+                        path + ": header promises " + std::to_string(length) +
+                            " payload bytes, file has " +
+                            std::to_string(raw.size() - kFileHeaderBytes));
+  }
+  const std::span<const std::byte> payload{bytes + kFileHeaderBytes, length};
+  if (crc32(payload) != checksum) {
+    throw SnapshotError(SnapshotError::Kind::kBadChecksum,
+                        path + ": CRC32 mismatch");
+  }
+  return {payload.begin(), payload.end()};
+}
+
+}  // namespace optipar::snapshot

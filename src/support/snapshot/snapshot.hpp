@@ -1,0 +1,149 @@
+// Versioned, checksummed binary snapshot format (DESIGN.md §11). The
+// checkpoint/restore subsystem serializes runtime state through a byte-level
+// Writer/Reader pair: little-endian fixed-width integers, IEEE doubles, and
+// length-prefixed strings/vectors, framed by a header carrying a magic, a
+// format version, the payload length, and a CRC32 over the payload. Readers
+// are hostile-input hardened: every read is bounds-checked and every
+// mismatch (magic, version, length, checksum) raises a typed SnapshotError —
+// a torn or bit-flipped snapshot is *detected*, never silently loaded.
+//
+// Durability discipline for files: write_file_atomic stages the payload in a
+// sibling temp file, fsyncs it, atomically renames it over the target, and
+// fsyncs the directory — a crash at any instant leaves either the old file
+// or the new one, never a torn mix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace optipar::snapshot {
+
+/// CRC-32 (ISO-HDLC / zlib polynomial 0xEDB88320), the checksum that guards
+/// every snapshot payload and journal record.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> data,
+                                  std::uint32_t seed = 0) noexcept;
+[[nodiscard]] std::uint32_t crc32_bytes(const void* data, std::size_t size,
+                                        std::uint32_t seed = 0) noexcept;
+
+/// Typed failure taxonomy of the restore path. Every error the format can
+/// detect maps to one kind so the recovery ladder (checkpoint.cpp) and the
+/// tests can distinguish "corrupt" from "absent" from "incompatible".
+class SnapshotError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kIo,           ///< open/read/write/rename/fsync failure
+    kBadMagic,     ///< file is not a snapshot at all
+    kBadVersion,   ///< produced by an incompatible format revision
+    kTruncated,    ///< payload shorter than the header promises
+    kBadChecksum,  ///< CRC32 mismatch — bit rot or a torn write
+    kMalformed,    ///< structurally invalid payload (out-of-bounds read,
+                   ///< impossible length, trailing garbage)
+    kMismatch,     ///< valid snapshot for a different run (graph
+                   ///< fingerprint, controller, lane count, ...)
+  };
+
+  SnapshotError(Kind kind, const std::string& what)
+      : std::runtime_error("snapshot: " + what), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// Append-only byte sink with typed little-endian encoders. The buffer is
+/// plain std::vector so a finished payload can be framed (header + CRC) or
+/// embedded as a journal record without copies.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void str(const std::string& s);
+
+  /// Length-prefixed homogeneous sequences.
+  void u64_vec(std::span<const std::uint64_t> xs);
+  void u32_vec(std::span<const std::uint32_t> xs);
+
+  void raw(const void* data, std::size_t size);
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::byte> take() noexcept {
+    return std::move(buf_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked cursor over an untrusted payload. Every accessor throws
+/// SnapshotError{kMalformed} instead of reading past the end, and sequence
+/// lengths are validated against the remaining bytes BEFORE any allocation
+/// so a hostile length cannot trigger an OOM.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64() {
+    return static_cast<std::int64_t>(u64());
+  }
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::vector<std::uint64_t> u64_vec();
+  [[nodiscard]] std::vector<std::uint32_t> u32_vec();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  /// Restores must consume the payload exactly; leftovers mean the format
+  /// and the code disagree.
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Frame `payload` with the versioned header + CRC and durably write it to
+/// `path` (tmp + fsync + atomic rename + directory fsync).
+void write_file_atomic(const std::string& path,
+                       std::span<const std::byte> payload);
+
+/// Crash-injection support (checkpoint tests and scripts/run_crash.sh):
+/// perform only a prefix of write_file_atomic's work, simulating a process
+/// killed at a chosen instant of the save.
+enum class AtomicWriteStop {
+  kComplete,      ///< the full durable sequence (== write_file_atomic)
+  kMidWrite,      ///< tmp file holds a torn prefix of the frame; no rename
+  kBeforeRename,  ///< tmp complete and fsynced, target not yet replaced
+};
+void write_file_atomic_until(const std::string& path,
+                             std::span<const std::byte> payload,
+                             AtomicWriteStop stop);
+
+/// Read `path`, validate magic/version/length/CRC, and return the payload.
+/// Throws SnapshotError (kIo when absent/unreadable, kBadMagic/kBadVersion/
+/// kTruncated/kBadChecksum when present but unusable).
+[[nodiscard]] std::vector<std::byte> read_file_validated(
+    const std::string& path);
+
+/// Format constants, exposed for the tests that corrupt files on purpose.
+inline constexpr std::uint32_t kSnapshotMagic = 0x4F50534Eu;  // "OPSN"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::size_t kFileHeaderBytes = 16;  // magic,ver,len,crc
+
+}  // namespace optipar::snapshot

@@ -64,6 +64,15 @@ class Ewma {
   }
   void reset() noexcept { raw_ = norm_ = 0.0; }
 
+  /// Accumulator internals, for checkpoint/restore (the pair fully
+  /// determines future values for a fixed alpha).
+  [[nodiscard]] double raw() const noexcept { return raw_; }
+  [[nodiscard]] double norm() const noexcept { return norm_; }
+  void restore(double raw, double norm) noexcept {
+    raw_ = raw;
+    norm_ = norm;
+  }
+
  private:
   double alpha_;
   double raw_ = 0.0;

@@ -31,6 +31,8 @@ const char* event_kind_name(EventKind kind) noexcept {
     case EventKind::kSerialDegrade: return "serial_degrade";
     case EventKind::kLivelock: return "livelock";
     case EventKind::kError: return "error";
+    case EventKind::kCheckpoint: return "checkpoint";
+    case EventKind::kRecovery: return "recovery";
   }
   return "unknown";
 }
@@ -253,6 +255,32 @@ void RuntimeTelemetry::export_metrics(MetricsRegistry& reg) const {
           MetricsRegistry::Type::kCounter,
           "Trace events lost to ring-buffer overflow (drop-oldest)", {},
           static_cast<double>(total_dropped()));
+
+  // Checkpoint-restored work (DESIGN.md §11): executed by a pre-crash
+  // process, so it appears in the executor's cumulative totals but in no
+  // lane counter of THIS process. Exported even when zero so the
+  // reconciliation invariant (lanes + restored == total) is checkable on
+  // every run.
+  const auto add_restored = [&reg](const char* name, const char* help,
+                                   std::uint64_t value) {
+    reg.add(name, MetricsRegistry::Type::kCounter, help, {},
+            static_cast<double>(value));
+  };
+  add_restored("optipar_restored_launched_total",
+               "Tasks launched by pre-crash processes (from checkpoint)",
+               restored_.launched);
+  add_restored("optipar_restored_committed_total",
+               "Tasks committed by pre-crash processes (from checkpoint)",
+               restored_.committed);
+  add_restored("optipar_restored_aborted_total",
+               "Tasks aborted by pre-crash processes (from checkpoint)",
+               restored_.aborted);
+  add_restored("optipar_restored_retried_total",
+               "Tasks retried by pre-crash processes (from checkpoint)",
+               restored_.retried);
+  add_restored("optipar_restored_quarantined_total",
+               "Tasks quarantined by pre-crash processes (from checkpoint)",
+               restored_.quarantined);
 
   for (const TimerSet::Entry& e : timers_.snapshot()) {
     reg.add("optipar_scoped_timer_seconds_total",

@@ -102,6 +102,9 @@ enum class EventKind : std::uint32_t {
   kSerialDegrade,        ///< executor pinned itself to the serial path
   kLivelock,             ///< a = stalled rounds; note = diagnostic
   kError,                ///< a = task/round id; note = first_error text
+  kCheckpoint,           ///< a = rounds covered, b = snapshot bytes
+  kRecovery,             ///< a = rounds restored, b = journal records kept;
+                         ///< note = which rung of the ladder succeeded
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;
@@ -289,12 +292,32 @@ class RuntimeTelemetry {
   /// named timers into `registry` under the `optipar_` namespace.
   void export_metrics(MetricsRegistry& registry) const;
 
+  /// Work restored from a checkpoint rather than executed by this
+  /// process's lanes (DESIGN.md §11). A resumed run's executor totals
+  /// include the pre-crash rounds, so the reconciliation invariant becomes
+  /// sum(lanes) + restored == executor total; checkpoint restore records
+  /// the snapshot's cumulative totals here.
+  struct RestoredBaseline {
+    std::uint64_t launched = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t aborted = 0;
+    std::uint64_t retried = 0;
+    std::uint64_t quarantined = 0;
+  };
+  void set_restored_baseline(const RestoredBaseline& baseline) noexcept {
+    restored_ = baseline;
+  }
+  [[nodiscard]] const RestoredBaseline& restored_baseline() const noexcept {
+    return restored_;
+  }
+
  private:
   TelemetryConfig config_;
   std::vector<std::unique_ptr<LaneTelemetry>> lanes_;
   EventRing control_;
   std::mutex control_mutex_;
   TimerSet timers_;
+  RestoredBaseline restored_;
 };
 
 }  // namespace telemetry

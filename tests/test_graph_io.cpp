@@ -55,7 +55,13 @@ TEST(GraphIo, MalformedEdgeThrows) {
 
 TEST(GraphIo, OutOfRangeEdgeThrows) {
   std::stringstream ss("p 3 1\n0 9\n");
-  EXPECT_THROW((void)io::read_edge_list(ss), std::invalid_argument);
+  try {
+    (void)io::read_edge_list(ss);
+    FAIL() << "expected GraphIoError";
+  } catch (const io::GraphIoError& e) {
+    EXPECT_EQ(e.kind(), io::GraphIoError::Kind::kOutOfRange);
+    EXPECT_EQ(e.line(), 2u);
+  }
 }
 
 TEST(GraphIo, MissingFileThrows) {

@@ -19,9 +19,16 @@
 //   optipar_cli run     --graph=g.txt --threads=4 --controller=hybrid
 //                       --rho=0.25 [--steps=N --metrics-out=m.prom
 //                       --trace-out=t.jsonl --csv=trace.csv]
-//                       (adaptive closed loop on the REAL speculative
-//                       runtime: one task per node, each acquiring its
-//                       closed neighborhood)
+//                       [--checkpoint-dir=DIR --checkpoint-every=N
+//                       --resume] (adaptive closed loop on the REAL
+//                       speculative runtime: one task per node, each
+//                       acquiring its closed neighborhood; with a
+//                       checkpoint dir the run journals every round and
+//                       snapshots every N rounds — --resume picks up a
+//                       killed run from the newest valid snapshot.
+//                       --crash-point=NAME --crash-round=N inject a
+//                       deliberate _Exit at a chosen durability step for
+//                       the crash-recovery harness; see DESIGN.md §11)
 //   optipar_cli metrics [--format=prometheus|json] (run a small
 //                       deterministic workload with telemetry attached and
 //                       print the metrics export — the scrape surface demo)
@@ -30,7 +37,10 @@
 // rendered as Prometheus text, or JSON when FILE ends in .json) and
 // --trace-out=FILE (JSONL: `{"type":"round",...}` per-round records
 // interleaved with `{"type":"event",...}` sub-round telemetry events).
+#include <sys/stat.h>
+
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -50,6 +60,7 @@
 #include "model/seating.hpp"
 #include "model/theory.hpp"
 #include "rt/adaptive_executor.hpp"
+#include "rt/checkpoint.hpp"
 #include "rt/fault_injector.hpp"
 #include "rt/spec_executor.hpp"
 #include "sim/run_loop.hpp"
@@ -521,6 +532,9 @@ int cmd_chaos(const Options& opt) {
     trace = run_adaptive(ex, controller, config);
   } catch (const LivelockError& e) {
     livelock = true;
+    // Keep the partial trace: the stalling round's record and the kLivelock
+    // event land in --trace-out instead of vanishing with the unwind.
+    trace = e.partial_trace;
     std::cerr << "livelock: " << e.what() << "\n";
   }
 
@@ -582,6 +596,16 @@ int cmd_chaos(const Options& opt) {
   return ok ? 0 : 1;
 }
 
+CrashPoint parse_crash_point(const std::string& name) {
+  if (name == "none") return CrashPoint::kNone;
+  if (name == "mid-journal") return CrashPoint::kMidJournalWrite;
+  if (name == "after-journal") return CrashPoint::kAfterJournalAppend;
+  if (name == "mid-snapshot") return CrashPoint::kMidSnapshotWrite;
+  if (name == "before-rename") return CrashPoint::kBeforeSnapshotRename;
+  if (name == "after-rename") return CrashPoint::kAfterSnapshotRename;
+  throw std::invalid_argument("unknown --crash-point=" + name);
+}
+
 int cmd_run(const Options& opt) {
   // The paper's closed loop on the REAL runtime (not the step simulator):
   // one task per graph node, each acquiring its closed neighborhood — so
@@ -630,7 +654,42 @@ int cmd_run(const Options& opt) {
   AdaptiveRunConfig config;
   config.max_rounds =
       static_cast<std::uint32_t>(opt.get_int("steps", 100000));
-  const Trace trace = run_adaptive(ex, *controller, config);
+
+  std::unique_ptr<CheckpointManager> checkpoint;
+  if (opt.has("checkpoint-dir")) {
+    const std::string dir = opt.get("checkpoint-dir", "");
+    ::mkdir(dir.c_str(), 0755);  // best effort; the journal open reports
+    if (!opt.get_bool("resume", false)) {
+      // A fresh (non---resume) run must not inherit a previous run's
+      // snapshots: silently resuming someone else's state would be the
+      // "silently wrong" failure mode the ladder exists to prevent.
+      for (const char* f : {"/snap-a.bin", "/snap-b.bin", "/journal.bin",
+                            "/snap-a.bin.tmp", "/snap-b.bin.tmp"}) {
+        std::remove((dir + f).c_str());
+      }
+    }
+    CheckpointConfig ccfg;
+    ccfg.dir = dir;
+    ccfg.every =
+        static_cast<std::uint32_t>(opt.get_int("checkpoint-every", 8));
+    ccfg.crash_point = parse_crash_point(opt.get("crash-point", "none"));
+    ccfg.crash_round =
+        static_cast<std::uint32_t>(opt.get_int("crash-round", 0));
+    checkpoint = std::make_unique<CheckpointManager>(ccfg,
+                                                     graph_fingerprint(g));
+    checkpoint->set_telemetry(&tel);
+    config.checkpoint = checkpoint.get();
+  }
+
+  bool livelock = false;
+  Trace trace;
+  try {
+    trace = run_adaptive(ex, *controller, config);
+  } catch (const LivelockError& e) {
+    livelock = true;
+    trace = e.partial_trace;
+    std::cerr << "livelock: " << e.what() << "\n";
+  }
 
   Table t({"step", "m", "launched", "committed", "aborted", "pending", "r"});
   for (const auto& s : trace.steps) {
@@ -647,7 +706,8 @@ int cmd_run(const Options& opt) {
             << " committed=" << ex.totals().committed
             << " wasted=" << trace.wasted_fraction()
             << " mean_r=" << trace.mean_conflict_ratio()
-            << " drained=" << (ex.done() ? 1 : 0) << "\n";
+            << " drained=" << (ex.done() ? 1 : 0)
+            << " livelock=" << (livelock ? 1 : 0) << "\n";
   if (opt.has("csv")) t.write_csv(opt.get("csv", "run.csv"));
   if (opt.has("metrics-out")) {
     MetricsRegistry reg;
@@ -658,7 +718,7 @@ int cmd_run(const Options& opt) {
   if (opt.has("trace-out")) {
     write_trace_file(opt.get("trace-out", ""), &trace, &tel);
   }
-  return 0;
+  return livelock ? 1 : 0;
 }
 
 int cmd_metrics(const Options& opt) {
