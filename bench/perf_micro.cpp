@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/dmr/delaunay.hpp"
+#include "apps/mis/mis.hpp"
 #include "bench_context.hpp"
 #include "control/hybrid.hpp"
 #include "graph/generators.hpp"
@@ -156,7 +157,7 @@ BENCHMARK(BM_SpecExecutorRound)->Arg(16)->Arg(256)->Arg(2048);
 // enabled-path cost of the per-lane counters, phase clocks, and work
 // histogram. scripts/run_bench.sh compares this bench's median against
 // BM_SpecExecutorRound's and records the ratio as `telemetry_overhead` in
-// BENCH_rt.json (budget: < 3%, DESIGN.md §10).
+// BENCH_rt.json (budget: TELEMETRY_OVERHEAD_MAX, DESIGN.md §10).
 void BM_SpecExecutorRoundTelemetry(benchmark::State& state) {
   const auto m = static_cast<std::uint32_t>(state.range(0));
   ThreadPool pool(2);
@@ -178,6 +179,47 @@ void BM_SpecExecutorRoundTelemetry(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * m);
 }
 BENCHMARK(BM_SpecExecutorRoundTelemetry)->Arg(16)->Arg(256)->Arg(2048);
+
+// Forced two-lane rounds with the overlapped draw on: round t+1's draw +
+// conflict pre-check runs during round t's commit epilogue. Reports
+// `pipeline_occupancy` — the fraction of epilogue wall time covered by
+// the overlapped draw stage (1.0 = the prefetch is fully hidden).
+void BM_PipelinedRound(benchmark::State& state) {
+  const auto m = static_cast<std::uint32_t>(state.range(0));
+  ThreadPool pool(2);
+  SpeculativeExecutor ex(
+      pool, 4096,
+      [](TaskId t, IterationContext& ctx) {
+        ctx.acquire(static_cast<std::uint32_t>(t));
+        ctx.push(t);  // keep the worklist at steady state
+      },
+      5);
+  ex.set_pipeline({.max_lanes = 2, .overlapped_draw = true});
+  std::vector<TaskId> tasks(m);
+  for (std::uint32_t t = 0; t < m; ++t) tasks[t] = t;
+  ex.push_initial(tasks);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.run_round(m).committed);
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+  state.counters["pipeline_occupancy"] = ex.pipeline_stats().occupancy();
+}
+BENCHMARK(BM_PipelinedRound)->Arg(256)->Arg(2048);
+
+// The branchless SIMD greedy-MIS sweep (gathered neighborhood probe, no
+// data-dependent branch) over a fixed permutation.
+void BM_GreedyMisSweep(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(8);
+  const auto g = gen::random_with_average_degree(n, 16, rng);
+  std::vector<NodeId> order;
+  rng.permutation_into(n, order);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mis::greedy_sweep(g, order).size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GreedyMisSweep)->Arg(2000)->Arg(8000);
 
 void BM_DelaunayBuild(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Bench sentinel: assert the steady-state executor round stayed fast.
+
+Reads a google-benchmark JSON artifact (BENCH_rt.json or a raw
+--benchmark_format=json capture) and fails unless the
+BM_SpecExecutorRound/2048 median is at least --min-speedup times faster
+than --baseline-ns (the pre-pipelining median recorded when the software-
+pipelined executor landed; see EXPERIMENTS.md).
+
+Usage:
+  scripts/check_bench_sentinel.py BENCH_rt.json \
+      --baseline-ns 145476.2 --min-speedup 1.5
+"""
+
+import argparse
+import json
+import sys
+
+BENCH = "BM_SpecExecutorRound/2048"
+
+
+def median_real_time(doc, run_name):
+    """The bench's median real_time: the 'median' aggregate when
+    repetitions were aggregated, else the median of plain iterations."""
+    times = []
+    for b in doc.get("benchmarks", []):
+        name = b.get("run_name", b.get("name", ""))
+        if name != run_name or "real_time" not in b:
+            continue
+        agg = b.get("aggregate_name")
+        if agg == "median":
+            return float(b["real_time"])
+        if agg is None and b.get("run_type", "iteration") == "iteration":
+            times.append(float(b["real_time"]))
+    if times:
+        return sorted(times)[len(times) // 2]
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("artifact", help="google-benchmark JSON file")
+    ap.add_argument("--baseline-ns", type=float, required=True,
+                    help="pre-change median real_time in nanoseconds")
+    ap.add_argument("--min-speedup", type=float, default=1.5,
+                    help="required baseline/current ratio (default 1.5)")
+    ap.add_argument("--bench", default=BENCH,
+                    help=f"benchmark run name (default {BENCH})")
+    args = ap.parse_args()
+
+    with open(args.artifact) as f:
+        doc = json.load(f)
+    current = median_real_time(doc, args.bench)
+    if current is None:
+        sys.exit(f"check_bench_sentinel: no median for {args.bench!r} "
+                 f"in {args.artifact}")
+    speedup = args.baseline_ns / current
+    print(f"{args.bench}: {args.baseline_ns:.0f} ns -> {current:.0f} ns "
+          f"({speedup:.2f}x, floor {args.min_speedup:.2f}x)")
+    if speedup < args.min_speedup:
+        sys.exit(f"check_bench_sentinel: {args.bench} regressed — "
+                 f"{speedup:.2f}x vs the {args.baseline_ns:.0f} ns baseline "
+                 f"is below the {args.min_speedup:.2f}x floor")
+
+
+if __name__ == "__main__":
+    main()

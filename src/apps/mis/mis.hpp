@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "control/controller.hpp"
@@ -38,6 +39,17 @@ class MisState {
 
 [[nodiscard]] TaskOperator make_mis_operator(const CsrGraph& graph,
                                              MisState& state);
+
+/// Sequential greedy MIS over `order` (every node exactly once), as a
+/// branchless SIMD sweep: v enters the set iff no earlier neighbor did.
+/// This is the serial oracle the speculative runtime is compared against
+/// (its committed set for a full-permutation round equals this sweep for
+/// the same order — see model/permutation_sweep). The neighborhood probe
+/// is a gathered compare over an in-set flag table, and the per-node
+/// decision is an unconditional store, so the inner loop carries no
+/// data-dependent branch.
+[[nodiscard]] std::vector<NodeId> greedy_sweep(const CsrGraph& graph,
+                                               std::span<const NodeId> order);
 
 struct MisResult {
   Trace trace;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "model/permutation_sweep.hpp"
+#include "support/simd.hpp"
 
 namespace optipar {
 
@@ -11,20 +12,39 @@ namespace {
 /// Accumulate `trials` full-permutation sweeps into `curve` using `rng`'s
 /// stream. Shared by the serial estimator and each parallel lane; all O(n)
 /// buffers (permutation, sweep output, stamps) are reused across trials.
+///
+/// The per-trial fold is the estimator's dominant cost (one divide-bound
+/// Welford update per prefix length), so it runs structure-of-arrays
+/// through simd::welford_step_u32 — every trial contributes one sample to
+/// each of the n+1 accumulators, so they share a single sample count —
+/// and folds back into StreamingStats at the end. The vector recurrence
+/// is bit-identical to element-wise StreamingStats::add (simd.hpp), so
+/// curve values, golden tests, and checkpoints are unchanged.
 void accumulate_sweeps(const CsrGraph& g, std::uint32_t first_trial,
                        std::uint32_t trials, std::uint32_t stride, Rng& rng,
                        ConflictCurve& curve) {
   const NodeId n = g.num_nodes();
+  const std::size_t stats = static_cast<std::size_t>(n) + 1;
   std::vector<std::uint32_t> perm;
   SweepScratch scratch;
   PrefixSweep sweep;
+  std::vector<double> mean(stats, 0.0);
+  std::vector<double> m2(stats, 0.0);
+  std::vector<double> mn(stats, 1e300);
+  std::vector<double> mx(stats, -1e300);
+  const simd::Isa isa = simd::active_isa();
+  std::uint64_t samples = 0;
   for (std::uint32_t t = first_trial; t < trials; t += stride) {
     rng.permutation_into(n, perm);
     sweep_full_permutation(g, perm, scratch, sweep);
-    for (std::uint32_t m = 0; m <= n; ++m) {
-      curve.abort_stats[m].add(
-          static_cast<double>(sweep.aborts_at_prefix[m]));
-    }
+    ++samples;
+    simd::welford_step_u32(mean.data(), m2.data(), mn.data(), mx.data(),
+                           sweep.aborts_at_prefix.data(), stats,
+                           static_cast<double>(samples), isa);
+  }
+  for (std::size_t m = 0; m < stats; ++m) {
+    curve.abort_stats[m] =
+        StreamingStats::from_moments(samples, mean[m], m2[m], mn[m], mx[m]);
   }
 }
 
@@ -94,8 +114,8 @@ RoundPointEstimate estimate_round_point(const CsrGraph& g, std::uint32_t m,
     rng.sample_without_replacement_into(g.num_nodes(), m, sample_scratch,
                                         active);
     round_outcome(g, active, sweep_scratch, outcome);
-    std::uint32_t committed = 0;
-    for (const auto c : outcome) committed += (c == 1);
+    const std::uint32_t committed = static_cast<std::uint32_t>(
+        simd::count_equal_u8(outcome.data(), outcome.size(), 1));
     est.r.add(static_cast<double>(m - committed) / static_cast<double>(m));
     est.committed.add(static_cast<double>(committed));
   }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "support/simd.hpp"
+
 namespace optipar {
 
 void sweep_full_permutation(const CsrGraph& g, std::span<const NodeId> perm,
@@ -15,6 +17,7 @@ void sweep_full_permutation(const CsrGraph& g, std::span<const NodeId> perm,
   out.aborts_at_prefix[0] = 0;
   scratch.begin(n);
 
+  const simd::Isa isa = simd::active_isa();
   std::uint32_t aborted = 0;
   for (std::uint32_t pos = 0; pos < n; ++pos) {
     const NodeId v = perm[pos];
@@ -26,10 +29,12 @@ void sweep_full_permutation(const CsrGraph& g, std::span<const NodeId> perm,
       ++aborted;
     } else {
       out.committed[v] = 1;
-      // Push the block: later neighbors learn their fate in O(1).
-      for (const NodeId w : g.neighbors(v)) {
-        scratch.blocked_epoch[w] = scratch.epoch;
-      }
+      // Push the block: later neighbors learn their fate in O(1). The
+      // stamp is a uniform-value scatter over the adjacency row — a
+      // vpscatterdd on AVX-512, scalar elsewhere.
+      const std::span<const NodeId> nbrs = g.neighbors(v);
+      simd::scatter_u32(scratch.blocked_epoch.data(), nbrs.data(),
+                        nbrs.size(), scratch.epoch, isa);
     }
     out.aborts_at_prefix[pos + 1] = aborted;
   }
@@ -48,13 +53,14 @@ void round_outcome(const CsrGraph& g,
                    SweepScratch& scratch, std::vector<std::uint8_t>& result) {
   scratch.begin(g.num_nodes());
   result.assign(active_in_commit_order.size(), 0);
+  const simd::Isa isa = simd::active_isa();
   for (std::size_t pos = 0; pos < active_in_commit_order.size(); ++pos) {
     const NodeId v = active_in_commit_order[pos];
     if (scratch.blocked_epoch[v] != scratch.epoch) {
       result[pos] = 1;
-      for (const NodeId w : g.neighbors(v)) {
-        scratch.blocked_epoch[w] = scratch.epoch;
-      }
+      const std::span<const NodeId> nbrs = g.neighbors(v);
+      simd::scatter_u32(scratch.blocked_epoch.data(), nbrs.data(),
+                        nbrs.size(), scratch.epoch, isa);
     }
   }
 }

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 
 #include "support/padded.hpp"
 
@@ -36,6 +38,42 @@ class LockManager {
 
   /// Release one item owned by `iter` (asserts ownership in debug builds).
   void release(std::uint32_t item, std::uint32_t iter);
+
+  // --- single-lane fast-path variants (DESIGN.md §12) ---------------------
+  // Same ownership semantics and bounds checks as try_acquire/release, but
+  // relaxed loads/plain stores instead of a CAS and a release fence. Legal
+  // ONLY while exactly one thread touches the table (the executor's serial
+  // round path); mixing them with concurrent acquires is a data race by
+  // construction. Inline: the serial round calls these per held item.
+
+  [[nodiscard]] bool try_acquire_relaxed(std::uint32_t item,
+                                         std::uint32_t iter) {
+    if (item >= size_) {
+      throw std::out_of_range("LockManager::try_acquire: unknown item");
+    }
+    auto& owner = owners_[item].value;
+    const std::uint32_t cur = owner.load(std::memory_order_relaxed);
+    if (cur == kFree) {
+      owner.store(iter, std::memory_order_relaxed);
+      return true;
+    }
+    if (cur == iter) return true;  // re-entrant acquire
+    if (contention_ != nullptr) {
+      contention_->fetch_add(1, std::memory_order_relaxed);
+    }
+    return false;
+  }
+
+  void release_relaxed(std::uint32_t item, std::uint32_t iter) {
+    if (item >= size_) {
+      throw std::out_of_range("LockManager::release: unknown item");
+    }
+    auto& owner = owners_[item].value;
+    assert(owner.load(std::memory_order_relaxed) == iter &&
+           "releasing an item not owned by this iteration");
+    (void)iter;
+    owner.store(kFree, std::memory_order_relaxed);
+  }
 
   /// True iff no item is owned — the executor checks this between rounds.
   [[nodiscard]] bool all_free() const;

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "support/barrier.hpp"
+#include "support/cpu.hpp"
 #include "support/snapshot/snapshot.hpp"
 #include "support/telemetry/telemetry.hpp"
 
@@ -23,7 +24,7 @@ constexpr std::size_t kFinalizeChunk = 64;
 // sampled, so single-chunk rounds are timed exactly) and scale the tick
 // totals up to the chunk population at flush time. Even a raw cycle read
 // costs ~20ns on virtualized hosts, so timing every chunk would by itself
-// consume the telemetry layer's <3% enabled-overhead budget.
+// consume the telemetry layer's enabled-overhead budget (DESIGN.md §10).
 constexpr std::uint64_t kPhaseSamplePeriod = 8;
 static_assert((kPhaseSamplePeriod & (kPhaseSamplePeriod - 1)) == 0);
 
@@ -61,7 +62,9 @@ void IterationContext::acquire(std::uint32_t item) {
 bool IterationContext::try_acquire(std::uint32_t item) {
   // Fast path: already held (common when an operator revisits a cavity).
   if (std::find(held_.begin(), held_.end(), item) != held_.end()) return true;
-  if (!locks_.try_acquire(item, iter_id_)) {
+  const bool acquired = unsync_ ? locks_.try_acquire_relaxed(item, iter_id_)
+                                : locks_.try_acquire(item, iter_id_);
+  if (!acquired) {
     if (tlm_ != nullptr) ++tlm_->lock_failures;
     return false;
   }
@@ -70,7 +73,13 @@ bool IterationContext::try_acquire(std::uint32_t item) {
 }
 
 void IterationContext::release_all() {
-  for (const std::uint32_t item : held_) locks_.release(item, iter_id_);
+  if (unsync_) {
+    for (const std::uint32_t item : held_) {
+      locks_.release_relaxed(item, iter_id_);
+    }
+  } else {
+    for (const std::uint32_t item : held_) locks_.release(item, iter_id_);
+  }
   held_.clear();
 }
 
@@ -146,7 +155,9 @@ void SpeculativeExecutor::set_priority_function(
 }
 
 std::size_t SpeculativeExecutor::pending() const {
-  std::size_t total = deferred_.size();  // backoff parking is still work
+  // The overlapped-draw buffer is logically still the work-set: tasks in
+  // it were drawn for round t+1 but not yet launched.
+  std::size_t total = deferred_.size() + prefetched_.size();
   for (std::size_t s = 0; s < shard_count_; ++s) {
     const std::lock_guard guard(shards_[s].mutex);
     total += shards_[s].tasks.size() - shards_[s].head;
@@ -457,6 +468,346 @@ void SpeculativeExecutor::salvage_round(
   requeue_tasks(salvage_requeue);
 }
 
+void SpeculativeExecutor::drain_prefetch() {
+  if (prefetched_.empty()) return;
+  requeue_tasks(prefetched_);
+  prefetched_.clear();
+}
+
+void SpeculativeExecutor::overlap_prefetch(std::size_t lane, std::uint32_t m,
+                                           telemetry::LaneTelemetry* tlane) {
+  const std::uint64_t t0 = phase_ticks();
+  // Availability FLOOR: every one of this round's draws already happened
+  // (the round barrier is behind us), and concurrent epilogue splices only
+  // ADD tasks — so drawing `want` tasks can never block on an empty
+  // work-set.
+  std::size_t avail = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    const std::lock_guard guard(shards_[s].mutex);
+    avail += shards_[s].tasks.size() - shards_[s].head;
+  }
+  const std::size_t want = std::min<std::size_t>(m, avail);
+  if (want == 0) return;
+  Rng& rng = helper_rngs_[lane - 1];
+  prefetched_.resize(want);
+  for (std::size_t i = 0; i < want; ++i) {
+    prefetched_[i] = draw_one(lane, rng);
+  }
+  // Read-only conflict pre-check against the live lock table. The commit
+  // fence is per-item: LockManager::owner's acquire load pairs with the
+  // release store of each concurrent lock release — exactly the writes
+  // the pre-check reads, no full barrier. A verdict may be stale by the
+  // time the task runs; it only ORDERS the next round's draw (likely-
+  // clean tasks first, flagged tasks demoted to the tail), never gates
+  // execution — so staleness is harmless.
+  const auto clean = [this](TaskId task) {
+    if (precheck_fn_) return precheck_fn_(task, locks_);
+    return task >= locks_.size() ||
+           locks_.owner(static_cast<std::uint32_t>(task)) ==
+               LockManager::kFree;
+  };
+  const auto mid =
+      std::partition(prefetched_.begin(), prefetched_.end(), clean);
+  pipe_stats_.overlapped_rounds += 1;
+  pipe_stats_.prefetched_tasks += want;
+  pipe_stats_.precheck_flagged +=
+      static_cast<std::uint64_t>(prefetched_.end() - mid);
+  const std::uint64_t dt = phase_ticks_to_ns(phase_ticks() - t0);
+  pipe_stats_.overlap_ns += dt;
+  if (tlane != nullptr) tlane->precheck_ns += dt;
+}
+
+template <bool kSerial>
+void SpeculativeExecutor::round_lane(std::size_t lane, const RoundPlan& plan,
+                                     SpinBarrier* barrier) {
+  Rng& rng = lane == 0 ? rng_ : helper_rngs_[lane - 1];
+  // Single-lane fast path: shared cursors degrade to plain locals (no
+  // atomic RMW per chunk) — claim order is identical by construction.
+  std::size_t serial_draw = 0;
+  std::size_t serial_finalize = 0;
+  // Lane-private telemetry block (cache-line padded; no atomics on the
+  // counting path). nullptr when detached — every site below is then a
+  // single predictable branch. Phase clocks are raw cycle-counter reads
+  // (phase_ticks) on SAMPLED chunks only (kPhaseSamplePeriod), with one
+  // timestamp carried across the draw->exec boundary inside a sampled
+  // chunk; tick totals and task outcomes accumulate in locals and flush
+  // to the lane block once per round — the enabled-overhead budget
+  // (DESIGN.md §10) depends on all three.
+  telemetry::LaneTelemetry* const tlane =
+      telemetry_ != nullptr
+          ? &telemetry_->lane(lane)
+          : nullptr;
+  std::uint64_t phase_t = 0;
+  std::uint64_t draw_ticks = 0;
+  std::uint64_t exec_ticks = 0;
+  std::uint64_t rollback_ticks = 0;
+  std::uint64_t chunks_seen = 0;
+  std::uint64_t lane_executed = 0;
+  std::uint64_t lane_committed = 0;
+  std::uint64_t lane_aborted = 0;
+  // --- Speculative phase: draw and execute in ticket chunks. ----------
+  // The phase-level catch turns a dying lane into a recorded pool fault
+  // instead of a wedged barrier: the lane still arrives below, and the
+  // serial tail salvages whatever it left behind.
+  try {
+    for (;;) {
+      if (plan.inject_lane_faults) {
+        injector_->maybe_throw(FaultSite::kPoolLane, round_index_, lane);
+      }
+      std::size_t begin;
+      if constexpr (kSerial) {
+        begin = serial_draw;
+        serial_draw += plan.chunk;
+      } else {
+        begin = draw_cursor_.fetch_add(plan.chunk,
+                                       std::memory_order_relaxed);
+      }
+      if (begin >= plan.take) break;
+      const std::size_t end = std::min(plan.take, begin + plan.chunk);
+      const bool timed =
+          tlane != nullptr &&
+          (chunks_seen++ & (kPhaseSamplePeriod - 1)) == 0;
+      if (timed) phase_t = phase_ticks();
+      if (!plan.prioritized) {
+        // Draw the chunk: own shard under one lock, then steal. Slots
+        // below plan.prefilled were already drawn by the previous
+        // round's overlapped prefetch — skip straight past them.
+        std::size_t slot = std::max(begin, plan.prefilled);
+        {
+          Shard& own = shards_[lane];
+          const std::lock_guard guard(own.mutex);
+          while (slot < end && own.head < own.tasks.size()) {
+            active_[slot++] = pop_from(own, rng);
+          }
+        }
+        while (slot < end) active_[slot++] = draw_one(lane, rng);
+        if (timed) {
+          const std::uint64_t now = phase_ticks();
+          draw_ticks += now - phase_t;
+          phase_t = now;
+        }
+      }
+      // Lane stamps are written per chunk — one vectorized fill
+      // instead of a store interleaved into every task; every slot in
+      // [begin, end) executes on this lane (or dies with it and is
+      // salvaged serially). Their only consumer is the serial tail's
+      // retry/quarantine attribution (process_faulted_slots), which can
+      // only see work when fault absorption is on — so plain rounds
+      // skip the stamping entirely.
+      if (tlane != nullptr && plan.absorbing) {
+        std::fill(slot_lane_.begin() + static_cast<std::ptrdiff_t>(begin),
+                  slot_lane_.begin() + static_cast<std::ptrdiff_t>(end),
+                  static_cast<std::uint32_t>(lane));
+      }
+      for (std::size_t slot = begin; slot < end; ++slot) {
+        const TaskId task = active_[slot];
+        IterationContext& ctx = *arena_[slot];
+        std::uint64_t prio = task;
+        if (priority_fn_) {
+          try {
+            prio = priority_fn_(task);
+          } catch (...) {
+            record_round_error();
+          }
+        }
+        ctx.reset(round_base_id_ + static_cast<std::uint32_t>(slot), prio);
+        ctx.unsync_ = kSerial;  // relaxed lock/status ops; no peers exist
+        if (tlane != nullptr) {
+          ctx.tlm_ = tlane;  // routes lock/arbitration counts to this lane
+        }
+        const std::uint32_t attempt = attempt_of(task);
+        if (injector_ != nullptr &&
+            injector_->should_fire(FaultSite::kRollbackInverse, task,
+                                   attempt)) {
+          // Injection site: an undo inverse that throws. Recorded first
+          // so it runs LAST in the unwind — the two-phase rollback must
+          // still run every real inverse before surfacing the error.
+          FaultInjector* inj = injector_;
+          ctx.on_abort([inj, task, attempt] {
+            inj->count_fired(FaultSite::kRollbackInverse);
+            throw InjectedFault(FaultSite::kRollbackInverse, task,
+                                attempt);
+          });
+        }
+        bool wants_commit = false;
+        try {
+          if (injector_ != nullptr) {
+            // Injection sites: a slow task, then an operator that
+            // throws a real (non-Abort) exception.
+            injector_->maybe_stall(FaultSite::kOperatorDelay, task,
+                                   attempt);
+            injector_->maybe_throw(FaultSite::kOperatorThrow, task,
+                                   attempt);
+          }
+          op_(task, ctx);
+          wants_commit = true;
+        } catch (const AbortIteration&) {
+          // speculative conflict or voluntary abort
+        } catch (...) {
+          // Application failure: preserved per-slot for the retry/
+          // quarantine decision, and in round_error_ so it is never
+          // silently dropped (RoundStats::first_error).
+          ctx.fault_ = std::current_exception();
+          record_round_error();
+        }
+        if (tlane != nullptr) {
+          // held_ is still populated here (released below on abort), so
+          // this is the per-task "items touched" sample either way.
+          ++lane_executed;
+          tlane->work.record(ctx.held_.size());
+        }
+        // Finalize: a poisoned iteration may not commit even if it
+        // finished.
+        if (wants_commit && ctx.try_commit()) {
+          // Committed iterations keep their items locked until the round
+          // ends (the paper's semantics: an earlier committed neighbor
+          // blocks).
+          if (tlane != nullptr) ++lane_committed;
+        } else {
+          // Roll back while still owning the touched items, then release
+          // them immediately: an aborted task must not block later tasks
+          // (§2.1), and a priority-wins waiter may be spinning on one of
+          // our items. The unwind is two-phase (UndoLog::rollback): a
+          // throwing inverse never strands the inverses below it.
+          const std::uint64_t rb_t0 = timed ? phase_ticks() : 0;
+          try {
+            ctx.undo_.rollback();
+          } catch (...) {
+            ctx.rollback_fault_ = std::current_exception();
+            record_round_error();
+          }
+          ctx.release_all();
+          if (tlane != nullptr) {
+            ++lane_aborted;
+            if (timed) rollback_ticks += phase_ticks() - rb_t0;
+          }
+        }
+        slot_executed_[slot] = round_index_;
+      }
+      if (timed) {
+        // exec covers the whole speculative slice (operator + commit/
+        // rollback decisions); rollback above is a sub-slice of it.
+        exec_ticks += phase_ticks() - phase_t;
+      }
+    }
+  } catch (...) {
+    lane_pool_fault_[lane].value = std::current_exception();
+    record_round_error();
+  }
+  if (tlane != nullptr) {
+    // Single flush per round — a dying lane still reaches it (the catch
+    // above absorbed the escape), so counters stay exact even on a pool
+    // fault; only the fatal chunk's partial time is understated.
+    tlane->executed += lane_executed;
+    tlane->committed += lane_committed;
+    tlane->aborted += lane_aborted;
+    if (chunks_seen > 0) {
+      // Scale the sampled tick totals up to the chunk population (the
+      // sample is deterministic: chunks 0, P, 2P, ...), then convert
+      // ticks to nanoseconds — once per phase per round.
+      const std::uint64_t timed_chunks =
+          (chunks_seen + kPhaseSamplePeriod - 1) / kPhaseSamplePeriod;
+      const double scale = phase_ns_per_tick() *
+                           static_cast<double>(chunks_seen) /
+                           static_cast<double>(timed_chunks);
+      tlane->draw_ns += static_cast<std::uint64_t>(
+          static_cast<double>(draw_ticks) * scale);
+      tlane->exec_ns += static_cast<std::uint64_t>(
+          static_cast<double>(exec_ticks) * scale);
+      tlane->rollback_ns += static_cast<std::uint64_t>(
+          static_cast<double>(rollback_ticks) * scale);
+    }
+  }
+  // --- Round barrier: commits become final, locks still held. ---------
+  // Every lane arrives exactly once, even after a pool fault above —
+  // otherwise the surviving lanes would spin forever. The single-lane
+  // fast path has no peers to fence against and skips it outright.
+  if constexpr (!kSerial) barrier->arrive_and_wait();
+  // --- Epilogue phase (parallel): publish pushes of committed
+  //     iterations, buffer requeues lane-locally, release locks. -------
+  try {
+    auto& requeue = lane_requeue_[lane].value;
+    std::uint32_t committed = 0;
+    const bool track_commit = lane == 0 && plan.overlap;
+    const std::uint64_t commit_t0 =
+        (tlane != nullptr || track_commit) ? phase_ticks() : 0;
+    // Software pipeline (DESIGN.md §12): while the other lanes run the
+    // commit epilogue for round t, the LAST lane draws and pre-checks
+    // round t+1 into the double buffer (prefetched_). The buffer is
+    // published to the caller by the fork-join join; no lane reads it
+    // before the next run_round.
+    if constexpr (!kSerial) {
+      if (plan.overlap && lane + 1 == plan.lanes) {
+        overlap_prefetch(lane, plan.m, tlane);
+      }
+    }
+    for (;;) {
+      std::size_t begin;
+      if constexpr (kSerial) {
+        begin = serial_finalize;
+        serial_finalize += kFinalizeChunk;
+      } else {
+        begin = finalize_cursor_.fetch_add(kFinalizeChunk,
+                                           std::memory_order_relaxed);
+      }
+      if (begin >= plan.take) break;
+      const std::size_t end = std::min(plan.take, begin + kFinalizeChunk);
+      for (std::size_t slot = begin; slot < end; ++slot) {
+        if (slot_executed_[slot] != round_index_) {
+          continue;  // a dead lane's ticket; salvaged serially
+        }
+        IterationContext& ctx = *arena_[slot];
+        if (ctx.status_.load(std::memory_order_relaxed) ==
+            IterationContext::kCommitted) {
+          ctx.undo_.discard();
+          ++committed;
+          requeue.insert(requeue.end(), ctx.pushed_.begin(),
+                         ctx.pushed_.end());
+          ctx.release_all();
+        } else if (plan.absorbing && (ctx.fault_ || ctx.rollback_fault_)) {
+          // Failed, not merely conflicted: the serial tail decides
+          // retry-with-backoff vs quarantine. Not requeued here.
+          lane_faulted_[lane].value.push_back(slot);
+        } else {
+          requeue.push_back(active_[slot]);
+        }
+        slot_finalized_[slot] = round_index_;
+      }
+    }
+    lane_committed_[lane].value = committed;
+    // --- Splice this lane's requeue buffer back into the work-set. ----
+    if (!requeue.empty()) {
+      if (plan.prioritized) {
+        // Re-evaluate priorities at (re)insertion time: the state a
+        // task's priority derives from may have changed while it ran or
+        // waited.
+        const std::lock_guard lock(worklist_mutex_);
+        for (const TaskId t : requeue) {
+          priority_heap_.emplace(priority_fn_(t), t);
+        }
+      } else {
+        Shard& s = shards_[lane];
+        const std::lock_guard guard(s.mutex);
+        s.tasks.insert(s.tasks.end(), requeue.begin(), requeue.end());
+      }
+      requeue.clear();  // spliced; salvage treats leftovers as unspliced
+    }
+    if (tlane != nullptr || track_commit) {
+      const std::uint64_t commit_ns =
+          phase_ticks_to_ns(phase_ticks() - commit_t0);
+      if (tlane != nullptr) tlane->commit_ns += commit_ns;
+      // Occupancy denominator: lane 0's epilogue wall time. Distinct
+      // scalar from the prefetch lane's overlap_ns — no write race.
+      if (track_commit) pipe_stats_.commit_ns += commit_ns;
+    }
+  } catch (...) {
+    if (!lane_pool_fault_[lane].value) {
+      lane_pool_fault_[lane].value = std::current_exception();
+    }
+    record_round_error();
+  }
+}
+
 RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
   // nullptr accumulator → ScopedTimer performs no clock reads at all.
   ScopedTimer round_timer(acc_round_);
@@ -467,7 +818,16 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
       injector_ != nullptr ? injector_->total_fired() : 0;
   const bool prioritized = policy_wl_ == WorklistPolicy::kPriority;
   round_hardened_ = injector_ != nullptr || policy_.has_value();
+  // Hardened, degraded, and priority rounds never consume an overlapped
+  // draw: salvage accounts for every ticket through kNoTask sentinels
+  // (which a pre-filled prefix would defeat), and the heap re-evaluates
+  // priorities at draw time. Return the buffer to the work-set first.
+  if (!prefetched_.empty() &&
+      (round_hardened_ || serial_fallback_ || prioritized)) {
+    drain_prefetch();
+  }
   std::size_t take = 0;
+  std::size_t prefilled = 0;
   if (prioritized) {
     // kPriority stays on the centralized path: the heap IS the policy (the
     // m globally-smallest tasks run), so the draw happens up front.
@@ -479,7 +839,7 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
       priority_heap_.pop();
     }
   } else {
-    std::size_t available = 0;
+    std::size_t available = prefetched_.size();
     for (std::size_t s = 0; s < shard_count_; ++s) {
       const std::lock_guard guard(shards_[s].mutex);
       available += shards_[s].tasks.size() - shards_[s].head;
@@ -489,6 +849,18 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
     if (round_hardened_) {
       // Salvage after a lane death must know which tickets were redeemed.
       std::fill_n(active_.begin(), take, kNoTask);
+    }
+    if (!prefetched_.empty()) {
+      // Splice the overlapped draw from the previous round's epilogue into
+      // the leading slots (pre-check ordered them likely-clean first). Any
+      // surplus — the controller shrank m — flows back to the work-set.
+      prefilled = std::min(take, prefetched_.size());
+      std::copy_n(prefetched_.begin(), prefilled, active_.begin());
+      if (prefilled < prefetched_.size()) {
+        requeue_tasks(
+            std::span<const TaskId>(prefetched_).subspan(prefilled));
+      }
+      prefetched_.clear();
     }
   }
   stats.launched = static_cast<std::uint32_t>(take);
@@ -515,16 +887,21 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
   }
 
   // Lane count mirrors the old parallel_for policy (at most one lane per
-  // pool worker), so a pool of one worker runs exactly one deterministic
-  // lane. A nested call site (inside a pool worker) cannot get concurrent
-  // lanes from the pool, so it must run single-lane for the barrier below.
-  // After graceful degradation the executor pins itself to the serial
-  // single-lane path regardless of the pool.
+  // pool worker) CAPPED by the processor-allocation setting: by default no
+  // more lanes than the machine has cores to run them (oversubscribed
+  // lanes only add draw-cursor and barrier traffic — the paper's
+  // allocation argument applied to the runtime itself). A nested call
+  // site (inside a pool worker) cannot get concurrent lanes from the
+  // pool, so it must run single-lane; after graceful degradation the
+  // executor pins itself to the serial path regardless of the pool.
+  const std::size_t lane_cap = pipeline_.max_lanes != 0
+                                   ? pipeline_.max_lanes
+                                   : effective_concurrency();
   std::size_t lanes =
       pool_.in_worker_context()
           ? 1
           : std::max<std::size_t>(
-                1, std::min<std::size_t>(shard_count_, take));
+                1, std::min({shard_count_, take, lane_cap}));
   if (serial_fallback_) lanes = 1;
   if (lane_requeue_.size() < lanes) lane_requeue_.resize(lanes);
   if (lane_committed_.size() < lanes) lane_committed_.resize(lanes);
@@ -551,260 +928,30 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
   // degraded executor guaranteed to drain.
   const bool inject_lane_faults = injector_ != nullptr && lanes > 1;
 
-  SpinBarrier round_barrier(lanes);
-  const std::size_t chunk = draw_chunk(take, lanes);
-  pool_.run_on_workers(lanes, [&](std::size_t lane) {
-    Rng& rng = lane == 0 ? rng_ : helper_rngs_[lane - 1];
-    // Lane-private telemetry block (cache-line padded; no atomics on the
-    // counting path). nullptr when detached — every site below is then a
-    // single predictable branch. Phase clocks are raw cycle-counter reads
-    // (phase_ticks) on SAMPLED chunks only (kPhaseSamplePeriod), with one
-    // timestamp carried across the draw->exec boundary inside a sampled
-    // chunk; tick totals and task outcomes accumulate in locals and flush
-    // to the lane block once per round — the <3% enabled-overhead budget
-    // (DESIGN.md §10) depends on all three.
-    telemetry::LaneTelemetry* const tlane =
-        telemetry_ != nullptr
-            ? &telemetry_->lane(lane)
-            : nullptr;
-    std::uint64_t phase_t = 0;
-    std::uint64_t draw_ticks = 0;
-    std::uint64_t exec_ticks = 0;
-    std::uint64_t rollback_ticks = 0;
-    std::uint64_t chunks_seen = 0;
-    std::uint64_t lane_executed = 0;
-    std::uint64_t lane_committed = 0;
-    std::uint64_t lane_aborted = 0;
-    // --- Speculative phase: draw and execute in ticket chunks. ----------
-    // The phase-level catch turns a dying lane into a recorded pool fault
-    // instead of a wedged barrier: the lane still arrives below, and the
-    // serial tail salvages whatever it left behind.
-    try {
-      for (;;) {
-        if (inject_lane_faults) {
-          injector_->maybe_throw(FaultSite::kPoolLane, round_index_, lane);
-        }
-        const std::size_t begin =
-            draw_cursor_.fetch_add(chunk, std::memory_order_relaxed);
-        if (begin >= take) break;
-        const std::size_t end = std::min(take, begin + chunk);
-        const bool timed =
-            tlane != nullptr &&
-            (chunks_seen++ & (kPhaseSamplePeriod - 1)) == 0;
-        if (timed) phase_t = phase_ticks();
-        if (!prioritized) {
-          // Draw the chunk: own shard under one lock, then steal.
-          std::size_t slot = begin;
-          {
-            Shard& own = shards_[lane];
-            const std::lock_guard guard(own.mutex);
-            while (slot < end && own.head < own.tasks.size()) {
-              active_[slot++] = pop_from(own, rng);
-            }
-          }
-          while (slot < end) active_[slot++] = draw_one(lane, rng);
-          if (timed) {
-            const std::uint64_t now = phase_ticks();
-            draw_ticks += now - phase_t;
-            phase_t = now;
-          }
-        }
-        // Lane stamps are written per chunk — one vectorized fill
-        // instead of a store interleaved into every task; every slot in
-        // [begin, end) executes on this lane (or dies with it and is
-        // salvaged serially). Their only consumer is the serial tail's
-        // retry/quarantine attribution (process_faulted_slots), which can
-        // only see work when fault absorption is on — so plain rounds
-        // skip the stamping entirely.
-        if (tlane != nullptr && absorbing) {
-          std::fill(slot_lane_.begin() + static_cast<std::ptrdiff_t>(begin),
-                    slot_lane_.begin() + static_cast<std::ptrdiff_t>(end),
-                    static_cast<std::uint32_t>(lane));
-        }
-        for (std::size_t slot = begin; slot < end; ++slot) {
-          const TaskId task = active_[slot];
-          IterationContext& ctx = *arena_[slot];
-          std::uint64_t prio = task;
-          if (priority_fn_) {
-            try {
-              prio = priority_fn_(task);
-            } catch (...) {
-              record_round_error();
-            }
-          }
-          ctx.reset(base_id + static_cast<std::uint32_t>(slot), prio);
-          if (tlane != nullptr) {
-            ctx.tlm_ = tlane;  // routes lock/arbitration counts to this lane
-          }
-          const std::uint32_t attempt = attempt_of(task);
-          if (injector_ != nullptr &&
-              injector_->should_fire(FaultSite::kRollbackInverse, task,
-                                     attempt)) {
-            // Injection site: an undo inverse that throws. Recorded first
-            // so it runs LAST in the unwind — the two-phase rollback must
-            // still run every real inverse before surfacing the error.
-            FaultInjector* inj = injector_;
-            ctx.on_abort([inj, task, attempt] {
-              inj->count_fired(FaultSite::kRollbackInverse);
-              throw InjectedFault(FaultSite::kRollbackInverse, task,
-                                  attempt);
-            });
-          }
-          bool wants_commit = false;
-          try {
-            if (injector_ != nullptr) {
-              // Injection sites: a slow task, then an operator that
-              // throws a real (non-Abort) exception.
-              injector_->maybe_stall(FaultSite::kOperatorDelay, task,
-                                     attempt);
-              injector_->maybe_throw(FaultSite::kOperatorThrow, task,
-                                     attempt);
-            }
-            op_(task, ctx);
-            wants_commit = true;
-          } catch (const AbortIteration&) {
-            // speculative conflict or voluntary abort
-          } catch (...) {
-            // Application failure: preserved per-slot for the retry/
-            // quarantine decision, and in round_error_ so it is never
-            // silently dropped (RoundStats::first_error).
-            ctx.fault_ = std::current_exception();
-            record_round_error();
-          }
-          if (tlane != nullptr) {
-            // held_ is still populated here (released below on abort), so
-            // this is the per-task "items touched" sample either way.
-            ++lane_executed;
-            tlane->work.record(ctx.held_.size());
-          }
-          // Finalize: a poisoned iteration may not commit even if it
-          // finished.
-          if (wants_commit && ctx.try_commit()) {
-            // Committed iterations keep their items locked until the round
-            // ends (the paper's semantics: an earlier committed neighbor
-            // blocks).
-            if (tlane != nullptr) ++lane_committed;
-          } else {
-            // Roll back while still owning the touched items, then release
-            // them immediately: an aborted task must not block later tasks
-            // (§2.1), and a priority-wins waiter may be spinning on one of
-            // our items. The unwind is two-phase (UndoLog::rollback): a
-            // throwing inverse never strands the inverses below it.
-            const std::uint64_t rb_t0 = timed ? phase_ticks() : 0;
-            try {
-              ctx.undo_.rollback();
-            } catch (...) {
-              ctx.rollback_fault_ = std::current_exception();
-              record_round_error();
-            }
-            ctx.release_all();
-            if (tlane != nullptr) {
-              ++lane_aborted;
-              if (timed) rollback_ticks += phase_ticks() - rb_t0;
-            }
-          }
-          slot_executed_[slot] = round_index_;
-        }
-        if (timed) {
-          // exec covers the whole speculative slice (operator + commit/
-          // rollback decisions); rollback above is a sub-slice of it.
-          exec_ticks += phase_ticks() - phase_t;
-        }
-      }
-    } catch (...) {
-      lane_pool_fault_[lane].value = std::current_exception();
-      record_round_error();
-    }
-    if (tlane != nullptr) {
-      // Single flush per round — a dying lane still reaches it (the catch
-      // above absorbed the escape), so counters stay exact even on a pool
-      // fault; only the fatal chunk's partial time is understated.
-      tlane->executed += lane_executed;
-      tlane->committed += lane_committed;
-      tlane->aborted += lane_aborted;
-      if (chunks_seen > 0) {
-        // Scale the sampled tick totals up to the chunk population (the
-        // sample is deterministic: chunks 0, P, 2P, ...), then convert
-        // ticks to nanoseconds — once per phase per round.
-        const std::uint64_t timed_chunks =
-            (chunks_seen + kPhaseSamplePeriod - 1) / kPhaseSamplePeriod;
-        const double scale = phase_ns_per_tick() *
-                             static_cast<double>(chunks_seen) /
-                             static_cast<double>(timed_chunks);
-        tlane->draw_ns += static_cast<std::uint64_t>(
-            static_cast<double>(draw_ticks) * scale);
-        tlane->exec_ns += static_cast<std::uint64_t>(
-            static_cast<double>(exec_ticks) * scale);
-        tlane->rollback_ns += static_cast<std::uint64_t>(
-            static_cast<double>(rollback_ticks) * scale);
-      }
-    }
-    // --- Round barrier: commits become final, locks still held. ---------
-    // Every lane arrives exactly once, even after a pool fault above —
-    // otherwise the surviving lanes would spin forever.
-    round_barrier.arrive_and_wait();
-    // --- Epilogue phase (parallel): publish pushes of committed
-    //     iterations, buffer requeues lane-locally, release locks. -------
-    try {
-      auto& requeue = lane_requeue_[lane].value;
-      std::uint32_t committed = 0;
-      const std::uint64_t commit_t0 = tlane != nullptr ? phase_ticks() : 0;
-      for (;;) {
-        const std::size_t begin =
-            finalize_cursor_.fetch_add(kFinalizeChunk,
-                                       std::memory_order_relaxed);
-        if (begin >= take) break;
-        const std::size_t end = std::min(take, begin + kFinalizeChunk);
-        for (std::size_t slot = begin; slot < end; ++slot) {
-          if (slot_executed_[slot] != round_index_) {
-            continue;  // a dead lane's ticket; salvaged serially
-          }
-          IterationContext& ctx = *arena_[slot];
-          if (ctx.status_.load(std::memory_order_relaxed) ==
-              IterationContext::kCommitted) {
-            ctx.undo_.discard();
-            ++committed;
-            requeue.insert(requeue.end(), ctx.pushed_.begin(),
-                           ctx.pushed_.end());
-            ctx.release_all();
-          } else if (absorbing && (ctx.fault_ || ctx.rollback_fault_)) {
-            // Failed, not merely conflicted: the serial tail decides
-            // retry-with-backoff vs quarantine. Not requeued here.
-            lane_faulted_[lane].value.push_back(slot);
-          } else {
-            requeue.push_back(active_[slot]);
-          }
-          slot_finalized_[slot] = round_index_;
-        }
-      }
-      lane_committed_[lane].value = committed;
-      // --- Splice this lane's requeue buffer back into the work-set. ----
-      if (!requeue.empty()) {
-        if (prioritized) {
-          // Re-evaluate priorities at (re)insertion time: the state a
-          // task's priority derives from may have changed while it ran or
-          // waited.
-          const std::lock_guard lock(worklist_mutex_);
-          for (const TaskId t : requeue) {
-            priority_heap_.emplace(priority_fn_(t), t);
-          }
-        } else {
-          Shard& s = shards_[lane];
-          const std::lock_guard guard(s.mutex);
-          s.tasks.insert(s.tasks.end(), requeue.begin(), requeue.end());
-        }
-        requeue.clear();  // spliced; salvage treats leftovers as unspliced
-      }
-      if (tlane != nullptr) {
-        tlane->commit_ns += phase_ticks_to_ns(phase_ticks() - commit_t0);
-      }
-    } catch (...) {
-      if (!lane_pool_fault_[lane].value) {
-        lane_pool_fault_[lane].value = std::current_exception();
-      }
-      record_round_error();
-    }
-  });
+  RoundPlan plan;
+  plan.take = take;
+  plan.prefilled = prefilled;
+  plan.chunk = draw_chunk(take, lanes);
+  plan.lanes = lanes;
+  plan.m = m;
+  plan.prioritized = prioritized;
+  plan.absorbing = absorbing;
+  plan.inject_lane_faults = inject_lane_faults;
+  plan.overlap = pipeline_.overlapped_draw && lanes > 1 && !prioritized &&
+                 !round_hardened_;
+
+  if (lanes == 1 && pipeline_.single_lane_fast_path) {
+    // Deterministic fast path: identical claim order to a one-lane pool
+    // run, but no fork-join hop, no barrier, and relaxed lock-table
+    // traffic. Called directly so in_worker_context() stays false for
+    // the operator, exactly as fork_join(participants == 1) behaved.
+    round_lane<true>(0, plan, nullptr);
+  } else {
+    SpinBarrier round_barrier(lanes);
+    pool_.run_on_workers(lanes, [&](std::size_t lane) {
+      round_lane<false>(lane, plan, &round_barrier);
+    });
+  }
   round_slots_ = 0;
 
   // --- Serial tail: pool-fault salvage, then retry/quarantine. -----------
@@ -960,6 +1107,23 @@ void SpeculativeExecutor::save_state(snapshot::Writer& out) const {
   for (std::size_t s = 0; s < shard_count_; ++s) {
     const Shard& shard = shards_[s];
     const std::lock_guard guard(shard.mutex);
+    if (s == 0 && !prefetched_.empty()) {
+      // WAL ordering extension (DESIGN.md §12): the overlapped-draw buffer
+      // is work drawn-but-not-launched, so a snapshot taken between the
+      // prefetch and its round persists those tasks as plain pending work,
+      // appended to shard 0 — exactly where drain_prefetch would splice
+      // them. Restore replays the draw; nothing is lost or double-counted,
+      // and the buffer itself is never durable state.
+      std::vector<TaskId> merged;
+      merged.reserve(shard.tasks.size() - shard.head + prefetched_.size());
+      merged.insert(merged.end(),
+                    shard.tasks.begin() +
+                        static_cast<std::ptrdiff_t>(shard.head),
+                    shard.tasks.end());
+      merged.insert(merged.end(), prefetched_.begin(), prefetched_.end());
+      out.u64_vec(std::span<const TaskId>(merged));
+      continue;
+    }
     out.u64_vec(std::span<const TaskId>(shard.tasks.data() + shard.head,
                                         shard.tasks.size() - shard.head));
   }
@@ -1012,6 +1176,8 @@ void SpeculativeExecutor::save_state(snapshot::Writer& out) const {
 }
 
 void SpeculativeExecutor::load_state(snapshot::Reader& in) {
+  // The snapshot already folded any overlapped draw back into shard 0.
+  prefetched_.clear();
   if (in.u64() != backoff_seed_) state_mismatch("seed differs");
   if (in.u64() != shard_count_) state_mismatch("shard count differs");
   if (in.u8() != static_cast<std::uint8_t>(policy_wl_)) {

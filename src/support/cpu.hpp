@@ -1,0 +1,30 @@
+// Host CPU topology queries for the runtime's processor-allocation
+// decisions. The round executor caps its lane count at the host's
+// effective concurrency: on the paper's model an extra "processor" only
+// ever adds conflict surface, and on a machine with fewer cores than pool
+// workers it additionally buys a context-switch-ridden barrier — so
+// oversubscribed lanes are pure loss (DESIGN.md §12).
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <thread>
+
+namespace optipar {
+
+/// Number of lanes that can actually run concurrently on this host
+/// (>= 1). Overridable with OPTIPAR_EFFECTIVE_CPUS for experiments that
+/// model a smaller machine; the value is resolved once per process.
+inline std::size_t effective_concurrency() noexcept {
+  static const std::size_t cached = [] {
+    if (const char* env = std::getenv("OPTIPAR_EFFECTIVE_CPUS")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw == 0 ? 1 : hw);
+  }();
+  return cached;
+}
+
+}  // namespace optipar

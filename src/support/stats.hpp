@@ -26,6 +26,25 @@ class StreamingStats {
 
   void merge(const StreamingStats& other) noexcept;
 
+  /// Rebuild an accumulator from externally tracked moments. The SoA
+  /// estimator path (model/conflict_ratio) runs the identical Welford
+  /// recurrence over arrays via simd::welford_step_u32 and folds back
+  /// here; the moments must come from that same recurrence (and use the
+  /// same empty-state sentinels: min=1e300, max=-1e300 when n == 0) so
+  /// the rebuilt accumulator is bit-identical to element-wise add calls.
+  [[nodiscard]] static StreamingStats from_moments(std::uint64_t n,
+                                                   double mean, double m2,
+                                                   double min,
+                                                   double max) noexcept {
+    StreamingStats s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
+
   [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }
   [[nodiscard]] double min() const noexcept { return min_; }

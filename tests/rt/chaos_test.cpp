@@ -192,6 +192,8 @@ TEST(ChaosHardened, OracleHoldsUnderInjectedFaults) {
           }
         },
         99);
+    // Exercise true multi-lane rounds even on a single-core host.
+    ex.set_pipeline({.max_lanes = threads});
     FaultInjector inj(1234);
     inj.set_rate(FaultSite::kOperatorThrow, 0.25);
     inj.set_rate(FaultSite::kOperatorDelay, 0.10);
@@ -473,6 +475,8 @@ TEST(FailureHandling, PoolLaneDeathDegradesToSerialAndCompletes) {
         ctx.on_abort([&cells, cell] { cells[cell] -= 1; });
       },
       9);
+  // Lane deaths need parallel lanes: lift the core-count cap.
+  ex.set_pipeline({.max_lanes = 4});
   FaultInjector inj(777);
   inj.set_rate(FaultSite::kPoolLane, 1.0);  // every parallel lane dies
   ex.set_fault_injector(&inj);

@@ -1,0 +1,153 @@
+// Multi-lane software-pipelining stress (DESIGN.md §12) — the TSan
+// target for the overlapped draw. The prefetch lane reads the live lock
+// table (owner() acquire loads) while the other lanes run the commit
+// epilogue (release stores on lock release), so any missing fence or
+// buffer-publication bug in the pipeline is a data race TSan can see.
+// Functionally the runs must keep the exactly-once oracle regardless of
+// how stale the pre-check verdicts are.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "rt/spec_executor.hpp"
+#include "support/thread_pool.hpp"
+
+namespace optipar {
+namespace {
+
+constexpr std::uint32_t kCells = 64;
+constexpr std::uint32_t kTasks = 400;
+
+struct Effect {
+  std::uint32_t first;
+  std::uint32_t count;
+  std::int64_t delta;
+};
+
+std::vector<Effect> make_effects(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Effect> effects(kTasks);
+  for (auto& e : effects) {
+    e.first = static_cast<std::uint32_t>(rng.below(kCells));
+    e.count = 1 + static_cast<std::uint32_t>(rng.below(4));
+    e.delta = rng.between(-5, 5);
+  }
+  return effects;
+}
+
+TEST(PipelineStress, OverlappedDrawKeepsOracleAcrossManyRounds) {
+  const auto effects = make_effects(31);
+  std::vector<std::int64_t> oracle(kCells, 0);
+  for (const auto& e : effects) {
+    for (std::uint32_t i = 0; i < e.count; ++i) {
+      oracle[(e.first + i) % kCells] += e.delta;
+    }
+  }
+  for (const std::uint32_t m : {4u, 16u, 64u}) {
+    std::vector<std::int64_t> cells(kCells, 0);
+    ThreadPool pool(4);
+    SpeculativeExecutor ex(
+        pool, kCells,
+        [&](TaskId t, IterationContext& ctx) {
+          const Effect& e = effects[t];
+          for (std::uint32_t i = 0; i < e.count; ++i) {
+            const std::uint32_t cell = (e.first + i) % kCells;
+            ctx.acquire(cell);
+            cells[cell] += e.delta;
+            ctx.on_abort([&cells, cell, d = e.delta] { cells[cell] -= d; });
+          }
+        },
+        m * 131 + 7);
+    ex.set_pipeline({.max_lanes = 4, .overlapped_draw = true});
+    std::vector<TaskId> tasks(kTasks);
+    std::iota(tasks.begin(), tasks.end(), TaskId{0});
+    ex.push_initial(tasks);
+    int rounds = 0;
+    while (!ex.done() && rounds++ < 100000) (void)ex.run_round(m);
+    ASSERT_TRUE(ex.done()) << "m=" << m;
+    EXPECT_EQ(ex.totals().committed, kTasks) << "m=" << m;
+    EXPECT_TRUE(ex.locks().all_free());
+    EXPECT_EQ(cells, oracle) << "m=" << m;
+    const PipelineStats& ps = ex.pipeline_stats();
+    EXPECT_GT(ps.overlapped_rounds, 0u) << "m=" << m;
+    EXPECT_LE(ps.precheck_flagged, ps.prefetched_tasks);
+    EXPECT_GE(ps.occupancy(), 0.0);
+    EXPECT_LE(ps.occupancy(), 1.0);
+  }
+}
+
+TEST(PipelineStress, ConcurrentPrecheckReadsTheLiveLockTable) {
+  // The custom pre-check probes the whole table, maximizing concurrent
+  // owner() loads against the epilogue's release stores.
+  const auto effects = make_effects(77);
+  std::vector<std::int64_t> cells(kCells, 0);
+  ThreadPool pool(4);
+  SpeculativeExecutor ex(
+      pool, kCells,
+      [&](TaskId t, IterationContext& ctx) {
+        const Effect& e = effects[t];
+        for (std::uint32_t i = 0; i < e.count; ++i) {
+          const std::uint32_t cell = (e.first + i) % kCells;
+          ctx.acquire(cell);
+          cells[cell] += e.delta;
+          ctx.on_abort([&cells, cell, d = e.delta] { cells[cell] -= d; });
+        }
+      },
+      5);
+  ex.set_pipeline({.max_lanes = 4, .overlapped_draw = true});
+  std::atomic<std::uint64_t> probes{0};
+  ex.set_precheck_function(
+      [&effects, &probes](TaskId t, const LockManager& locks) {
+        probes.fetch_add(1, std::memory_order_relaxed);
+        const Effect& e = effects[t];
+        for (std::uint32_t i = 0; i < e.count; ++i) {
+          if (locks.owner((e.first + i) % kCells) != LockManager::kFree) {
+            return false;
+          }
+        }
+        return true;
+      });
+  std::vector<TaskId> tasks(kTasks);
+  std::iota(tasks.begin(), tasks.end(), TaskId{0});
+  ex.push_initial(tasks);
+  int rounds = 0;
+  while (!ex.done() && rounds++ < 100000) (void)ex.run_round(32);
+  ASSERT_TRUE(ex.done());
+  EXPECT_EQ(ex.totals().committed, kTasks);
+  EXPECT_GT(probes.load(), 0u);
+  EXPECT_EQ(probes.load(), ex.pipeline_stats().prefetched_tasks);
+}
+
+TEST(PipelineStress, DisablingOverlapStillRunsMultiLane) {
+  std::vector<std::int64_t> cells(kCells, 0);
+  const auto effects = make_effects(13);
+  ThreadPool pool(4);
+  SpeculativeExecutor ex(
+      pool, kCells,
+      [&](TaskId t, IterationContext& ctx) {
+        const Effect& e = effects[t];
+        for (std::uint32_t i = 0; i < e.count; ++i) {
+          const std::uint32_t cell = (e.first + i) % kCells;
+          ctx.acquire(cell);
+          cells[cell] += e.delta;
+          ctx.on_abort([&cells, cell, d = e.delta] { cells[cell] -= d; });
+        }
+      },
+      99);
+  ex.set_pipeline({.max_lanes = 4, .overlapped_draw = false});
+  std::vector<TaskId> tasks(kTasks);
+  std::iota(tasks.begin(), tasks.end(), TaskId{0});
+  ex.push_initial(tasks);
+  int rounds = 0;
+  while (!ex.done() && rounds++ < 100000) (void)ex.run_round(16);
+  ASSERT_TRUE(ex.done());
+  EXPECT_EQ(ex.totals().committed, kTasks);
+  EXPECT_EQ(ex.pipeline_stats().overlapped_rounds, 0u);
+  EXPECT_EQ(ex.pipeline_stats().prefetched_tasks, 0u);
+}
+
+}  // namespace
+}  // namespace optipar

@@ -68,6 +68,9 @@ TEST(PriorityWins, EarlierPriorityTaskWinsTheContendedItem) {
         }
       },
       2, WorklistPolicy::kFifo, ArbitrationPolicy::kPriorityWins);
+  // The two-party barrier choreography needs both tasks running
+  // concurrently; override the core-count lane cap.
+  ex.set_pipeline({.max_lanes = 2});
   std::vector<TaskId> tasks{9, 1};  // FIFO: 9 launches first
   ex.push_initial(tasks);
   const auto stats = ex.run_round(2);
@@ -112,6 +115,7 @@ TEST(AbortSelf, LaterArrivalAbortsRegardlessOfPriority) {
         }
       },
       3, WorklistPolicy::kFifo, ArbitrationPolicy::kAbortSelf);
+  ex.set_pipeline({.max_lanes = 2});  // barrier choreography needs 2 lanes
   std::vector<TaskId> tasks{9, 1};
   ex.push_initial(tasks);
   const auto stats = ex.run_round(2);
@@ -155,6 +159,7 @@ TEST(PriorityWins, PoisonedFinisherFailsItsCommit) {
         }
       },
       4, WorklistPolicy::kFifo, ArbitrationPolicy::kPriorityWins);
+  ex.set_pipeline({.max_lanes = 2});  // barrier choreography needs 2 lanes
   std::vector<TaskId> tasks{9, 1};
   ex.push_initial(tasks);
   const auto stats = ex.run_round(2);

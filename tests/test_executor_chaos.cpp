@@ -78,6 +78,9 @@ TEST_P(ExecutorChaosTest, FinalStateMatchesSequentialOracle) {
         }
       },
       param.seed * 7 + 1, param.policy);
+  // The sweep's multi-thread cases should exercise real multi-lane
+  // rounds even when the host has fewer cores than the pool.
+  ex.set_pipeline({.max_lanes = param.threads});
   if (param.policy == WorklistPolicy::kPriority) {
     ex.set_priority_function([&effects](TaskId t) {
       return static_cast<std::uint64_t>(effects[t].first);

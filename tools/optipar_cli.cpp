@@ -485,6 +485,10 @@ int cmd_chaos(const Options& opt) {
         }
       },
       seed * 7 + 1);
+  // --threads asks for that many lanes outright (lane-death injection
+  // needs parallel lanes even on small hosts); the core-count cap is for
+  // un-tuned production runs, not the chaos harness.
+  ex.set_pipeline({.max_lanes = threads});
 
   FaultInjector injector(fault_seed);
   injector.set_rate(FaultSite::kOperatorThrow, rate);
