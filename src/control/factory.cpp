@@ -1,0 +1,39 @@
+#include "control/factory.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "control/baselines.hpp"
+#include "control/extra.hpp"
+#include "control/hybrid.hpp"
+#include "control/recurrence.hpp"
+
+namespace optipar {
+
+std::unique_ptr<Controller> make_controller(const std::string& name,
+                                            const ControllerParams& params) {
+  if (name == "hybrid") return std::make_unique<HybridController>(params);
+  if (name == "recurrence-A") {
+    return std::make_unique<RecurrenceAController>(params);
+  }
+  if (name == "recurrence-B") {
+    return std::make_unique<RecurrenceBController>(params);
+  }
+  if (name == "bisection") {
+    return std::make_unique<BisectionController>(params);
+  }
+  if (name == "aimd") return std::make_unique<AimdController>(params);
+  if (name == "pid") return std::make_unique<PidController>(params);
+  if (name == "ewma") return std::make_unique<EwmaHybridController>(params);
+  if (name.rfind("fixed-", 0) == 0) {
+    try {
+      return std::make_unique<FixedController>(
+          static_cast<std::uint32_t>(std::stoul(name.substr(6))));
+    } catch (const std::exception&) {
+      return nullptr;  // "fixed-garbage" is an unknown name, not a crash
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace optipar

@@ -1,0 +1,21 @@
+// Controller factory shared by every host that names controllers as
+// strings — optipar_cli, the serve daemon, and the tests. One registry
+// means a job submitted over the wire accepts exactly the names the CLI
+// documents, and a snapshot's controller-identity check ("hybrid" ==
+// "hybrid") is consistent across hosts.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "control/controller.hpp"
+
+namespace optipar {
+
+/// Build a controller by name: "hybrid", "recurrence-A", "recurrence-B",
+/// "bisection", "aimd", "pid", "ewma", or "fixed-<m>". Returns nullptr for
+/// an unknown name (hosts report their own usage errors).
+[[nodiscard]] std::unique_ptr<Controller> make_controller(
+    const std::string& name, const ControllerParams& params);
+
+}  // namespace optipar

@@ -8,123 +8,171 @@
 
 namespace optipar {
 
-Trace run_adaptive(SpeculativeExecutor& executor, Controller& controller,
-                   const AdaptiveRunConfig& config) {
-  Trace trace;
-  telemetry::RuntimeTelemetry* const tel = executor.telemetry();
-  CheckpointManager* const cp = config.checkpoint;
-  std::uint32_t m = controller.initial_m();
-  std::uint32_t stalled = 0;  // consecutive zero-progress rounds
-  bool degraded = false;
-  std::uint32_t start_round = 0;
-  if (cp != nullptr) {
+AdaptiveRun::AdaptiveRun(SpeculativeExecutor& executor,
+                         Controller& controller, AdaptiveRunConfig config)
+    : executor_(executor),
+      controller_(controller),
+      config_(std::move(config)),
+      tel_(executor.telemetry()),
+      m_(controller.initial_m()) {
+  if (CheckpointManager* const cp = config_.checkpoint; cp != nullptr) {
     // Recovery ladder: newest valid snapshot → older generation → clean
     // start. On success the executor/controller hold round R's state, the
     // journal's first R records become the trace prefix, and the loop
     // resumes at round R exactly as the uninterrupted run would enter it.
-    if (auto resume = cp->try_restore(executor, controller)) {
-      trace.steps = std::move(resume->replayed);
-      m = resume->loop.next_m;
-      stalled = resume->loop.stalled;
-      degraded = resume->loop.degraded;
-      trace.degraded_at_step = resume->loop.degraded_at_step;
-      start_round = static_cast<std::uint32_t>(resume->rounds_done);
+    if (auto resume = cp->try_restore(executor_, controller_)) {
+      trace_.steps = std::move(resume->replayed);
+      m_ = resume->loop.next_m;
+      stalled_ = resume->loop.stalled;
+      degraded_ = resume->loop.degraded;
+      trace_.degraded_at_step = resume->loop.degraded_at_step;
+      round_ = static_cast<std::uint32_t>(resume->rounds_done);
+      resumed_ = true;
     }
   }
-  for (std::uint32_t round = start_round;
-       round < config.max_rounds && !executor.done(); ++round) {
-    if (config.before_round) config.before_round(executor);
-    StepRecord rec;
-    rec.step = round;
-    rec.m = m;
-    const RoundStats stats = executor.run_round(m);
-    rec.launched = stats.launched;
-    rec.committed = stats.committed;
-    rec.aborted = stats.aborted;
-    rec.retried = stats.retried;
-    rec.quarantined = stats.quarantined;
-    rec.injected = stats.injected;
-    rec.degraded = degraded || executor.serial_degraded();
-    rec.pending_after = static_cast<std::uint32_t>(
-        std::min<std::size_t>(executor.pending(), UINT32_MAX));
-    if (stats.first_error) {
-      // Surface the round's first failure in the trace unconditionally —
-      // an absorbed (retried/quarantined) error must never be invisible.
-      rec.error = telemetry::describe_exception(stats.first_error);
-    }
-    trace.steps.push_back(rec);
-    // Write-ahead: the round's record is durable before any snapshot (or
-    // any throw below) can reference it.
-    if (cp != nullptr) cp->on_round(round, rec);
-    bool force_snapshot = false;
+}
 
-    // Progress = a task left the work-set for good: it committed, or it was
-    // quarantined. Aborts and retries leave pending unchanged, and a round
-    // that launched nothing (all tasks parked in backoff) is waiting, not
-    // stalled.
-    const bool progress = stats.committed > 0 || stats.quarantined > 0;
-    if (stats.launched > 0 && !progress) {
-      ++stalled;
-    } else {
-      stalled = 0;
-    }
-    if (config.watchdog_rounds > 0 && !degraded &&
-        stalled >= config.watchdog_rounds) {
-      // Livelock watchdog: speculation is churning without retiring work.
-      // Serial execution cannot conflict, so cap the allocation at 1 — both
-      // on the applied m and inside the controller, so its recurrences stop
-      // proposing allocations we would refuse.
-      degraded = true;
-      trace.degraded_at_step = round;
-      controller.clamp_max(1);
-      stalled = 0;
-      force_snapshot = true;  // a post-degradation crash must resume degraded
-      if (tel != nullptr) {
-        tel->emit({telemetry::EventKind::kWatchdogDegrade, 0,
-                   executor.round_index(), round, 0, 0.0, 0.0,
-                   "zero-progress watchdog forced m=1"});
-      }
-    } else if (degraded && stalled >= config.serial_grace) {
-      // Even conflict-free serial rounds retire nothing: the work itself
-      // cannot commit. Surface a structured diagnostic instead of spinning
-      // for the remaining max_rounds.
-      if (tel != nullptr) {
-        tel->emit({telemetry::EventKind::kLivelock, 0,
-                   executor.round_index(), stalled, executor.pending(), 0.0,
-                   0.0, "no allocation can commit this work"});
-      }
-      LivelockError error(stalled, executor.pending(),
-                          executor.dead_letters().size());
-      // The stalling round's StepRecord is already in the trace (and the
-      // journal); hand the whole partial trace to the catcher so the run
-      // stays diagnosable from --trace-out.
-      error.partial_trace = trace;
-      throw error;
-    }
-    m = controller.observe(stats);
-    if (degraded) m = 1;  // enforce the cap even on no-op controllers
-    if (tel != nullptr) {
-      // Decision event: the controller's next allocation against what it
-      // just observed. x = observed conflict ratio r̄; y = r̄ − ρ (the
-      // tracking error when a target ρ is configured, else r̄ itself).
-      const double r = rec.conflict_ratio();
-      tel->emit({telemetry::EventKind::kControllerDecision, 0,
-                 executor.round_index(), m, stats.launched, r,
-                 r - tel->target_rho(), controller.decision_note()});
-    }
-    if (cp != nullptr) {
-      // Snapshot AFTER observe: the saved loop state carries the next
-      // round's allocation, so a resume re-enters the loop exactly here.
-      CheckpointManager::LoopState loop;
-      loop.next_m = m;
-      loop.stalled = stalled;
-      loop.degraded = degraded;
-      loop.degraded_at_step = trace.degraded_at_step;
-      cp->maybe_snapshot(round, executor, controller, loop,
-                         trace.steps.size(), force_snapshot);
-    }
+bool AdaptiveRun::finished() const {
+  return round_ >= config_.max_rounds || executor_.done();
+}
+
+void AdaptiveRun::snapshot_boundary(bool force) {
+  CheckpointManager* const cp = config_.checkpoint;
+  if (cp == nullptr) return;
+  CheckpointManager::LoopState loop;
+  loop.next_m = m_;
+  loop.stalled = stalled_;
+  loop.degraded = degraded_;
+  loop.degraded_at_step = trace_.degraded_at_step;
+  // `round_` is the round the NEXT step would run; the snapshot covers the
+  // `trace_.steps.size()` rounds already journaled.
+  cp->maybe_snapshot(round_ == 0 ? 0 : round_ - 1, executor_, controller_,
+                     loop, trace_.steps.size(), force);
+}
+
+void AdaptiveRun::checkpoint_now() { snapshot_boundary(/*force=*/true); }
+
+void AdaptiveRun::check_interrupt() {
+  const bool cancelled =
+      config_.cancel != nullptr &&
+      config_.cancel->load(std::memory_order_acquire);
+  const bool deadline = !cancelled && config_.deadline.expired();
+  if (!cancelled && !deadline) return;
+  // Force one final snapshot so the interrupted job resumes from this
+  // exact boundary, then unwind with the partial trace attached.
+  snapshot_boundary(/*force=*/true);
+  JobInterrupted error(cancelled ? JobInterrupted::Reason::kCancelled
+                                 : JobInterrupted::Reason::kDeadline,
+                       trace_.steps.size());
+  error.partial_trace = trace_;
+  throw error;
+}
+
+bool AdaptiveRun::step() {
+  if (finished()) return false;
+  check_interrupt();
+  CheckpointManager* const cp = config_.checkpoint;
+  const std::uint32_t round = round_;
+  if (config_.before_round) config_.before_round(executor_);
+  StepRecord rec;
+  rec.step = round;
+  rec.m = m_;
+  const RoundStats stats = executor_.run_round(m_);
+  rec.launched = stats.launched;
+  rec.committed = stats.committed;
+  rec.aborted = stats.aborted;
+  rec.retried = stats.retried;
+  rec.quarantined = stats.quarantined;
+  rec.injected = stats.injected;
+  rec.degraded = degraded_ || executor_.serial_degraded();
+  rec.pending_after = static_cast<std::uint32_t>(
+      std::min<std::size_t>(executor_.pending(), UINT32_MAX));
+  if (stats.first_error) {
+    // Surface the round's first failure in the trace unconditionally —
+    // an absorbed (retried/quarantined) error must never be invisible.
+    rec.error = telemetry::describe_exception(stats.first_error);
   }
-  return trace;
+  trace_.steps.push_back(rec);
+  // Write-ahead: the round's record is durable before any snapshot (or
+  // any throw below) can reference it.
+  if (cp != nullptr) cp->on_round(round, rec);
+  bool force_snapshot = false;
+
+  // Progress = a task left the work-set for good: it committed, or it was
+  // quarantined. Aborts and retries leave pending unchanged, and a round
+  // that launched nothing (all tasks parked in backoff) is waiting, not
+  // stalled.
+  const bool progress = stats.committed > 0 || stats.quarantined > 0;
+  if (stats.launched > 0 && !progress) {
+    ++stalled_;
+  } else {
+    stalled_ = 0;
+  }
+  if (config_.watchdog_rounds > 0 && !degraded_ &&
+      stalled_ >= config_.watchdog_rounds) {
+    // Livelock watchdog: speculation is churning without retiring work.
+    // Serial execution cannot conflict, so cap the allocation at 1 — both
+    // on the applied m and inside the controller, so its recurrences stop
+    // proposing allocations we would refuse.
+    degraded_ = true;
+    trace_.degraded_at_step = round;
+    controller_.clamp_max(1);
+    stalled_ = 0;
+    force_snapshot = true;  // a post-degradation crash must resume degraded
+    if (tel_ != nullptr) {
+      tel_->emit({telemetry::EventKind::kWatchdogDegrade, 0,
+                  executor_.round_index(), round, 0, 0.0, 0.0,
+                  "zero-progress watchdog forced m=1"});
+    }
+  } else if (degraded_ && stalled_ >= config_.serial_grace) {
+    // Even conflict-free serial rounds retire nothing: the work itself
+    // cannot commit. Surface a structured diagnostic instead of spinning
+    // for the remaining max_rounds.
+    if (tel_ != nullptr) {
+      tel_->emit({telemetry::EventKind::kLivelock, 0,
+                  executor_.round_index(), stalled_, executor_.pending(),
+                  0.0, 0.0, "no allocation can commit this work"});
+    }
+    LivelockError error(stalled_, executor_.pending(),
+                        executor_.dead_letters().size());
+    // The stalling round's StepRecord is already in the trace (and the
+    // journal); hand the whole partial trace to the catcher so the run
+    // stays diagnosable from --trace-out.
+    error.partial_trace = trace_;
+    throw error;
+  }
+  m_ = controller_.observe(stats);
+  if (degraded_) m_ = 1;  // enforce the cap even on no-op controllers
+  if (tel_ != nullptr) {
+    // Decision event: the controller's next allocation against what it
+    // just observed. x = observed conflict ratio r̄; y = r̄ − ρ (the
+    // tracking error when a target ρ is configured, else r̄ itself).
+    const double r = rec.conflict_ratio();
+    tel_->emit({telemetry::EventKind::kControllerDecision, 0,
+                executor_.round_index(), m_, stats.launched, r,
+                r - tel_->target_rho(), controller_.decision_note()});
+  }
+  if (cp != nullptr) {
+    // Snapshot AFTER observe: the saved loop state carries the next
+    // round's allocation, so a resume re-enters the loop exactly here.
+    CheckpointManager::LoopState loop;
+    loop.next_m = m_;
+    loop.stalled = stalled_;
+    loop.degraded = degraded_;
+    loop.degraded_at_step = trace_.degraded_at_step;
+    cp->maybe_snapshot(round, executor_, controller_, loop,
+                       trace_.steps.size(), force_snapshot);
+  }
+  round_ = round + 1;
+  return true;
+}
+
+Trace run_adaptive(SpeculativeExecutor& executor, Controller& controller,
+                   const AdaptiveRunConfig& config) {
+  AdaptiveRun run(executor, controller, config);
+  while (run.step()) {
+  }
+  return run.take_trace();
 }
 
 }  // namespace optipar

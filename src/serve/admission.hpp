@@ -1,0 +1,101 @@
+// Bounded admission queue (DESIGN.md §13): the backpressure boundary
+// between connection threads and the scheduler. try_admit is non-blocking
+// and rejects — with an explicit verdict the caller turns into a typed
+// kOverloaded response — instead of queueing unboundedly; the scheduler
+// blocks on pop with a timeout so it can interleave shutdown checks. The
+// queue is FIFO, which (because submissions are WAL-appended before
+// admission) makes drain order equal WAL order by construction.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace optipar::serve {
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  enum class Verdict : std::uint8_t {
+    kAdmitted,
+    kOverloaded,  ///< queue at capacity — shed load, reply kOverloaded
+    kClosed,      ///< shutting down — reply kShuttingDown
+  };
+
+  /// Non-blocking admit of job `id`.
+  [[nodiscard]] Verdict try_admit(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return Verdict::kClosed;
+    if (queue_.size() >= capacity_) {
+      ++rejected_;
+      return Verdict::kOverloaded;
+    }
+    queue_.push_back(id);
+    ++admitted_;
+    cv_.notify_one();
+    return Verdict::kAdmitted;
+  }
+
+  /// Recovery re-admission (restart): jobs that were ALREADY admitted
+  /// before the crash bypass the capacity check — refusing them would
+  /// drop durable work. Never called after the daemon starts serving.
+  void readmit(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(id);
+    ++admitted_;
+    cv_.notify_one();
+  }
+
+  /// Blocking pop with timeout; nullopt on timeout or when closed-and-
+  /// empty. The scheduler loops on this, checking its stop conditions
+  /// between waits.
+  [[nodiscard]] std::optional<std::uint64_t> pop_for(
+      std::chrono::milliseconds wait) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, wait, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    const std::uint64_t id = queue_.front();
+    queue_.pop_front();
+    return id;
+  }
+
+  /// Stop admitting; queued ids remain poppable (the drain path).
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t admitted_total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return admitted_;
+  }
+  [[nodiscard]] std::uint64_t rejected_total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::uint64_t> queue_;
+  bool closed_ = false;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace optipar::serve

@@ -1,0 +1,186 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace optipar::serve {
+
+Client Client::connect(const std::string& socket_path, int timeout_ms) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw WireError(WireError::Kind::kIo,
+                    std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw WireError(WireError::Kind::kIo,
+                    "socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw WireError(WireError::Kind::kIo, "connect " + socket_path + ": " +
+                                              std::strerror(err));
+  }
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::vector<std::byte> Client::request(std::span<const std::byte> payload) {
+  send_frame(fd_, payload);
+  return recv_frame(fd_);
+}
+
+std::vector<std::byte> Client::request_expect(
+    std::span<const std::byte> payload, MsgType expected) {
+  auto reply = request(payload);
+  const MsgType type = peek_type(reply);
+  if (type == MsgType::kErrorReply) {
+    const auto err = ErrorReply::decode(reply);
+    throw ServeError(err.code, err.message);
+  }
+  if (type != expected) {
+    throw WireError(WireError::Kind::kBadType,
+                    std::string("expected ") + msg_type_name(expected) +
+                        ", got " + msg_type_name(type));
+  }
+  return reply;
+}
+
+OkReply Client::health() {
+  return OkReply::decode(
+      request_expect(encode_empty(MsgType::kHealth), MsgType::kOk));
+}
+
+OkReply Client::upload_graph(const std::string& name,
+                             const std::string& text) {
+  UploadGraphRequest req;
+  req.name = name;
+  req.text = text;
+  return OkReply::decode(request_expect(req.encode(), MsgType::kOk));
+}
+
+namespace {
+
+Client::SubmitResult decode_submit(std::span<const std::byte> reply) {
+  switch (peek_type(reply)) {
+    case MsgType::kJobAccepted:
+      return JobAcceptedReply::decode(reply);
+    case MsgType::kOverloaded:
+      return OverloadedReply::decode(reply);
+    case MsgType::kErrorReply:
+      return ErrorReply::decode(reply);
+    default:
+      throw WireError(WireError::Kind::kBadType,
+                      "unexpected reply to a submission");
+  }
+}
+
+}  // namespace
+
+Client::SubmitResult Client::run(const RunRequest& request_msg) {
+  return decode_submit(request(request_msg.encode()));
+}
+
+Client::SubmitResult Client::estimate(const EstimateRequest& request_msg) {
+  return decode_submit(request(request_msg.encode()));
+}
+
+JobStatusReply Client::status(std::uint64_t job) {
+  JobIdRequest req;
+  req.type = MsgType::kStatus;
+  req.job = job;
+  return JobStatusReply::decode(
+      request_expect(req.encode(), MsgType::kJobStatus));
+}
+
+TextReply Client::trace(std::uint64_t job) {
+  JobIdRequest req;
+  req.type = MsgType::kTrace;
+  req.job = job;
+  return TextReply::decode(request_expect(req.encode(), MsgType::kText));
+}
+
+OkReply Client::cancel(std::uint64_t job) {
+  JobIdRequest req;
+  req.type = MsgType::kCancel;
+  req.job = job;
+  return OkReply::decode(request_expect(req.encode(), MsgType::kOk));
+}
+
+ServerInfoReply Client::server_status() {
+  return ServerInfoReply::decode(request_expect(
+      encode_empty(MsgType::kServerStatus), MsgType::kServerInfo));
+}
+
+TextReply Client::metrics(const std::string& format) {
+  MetricsRequest req;
+  req.format = format;
+  return TextReply::decode(request_expect(req.encode(), MsgType::kText));
+}
+
+OkReply Client::shutdown(bool drain) {
+  ShutdownRequest req;
+  req.drain = drain;
+  return OkReply::decode(request_expect(req.encode(), MsgType::kOk));
+}
+
+JobStatusReply Client::wait_for_job(std::uint64_t job, int poll_ms,
+                                    int budget_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(budget_ms);
+  for (;;) {
+    const auto reply = status(job);
+    switch (reply.state) {
+      case JobState::kDone:
+      case JobState::kFailed:
+      case JobState::kCancelled:
+      case JobState::kTimedOut:
+        return reply;
+      default:
+        break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw WireError(WireError::Kind::kIo,
+                      "job " + std::to_string(job) +
+                          " did not reach a terminal state in " +
+                          std::to_string(budget_ms) + "ms");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+  }
+}
+
+}  // namespace optipar::serve

@@ -1,0 +1,86 @@
+// Blocking client for the optipar_serve wire protocol (DESIGN.md §13).
+// One Client owns one connected UNIX-socket stream; every typed method
+// sends a single request frame and decodes the single reply frame.
+//
+// Error surface: transport and framing defects raise WireError; an
+// application-level kErrorReply raises ServeError (carrying the typed
+// ErrorCode) — EXCEPT on the submission paths, where kOverloaded is an
+// expected outcome, not an exception: run()/estimate() return a variant so
+// callers must consciously handle backpressure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+namespace optipar::serve {
+
+/// An application-level error returned by the daemon (kErrorReply).
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(ErrorCode code, const std::string& message)
+      : std::runtime_error("serve: " + message), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+class Client {
+ public:
+  /// Connect to the daemon's UNIX socket. timeout_ms > 0 arms SO_RCVTIMEO/
+  /// SO_SNDTIMEO so a wedged daemon surfaces as WireError{kIo} instead of
+  /// a hang (tests always set it). Throws WireError{kIo} on failure.
+  [[nodiscard]] static Client connect(const std::string& socket_path,
+                                      int timeout_ms = 0);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  [[nodiscard]] OkReply health();
+  [[nodiscard]] OkReply upload_graph(const std::string& name,
+                                     const std::string& text);
+
+  /// Submission outcome: accepted, typed backpressure, or refusal.
+  using SubmitResult =
+      std::variant<JobAcceptedReply, OverloadedReply, ErrorReply>;
+  [[nodiscard]] SubmitResult run(const RunRequest& request);
+  [[nodiscard]] SubmitResult estimate(const EstimateRequest& request);
+
+  [[nodiscard]] JobStatusReply status(std::uint64_t job);
+  [[nodiscard]] TextReply trace(std::uint64_t job);
+  [[nodiscard]] OkReply cancel(std::uint64_t job);
+  [[nodiscard]] ServerInfoReply server_status();
+  [[nodiscard]] TextReply metrics(const std::string& format = "prometheus");
+  [[nodiscard]] OkReply shutdown(bool drain);
+
+  /// Poll status() until the job reaches a terminal state; returns the
+  /// final status. Throws WireError{kIo} when budget_ms elapses first.
+  [[nodiscard]] JobStatusReply wait_for_job(std::uint64_t job,
+                                            int poll_ms = 20,
+                                            int budget_ms = 60000);
+
+  /// One raw request/reply round-trip (exposed for the protocol tests).
+  [[nodiscard]] std::vector<std::byte> request(
+      std::span<const std::byte> payload);
+
+ private:
+  explicit Client(int fd) noexcept : fd_(fd) {}
+
+  /// request() + "throw ServeError on kErrorReply" + expected-type check.
+  [[nodiscard]] std::vector<std::byte> request_expect(
+      std::span<const std::byte> payload, MsgType expected);
+
+  int fd_ = -1;
+};
+
+}  // namespace optipar::serve

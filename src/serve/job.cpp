@@ -1,0 +1,117 @@
+#include "serve/job.hpp"
+
+#include "support/snapshot/snapshot.hpp"
+
+namespace optipar::serve {
+
+namespace {
+
+using snapshot::Reader;
+using snapshot::SnapshotError;
+using snapshot::Writer;
+
+void encode_spec(Writer& out, const JobSpec& spec) {
+  out.u64(spec.id);
+  out.u8(static_cast<std::uint8_t>(spec.kind));
+  out.str(spec.graph);
+  out.str(spec.controller);
+  out.f64(spec.rho);
+  out.u64(spec.seed);
+  out.u32(spec.steps);
+  out.u32(spec.m0);
+  out.u32(spec.m_max);
+  out.i64(spec.timeout_ms);
+  out.u32(spec.checkpoint_every);
+}
+
+JobSpec decode_spec(Reader& in) {
+  JobSpec spec;
+  spec.id = in.u64();
+  const auto kind = in.u8();
+  if (kind > static_cast<std::uint8_t>(JobKind::kEstimate)) {
+    throw SnapshotError(SnapshotError::Kind::kMalformed,
+                        "WAL: unknown job kind");
+  }
+  spec.kind = static_cast<JobKind>(kind);
+  spec.graph = in.str();
+  spec.controller = in.str();
+  spec.rho = in.f64();
+  spec.seed = in.u64();
+  spec.steps = in.u32();
+  spec.m0 = in.u32();
+  spec.m_max = in.u32();
+  spec.timeout_ms = in.i64();
+  spec.checkpoint_every = in.u32();
+  return spec;
+}
+
+void encode_result(Writer& out, const JobResult& result) {
+  out.u64(result.rounds);
+  out.u64(result.committed);
+  out.u64(result.pending);
+  out.f64(result.wasted);
+  out.f64(result.mean_r);
+  out.u32(result.mu);
+  out.str(result.error);
+}
+
+JobResult decode_result(Reader& in) {
+  JobResult result;
+  result.rounds = in.u64();
+  result.committed = in.u64();
+  result.pending = in.u64();
+  result.wasted = in.f64();
+  result.mean_r = in.f64();
+  result.mu = in.u32();
+  result.error = in.str();
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_wal_record(const WalRecord& rec) {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(rec.kind));
+  switch (rec.kind) {
+    case WalRecordKind::kSubmitted:
+      encode_spec(out, rec.spec);
+      break;
+    case WalRecordKind::kFinished:
+      out.u64(rec.id);
+      out.u8(static_cast<std::uint8_t>(rec.final_state));
+      encode_result(out, rec.result);
+      break;
+  }
+  return out.take();
+}
+
+WalRecord decode_wal_record(std::span<const std::byte> payload) {
+  Reader in(payload);
+  WalRecord rec;
+  const auto kind = in.u8();
+  switch (kind) {
+    case static_cast<std::uint8_t>(WalRecordKind::kSubmitted):
+      rec.kind = WalRecordKind::kSubmitted;
+      rec.spec = decode_spec(in);
+      break;
+    case static_cast<std::uint8_t>(WalRecordKind::kFinished): {
+      rec.kind = WalRecordKind::kFinished;
+      rec.id = in.u64();
+      const auto state = in.u8();
+      if (state > static_cast<std::uint8_t>(JobState::kTimedOut)) {
+        throw SnapshotError(SnapshotError::Kind::kMalformed,
+                            "WAL: unknown terminal job state");
+      }
+      rec.final_state = static_cast<JobState>(state);
+      rec.result = decode_result(in);
+      break;
+    }
+    default:
+      throw SnapshotError(SnapshotError::Kind::kMalformed,
+                          "WAL: unknown record kind");
+  }
+  in.expect_end();
+  return rec;
+}
+
+}  // namespace optipar::serve

@@ -1,0 +1,582 @@
+#include "serve/wire.hpp"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace optipar::serve {
+
+namespace {
+
+using snapshot::Reader;
+using snapshot::SnapshotError;
+using snapshot::Writer;
+
+/// Little-endian u32 at `p` (the framing is explicit-endian like the
+/// snapshot format, not host-endian).
+std::uint32_t load_u32(const std::byte* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_u32(std::byte* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::byte>(v & 0xff);
+  p[1] = static_cast<std::byte>((v >> 8) & 0xff);
+  p[2] = static_cast<std::byte>((v >> 16) & 0xff);
+  p[3] = static_cast<std::byte>((v >> 24) & 0xff);
+}
+
+/// Re-type snapshot Reader failures as wire failures: the decoders reuse
+/// the bounds-checked Reader, whose kMalformed means the payload lied.
+template <typename Fn>
+auto decoding(Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const SnapshotError& e) {
+    throw WireError(WireError::Kind::kMalformed, e.what());
+  }
+}
+
+MsgType expect_tag(Reader& in, MsgType want) {
+  const auto tag = in.u8();
+  if (tag != static_cast<std::uint8_t>(want)) {
+    throw WireError(WireError::Kind::kBadType,
+                    "payload tagged " + std::to_string(tag) + ", expected " +
+                        std::string(msg_type_name(want)));
+  }
+  return want;
+}
+
+void write_full(int fd, const std::byte* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::write(fd, data + off, size - off);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(WireError::Kind::kIo,
+                      std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Read exactly `size` bytes. Returns false on clean EOF at offset 0 when
+/// `eof_ok`; any other short read throws.
+bool read_full(int fd, std::byte* data, std::size_t size, bool eof_ok) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::read(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(WireError::Kind::kIo,
+                      std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (off == 0 && eof_ok) return false;
+      throw WireError(WireError::Kind::kTruncated,
+                      "stream ended inside a frame (" + std::to_string(off) +
+                          "/" + std::to_string(size) + " bytes)");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kHealth: return "health";
+    case MsgType::kUploadGraph: return "upload-graph";
+    case MsgType::kRun: return "run";
+    case MsgType::kEstimate: return "estimate";
+    case MsgType::kStatus: return "status";
+    case MsgType::kTrace: return "trace";
+    case MsgType::kServerStatus: return "server-status";
+    case MsgType::kCancel: return "cancel";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kMetrics: return "metrics";
+    case MsgType::kOk: return "ok";
+    case MsgType::kErrorReply: return "error";
+    case MsgType::kOverloaded: return "overloaded";
+    case MsgType::kJobAccepted: return "job-accepted";
+    case MsgType::kJobStatus: return "job-status";
+    case MsgType::kServerInfo: return "server-info";
+    case MsgType::kText: return "text";
+  }
+  return "unknown";
+}
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kUnknownGraph: return "unknown-graph";
+    case ErrorCode::kUnknownJob: return "unknown-job";
+    case ErrorCode::kShuttingDown: return "shutting-down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+const char* job_state_name(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kTimedOut: return "timed-out";
+  }
+  return "unknown";
+}
+
+bool valid_graph_name(const std::string& name) noexcept {
+  if (name.empty() || name.size() > 64 || name.front() == '.') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+std::vector<std::byte> frame_bytes(std::span<const std::byte> payload) {
+  std::vector<std::byte> out(kFrameHeaderBytes + payload.size());
+  store_u32(out.data(), kWireMagic);
+  store_u32(out.data() + 4, static_cast<std::uint32_t>(payload.size()));
+  store_u32(out.data() + 8, snapshot::crc32(payload));
+  if (!payload.empty()) {
+    std::memcpy(out.data() + kFrameHeaderBytes, payload.data(),
+                payload.size());
+  }
+  return out;
+}
+
+std::vector<std::byte> unframe_bytes(std::span<const std::byte> bytes,
+                                     std::size_t max_payload) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    throw WireError(WireError::Kind::kTruncated,
+                    "frame shorter than its header");
+  }
+  if (load_u32(bytes.data()) != kWireMagic) {
+    throw WireError(WireError::Kind::kBadMagic, "bad frame magic");
+  }
+  const std::uint32_t len = load_u32(bytes.data() + 4);
+  // Bound BEFORE any allocation or arithmetic that could wrap.
+  if (len > max_payload) {
+    throw WireError(WireError::Kind::kTooLarge,
+                    "length prefix " + std::to_string(len) +
+                        " exceeds frame bound " + std::to_string(max_payload));
+  }
+  if (bytes.size() - kFrameHeaderBytes < len) {
+    throw WireError(WireError::Kind::kTruncated,
+                    "payload shorter than the length prefix");
+  }
+  if (bytes.size() - kFrameHeaderBytes > len) {
+    throw WireError(WireError::Kind::kMalformed,
+                    "trailing bytes after the frame");
+  }
+  const auto payload = bytes.subspan(kFrameHeaderBytes, len);
+  if (snapshot::crc32(payload) != load_u32(bytes.data() + 8)) {
+    throw WireError(WireError::Kind::kBadChecksum, "frame CRC32 mismatch");
+  }
+  return {payload.begin(), payload.end()};
+}
+
+MsgType peek_type(std::span<const std::byte> payload) {
+  if (payload.empty()) {
+    throw WireError(WireError::Kind::kMalformed, "empty payload");
+  }
+  const auto tag = static_cast<std::uint8_t>(payload[0]);
+  const bool request = tag >= static_cast<std::uint8_t>(MsgType::kHealth) &&
+                       tag <= static_cast<std::uint8_t>(MsgType::kMetrics);
+  const bool response = tag >= static_cast<std::uint8_t>(MsgType::kOk) &&
+                        tag <= static_cast<std::uint8_t>(MsgType::kText);
+  if (!request && !response) {
+    throw WireError(WireError::Kind::kBadType,
+                    "unknown message type " + std::to_string(tag));
+  }
+  return static_cast<MsgType>(tag);
+}
+
+void send_frame(int fd, std::span<const std::byte> payload) {
+  const std::vector<std::byte> frame = frame_bytes(payload);
+  write_full(fd, frame.data(), frame.size());
+}
+
+std::vector<std::byte> recv_frame(int fd, std::size_t max_payload) {
+  std::byte header[kFrameHeaderBytes];
+  if (!read_full(fd, header, sizeof(header), /*eof_ok=*/true)) {
+    throw WireError(WireError::Kind::kClosed, "peer closed the connection");
+  }
+  if (load_u32(header) != kWireMagic) {
+    throw WireError(WireError::Kind::kBadMagic, "bad frame magic");
+  }
+  const std::uint32_t len = load_u32(header + 4);
+  if (len > max_payload) {
+    throw WireError(WireError::Kind::kTooLarge,
+                    "length prefix " + std::to_string(len) +
+                        " exceeds frame bound " + std::to_string(max_payload));
+  }
+  std::vector<std::byte> payload(len);
+  if (len > 0) read_full(fd, payload.data(), len, /*eof_ok=*/false);
+  if (snapshot::crc32(payload) != load_u32(header + 8)) {
+    throw WireError(WireError::Kind::kBadChecksum, "frame CRC32 mismatch");
+  }
+  return payload;
+}
+
+// ---------------------------------------------------------------------------
+// Message codecs
+// ---------------------------------------------------------------------------
+
+std::vector<std::byte> encode_empty(MsgType type) {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(type));
+  return out.take();
+}
+
+std::vector<std::byte> UploadGraphRequest::encode() const {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(MsgType::kUploadGraph));
+  out.str(name);
+  out.str(text);
+  return out.take();
+}
+
+UploadGraphRequest UploadGraphRequest::decode(
+    std::span<const std::byte> payload) {
+  return decoding([&] {
+    Reader in(payload);
+    expect_tag(in, MsgType::kUploadGraph);
+    UploadGraphRequest req;
+    req.name = in.str();
+    req.text = in.str();
+    in.expect_end();
+    return req;
+  });
+}
+
+std::vector<std::byte> RunRequest::encode() const {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(MsgType::kRun));
+  out.str(graph);
+  out.str(controller);
+  out.f64(rho);
+  out.u64(seed);
+  out.u32(steps);
+  out.u32(m0);
+  out.u32(m_max);
+  out.i64(timeout_ms);
+  out.u32(checkpoint_every);
+  return out.take();
+}
+
+RunRequest RunRequest::decode(std::span<const std::byte> payload) {
+  return decoding([&] {
+    Reader in(payload);
+    expect_tag(in, MsgType::kRun);
+    RunRequest req;
+    req.graph = in.str();
+    req.controller = in.str();
+    req.rho = in.f64();
+    req.seed = in.u64();
+    req.steps = in.u32();
+    req.m0 = in.u32();
+    req.m_max = in.u32();
+    req.timeout_ms = in.i64();
+    req.checkpoint_every = in.u32();
+    in.expect_end();
+    return req;
+  });
+}
+
+std::vector<std::byte> EstimateRequest::encode() const {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(MsgType::kEstimate));
+  out.str(graph);
+  out.f64(rho);
+  out.u32(trials);
+  out.u64(seed);
+  return out.take();
+}
+
+EstimateRequest EstimateRequest::decode(std::span<const std::byte> payload) {
+  return decoding([&] {
+    Reader in(payload);
+    expect_tag(in, MsgType::kEstimate);
+    EstimateRequest req;
+    req.graph = in.str();
+    req.rho = in.f64();
+    req.trials = in.u32();
+    req.seed = in.u64();
+    in.expect_end();
+    return req;
+  });
+}
+
+std::vector<std::byte> JobIdRequest::encode() const {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(type));
+  out.u64(job);
+  return out.take();
+}
+
+JobIdRequest JobIdRequest::decode(std::span<const std::byte> payload) {
+  return decoding([&] {
+    Reader in(payload);
+    const auto tag = in.u8();
+    if (tag != static_cast<std::uint8_t>(MsgType::kStatus) &&
+        tag != static_cast<std::uint8_t>(MsgType::kTrace) &&
+        tag != static_cast<std::uint8_t>(MsgType::kCancel)) {
+      throw WireError(WireError::Kind::kBadType,
+                      "not a job-id request: tag " + std::to_string(tag));
+    }
+    JobIdRequest req;
+    req.type = static_cast<MsgType>(tag);
+    req.job = in.u64();
+    in.expect_end();
+    return req;
+  });
+}
+
+std::vector<std::byte> ShutdownRequest::encode() const {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(MsgType::kShutdown));
+  out.u8(drain ? 1 : 0);
+  return out.take();
+}
+
+ShutdownRequest ShutdownRequest::decode(std::span<const std::byte> payload) {
+  return decoding([&] {
+    Reader in(payload);
+    expect_tag(in, MsgType::kShutdown);
+    ShutdownRequest req;
+    req.drain = in.u8() != 0;
+    in.expect_end();
+    return req;
+  });
+}
+
+std::vector<std::byte> MetricsRequest::encode() const {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(MsgType::kMetrics));
+  out.str(format);
+  return out.take();
+}
+
+MetricsRequest MetricsRequest::decode(std::span<const std::byte> payload) {
+  return decoding([&] {
+    Reader in(payload);
+    expect_tag(in, MsgType::kMetrics);
+    MetricsRequest req;
+    req.format = in.str();
+    in.expect_end();
+    return req;
+  });
+}
+
+std::vector<std::byte> OkReply::encode() const {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(MsgType::kOk));
+  out.str(message);
+  return out.take();
+}
+
+OkReply OkReply::decode(std::span<const std::byte> payload) {
+  return decoding([&] {
+    Reader in(payload);
+    expect_tag(in, MsgType::kOk);
+    OkReply rep;
+    rep.message = in.str();
+    in.expect_end();
+    return rep;
+  });
+}
+
+std::vector<std::byte> ErrorReply::encode() const {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(MsgType::kErrorReply));
+  out.u8(static_cast<std::uint8_t>(code));
+  out.str(message);
+  return out.take();
+}
+
+ErrorReply ErrorReply::decode(std::span<const std::byte> payload) {
+  return decoding([&] {
+    Reader in(payload);
+    expect_tag(in, MsgType::kErrorReply);
+    ErrorReply rep;
+    const auto code = in.u8();
+    if (code < static_cast<std::uint8_t>(ErrorCode::kBadRequest) ||
+        code > static_cast<std::uint8_t>(ErrorCode::kInternal)) {
+      throw WireError(WireError::Kind::kMalformed,
+                      "unknown error code " + std::to_string(code));
+    }
+    rep.code = static_cast<ErrorCode>(code);
+    rep.message = in.str();
+    in.expect_end();
+    return rep;
+  });
+}
+
+std::vector<std::byte> OverloadedReply::encode() const {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(MsgType::kOverloaded));
+  out.u64(queue_depth);
+  out.u64(capacity);
+  return out.take();
+}
+
+OverloadedReply OverloadedReply::decode(std::span<const std::byte> payload) {
+  return decoding([&] {
+    Reader in(payload);
+    expect_tag(in, MsgType::kOverloaded);
+    OverloadedReply rep;
+    rep.queue_depth = in.u64();
+    rep.capacity = in.u64();
+    in.expect_end();
+    return rep;
+  });
+}
+
+std::vector<std::byte> JobAcceptedReply::encode() const {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(MsgType::kJobAccepted));
+  out.u64(job);
+  return out.take();
+}
+
+JobAcceptedReply JobAcceptedReply::decode(
+    std::span<const std::byte> payload) {
+  return decoding([&] {
+    Reader in(payload);
+    expect_tag(in, MsgType::kJobAccepted);
+    JobAcceptedReply rep;
+    rep.job = in.u64();
+    in.expect_end();
+    return rep;
+  });
+}
+
+std::vector<std::byte> JobStatusReply::encode() const {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(MsgType::kJobStatus));
+  out.u64(job);
+  out.u8(static_cast<std::uint8_t>(state));
+  out.u8(static_cast<std::uint8_t>(kind));
+  out.u64(rounds);
+  out.u64(committed);
+  out.u64(pending);
+  out.f64(wasted);
+  out.f64(mean_r);
+  out.u32(mu);
+  out.u8(resumed ? 1 : 0);
+  out.str(error);
+  return out.take();
+}
+
+JobStatusReply JobStatusReply::decode(std::span<const std::byte> payload) {
+  return decoding([&] {
+    Reader in(payload);
+    expect_tag(in, MsgType::kJobStatus);
+    JobStatusReply rep;
+    rep.job = in.u64();
+    const auto state = in.u8();
+    if (state > static_cast<std::uint8_t>(JobState::kTimedOut)) {
+      throw WireError(WireError::Kind::kMalformed,
+                      "unknown job state " + std::to_string(state));
+    }
+    rep.state = static_cast<JobState>(state);
+    const auto kind = in.u8();
+    if (kind > static_cast<std::uint8_t>(JobKind::kEstimate)) {
+      throw WireError(WireError::Kind::kMalformed,
+                      "unknown job kind " + std::to_string(kind));
+    }
+    rep.kind = static_cast<JobKind>(kind);
+    rep.rounds = in.u64();
+    rep.committed = in.u64();
+    rep.pending = in.u64();
+    rep.wasted = in.f64();
+    rep.mean_r = in.f64();
+    rep.mu = in.u32();
+    rep.resumed = in.u8() != 0;
+    rep.error = in.str();
+    in.expect_end();
+    return rep;
+  });
+}
+
+std::vector<std::byte> ServerInfoReply::encode() const {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(MsgType::kServerInfo));
+  out.u64(queued);
+  out.u64(active);
+  out.u64(capacity);
+  out.u64(submitted);
+  out.u64(rejected);
+  out.u64(completed);
+  out.u64(failed);
+  out.u64(cancelled);
+  out.u64(timed_out);
+  out.u64(resumed);
+  out.u64(lanes);
+  out.u8(draining ? 1 : 0);
+  return out.take();
+}
+
+ServerInfoReply ServerInfoReply::decode(std::span<const std::byte> payload) {
+  return decoding([&] {
+    Reader in(payload);
+    expect_tag(in, MsgType::kServerInfo);
+    ServerInfoReply rep;
+    rep.queued = in.u64();
+    rep.active = in.u64();
+    rep.capacity = in.u64();
+    rep.submitted = in.u64();
+    rep.rejected = in.u64();
+    rep.completed = in.u64();
+    rep.failed = in.u64();
+    rep.cancelled = in.u64();
+    rep.timed_out = in.u64();
+    rep.resumed = in.u64();
+    rep.lanes = in.u64();
+    rep.draining = in.u8() != 0;
+    in.expect_end();
+    return rep;
+  });
+}
+
+std::vector<std::byte> TextReply::encode() const {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(MsgType::kText));
+  out.str(text);
+  return out.take();
+}
+
+TextReply TextReply::decode(std::span<const std::byte> payload) {
+  return decoding([&] {
+    Reader in(payload);
+    expect_tag(in, MsgType::kText);
+    TextReply rep;
+    rep.text = in.str();
+    in.expect_end();
+    return rep;
+  });
+}
+
+}  // namespace optipar::serve

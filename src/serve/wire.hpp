@@ -1,0 +1,291 @@
+// optipar_serve wire protocol (DESIGN.md §13): length-prefixed binary
+// frames over a stream socket, reusing the CRC32 framing and hostile-input
+// discipline of src/support/snapshot/. Every frame is
+//
+//   [magic u32 "OPRW"][payload_len u32][crc32 u32][payload bytes]
+//
+// and every payload is a snapshot::Writer-encoded message whose first byte
+// is the MsgType. The receive path treats the peer as HOSTILE: the length
+// prefix is bounded BEFORE any allocation, the CRC is verified before any
+// decode, and every decoder is the bounds-checked snapshot::Reader — a
+// malformed frame produces a typed WireError, never a crash, a hang, or a
+// runaway allocation. tests/test_serve_wire_fuzz.cpp drives the same
+// mutation/truncation corpus pattern as the graph reader's fuzz suite.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/snapshot/snapshot.hpp"
+
+namespace optipar::serve {
+
+inline constexpr std::uint32_t kWireMagic = 0x4F505257u;  // "OPRW"
+inline constexpr std::size_t kFrameHeaderBytes = 12;      // magic,len,crc
+/// Default per-frame payload bound. Graph uploads dominate frame size; a
+/// peer claiming more than this is refused before any allocation.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Typed failure taxonomy of the receive/decode path.
+class WireError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kIo,           ///< socket read/write/connect failure (or timeout)
+    kClosed,       ///< peer closed cleanly between frames
+    kBadMagic,     ///< frame does not start with kWireMagic
+    kTooLarge,     ///< length prefix exceeds the frame bound
+    kTruncated,    ///< stream ended inside a frame
+    kBadChecksum,  ///< CRC32 mismatch
+    kMalformed,    ///< payload fails structural decode (Reader bounds)
+    kBadType,      ///< unknown or out-of-context MsgType
+  };
+
+  WireError(Kind kind, const std::string& what)
+      : std::runtime_error("wire: " + what), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+enum class MsgType : std::uint8_t {
+  // --- requests ---
+  kHealth = 1,
+  kUploadGraph = 2,
+  kRun = 3,
+  kEstimate = 4,
+  kStatus = 5,
+  kTrace = 6,
+  kServerStatus = 7,
+  kCancel = 8,
+  kShutdown = 9,
+  kMetrics = 10,
+  // --- responses ---
+  kOk = 64,
+  kErrorReply = 65,
+  kOverloaded = 66,
+  kJobAccepted = 67,
+  kJobStatus = 68,
+  kServerInfo = 69,
+  kText = 70,  ///< metrics exposition / trace JSONL
+};
+
+/// Application-level error codes carried by kErrorReply.
+enum class ErrorCode : std::uint8_t {
+  kBadRequest = 1,
+  kUnknownGraph = 2,
+  kUnknownJob = 3,
+  kShuttingDown = 4,
+  kInternal = 5,
+};
+
+[[nodiscard]] const char* msg_type_name(MsgType type) noexcept;
+[[nodiscard]] const char* error_code_name(ErrorCode code) noexcept;
+
+// ---------------------------------------------------------------------------
+// Byte-level framing (socket-free, so the fuzz tests can drive it directly)
+// ---------------------------------------------------------------------------
+
+/// Frame `payload`: header (magic, length, CRC32 over the payload) + bytes.
+[[nodiscard]] std::vector<std::byte> frame_bytes(
+    std::span<const std::byte> payload);
+
+/// Parse exactly one frame from `bytes` and return its payload. Throws
+/// WireError on any defect; trailing bytes after the frame are kMalformed.
+[[nodiscard]] std::vector<std::byte> unframe_bytes(
+    std::span<const std::byte> bytes,
+    std::size_t max_payload = kDefaultMaxFrameBytes);
+
+/// First byte of a decoded payload, validated to be a known MsgType.
+[[nodiscard]] MsgType peek_type(std::span<const std::byte> payload);
+
+// ---------------------------------------------------------------------------
+// Framed socket I/O
+// ---------------------------------------------------------------------------
+
+/// Write one frame to `fd` (handles partial writes / EINTR; MSG_NOSIGNAL
+/// semantics — a dead peer raises WireError{kIo}, never SIGPIPE).
+void send_frame(int fd, std::span<const std::byte> payload);
+
+/// Read one frame from `fd`. A clean EOF before any header byte raises
+/// kClosed; EOF inside a frame raises kTruncated; a hostile length prefix
+/// raises kTooLarge before any allocation.
+[[nodiscard]] std::vector<std::byte> recv_frame(
+    int fd, std::size_t max_payload = kDefaultMaxFrameBytes);
+
+// ---------------------------------------------------------------------------
+// Messages. Each struct encodes to / decodes from a payload whose first
+// byte is its MsgType. decode() validates the tag and consumes the payload
+// exactly (Reader::expect_end), so trailing garbage is kMalformed.
+// ---------------------------------------------------------------------------
+
+/// Job kinds a Run-family submission can carry.
+enum class JobKind : std::uint8_t { kRun = 0, kEstimate = 1 };
+
+struct UploadGraphRequest {
+  std::string name;  ///< registry key: [A-Za-z0-9_.-], <= 64 chars
+  std::string text;  ///< edge-list text (graph_io format)
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static UploadGraphRequest decode(
+      std::span<const std::byte> payload);
+};
+
+struct RunRequest {
+  std::string graph;               ///< uploaded graph name
+  std::string controller = "hybrid";
+  double rho = 0.25;
+  std::uint64_t seed = 1;
+  std::uint32_t steps = 100000;    ///< max rounds
+  std::uint32_t m0 = 0;            ///< 0 = controller default
+  std::uint32_t m_max = 0;         ///< 0 = controller default
+  std::int64_t timeout_ms = 0;     ///< 0 = server default (may be none)
+  std::uint32_t checkpoint_every = 0;  ///< 0 = server default
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static RunRequest decode(std::span<const std::byte> payload);
+};
+
+struct EstimateRequest {
+  std::string graph;
+  double rho = 0.25;
+  std::uint32_t trials = 400;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static EstimateRequest decode(
+      std::span<const std::byte> payload);
+};
+
+/// kStatus / kTrace / kCancel all carry one job id.
+struct JobIdRequest {
+  MsgType type = MsgType::kStatus;
+  std::uint64_t job = 0;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static JobIdRequest decode(std::span<const std::byte> payload);
+};
+
+struct ShutdownRequest {
+  bool drain = false;  ///< finish queued jobs (WAL order) before exit
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static ShutdownRequest decode(
+      std::span<const std::byte> payload);
+};
+
+struct MetricsRequest {
+  std::string format = "prometheus";  ///< "prometheus" | "json"
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static MetricsRequest decode(
+      std::span<const std::byte> payload);
+};
+
+/// Zero-field requests (kHealth, kServerStatus) encode as just the tag.
+[[nodiscard]] std::vector<std::byte> encode_empty(MsgType type);
+
+// --- responses -------------------------------------------------------------
+
+struct OkReply {
+  std::string message;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static OkReply decode(std::span<const std::byte> payload);
+};
+
+struct ErrorReply {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static ErrorReply decode(std::span<const std::byte> payload);
+};
+
+/// Typed backpressure: the admission queue is full. Not an ErrorReply —
+/// clients must be able to distinguish "retry later" from "bad request".
+struct OverloadedReply {
+  std::uint64_t queue_depth = 0;
+  std::uint64_t capacity = 0;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static OverloadedReply decode(
+      std::span<const std::byte> payload);
+};
+
+struct JobAcceptedReply {
+  std::uint64_t job = 0;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static JobAcceptedReply decode(
+      std::span<const std::byte> payload);
+};
+
+/// Job lifecycle states, shared with the WAL encoding (serve/job.hpp).
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,
+  kFailed = 3,
+  kCancelled = 4,
+  kTimedOut = 5,
+};
+
+[[nodiscard]] const char* job_state_name(JobState state) noexcept;
+
+struct JobStatusReply {
+  std::uint64_t job = 0;
+  JobState state = JobState::kQueued;
+  JobKind kind = JobKind::kRun;
+  std::uint64_t rounds = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t pending = 0;
+  double wasted = 0.0;
+  double mean_r = 0.0;
+  std::uint32_t mu = 0;        ///< estimate jobs: the operating point
+  bool resumed = false;        ///< restored from a checkpoint after restart
+  std::string error;           ///< failure detail (kFailed)
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static JobStatusReply decode(
+      std::span<const std::byte> payload);
+};
+
+struct ServerInfoReply {
+  std::uint64_t queued = 0;
+  std::uint64_t active = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;   ///< kOverloaded responses issued
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t resumed = 0;    ///< jobs restored from checkpoints
+  std::uint64_t lanes = 0;      ///< pool size
+  bool draining = false;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static ServerInfoReply decode(
+      std::span<const std::byte> payload);
+};
+
+struct TextReply {
+  std::string text;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static TextReply decode(std::span<const std::byte> payload);
+};
+
+/// Validate a graph-registry name: 1..64 chars of [A-Za-z0-9_.-], no
+/// leading dot. The registry maps names to files under the state dir, so
+/// this is the path-traversal gate.
+[[nodiscard]] bool valid_graph_name(const std::string& name) noexcept;
+
+}  // namespace optipar::serve

@@ -1,0 +1,53 @@
+// Wall-clock deadline for a unit of work (DESIGN.md §13). One abstraction
+// serves two hosts: `optipar_cli run/chaos --timeout-ms` and the serve
+// daemon's per-job deadlines — so deadline enforcement is testable without
+// a socket. A JobDeadline is checked at cooperative cancellation points
+// (round boundaries in the adaptive loop); it never interrupts a round in
+// flight, which keeps every interruption a clean, checkpointable state.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace optipar {
+
+class JobDeadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline: never expires.
+  JobDeadline() = default;
+
+  /// Expires `timeout_ms` from now; `timeout_ms <= 0` means unlimited.
+  [[nodiscard]] static JobDeadline after_ms(std::int64_t timeout_ms) {
+    JobDeadline d;
+    if (timeout_ms > 0) {
+      d.limited_ = true;
+      d.deadline_ = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    }
+    return d;
+  }
+
+  [[nodiscard]] bool unlimited() const noexcept { return !limited_; }
+
+  [[nodiscard]] bool expired() const noexcept {
+    return limited_ && Clock::now() >= deadline_;
+  }
+
+  /// Milliseconds until expiry (clamped at 0); a large sentinel when
+  /// unlimited so callers can min() it against poll intervals.
+  [[nodiscard]] std::int64_t remaining_ms() const noexcept {
+    if (!limited_) return kUnlimitedMs;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline_ - Clock::now());
+    return left.count() < 0 ? 0 : left.count();
+  }
+
+  static constexpr std::int64_t kUnlimitedMs = INT64_MAX / 2;
+
+ private:
+  bool limited_ = false;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace optipar

@@ -564,6 +564,54 @@ TEST(RecoveryLadder, BothGenerationsCorruptMeansCleanStart) {
   EXPECT_EQ(cp.rejected_candidates().size(), 2u);
 }
 
+TEST(RecoveryLadder, CorruptSnapshotsPlusTornJournalStillStartClean) {
+  // The combined worst case a crashing daemon can leave behind: BOTH
+  // snapshot generations rotted AND a torn record at the journal tail.
+  // Recovery must refuse every damaged artifact and fall all the way to a
+  // clean start — never loading corrupt state — and the rerun must still
+  // reproduce the reference trace from round 0.
+  const CsrGraph g = gen::union_of_cliques(60, 5);
+  constexpr std::uint64_t kSeed = 31;
+  AdaptiveRunConfig cfg;
+  const Trace reference = reference_run(g, kSeed, cfg);
+
+  const std::string dir = scratch_dir("worstcase");
+  CheckpointConfig ccfg;
+  ccfg.dir = dir;
+  ccfg.every = 2;
+  {
+    RunRig rig(g, kSeed);
+    ControllerParams params;
+    HybridController controller(params);
+    CheckpointManager cp(ccfg, graph_fingerprint(g));
+    AdaptiveRunConfig partial = cfg;
+    partial.max_rounds = 4;
+    partial.checkpoint = &cp;
+    (void)run_adaptive(rig.ex, controller, partial);
+    ASSERT_EQ(cp.snapshots_written(), 2u);
+  }
+  flip_byte(dir + "/snap-a.bin", snapshot::kFileHeaderBytes + 1);
+  flip_byte(dir + "/snap-b.bin", snapshot::kFileHeaderBytes + 1);
+  {
+    RoundJournal j(dir + "/journal.bin");
+    Writer torn;
+    torn.str("round record interrupted by the crash");
+    j.append_torn(torn.bytes(), 5);
+  }
+
+  RunRig rig(g, kSeed);
+  ControllerParams params;
+  HybridController controller(params);
+  CheckpointManager cp(ccfg, graph_fingerprint(g));
+  AdaptiveRunConfig resume = cfg;
+  resume.checkpoint = &cp;
+  const Trace resumed = run_adaptive(rig.ex, controller, resume);
+
+  expect_traces_equal(resumed, reference);
+  EXPECT_EQ(cp.rejected_candidates().size(), 2u);
+  EXPECT_TRUE(rig.ex.done());
+}
+
 TEST(RecoveryLadder, WrongRunIdentityIsNeverLoaded) {
   const CsrGraph g = gen::union_of_cliques(60, 5);
   constexpr std::uint64_t kSeed = 31;

@@ -1,0 +1,327 @@
+// Deterministic hostile-input corpus for the serve wire protocol
+// (DESIGN.md §13), mirroring the graph reader's fuzz suite: every corrupt
+// frame must be refused with the RIGHT WireError kind, and systematic
+// mutation/truncation sweeps over valid frames must never produce anything
+// but a clean decode or a typed error — no crash, no hang, no runaway
+// allocation. Everything runs on the socket-free frame_bytes/unframe_bytes
+// layer, so the exact bytes a hostile peer could send are exercised without
+// a daemon in the loop.
+#include "serve/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace optipar::serve {
+namespace {
+
+using Kind = WireError::Kind;
+
+std::vector<std::byte> bytes_of(std::initializer_list<unsigned> values) {
+  std::vector<std::byte> out;
+  out.reserve(values.size());
+  for (const unsigned v : values) {
+    out.push_back(static_cast<std::byte>(v & 0xFFu));
+  }
+  return out;
+}
+
+/// A small, valid framed request to mutate.
+std::vector<std::byte> valid_frame() {
+  RunRequest req;
+  req.graph = "g1";
+  req.controller = "hybrid";
+  req.seed = 7;
+  return frame_bytes(req.encode());
+}
+
+TEST(ServeWireFuzz, CorpusEntriesFailWithTypedErrors) {
+  struct Entry {
+    const char* name;
+    std::vector<std::byte> input;
+    Kind kind;
+  };
+  const auto valid = valid_frame();
+
+  std::vector<Entry> corpus;
+  corpus.push_back({"empty input", {}, Kind::kTruncated});
+  corpus.push_back({"half a magic", bytes_of({0x57, 0x52}), Kind::kTruncated});
+  corpus.push_back({"wrong magic",
+                    bytes_of({0xDE, 0xAD, 0xBE, 0xEF, 4, 0, 0, 0, 0, 0, 0, 0,
+                              1, 2, 3, 4}),
+                    Kind::kBadMagic});
+  // Snapshot-file magic in a wire frame: right family, wrong protocol.
+  corpus.push_back({"snapshot magic",
+                    bytes_of({0x4E, 0x53, 0x50, 0x4F, 0, 0, 0, 0, 0, 0, 0, 0}),
+                    Kind::kBadMagic});
+  {
+    // Length prefix claiming 4 GiB: must be refused BEFORE any allocation.
+    auto hostile = bytes_of({0x57, 0x52, 0x50, 0x4F,  // "OPRW" little-endian
+                             0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0});
+    corpus.push_back({"hostile length prefix", hostile, Kind::kTooLarge});
+  }
+  {
+    auto truncated = valid;
+    truncated.resize(truncated.size() - 1);
+    corpus.push_back({"clipped payload", truncated, Kind::kTruncated});
+  }
+  {
+    auto truncated = valid;
+    truncated.resize(kFrameHeaderBytes - 2);
+    corpus.push_back({"clipped header", truncated, Kind::kTruncated});
+  }
+  {
+    auto corrupt = valid;
+    corrupt.back() ^= std::byte{0x01};
+    corpus.push_back({"flipped payload bit", corrupt, Kind::kBadChecksum});
+  }
+  {
+    auto corrupt = valid;
+    corrupt[8] ^= std::byte{0x40};  // CRC field itself
+    corpus.push_back({"flipped crc bit", corrupt, Kind::kBadChecksum});
+  }
+  {
+    auto trailing = valid;
+    trailing.push_back(std::byte{0x00});
+    corpus.push_back({"trailing garbage", trailing, Kind::kMalformed});
+  }
+
+  for (const auto& entry : corpus) {
+    try {
+      (void)unframe_bytes(entry.input);
+      FAIL() << entry.name << ": decoded instead of throwing";
+    } catch (const WireError& e) {
+      EXPECT_EQ(e.kind(), entry.kind) << entry.name << ": " << e.what();
+    } catch (const std::exception& e) {
+      FAIL() << entry.name << ": untyped exception: " << e.what();
+    }
+  }
+}
+
+TEST(ServeWireFuzz, PayloadCorpusFailsWithTypedErrors) {
+  // CRC-valid frames whose PAYLOADS are hostile: the decode layer must
+  // answer with kMalformed/kBadType, never anything untyped.
+  struct Entry {
+    const char* name;
+    std::vector<std::byte> payload;
+    Kind kind;
+  };
+  std::vector<Entry> corpus;
+  corpus.push_back({"empty payload", {}, Kind::kMalformed});
+  corpus.push_back({"unknown tag", bytes_of({0xEE}), Kind::kBadType});
+  corpus.push_back({"tag zero", bytes_of({0x00}), Kind::kBadType});
+  {
+    // kRun tag with nothing behind it.
+    corpus.push_back({"run with no fields", bytes_of({3}), Kind::kMalformed});
+  }
+  {
+    // A valid RunRequest clipped mid-string.
+    RunRequest req;
+    req.graph = "graph-name";
+    auto payload = req.encode();
+    payload.resize(payload.size() / 2);
+    corpus.push_back({"run clipped", payload, Kind::kMalformed});
+  }
+  {
+    // Valid request with trailing garbage after a clean decode.
+    auto payload = encode_empty(MsgType::kHealth);
+    payload.push_back(std::byte{0x7F});
+    corpus.push_back({"health with trailer", payload, Kind::kMalformed});
+  }
+  {
+    // A string length pointing past the end of the payload: the bounds-
+    // checked reader must refuse without touching out-of-range memory.
+    auto payload = bytes_of({2});  // kUploadGraph
+    const auto huge = bytes_of({0xFF, 0xFF, 0xFF, 0x7F});
+    payload.insert(payload.end(), huge.begin(), huge.end());
+    corpus.push_back({"upload huge name length", payload, Kind::kMalformed});
+  }
+
+  for (const auto& entry : corpus) {
+    const auto framed = frame_bytes(entry.payload);
+    const auto recovered = unframe_bytes(framed);  // framing itself is fine
+    ASSERT_EQ(recovered, entry.payload) << entry.name;
+    try {
+      const MsgType type = peek_type(recovered);
+      switch (type) {
+        case MsgType::kUploadGraph:
+          (void)UploadGraphRequest::decode(recovered);
+          break;
+        case MsgType::kRun:
+          (void)RunRequest::decode(recovered);
+          break;
+        case MsgType::kHealth:
+          // Zero-field request: any trailing byte must already have been
+          // refused by a full decoder; emulate the server's strictness.
+          if (recovered.size() != 1) {
+            throw WireError(Kind::kMalformed, "health with payload");
+          }
+          break;
+        default:
+          (void)RunRequest::decode(recovered);
+          break;
+      }
+      FAIL() << entry.name << ": decoded instead of throwing";
+    } catch (const WireError& e) {
+      EXPECT_EQ(e.kind(), entry.kind) << entry.name << ": " << e.what();
+    } catch (const std::exception& e) {
+      FAIL() << entry.name << ": untyped exception: " << e.what();
+    }
+  }
+}
+
+TEST(ServeWireFuzz, MutationSweepNeverEscapesTheTaxonomy) {
+  // Flip every byte of a valid frame through a set of hostile values. Each
+  // mutant must either decode back to a valid payload (only possible when
+  // the mutation missed every load-bearing byte — with a CRC in the frame,
+  // effectively never) or raise a typed WireError.
+  const auto original = valid_frame();
+  const unsigned char mutations[] = {0x00, 0xFF, 0x4F, 0x01, 0x80};
+  std::size_t decoded = 0;
+  std::size_t refused = 0;
+  for (std::size_t pos = 0; pos < original.size(); ++pos) {
+    for (const unsigned char mut : mutations) {
+      auto mutant = original;
+      if (mutant[pos] == std::byte{mut}) continue;
+      mutant[pos] = std::byte{mut};
+      try {
+        const auto payload = unframe_bytes(mutant);
+        (void)RunRequest::decode(payload);
+        ++decoded;
+      } catch (const WireError&) {
+        ++refused;
+      } catch (const std::exception& e) {
+        FAIL() << "pos " << pos << " mut " << static_cast<int>(mut)
+               << ": untyped exception: " << e.what();
+      }
+    }
+  }
+  EXPECT_GT(refused, 0u);
+  // The CRC makes a silently-accepted mutation of the payload impossible;
+  // only header-adjacent no-ops could ever decode.
+  EXPECT_EQ(decoded, 0u);
+}
+
+TEST(ServeWireFuzz, TruncationSweepNeverEscapesTheTaxonomy) {
+  const auto original = valid_frame();
+  for (std::size_t len = 0; len < original.size(); ++len) {
+    const std::span<const std::byte> cut(original.data(), len);
+    try {
+      (void)unframe_bytes(cut);
+      FAIL() << "truncation at " << len << " decoded";
+    } catch (const WireError& e) {
+      EXPECT_TRUE(e.kind() == Kind::kTruncated ||
+                  e.kind() == Kind::kBadMagic || e.kind() == Kind::kTooLarge)
+          << "truncation at " << len << ": " << e.what();
+    } catch (const std::exception& e) {
+      FAIL() << "truncation at " << len << ": untyped exception: "
+             << e.what();
+    }
+  }
+}
+
+TEST(ServeWireFuzz, MessageRoundTrips) {
+  // The constructive counterpart: every message type round-trips through
+  // encode → frame → unframe → decode unchanged.
+  {
+    UploadGraphRequest a;
+    a.name = "mesh-4k";
+    a.text = "p 2 1\n0 1\n";
+    const auto b = UploadGraphRequest::decode(unframe_bytes(
+        frame_bytes(a.encode())));
+    EXPECT_EQ(b.name, a.name);
+    EXPECT_EQ(b.text, a.text);
+  }
+  {
+    RunRequest a;
+    a.graph = "mesh-4k";
+    a.controller = "recurrence-B";
+    a.rho = 0.3;
+    a.seed = 99;
+    a.steps = 1234;
+    a.m0 = 8;
+    a.m_max = 256;
+    a.timeout_ms = 1500;
+    a.checkpoint_every = 4;
+    const auto b = RunRequest::decode(a.encode());
+    EXPECT_EQ(b.graph, a.graph);
+    EXPECT_EQ(b.controller, a.controller);
+    EXPECT_DOUBLE_EQ(b.rho, a.rho);
+    EXPECT_EQ(b.seed, a.seed);
+    EXPECT_EQ(b.steps, a.steps);
+    EXPECT_EQ(b.m0, a.m0);
+    EXPECT_EQ(b.m_max, a.m_max);
+    EXPECT_EQ(b.timeout_ms, a.timeout_ms);
+    EXPECT_EQ(b.checkpoint_every, a.checkpoint_every);
+  }
+  {
+    JobStatusReply a;
+    a.job = 42;
+    a.state = JobState::kTimedOut;
+    a.kind = JobKind::kRun;
+    a.rounds = 17;
+    a.committed = 1000;
+    a.pending = 24;
+    a.wasted = 0.125;
+    a.mean_r = 0.22;
+    a.resumed = true;
+    a.error = "deadline exceeded after 17 rounds";
+    const auto b = JobStatusReply::decode(a.encode());
+    EXPECT_EQ(b.job, a.job);
+    EXPECT_EQ(b.state, a.state);
+    EXPECT_EQ(b.rounds, a.rounds);
+    EXPECT_EQ(b.committed, a.committed);
+    EXPECT_EQ(b.pending, a.pending);
+    EXPECT_DOUBLE_EQ(b.wasted, a.wasted);
+    EXPECT_TRUE(b.resumed);
+    EXPECT_EQ(b.error, a.error);
+  }
+  {
+    ServerInfoReply a;
+    a.queued = 3;
+    a.active = 2;
+    a.capacity = 8;
+    a.submitted = 40;
+    a.rejected = 11;
+    a.completed = 30;
+    a.failed = 2;
+    a.cancelled = 1;
+    a.timed_out = 2;
+    a.resumed = 4;
+    a.lanes = 4;
+    a.draining = true;
+    const auto b = ServerInfoReply::decode(a.encode());
+    EXPECT_EQ(b.queued, a.queued);
+    EXPECT_EQ(b.rejected, a.rejected);
+    EXPECT_EQ(b.resumed, a.resumed);
+    EXPECT_TRUE(b.draining);
+  }
+  {
+    OverloadedReply a;
+    a.queue_depth = 8;
+    a.capacity = 8;
+    const auto b = OverloadedReply::decode(a.encode());
+    EXPECT_EQ(b.queue_depth, 8u);
+    EXPECT_EQ(b.capacity, 8u);
+  }
+}
+
+TEST(ServeWireFuzz, GraphNameValidationGatesTraversal) {
+  EXPECT_TRUE(valid_graph_name("g1"));
+  EXPECT_TRUE(valid_graph_name("mesh-4k_v2.txt"));
+  EXPECT_FALSE(valid_graph_name(""));
+  EXPECT_FALSE(valid_graph_name(std::string(65, 'a')));
+  EXPECT_FALSE(valid_graph_name("../escape"));
+  EXPECT_FALSE(valid_graph_name("a/b"));
+  EXPECT_FALSE(valid_graph_name(".hidden"));
+  EXPECT_FALSE(valid_graph_name("name with spaces"));
+  EXPECT_FALSE(valid_graph_name(std::string("nul\0byte", 8)));
+}
+
+}  // namespace
+}  // namespace optipar::serve

@@ -50,6 +50,7 @@
 
 #include "control/baselines.hpp"
 #include "control/extra.hpp"
+#include "control/factory.hpp"
 #include "control/hybrid.hpp"
 #include "control/recurrence.hpp"
 #include "graph/generators.hpp"
@@ -66,8 +67,10 @@
 #include "sim/run_loop.hpp"
 #include "sim/trace.hpp"
 #include "support/csv.hpp"
+#include "support/deadline.hpp"
 #include "support/failure_policy.hpp"
 #include "support/options.hpp"
+#include "support/snapshot/snapshot.hpp"
 #include "support/telemetry/metrics_registry.hpp"
 #include "support/telemetry/telemetry.hpp"
 #include "support/thread_pool.hpp"
@@ -76,38 +79,32 @@ namespace {
 
 using namespace optipar;
 
+// Process exit codes, shared with optipar_serve and documented in
+// README.md ("Exit codes"): scripts can distinguish WHY a run failed
+// without parsing stderr.
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitError = 1,     ///< generic runtime failure / chaos verdict fail
+  kExitUsage = 2,     ///< bad subcommand or option value
+  kExitGraphIo = 3,   ///< GraphIoError: unreadable/hostile graph input
+  kExitSnapshot = 4,  ///< SnapshotError: unusable checkpoint/snapshot state
+  kExitLivelock = 5,  ///< LivelockError: no allocation can commit the work
+  kExitDeadline = 6,  ///< --timeout-ms expired (JobInterrupted)
+};
+
 int usage() {
   std::cerr <<
       "usage: optipar_cli"
       " <gen|curve|mu|theory|control|seating|chaos|run|metrics>"
       " [--options]\n"
-      "run with a subcommand and no options to see its parameters\n";
-  return 2;
+      "run with a subcommand and no options to see its parameters\n"
+      "exit codes: 0 ok, 1 error, 2 usage, 3 graph-io, 4 snapshot,"
+      " 5 livelock, 6 deadline\n";
+  return kExitUsage;
 }
 
-/// Shared controller factory (`control`, `run`, `chaos`). Returns nullptr
-/// for an unknown name.
-std::unique_ptr<Controller> make_controller(const std::string& name,
-                                            const ControllerParams& params) {
-  if (name == "hybrid") return std::make_unique<HybridController>(params);
-  if (name == "recurrence-A") {
-    return std::make_unique<RecurrenceAController>(params);
-  }
-  if (name == "recurrence-B") {
-    return std::make_unique<RecurrenceBController>(params);
-  }
-  if (name == "bisection") {
-    return std::make_unique<BisectionController>(params);
-  }
-  if (name == "aimd") return std::make_unique<AimdController>(params);
-  if (name == "pid") return std::make_unique<PidController>(params);
-  if (name == "ewma") return std::make_unique<EwmaHybridController>(params);
-  if (name.rfind("fixed-", 0) == 0) {
-    return std::make_unique<FixedController>(
-        static_cast<std::uint32_t>(std::stoul(name.substr(6))));
-  }
-  return nullptr;
-}
+// The controller factory is shared with the serve daemon
+// (control/factory.hpp): both hosts accept exactly the same names.
 
 // --- telemetry plumbing shared by run/curve/mu/chaos -----------------------
 
@@ -529,11 +526,18 @@ int cmd_chaos(const Options& opt) {
   AdaptiveRunConfig config;
   config.max_rounds =
       static_cast<std::uint32_t>(opt.get_int("rounds", 100000));
+  config.deadline = JobDeadline::after_ms(opt.get_int("timeout-ms", 0));
 
   bool livelock = false;
   Trace trace;
   try {
     trace = run_adaptive(ex, controller, config);
+  } catch (const JobInterrupted& e) {
+    // An expired --timeout-ms leaves the run incomplete by design; the
+    // recovery invariants below would fail vacuously, so report the
+    // interruption as its own typed outcome instead.
+    std::cerr << "deadline: " << e.what() << "\n";
+    return kExitDeadline;
   } catch (const LivelockError& e) {
     livelock = true;
     // Keep the partial trace: the stalling round's record and the kLivelock
@@ -597,7 +601,7 @@ int cmd_chaos(const Options& opt) {
             << " lock_leaks=" << lock_leaks
             << " state=" << (state_ok ? "ok" : "corrupt")
             << " verdict=" << (ok ? "pass" : "fail") << "\n";
-  return ok ? 0 : 1;
+  return ok ? kExitOk : kExitError;
 }
 
 CrashPoint parse_crash_point(const std::string& name) {
@@ -658,6 +662,11 @@ int cmd_run(const Options& opt) {
   AdaptiveRunConfig config;
   config.max_rounds =
       static_cast<std::uint32_t>(opt.get_int("steps", 100000));
+  // Wall-clock budget, checked at round boundaries (the same JobDeadline
+  // the serve daemon applies per job). Expiry exits with kExitDeadline
+  // after a forced checkpoint when --checkpoint-dir is armed, so a timed-
+  // out run is resumable with --resume.
+  config.deadline = JobDeadline::after_ms(opt.get_int("timeout-ms", 0));
 
   std::unique_ptr<CheckpointManager> checkpoint;
   if (opt.has("checkpoint-dir")) {
@@ -686,6 +695,7 @@ int cmd_run(const Options& opt) {
   }
 
   bool livelock = false;
+  bool deadline_exceeded = false;
   Trace trace;
   try {
     trace = run_adaptive(ex, *controller, config);
@@ -693,6 +703,10 @@ int cmd_run(const Options& opt) {
     livelock = true;
     trace = e.partial_trace;
     std::cerr << "livelock: " << e.what() << "\n";
+  } catch (const JobInterrupted& e) {
+    deadline_exceeded = true;
+    trace = e.partial_trace;
+    std::cerr << "deadline: " << e.what() << "\n";
   }
 
   Table t({"step", "m", "launched", "committed", "aborted", "pending", "r"});
@@ -722,7 +736,9 @@ int cmd_run(const Options& opt) {
   if (opt.has("trace-out")) {
     write_trace_file(opt.get("trace-out", ""), &trace, &tel);
   }
-  return livelock ? 1 : 0;
+  if (livelock) return kExitLivelock;
+  if (deadline_exceeded) return kExitDeadline;
+  return kExitOk;
 }
 
 int cmd_metrics(const Options& opt) {
@@ -799,9 +815,18 @@ int main(int argc, char** argv) {
     if (command == "chaos") return cmd_chaos(opt);
     if (command == "run") return cmd_run(opt);
     if (command == "metrics") return cmd_metrics(opt);
+  } catch (const io::GraphIoError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitGraphIo;
+  } catch (const snapshot::SnapshotError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitSnapshot;
+  } catch (const LivelockError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitLivelock;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return kExitError;
   }
   return usage();
 }
