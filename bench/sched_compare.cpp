@@ -1,0 +1,192 @@
+// SCHED-COMPARE — the three draw backends (DESIGN.md §14) head-to-head on
+// the paper's irregular-graph workloads: the paper's random draw, the
+// zero-abort chromatic rounds, and the MultiQueue-relaxed priority draw.
+// For each workload × backend: time-to-solution, rounds, launched /
+// committed / aborted, conflict ratio. Emits a JSON document that
+// scripts/run_bench.sh merges into BENCH_rt.json["sched_compare"] and
+// gates with the chromatic sentinel (zero aborts AND tts no worse than
+// random).
+//
+// Timing discipline: --reps (default 3) full runs per cell, keep the
+// fastest — same min-of-probes rejection of scheduler spikes as the
+// telemetry-overhead probes in run_bench.sh.
+//
+// Usage: sched_compare [--nodes=4000] [--threads=4] [--m=256] [--reps=3]
+//                      [--out=FILE]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/coloring/coloring.hpp"
+#include "apps/mis/mis.hpp"
+#include "bench_common.hpp"
+#include "graph/algos.hpp"
+#include "rt/spec_executor.hpp"
+#include "sched/scheduler.hpp"
+
+using namespace optipar;
+
+namespace {
+
+struct CellResult {
+  double time_ms = 0.0;
+  std::uint64_t rounds = 0;
+  std::uint64_t launched = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  bool correct = false;
+
+  [[nodiscard]] double conflict_ratio() const {
+    return launched == 0
+               ? 0.0
+               : static_cast<double>(aborted) / static_cast<double>(launched);
+  }
+};
+
+struct SchedWorkload {
+  std::string name;
+  const CsrGraph* graph = nullptr;
+  std::string app;  ///< "coloring" | "mis"
+};
+
+/// One full drain of `app` on `g` under `backend`. The operator and its
+/// oracle are the real application kernels; the only variable is who owns
+/// the draw.
+CellResult run_cell(const SchedWorkload& wl, sched::Backend backend,
+                    ThreadPool& pool, std::uint32_t m, std::uint64_t seed) {
+  const CsrGraph& g = *wl.graph;
+  RoundOptions opts;
+  opts.scheduler = backend;
+
+  coloring::ColoringState colors(g.num_nodes());
+  mis::MisState mis_state(g.num_nodes());
+  TaskOperator op = wl.app == "coloring"
+                        ? coloring::make_coloring_operator(g, colors)
+                        : mis::make_mis_operator(g, mis_state);
+
+  CellResult out;
+  const auto t0 = std::chrono::steady_clock::now();
+  SpeculativeExecutor ex(pool, g.num_nodes(), op, seed, opts);
+  if (backend == sched::Backend::kChromatic) {
+    ex.set_footprint_function(
+        [&g](TaskId t, std::vector<std::uint32_t>& fp) {
+          const auto v = static_cast<NodeId>(t);
+          fp.push_back(v);
+          for (const NodeId u : g.neighbors(v)) fp.push_back(u);
+        });
+  } else if (backend == sched::Backend::kRelaxed) {
+    ex.set_priority_function([](TaskId t) { return t; });
+  }
+  std::vector<TaskId> initial(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) initial[v] = v;
+  ex.push_initial(initial);
+  std::uint64_t guard = 0;
+  while (!ex.done() && guard++ < 1000000) (void)ex.run_round(m);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  out.time_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.rounds = ex.totals().rounds;
+  out.launched = ex.totals().launched;
+  out.committed = ex.totals().committed;
+  out.aborted = ex.totals().aborted;
+  out.correct = wl.app == "coloring"
+                    ? colors.is_proper(g)
+                    : is_maximal_independent_set(g, mis_state.in_set());
+  return out;
+}
+
+void emit_cell(std::ostream& os, const std::string& backend,
+               const CellResult& r, bool last) {
+  os << "   \"" << backend << "\": {"
+     << "\"time_ms\": " << r.time_ms << ", \"rounds\": " << r.rounds
+     << ", \"launched\": " << r.launched
+     << ", \"committed\": " << r.committed << ", \"aborted\": " << r.aborted
+     << ", \"conflict_ratio\": " << r.conflict_ratio()
+     << ", \"correct\": " << (r.correct ? "true" : "false") << "}"
+     << (last ? "" : ",") << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  const auto nodes = static_cast<NodeId>(opt.get_int("nodes", 4000));
+  const auto threads = static_cast<std::size_t>(opt.get_int("threads", 4));
+  const auto m = static_cast<std::uint32_t>(opt.get_int("m", 256));
+  const int reps = static_cast<int>(opt.get_int("reps", 3));
+  ThreadPool pool(threads);
+
+  // The paper's irregular inputs: a skewed RMAT power-law graph and a
+  // Barabási–Albert preferential-attachment graph — both conflict-dense
+  // enough that the draw policy is the dominant cost driver.
+  Rng rmat_rng(101);
+  const CsrGraph rmat_graph =
+      gen::rmat(nodes, static_cast<std::uint64_t>(nodes) * 8, 0.55, 0.15,
+                0.15, rmat_rng);
+  Rng ba_rng(102);
+  const CsrGraph ba_graph = gen::barabasi_albert(nodes, 8, ba_rng);
+
+  const std::vector<SchedWorkload> workloads = {
+      {"rmat-coloring", &rmat_graph, "coloring"},
+      {"rmat-mis", &rmat_graph, "mis"},
+      {"ba-coloring", &ba_graph, "coloring"},
+      {"ba-mis", &ba_graph, "mis"},
+  };
+  const std::vector<std::pair<std::string, sched::Backend>> backends = {
+      {"random", sched::Backend::kRandom},
+      {"chromatic", sched::Backend::kChromatic},
+      {"relaxed", sched::Backend::kRelaxed},
+  };
+
+  std::ostringstream json;
+  json << "{\n \"nodes\": " << nodes << ",\n \"threads\": " << threads
+       << ",\n \"m\": " << m << ",\n \"reps\": " << reps
+       << ",\n \"workloads\": {\n";
+  bool first_wl = true;
+  for (const SchedWorkload& wl : workloads) {
+    bench::banner(wl.name + " (" + std::to_string(nodes) + " nodes, m=" +
+                  std::to_string(m) + ")");
+    if (!first_wl) json << "  ,\n";
+    first_wl = false;
+    json << "  \"" << wl.name << "\": {\n";
+    for (std::size_t b = 0; b < backends.size(); ++b) {
+      const auto& [name, backend] = backends[b];
+      CellResult best;
+      for (int rep = 0; rep < reps; ++rep) {
+        const CellResult r = run_cell(wl, backend, pool, m, 33 + rep);
+        if (rep == 0 || r.time_ms < best.time_ms) best = r;
+      }
+      std::cout << "  " << name << ": " << best.time_ms << " ms, "
+                << best.rounds << " rounds, aborted " << best.aborted
+                << " / launched " << best.launched << " (r="
+                << best.conflict_ratio() << ") correct="
+                << (best.correct ? "yes" : "NO") << "\n";
+      emit_cell(json, name, best, b + 1 == backends.size());
+      if (!best.correct) {
+        std::cerr << "sched_compare: " << wl.name << "/" << name
+                  << " produced an INCORRECT answer\n";
+        return 1;
+      }
+    }
+    json << "  }\n";
+  }
+  json << " }\n}\n";
+
+  if (opt.has("out")) {
+    std::ofstream os(opt.get("out", ""));
+    if (!os) {
+      std::cerr << "sched_compare: cannot open --out="
+                << opt.get("out", "") << "\n";
+      return 1;
+    }
+    os << json.str();
+  } else {
+    bench::banner("json");
+    std::cout << json.str();
+  }
+  return 0;
+}

@@ -18,7 +18,8 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 status=0
 for bin in test_checkpoint test_graph_io test_graph_io_fuzz \
            test_serve_wire_fuzz test_serve test_deadline \
-           test_executor_chaos test_spec_executor test_simd_kernels; do
+           test_executor_chaos test_spec_executor test_simd_kernels \
+           test_scheduler; do
   echo "== asan+ubsan: $bin =="
   if ! "build-asan/tests/$bin"; then
     status=1

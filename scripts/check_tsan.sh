@@ -15,8 +15,8 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 
 status=0
 for bin in test_spec_executor test_executor_chaos test_thread_pool \
-           test_item_lock test_deadline test_serve chaos_test \
-           pipeline_stress_test; do
+           test_item_lock test_deadline test_serve test_scheduler \
+           chaos_test pipeline_stress_test; do
   echo "== tsan: $bin =="
   if ! "build-tsan/tests/$bin"; then
     status=1

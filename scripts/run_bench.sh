@@ -58,12 +58,13 @@ if [[ -n "${BUILD_DIR:-}" ]]; then
     echo "run_bench.sh: BUILD_DIR=$BUILD does not exist" >&2
     exit 1
   fi
-  cmake --build "$BUILD" --target perf_micro model_sampling -j"$(nproc)"
+  cmake --build "$BUILD" --target perf_micro model_sampling sched_compare \
+    -j"$(nproc)"
 else
   BUILD="$ROOT/build-release"
   cmake --preset release -S "$ROOT" >/dev/null
   cmake --build --preset release --target perf_micro model_sampling \
-    -j"$(nproc)"
+    sched_compare -j"$(nproc)"
 fi
 
 run_one() {  # run_one <binary> <raw-json-out>
@@ -77,10 +78,21 @@ run_one() {  # run_one <binary> <raw-json-out>
 
 RAW_RT="$(mktemp)"
 RAW_MODEL="$(mktemp)"
+RAW_SCHED="$(mktemp)"
 PROBE_DIR="$(mktemp -d)"
-trap 'rm -f "$RAW_RT" "$RAW_MODEL"; rm -rf "$PROBE_DIR"' EXIT
+trap 'rm -f "$RAW_RT" "$RAW_MODEL" "$RAW_SCHED"; rm -rf "$PROBE_DIR"' EXIT
 run_one perf_micro "$RAW_RT"
 run_one model_sampling "$RAW_MODEL"
+
+# Scheduler-backend head-to-head (DESIGN.md §14): random vs chromatic vs
+# relaxed on the RMAT / Barabási–Albert workloads. Lands in
+# BENCH_rt.json["sched_compare"]; the chromatic sentinel below demands
+# zero aborts AND time-to-solution no worse than the paper's random draw.
+"$BUILD/bench/sched_compare" \
+  --nodes="${SCHED_NODES:-4000}" \
+  --threads="${SCHED_THREADS:-4}" \
+  --reps="${SCHED_REPS:-3}" \
+  --out="$RAW_SCHED"
 
 # Paired telemetry-overhead probes (see header). Each probe repeats the
 # pair three times and the reducer takes the per-side MIN within the probe
@@ -95,7 +107,8 @@ for i in $(seq 1 "$PROBES"); do
     > "$PROBE_DIR/probe_$i.json" 2>/dev/null
 done
 
-python3 - "$RAW_RT" "$ROOT/BENCH_rt.json" "$BASELINE" "$PROBE_DIR" <<'EOF'
+python3 - "$RAW_RT" "$ROOT/BENCH_rt.json" "$BASELINE" "$PROBE_DIR" \
+  "$RAW_SCHED" <<'EOF'
 import json
 import sys
 
@@ -205,8 +218,45 @@ if baseline_path and disabled:
                 f"baseline (guard {guard:.0%}) — the disabled path must "
                 "stay free")
 
+# Scheduler head-to-head + chromatic sentinel (DESIGN.md §14). The
+# chromatic backend's contract is structural (a proper coloring admits no
+# same-round conflict), so aborts==0 is exact on EVERY workload. The tts
+# bound is gated on the coloring workloads only: there random re-executes
+# most of each round (conflict ratio > 0.9), so chromatic wins 10-20x
+# with margin to spare. On the moderate-conflict MIS workloads chromatic
+# is round-bound (one color class per round) and tts is a wash — recorded,
+# not gated. SCHED_TTS_SLACK (default 1.0) exists for noisy hosts.
+import os as _os
+
+sched = json.load(open(sys.argv[5]))
+doc["sched_compare"] = sched
+slack = float(_os.environ.get("SCHED_TTS_SLACK", "1.0"))
+for wl, cells in sched.get("workloads", {}).items():
+    chromatic, random_ = cells.get("chromatic"), cells.get("random")
+    if not chromatic or not random_:
+        failures.append(f"sched_compare/{wl}: missing backend cell")
+        continue
+    if chromatic["aborted"] != 0:
+        failures.append(f"sched_compare/{wl}: chromatic aborted "
+                        f"{chromatic['aborted']} tasks (must be 0)")
+    if (wl.endswith("-coloring") and
+            chromatic["time_ms"] > random_["time_ms"] * slack):
+        failures.append(
+            f"sched_compare/{wl}: chromatic tts {chromatic['time_ms']:.1f} "
+            f"ms exceeds random {random_['time_ms']:.1f} ms x {slack}")
+    for name, cell in cells.items():
+        if not cell.get("correct", False):
+            failures.append(f"sched_compare/{wl}/{name}: incorrect answer")
+
 json.dump(doc, open(out_path, "w"), indent=1)
 print(f"wrote {out_path}")
+for wl, cells in sched.get("workloads", {}).items():
+    r, c = cells.get("random", {}), cells.get("chromatic", {})
+    if r and c and c["time_ms"] > 0:
+        print(f"  sched_compare {wl:15s} random {r['time_ms']:>8.1f} ms "
+              f"(aborted {r['aborted']}) -> chromatic {c['time_ms']:>8.1f} "
+              f"ms (aborted {c['aborted']}, "
+              f"{r['time_ms'] / c['time_ms']:.2f}x)")
 for b in doc.get("benchmarks", []):
     if "speedup" in b:
         print(f"  {b['name']:45s} {b['baseline_real_time']:>12.0f} ns -> "
@@ -217,7 +267,7 @@ if to and "overhead" in to:
           f"(budget {to['budget']:.0%}, median of {len(to['probe_ratios'])} "
           "paired probes)")
 if failures:
-    sys.exit("run_bench.sh: telemetry sentinel tripped:\n  "
+    sys.exit("run_bench.sh: telemetry/scheduler sentinel tripped:\n  "
              + "\n  ".join(failures))
 EOF
 

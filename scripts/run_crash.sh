@@ -119,6 +119,47 @@ cmp -s "$WORK/ref.rounds" "$WORK/cs.rounds" \
   || fail "clean start after corrupting both snapshots diverged"
 echo "run_crash: corrupt-both clean start byte-identical"
 
+# --- 5. Scheduler backends: same contract under chromatic and relaxed. -----
+# Each non-default draw backend must survive a mid-run kill and resume
+# byte-identically against its OWN uninterrupted reference (the backends
+# draw in different orders, so each gets its own trace scope). Also pins
+# the CLI's unknown-backend refusal to the usage exit code.
+for backend in chromatic relaxed; do
+  SARGS=("${ARGS[@]}" --scheduler="$backend")
+  "${CLI}" "${SARGS[@]}" --trace-out="$WORK/s_ref.jsonl" >/dev/null \
+    || fail "$backend: reference run failed"
+  rounds_of "$WORK/s_ref.jsonl" >"$WORK/s_ref.rounds"
+  [[ -s "$WORK/s_ref.rounds" ]] \
+    || fail "$backend: reference run produced no rounds"
+
+  rm -rf "$CKPT"
+  set +e
+  "${CLI}" "${SARGS[@]}" --checkpoint-dir="$CKPT" --checkpoint-every=3 \
+           --crash-point=after-rename --crash-round=4 >/dev/null 2>&1
+  rc=$?
+  set -e
+  [[ "$rc" -eq 137 ]] || fail "$backend: expected _Exit(137), got rc=$rc"
+
+  "${CLI}" "${SARGS[@]}" --checkpoint-dir="$CKPT" --resume \
+           --trace-out="$WORK/s_res.jsonl" >/dev/null \
+    || fail "$backend: resume run failed"
+  rounds_of "$WORK/s_res.jsonl" >"$WORK/s_res.rounds"
+  if cmp -s "$WORK/s_ref.rounds" "$WORK/s_res.rounds"; then
+    echo "run_crash: $backend backend resume byte-identical"
+  else
+    fail "$backend: resumed trace differs from reference"
+  fi
+done
+
+set +e
+"${CLI}" run --family=cliques --n=60 --d=5 --scheduler=bogus \
+         >/dev/null 2>&1
+rc=$?
+set -e
+[[ "$rc" -eq 2 ]] \
+  || fail "unknown --scheduler should exit 2 (usage), got rc=$rc"
+echo "run_crash: unknown scheduler refused with usage exit"
+
 if [[ $status -eq 0 ]]; then
   echo "run_crash: all crash-recovery invariants hold"
 fi

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sched/chromatic_scheduler.hpp"
 #include "support/barrier.hpp"
 #include "support/cpu.hpp"
 #include "support/snapshot/snapshot.hpp"
@@ -87,11 +88,30 @@ SpeculativeExecutor::SpeculativeExecutor(ThreadPool& pool, std::size_t items,
                                          TaskOperator op, std::uint64_t seed,
                                          WorklistPolicy policy,
                                          ArbitrationPolicy arbitration)
+    : SpeculativeExecutor(pool, items, std::move(op), seed,
+                          RoundOptions{policy, arbitration,
+                                       sched::Backend::kRandom, 4}) {}
+
+SpeculativeExecutor::SpeculativeExecutor(ThreadPool& pool, std::size_t items,
+                                         TaskOperator op, std::uint64_t seed,
+                                         const RoundOptions& options)
     : pool_(pool), locks_(items), op_(std::move(op)), rng_(seed),
-      policy_wl_(policy), arbitration_(arbitration),
+      policy_wl_(options.worklist), arbitration_(options.arbitration),
       shard_count_(std::max<std::size_t>(1, pool.size())),
-      shards_(std::make_unique<Shard[]>(shard_count_)),
       backoff_seed_(seed ^ 0x6c62272e07bb0142ULL) {
+  if (options.scheduler != sched::Backend::kRandom &&
+      options.worklist != WorklistPolicy::kRandom) {
+    throw std::invalid_argument(
+        "SpeculativeExecutor: worklist policies are a random-backend draw "
+        "knob; the chromatic/relaxed backends require the default worklist");
+  }
+  sched::SchedulerConfig config;
+  config.worklist = options.worklist;
+  config.shard_count = shard_count_;
+  config.seed = seed;
+  config.relaxed_queues_per_lane = options.relaxed_queues_per_lane;
+  sched_ = sched::make_scheduler(options.scheduler, config);
+  sched_->set_error_sink([this] { record_round_error(); });
   // Helper lanes get independent draw streams derived from the seed with a
   // PRF — NOT splits of rng_, whose state must stay byte-identical to a
   // single-lane executor's until the first draw.
@@ -118,52 +138,38 @@ void SpeculativeExecutor::set_telemetry(telemetry::RuntimeTelemetry* sink) {
 }
 
 void SpeculativeExecutor::push_initial(std::span<const TaskId> tasks) {
-  if (policy_wl_ == WorklistPolicy::kPriority) {
-    const std::lock_guard lock(worklist_mutex_);
-    if (!priority_fn_) {
-      throw std::logic_error(
-          "SpeculativeExecutor: kPriority requires set_priority_function");
-    }
-    for (const TaskId t : tasks) priority_heap_.emplace(priority_fn_(t), t);
-    return;
-  }
-  if (shard_count_ == 1) {
-    Shard& s = shards_[0];
-    const std::lock_guard guard(s.mutex);
-    s.tasks.insert(s.tasks.end(), tasks.begin(), tasks.end());
-    return;
-  }
-  // Deal round-robin across shards, continuing where the last push left off
-  // so repeated small pushes stay balanced.
-  const std::size_t start =
-      push_cursor_.fetch_add(tasks.size(), std::memory_order_relaxed) %
-      shard_count_;
-  for (std::size_t s = 0; s < shard_count_; ++s) {
-    Shard& shard = shards_[s];
-    const std::lock_guard guard(shard.mutex);
-    for (std::size_t i = (s + shard_count_ - start) % shard_count_;
-         i < tasks.size(); i += shard_count_) {
-      shard.tasks.push_back(tasks[i]);
-    }
-  }
+  sched_->push(tasks);
 }
 
 void SpeculativeExecutor::set_priority_function(
     std::function<std::uint64_t(TaskId)> fn) {
-  const std::lock_guard lock(worklist_mutex_);
-  priority_fn_ = std::move(fn);
+  // Two consumers: the scheduler orders draws with it; the executor copy
+  // feeds launch-time arbitration priorities (kPriorityWins).
+  priority_fn_ = fn;
+  sched_->set_priority_function(std::move(fn));
+}
+
+void SpeculativeExecutor::set_footprint_function(sched::FootprintFn fn) {
+  auto* chromatic = dynamic_cast<sched::ChromaticScheduler*>(sched_.get());
+  if (chromatic == nullptr) {
+    throw std::logic_error(
+        "SpeculativeExecutor: set_footprint_function requires the "
+        "chromatic scheduler backend");
+  }
+  chromatic->set_footprint_function(std::move(fn));
+}
+
+void SpeculativeExecutor::invalidate_schedule() {
+  if (auto* chromatic =
+          dynamic_cast<sched::ChromaticScheduler*>(sched_.get())) {
+    chromatic->invalidate_pending();
+  }
 }
 
 std::size_t SpeculativeExecutor::pending() const {
   // The overlapped-draw buffer is logically still the work-set: tasks in
   // it were drawn for round t+1 but not yet launched.
-  std::size_t total = deferred_.size() + prefetched_.size();
-  for (std::size_t s = 0; s < shard_count_; ++s) {
-    const std::lock_guard guard(shards_[s].mutex);
-    total += shards_[s].tasks.size() - shards_[s].head;
-  }
-  const std::lock_guard lock(worklist_mutex_);
-  return total + priority_heap_.size();
+  return deferred_.size() + prefetched_.size() + sched_->size();
 }
 
 IterationContext* SpeculativeExecutor::context_of(std::uint32_t iter_id) {
@@ -247,53 +253,6 @@ void SpeculativeExecutor::acquire_arbitrated(IterationContext& ctx,
   }
 }
 
-TaskId SpeculativeExecutor::pop_from(Shard& s, Rng& rng) {
-  switch (policy_wl_) {
-    case WorklistPolicy::kRandom: {
-      const std::size_t j = s.head + rng.below(s.tasks.size() - s.head);
-      const TaskId t = s.tasks[j];
-      s.tasks[j] = s.tasks.back();
-      s.tasks.pop_back();
-      return t;
-    }
-    case WorklistPolicy::kFifo: {
-      const TaskId t = s.tasks[s.head++];
-      // Compact the consumed prefix once it dominates the buffer.
-      if (s.head > 1024 && s.head * 2 > s.tasks.size()) {
-        s.tasks.erase(s.tasks.begin(),
-                      s.tasks.begin() + static_cast<std::ptrdiff_t>(s.head));
-        s.head = 0;
-      }
-      return t;
-    }
-    case WorklistPolicy::kLifo: {
-      const TaskId t = s.tasks.back();
-      s.tasks.pop_back();
-      return t;
-    }
-    case WorklistPolicy::kPriority:
-      break;  // centralized path never reaches the shards
-  }
-  assert(false && "pop_from: unreachable policy");
-  return 0;
-}
-
-TaskId SpeculativeExecutor::draw_one(std::size_t lane, Rng& rng) {
-  // Own shard first, then steal round-robin. Because every ticket maps to a
-  // task that was present at round start and requeues are buffered until
-  // round end, shards only shrink during a round — a full scan observing
-  // every shard empty would mean more pops than tickets, which cannot
-  // happen. The outer loop is defensive only.
-  for (;;) {
-    for (std::size_t k = 0; k < shard_count_; ++k) {
-      Shard& s = shards_[(lane + k) % shard_count_];
-      const std::lock_guard guard(s.mutex);
-      if (s.head < s.tasks.size()) return pop_from(s, rng);
-    }
-    std::this_thread::yield();
-  }
-}
-
 void SpeculativeExecutor::record_round_error() noexcept {
   const std::lock_guard lock(round_error_mutex_);
   if (!round_error_) round_error_ = std::current_exception();
@@ -347,23 +306,10 @@ void SpeculativeExecutor::release_due_deferred() {
 }
 
 void SpeculativeExecutor::requeue_tasks(std::span<const TaskId> tasks) {
-  if (tasks.empty()) return;
-  if (policy_wl_ == WorklistPolicy::kPriority) {
-    const std::lock_guard lock(worklist_mutex_);
-    for (const TaskId t : tasks) {
-      std::uint64_t prio = t;
-      try {
-        prio = priority_fn_(t);
-      } catch (...) {
-        record_round_error();  // degrade to id-priority, never drop a task
-      }
-      priority_heap_.emplace(prio, t);
-    }
-    return;
-  }
-  Shard& s = shards_[0];
-  const std::lock_guard guard(s.mutex);
-  s.tasks.insert(s.tasks.end(), tasks.begin(), tasks.end());
+  // Serial-tail reinsertion. The backend must never drop a task: priority
+  // or footprint failures degrade inside the scheduler and surface through
+  // the error sink (record_round_error).
+  sched_->requeue(tasks);
 }
 
 void SpeculativeExecutor::process_faulted_slots(
@@ -420,8 +366,7 @@ void SpeculativeExecutor::salvage_round(
   // and a from-scratch recount of launched/committed (a dead lane's local
   // commit counter is lost).
   const bool absorbing = absorbs_faults();
-  const bool active_valid =
-      round_hardened_ || policy_wl_ == WorklistPolicy::kPriority;
+  const bool active_valid = round_hardened_ || sched_->centralized();
   std::vector<TaskId> salvage_requeue;
   std::uint32_t launched = 0;
   std::uint32_t committed = 0;
@@ -480,18 +425,15 @@ void SpeculativeExecutor::overlap_prefetch(std::size_t lane, std::uint32_t m,
   // Availability FLOOR: every one of this round's draws already happened
   // (the round barrier is behind us), and concurrent epilogue splices only
   // ADD tasks — so drawing `want` tasks can never block on an empty
-  // work-set.
-  std::size_t avail = 0;
-  for (std::size_t s = 0; s < shard_count_; ++s) {
-    const std::lock_guard guard(shards_[s].mutex);
-    avail += shards_[s].tasks.size() - shards_[s].head;
-  }
+  // work-set. Overlap only runs on the distributed (random) backend, so
+  // size() counts exactly the sharded work-set.
+  const std::size_t avail = sched_->size();
   const std::size_t want = std::min<std::size_t>(m, avail);
   if (want == 0) return;
   Rng& rng = helper_rngs_[lane - 1];
   prefetched_.resize(want);
   for (std::size_t i = 0; i < want; ++i) {
-    prefetched_[i] = draw_one(lane, rng);
+    prefetched_[i] = sched_->draw_one(lane, rng);
   }
   // Read-only conflict pre-check against the live lock table. The commit
   // fence is per-item: LockManager::owner's acquire load pairs with the
@@ -568,19 +510,14 @@ void SpeculativeExecutor::round_lane(std::size_t lane, const RoundPlan& plan,
           tlane != nullptr &&
           (chunks_seen++ & (kPhaseSamplePeriod - 1)) == 0;
       if (timed) phase_t = phase_ticks();
-      if (!plan.prioritized) {
-        // Draw the chunk: own shard under one lock, then steal. Slots
-        // below plan.prefilled were already drawn by the previous
-        // round's overlapped prefetch — skip straight past them.
-        std::size_t slot = std::max(begin, plan.prefilled);
-        {
-          Shard& own = shards_[lane];
-          const std::lock_guard guard(own.mutex);
-          while (slot < end && own.head < own.tasks.size()) {
-            active_[slot++] = pop_from(own, rng);
-          }
+      if (!plan.centralized) {
+        // Draw the chunk through the scheduler. Slots below
+        // plan.prefilled were already drawn by the previous round's
+        // overlapped prefetch — skip straight past them.
+        const std::size_t slot = std::max(begin, plan.prefilled);
+        if (slot < end) {
+          sched_->draw_span(lane, rng, active_.data() + slot, end - slot);
         }
-        while (slot < end) active_[slot++] = draw_one(lane, rng);
         if (timed) {
           const std::uint64_t now = phase_ticks();
           draw_ticks += now - phase_t;
@@ -776,20 +713,11 @@ void SpeculativeExecutor::round_lane(std::size_t lane, const RoundPlan& plan,
     }
     lane_committed_[lane].value = committed;
     // --- Splice this lane's requeue buffer back into the work-set. ----
+    // Backend exceptions (e.g. a throwing priority function) propagate
+    // into the catch below and become a recorded pool fault; the serial
+    // tail re-splices the still-populated buffer through requeue().
     if (!requeue.empty()) {
-      if (plan.prioritized) {
-        // Re-evaluate priorities at (re)insertion time: the state a
-        // task's priority derives from may have changed while it ran or
-        // waited.
-        const std::lock_guard lock(worklist_mutex_);
-        for (const TaskId t : requeue) {
-          priority_heap_.emplace(priority_fn_(t), t);
-        }
-      } else {
-        Shard& s = shards_[lane];
-        const std::lock_guard guard(s.mutex);
-        s.tasks.insert(s.tasks.end(), requeue.begin(), requeue.end());
-      }
+      sched_->splice(lane, requeue);
       requeue.clear();  // spliced; salvage treats leftovers as unspliced
     }
     if (tlane != nullptr || track_commit) {
@@ -816,34 +744,26 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
   RoundStats stats;
   const std::uint64_t injected_before =
       injector_ != nullptr ? injector_->total_fired() : 0;
-  const bool prioritized = policy_wl_ == WorklistPolicy::kPriority;
+  const bool centralized = sched_->centralized();
   round_hardened_ = injector_ != nullptr || policy_.has_value();
-  // Hardened, degraded, and priority rounds never consume an overlapped
+  // Hardened, degraded, and centralized rounds never consume an overlapped
   // draw: salvage accounts for every ticket through kNoTask sentinels
-  // (which a pre-filled prefix would defeat), and the heap re-evaluates
-  // priorities at draw time. Return the buffer to the work-set first.
+  // (which a pre-filled prefix would defeat), and centralized backends
+  // re-evaluate their draw order at round start. Return the buffer to the
+  // work-set first — through the scheduler interface, so no backend can
+  // leak prefetched tasks.
   if (!prefetched_.empty() &&
-      (round_hardened_ || serial_fallback_ || prioritized)) {
+      (round_hardened_ || serial_fallback_ || centralized)) {
     drain_prefetch();
   }
   std::size_t take = 0;
   std::size_t prefilled = 0;
-  if (prioritized) {
-    // kPriority stays on the centralized path: the heap IS the policy (the
-    // m globally-smallest tasks run), so the draw happens up front.
-    const std::lock_guard lock(worklist_mutex_);
-    take = std::min<std::size_t>(m, priority_heap_.size());
-    active_.resize(take);
-    for (std::size_t i = 0; i < take; ++i) {
-      active_[i] = priority_heap_.top().second;
-      priority_heap_.pop();
-    }
+  if (centralized) {
+    // Centralized backends materialize the active set up front: the heap /
+    // color class / relaxed draw IS the policy.
+    take = sched_->begin_round(m, active_, rng_);
   } else {
-    std::size_t available = prefetched_.size();
-    for (std::size_t s = 0; s < shard_count_; ++s) {
-      const std::lock_guard guard(shards_[s].mutex);
-      available += shards_[s].tasks.size() - shards_[s].head;
-    }
+    const std::size_t available = prefetched_.size() + sched_->size();
     take = std::min<std::size_t>(m, available);
     active_.resize(take);  // slots are filled by the drawing lanes
     if (round_hardened_) {
@@ -934,10 +854,10 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
   plan.chunk = draw_chunk(take, lanes);
   plan.lanes = lanes;
   plan.m = m;
-  plan.prioritized = prioritized;
+  plan.centralized = centralized;
   plan.absorbing = absorbing;
   plan.inject_lane_faults = inject_lane_faults;
-  plan.overlap = pipeline_.overlapped_draw && lanes > 1 && !prioritized &&
+  plan.overlap = pipeline_.overlapped_draw && lanes > 1 && !centralized &&
                  !round_hardened_;
 
   if (lanes == 1 && pipeline_.single_lane_fast_path) {
@@ -1021,6 +941,14 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
     }
   }
   stats.aborted = stats.launched - stats.committed;
+  // Zero-abort backends (chromatic): same-color tasks have pairwise
+  // disjoint declared footprints, so no iteration can ever lose a lock
+  // conflict. Conflict detection stays on (the locks are the correctness
+  // net) but is demoted to this debug assert; hardened rounds and runs
+  // with a fault injector attached are exempt (injected faults and
+  // voluntary retries abort without conflicting).
+  assert(!sched_->zero_abort() || round_hardened_ || injector_ != nullptr ||
+         stats.aborted == 0);
   assert(locks_.all_free());
   if (injector_ != nullptr) {
     stats.injected =
@@ -1063,13 +991,10 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
 //  * Between rounds every per-round scratch structure (arena, active_,
 //    lane buffers, cursors, round_error_) is logically empty, so only the
 //    durable state below needs to cross the snapshot.
-//  * Shard task vectors are stored live-suffix-only (tasks[head..end], in
-//    order) and restored with head = 0. That compaction is draw-stream
-//    safe: kRandom indexes relative to head, kFifo consumes from head, and
-//    kLifo pops the back — none observe the consumed prefix.
-//  * The priority heap's pop order is a pure function of its contents (the
-//    (priority, task) pair comparison is total), so draining a copy and
-//    re-pushing on load reproduces the schedule exactly.
+//  * The work-set itself is owned by the scheduler backend; its bytes are
+//    delegated to Scheduler::save_state/load_state after the shape header
+//    (which pins the backend tag, so a snapshot can never be replayed
+//    under a different draw discipline).
 //  * failure_attempts_ is only ever probed point-wise (find/erase), so the
 //    rebuilt map's iteration order is irrelevant; entries are written
 //    sorted by task purely to make the snapshot bytes canonical.
@@ -1099,46 +1024,16 @@ void SpeculativeExecutor::save_state(snapshot::Writer& out) const {
   out.u64(static_cast<std::uint64_t>(shard_count_));
   out.u8(static_cast<std::uint8_t>(policy_wl_));
   out.u8(static_cast<std::uint8_t>(arbitration_));
+  out.u8(static_cast<std::uint8_t>(sched_->backend()));
   out.u64(static_cast<std::uint64_t>(locks_.size()));
 
   write_rng(out, rng_);
   for (const Rng& rng : helper_rngs_) write_rng(out, rng);
 
-  for (std::size_t s = 0; s < shard_count_; ++s) {
-    const Shard& shard = shards_[s];
-    const std::lock_guard guard(shard.mutex);
-    if (s == 0 && !prefetched_.empty()) {
-      // WAL ordering extension (DESIGN.md §12): the overlapped-draw buffer
-      // is work drawn-but-not-launched, so a snapshot taken between the
-      // prefetch and its round persists those tasks as plain pending work,
-      // appended to shard 0 — exactly where drain_prefetch would splice
-      // them. Restore replays the draw; nothing is lost or double-counted,
-      // and the buffer itself is never durable state.
-      std::vector<TaskId> merged;
-      merged.reserve(shard.tasks.size() - shard.head + prefetched_.size());
-      merged.insert(merged.end(),
-                    shard.tasks.begin() +
-                        static_cast<std::ptrdiff_t>(shard.head),
-                    shard.tasks.end());
-      merged.insert(merged.end(), prefetched_.begin(), prefetched_.end());
-      out.u64_vec(std::span<const TaskId>(merged));
-      continue;
-    }
-    out.u64_vec(std::span<const TaskId>(shard.tasks.data() + shard.head,
-                                        shard.tasks.size() - shard.head));
-  }
-  out.u64(push_cursor_.load(std::memory_order_relaxed));
-
-  {
-    const std::lock_guard lock(worklist_mutex_);
-    auto heap = priority_heap_;  // drain a copy; pop order == schedule order
-    out.u64(heap.size());
-    while (!heap.empty()) {
-      out.u64(heap.top().first);
-      out.u64(heap.top().second);
-      heap.pop();
-    }
-  }
+  // Backend-owned work-set (DESIGN.md §14). The overlapped-draw buffer is
+  // handed over so a snapshot taken between a prefetch and its round folds
+  // those drawn-but-not-launched tasks back into pending work.
+  sched_->save_state(out, prefetched_);
 
   out.u64(round_index_);
   out.u32(next_iteration_id_);
@@ -1186,6 +1081,9 @@ void SpeculativeExecutor::load_state(snapshot::Reader& in) {
   if (in.u8() != static_cast<std::uint8_t>(arbitration_)) {
     state_mismatch("arbitration policy differs");
   }
+  if (in.u8() != static_cast<std::uint8_t>(sched_->backend())) {
+    state_mismatch("scheduler backend differs");
+  }
   const std::uint64_t lock_items = in.u64();
   if (lock_items < locks_.size()) state_mismatch("lock table shrank");
   locks_.grow(lock_items);  // mid-run grow_items calls replayed in one step
@@ -1193,24 +1091,7 @@ void SpeculativeExecutor::load_state(snapshot::Reader& in) {
   read_rng(in, rng_);
   for (Rng& rng : helper_rngs_) read_rng(in, rng);
 
-  for (std::size_t s = 0; s < shard_count_; ++s) {
-    Shard& shard = shards_[s];
-    const std::lock_guard guard(shard.mutex);
-    shard.tasks = in.u64_vec();
-    shard.head = 0;
-  }
-  push_cursor_.store(in.u64(), std::memory_order_relaxed);
-
-  {
-    const std::lock_guard lock(worklist_mutex_);
-    priority_heap_ = {};
-    const std::uint64_t heap_size = in.u64();
-    for (std::uint64_t i = 0; i < heap_size; ++i) {
-      const std::uint64_t prio = in.u64();
-      const TaskId task = in.u64();
-      priority_heap_.emplace(prio, task);
-    }
-  }
+  sched_->load_state(in);
 
   round_index_ = in.u64();
   next_iteration_id_ = in.u32();

@@ -33,7 +33,6 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <queue>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -44,6 +43,7 @@
 #include "rt/fault_injector.hpp"
 #include "rt/item_lock.hpp"
 #include "rt/undo_log.hpp"
+#include "sched/scheduler.hpp"
 #include "support/failure_policy.hpp"
 #include "support/padded.hpp"
 #include "support/rng.hpp"
@@ -63,8 +63,6 @@ namespace snapshot {
 class Writer;
 class Reader;
 }  // namespace snapshot
-
-using TaskId = std::uint64_t;
 
 /// Thrown (internally) when an acquire conflicts; user operators may also
 /// throw it to abort voluntarily.
@@ -184,15 +182,9 @@ struct ExecutorTotals {
   }
 };
 
-/// How a round's active tasks are drawn from the work-set. The paper's
-/// model assumes kRandom; kFifo/kLifo exist for the scheduling-policy
-/// ablation (they bias which conflicts are observed). kPriority is an
-/// OBIM-style soft-priority scheduler: each round runs the m
-/// smallest-priority tasks (per the function installed with
-/// set_priority_function) — order is best-effort, not a commit-order
-/// guarantee, so it suits unordered algorithms that merely *benefit* from
-/// priority (e.g. SSSP relaxing near the source first).
-enum class WorklistPolicy { kRandom, kFifo, kLifo, kPriority };
+// WorklistPolicy (how the random backend draws) lives in
+// sched/scheduler.hpp next to the Backend selector; it is re-exported into
+// namespace optipar from there.
 
 /// Conflict arbitration between two live iterations contending for an item:
 ///   kAbortSelf     — the later arrival aborts itself (the paper's model;
@@ -204,6 +196,19 @@ enum class WorklistPolicy { kRandom, kFifo, kLifo, kPriority };
 ///                    later priority, so no cycles can form. Priorities
 ///                    come from set_priority_function (default: TaskId).
 enum class ArbitrationPolicy { kAbortSelf, kPriorityWins };
+
+/// Everything that shapes how rounds are scheduled and arbitrated, in one
+/// bag (DESIGN.md §14). The legacy (policy, arbitration) constructor maps
+/// onto this with scheduler = kRandom. Non-random backends require
+/// worklist == kRandom: the worklist policy is a *random-backend* draw
+/// knob, and combining it with chromatic/relaxed has no meaning.
+struct RoundOptions {
+  WorklistPolicy worklist = WorklistPolicy::kRandom;
+  ArbitrationPolicy arbitration = ArbitrationPolicy::kAbortSelf;
+  sched::Backend scheduler = sched::Backend::kRandom;
+  /// MultiQueue width factor c (relaxed backend): c·lanes heaps.
+  std::size_t relaxed_queues_per_lane = 4;
+};
 
 /// Software-pipelined round execution knobs (DESIGN.md §12).
 struct PipelineConfig {
@@ -257,14 +262,38 @@ class SpeculativeExecutor {
                       ArbitrationPolicy arbitration =
                           ArbitrationPolicy::kAbortSelf);
 
+  /// Full-options constructor: selects the scheduler backend (DESIGN.md
+  /// §14). Throws std::invalid_argument for meaningless combinations
+  /// (non-random backend with a non-kRandom worklist policy).
+  SpeculativeExecutor(ThreadPool& pool, std::size_t items, TaskOperator op,
+                      std::uint64_t seed, const RoundOptions& options);
+
   /// Seed the work-set.
   void push_initial(std::span<const TaskId> tasks);
 
-  /// Required before any push under WorklistPolicy::kPriority; also sets
-  /// the arbitration priority under ArbitrationPolicy::kPriorityWins.
-  /// Maps a task to its priority (smaller = sooner / stronger). Evaluated
-  /// at push time (scheduling) and at launch time (arbitration).
+  /// Required before any push under WorklistPolicy::kPriority and under
+  /// the relaxed backend; also sets the arbitration priority under
+  /// ArbitrationPolicy::kPriorityWins. Maps a task to its priority
+  /// (smaller = sooner / stronger). Evaluated at push time (scheduling)
+  /// and at launch time (arbitration).
   void set_priority_function(std::function<std::uint64_t(TaskId)> fn);
+
+  /// Required before any push under the chromatic backend (and before
+  /// load_state, which recomputes footprints): declares every item a
+  /// task's operator may acquire. Throws std::logic_error on any other
+  /// backend.
+  void set_footprint_function(sched::FootprintFn fn);
+
+  /// Chromatic backend: drop the standing coloring and recolor all pending
+  /// tasks with fresh footprints. Dynamic apps whose operators change task
+  /// neighborhoods (contraction, refinement) call this between rounds; a
+  /// no-op on other backends. Call between rounds only.
+  void invalidate_schedule();
+
+  [[nodiscard]] sched::Backend scheduler_backend() const noexcept {
+    return sched_->backend();
+  }
+  [[nodiscard]] sched::Scheduler& scheduler() noexcept { return *sched_; }
 
   /// Install retry/quarantine failure handling (DESIGN.md §8). Without a
   /// policy the executor keeps the legacy contract: the first non-Abort
@@ -378,15 +407,6 @@ class SpeculativeExecutor {
  private:
   friend class IterationContext;
 
-  /// One per-lane slice of the work-set. Shard 0 with a single lane
-  /// replays the centralized worklist exactly: the FIFO cursor (head),
-  /// LIFO tail, and random swap-remove all operate per shard.
-  struct alignas(kCacheLine) Shard {
-    mutable std::mutex mutex;
-    std::vector<TaskId> tasks;
-    std::size_t head = 0;  // consumed FIFO prefix, compacted periodically
-  };
-
   /// A faulted task waiting out its backoff (due_round is absolute).
   struct Deferred {
     std::uint64_t due_round = 0;
@@ -397,12 +417,6 @@ class SpeculativeExecutor {
   void acquire_arbitrated(IterationContext& ctx, std::uint32_t item);
   [[nodiscard]] IterationContext* context_of(std::uint32_t iter_id);
 
-  /// Pop one task from shard `s` per the draw policy (shard mutex held).
-  TaskId pop_from(Shard& s, Rng& rng);
-  /// Draw one task: own shard first, then steal round-robin. The round
-  /// invariant (tickets <= tasks available at round start; requeues are
-  /// buffered) guarantees a single scan always finds work.
-  TaskId draw_one(std::size_t lane, Rng& rng);
   void record_round_error() noexcept;
 
   /// True when a FailurePolicy absorbs faults (retry/quarantine) instead
@@ -437,7 +451,7 @@ class SpeculativeExecutor {
     std::size_t chunk = 0;      ///< ticket-claim chunk size
     std::size_t lanes = 0;
     std::uint32_t m = 0;        ///< requested allocation (prefetch sizing)
-    bool prioritized = false;
+    bool centralized = false;   ///< active set materialized by begin_round
     bool absorbing = false;
     bool inject_lane_faults = false;
     bool overlap = false;  ///< run the overlapped draw in this epilogue
@@ -471,19 +485,13 @@ class SpeculativeExecutor {
   WorklistPolicy policy_wl_;
   ArbitrationPolicy arbitration_;
 
-  // Sharded work-set (kRandom/kFifo/kLifo). Shard count is fixed at
-  // construction to the pool's worker count; lane l of a round owns
-  // shards_[l] for draws and splices its requeue buffer back into it.
+  // The pluggable work-set + draw stage (DESIGN.md §14). Shard count is
+  // fixed at construction to the pool's worker count; the random backend
+  // shards per lane, the chromatic/relaxed backends are centralized.
   std::size_t shard_count_;
-  std::unique_ptr<Shard[]> shards_;
-  std::atomic<std::size_t> push_cursor_{0};  // round-robin initial placement
-
-  // Centralized priority scheduler (kPriority only), CP.50-guarded.
-  mutable std::mutex worklist_mutex_;
-  using PrioritizedTask = std::pair<std::uint64_t, TaskId>;
-  std::priority_queue<PrioritizedTask, std::vector<PrioritizedTask>,
-                      std::greater<>>
-      priority_heap_;
+  std::unique_ptr<sched::Scheduler> sched_;
+  // Executor-side copy for launch-time arbitration priorities (the
+  // scheduler holds its own copy for draw ordering).
   std::function<std::uint64_t(TaskId)> priority_fn_;
 
   // Context arena: slot s of every round reuses arena_[s]. Valid only while

@@ -22,6 +22,7 @@ void encode_spec(Writer& out, const JobSpec& spec) {
   out.u32(spec.m_max);
   out.i64(spec.timeout_ms);
   out.u32(spec.checkpoint_every);
+  out.str(spec.scheduler);
 }
 
 JobSpec decode_spec(Reader& in) {
@@ -42,6 +43,7 @@ JobSpec decode_spec(Reader& in) {
   spec.m_max = in.u32();
   spec.timeout_ms = in.i64();
   spec.checkpoint_every = in.u32();
+  spec.scheduler = in.str();
   return spec;
 }
 

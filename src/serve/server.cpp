@@ -408,6 +408,7 @@ std::vector<std::byte> Server::handle_submit(
     spec.m_max = req.m_max;
     spec.timeout_ms = req.timeout_ms;
     spec.checkpoint_every = req.checkpoint_every;
+    spec.scheduler = req.scheduler;
   } else {
     const auto req = EstimateRequest::decode(payload);
     spec.kind = JobKind::kEstimate;
@@ -437,6 +438,13 @@ std::vector<std::byte> Server::handle_submit(
           nullptr) {
     return ErrorReply{ErrorCode::kBadRequest,
                       "unknown controller '" + spec.controller + "'"}
+        .encode();
+  }
+  if (spec.kind == JobKind::kRun &&
+      !sched::parse_backend(spec.scheduler)) {
+    return ErrorReply{ErrorCode::kBadRequest,
+                      "unknown scheduler '" + spec.scheduler +
+                          "' (random|chromatic|relaxed)"}
         .encode();
   }
   // Resolve server defaults at submit time so the WAL records the job's
@@ -492,6 +500,7 @@ std::vector<std::byte> Server::handle_status(std::uint64_t job_id) {
   reply.mu = job.result.mu;
   reply.resumed = job.resumed;
   reply.error = job.result.error;
+  reply.scheduler = job.spec.scheduler;
   return reply.encode();
 }
 
@@ -700,9 +709,16 @@ void Server::activate(std::uint64_t job_id) {
     }
     // The job construction mirrors `optipar_cli run` exactly (operator =
     // acquire the closed neighborhood; executor seed = seed*11+3; all
-    // nodes pushed), so a one-lane daemon run traces byte-identically to
-    // the CLI — the resume smoke test's ground truth.
+    // nodes pushed; same per-backend footprint/priority hooks), so a
+    // one-lane daemon run traces byte-identically to the CLI — the resume
+    // smoke test's ground truth.
+    const auto backend = sched::parse_backend(spec.scheduler);
+    if (!backend) {
+      throw std::runtime_error("unknown scheduler '" + spec.scheduler + "'");
+    }
     const CsrGraph* g = &aj->graph;
+    RoundOptions ropts;
+    ropts.scheduler = *backend;
     aj->exec = std::make_unique<SpeculativeExecutor>(
         *pool_, g->num_nodes(),
         [g](TaskId t, IterationContext& ctx) {
@@ -710,7 +726,17 @@ void Server::activate(std::uint64_t job_id) {
           ctx.acquire(v);
           for (const NodeId u : g->neighbors(v)) ctx.acquire(u);
         },
-        spec.seed * 11 + 3);
+        spec.seed * 11 + 3, ropts);
+    if (*backend == sched::Backend::kChromatic) {
+      aj->exec->set_footprint_function(
+          [g](TaskId t, std::vector<std::uint32_t>& fp) {
+            const auto v = static_cast<NodeId>(t);
+            fp.push_back(v);
+            for (const NodeId u : g->neighbors(v)) fp.push_back(u);
+          });
+    } else if (*backend == sched::Backend::kRelaxed) {
+      aj->exec->set_priority_function([](TaskId t) { return t; });
+    }
     aj->tel = std::make_unique<telemetry::RuntimeTelemetry>();
     aj->tel->set_target_rho(spec.rho);
     aj->exec->set_telemetry(aj->tel.get());

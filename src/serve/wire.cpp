@@ -283,6 +283,7 @@ std::vector<std::byte> RunRequest::encode() const {
   out.u32(m_max);
   out.i64(timeout_ms);
   out.u32(checkpoint_every);
+  out.str(scheduler);
   return out.take();
 }
 
@@ -300,6 +301,7 @@ RunRequest RunRequest::decode(std::span<const std::byte> payload) {
     req.m_max = in.u32();
     req.timeout_ms = in.i64();
     req.checkpoint_every = in.u32();
+    req.scheduler = in.str();
     in.expect_end();
     return req;
   });
@@ -487,6 +489,7 @@ std::vector<std::byte> JobStatusReply::encode() const {
   out.u32(mu);
   out.u8(resumed ? 1 : 0);
   out.str(error);
+  out.str(scheduler);
   return out.take();
 }
 
@@ -516,6 +519,7 @@ JobStatusReply JobStatusReply::decode(std::span<const std::byte> payload) {
     rep.mu = in.u32();
     rep.resumed = in.u8() != 0;
     rep.error = in.str();
+    rep.scheduler = in.str();
     in.expect_end();
     return rep;
   });

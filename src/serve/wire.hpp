@@ -147,6 +147,7 @@ struct RunRequest {
   std::uint32_t m_max = 0;         ///< 0 = controller default
   std::int64_t timeout_ms = 0;     ///< 0 = server default (may be none)
   std::uint32_t checkpoint_every = 0;  ///< 0 = server default
+  std::string scheduler = "random";    ///< draw backend; validated at submit
 
   [[nodiscard]] std::vector<std::byte> encode() const;
   [[nodiscard]] static RunRequest decode(std::span<const std::byte> payload);
@@ -251,6 +252,7 @@ struct JobStatusReply {
   std::uint32_t mu = 0;        ///< estimate jobs: the operating point
   bool resumed = false;        ///< restored from a checkpoint after restart
   std::string error;           ///< failure detail (kFailed)
+  std::string scheduler = "random";  ///< the job's draw backend label
 
   [[nodiscard]] std::vector<std::byte> encode() const;
   [[nodiscard]] static JobStatusReply decode(

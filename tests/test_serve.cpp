@@ -406,6 +406,78 @@ TEST(Serve, PoisonedJobIsQuarantinedWithoutHarmingNeighbors) {
   server.wait();
 }
 
+TEST(Serve, TwoSchedulerBackendsRunConcurrentlyWithDistinctLabels) {
+  // One graph, two jobs in flight at once under different draw backends.
+  // Both must finish, and each status reply must carry ITS job's scheduler
+  // label — the label travels with the job, not the daemon.
+  const TestPaths paths("twosched");
+  ServerConfig config;
+  config.socket_path = paths.socket;
+  config.state_dir = paths.state;
+  config.threads = 2;
+  config.max_active = 2;
+  Server server(config);
+  server.start();
+
+  auto client = connect(paths);
+  (void)client.upload_graph("g1", graph_text(960, 5));
+
+  RunRequest random_req;
+  random_req.graph = "g1";
+  random_req.seed = 5;
+  const auto random_result = client.run(random_req);
+  const auto* random_job = std::get_if<JobAcceptedReply>(&random_result);
+  ASSERT_NE(random_job, nullptr);
+
+  RunRequest chromatic_req;
+  chromatic_req.graph = "g1";
+  chromatic_req.seed = 5;
+  chromatic_req.scheduler = "chromatic";
+  const auto chromatic_result = client.run(chromatic_req);
+  const auto* chromatic_job =
+      std::get_if<JobAcceptedReply>(&chromatic_result);
+  ASSERT_NE(chromatic_job, nullptr);
+
+  const auto random_status =
+      client.wait_for_job(random_job->job, 5, 120000);
+  const auto chromatic_status =
+      client.wait_for_job(chromatic_job->job, 5, 120000);
+  EXPECT_EQ(random_status.state, JobState::kDone);
+  EXPECT_EQ(chromatic_status.state, JobState::kDone);
+  EXPECT_EQ(random_status.committed, 960u);
+  EXPECT_EQ(chromatic_status.committed, 960u);
+  EXPECT_EQ(random_status.scheduler, "random");
+  EXPECT_EQ(chromatic_status.scheduler, "chromatic");
+
+  server.request_shutdown(false);
+  server.wait();
+}
+
+TEST(Serve, UnknownSchedulerIsRefusedAtSubmit) {
+  const TestPaths paths("badsched");
+  ServerConfig config;
+  config.socket_path = paths.socket;
+  config.state_dir = paths.state;
+  config.threads = 1;
+  Server server(config);
+  server.start();
+
+  auto client = connect(paths);
+  (void)client.upload_graph("g1", graph_text(24, 5));
+  RunRequest req;
+  req.graph = "g1";
+  req.scheduler = "round-robin";
+  const auto result = client.run(req);
+  const auto* err = std::get_if<ErrorReply>(&result);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, ErrorCode::kBadRequest);
+  EXPECT_NE(err->message.find("round-robin"), std::string::npos);
+  EXPECT_EQ(client.health().message, "ok");
+
+  server.request_shutdown(false);
+  server.wait();
+}
+
 TEST(Serve, DrainShutdownFinishesQueuedJobsAndRefusesNewOnes) {
   const TestPaths paths("drain");
   ServerConfig config;

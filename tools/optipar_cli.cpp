@@ -19,6 +19,10 @@
 //   optipar_cli run     --graph=g.txt --threads=4 --controller=hybrid
 //                       --rho=0.25 [--steps=N --metrics-out=m.prom
 //                       --trace-out=t.jsonl --csv=trace.csv]
+//                       [--scheduler=random|chromatic|relaxed] (which
+//                       backend owns the round's draw stage: the paper's
+//                       random draw, zero-abort chromatic color classes,
+//                       or the MultiQueue relaxed-priority draw)
 //                       [--checkpoint-dir=DIR --checkpoint-every=N
 //                       --resume] (adaptive closed loop on the REAL
 //                       speculative runtime: one task per node, each
@@ -45,6 +49,7 @@
 #include <iostream>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -98,6 +103,7 @@ int usage() {
       " <gen|curve|mu|theory|control|seating|chaos|run|metrics>"
       " [--options]\n"
       "run with a subcommand and no options to see its parameters\n"
+      "run/chaos accept --scheduler=random|chromatic|relaxed\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 graph-io, 4 snapshot,"
       " 5 livelock, 6 deadline\n";
   return kExitUsage;
@@ -105,6 +111,19 @@ int usage() {
 
 // The controller factory is shared with the serve daemon
 // (control/factory.hpp): both hosts accept exactly the same names.
+
+/// Parse --scheduler for run/chaos. Unknown names report the offending
+/// value and exit 2 through the documented usage text, like unknown
+/// subcommands do.
+std::optional<sched::Backend> parse_scheduler(const Options& opt) {
+  const std::string name = opt.get("scheduler", "random");
+  const auto backend = sched::parse_backend(name);
+  if (!backend) {
+    std::cerr << "unknown --scheduler=" << name
+              << " (expected random|chromatic|relaxed)\n";
+  }
+  return backend;
+}
 
 // --- telemetry plumbing shared by run/curve/mu/chaos -----------------------
 
@@ -118,20 +137,27 @@ void export_executor_metrics(MetricsRegistry& reg,
                              const SpeculativeExecutor& ex) {
   using Type = MetricsRegistry::Type;
   const ExecutorTotals& t = ex.totals();
-  reg.add("optipar_rounds_total", Type::kCounter, "Executor rounds run", {},
-          static_cast<double>(t.rounds));
+  // Round counters carry the scheduler backend as a label so dashboards
+  // can split abort/commit behavior by draw strategy (README "Scheduler
+  // backends"); check_metrics.py reconciles by summing over all samples,
+  // so the label is invariant-transparent.
+  const MetricsRegistry::Labels sched_label{
+      {"scheduler", sched::backend_name(ex.scheduler_backend())}};
+  reg.add("optipar_rounds_total", Type::kCounter, "Executor rounds run",
+          sched_label, static_cast<double>(t.rounds));
   reg.add("optipar_launched_total", Type::kCounter,
-          "Speculative tasks launched", {}, static_cast<double>(t.launched));
-  reg.add("optipar_committed_total", Type::kCounter, "Tasks committed", {},
-          static_cast<double>(t.committed));
+          "Speculative tasks launched", sched_label,
+          static_cast<double>(t.launched));
+  reg.add("optipar_committed_total", Type::kCounter, "Tasks committed",
+          sched_label, static_cast<double>(t.committed));
   reg.add("optipar_aborted_total", Type::kCounter,
-          "Tasks aborted (conflicted or faulted)", {},
+          "Tasks aborted (conflicted or faulted)", sched_label,
           static_cast<double>(t.aborted));
   reg.add("optipar_retried_total", Type::kCounter,
-          "Faulted tasks requeued with backoff", {},
+          "Faulted tasks requeued with backoff", sched_label,
           static_cast<double>(t.retried));
   reg.add("optipar_quarantined_total", Type::kCounter,
-          "Tasks moved to the dead-letter list", {},
+          "Tasks moved to the dead-letter list", sched_label,
           static_cast<double>(t.quarantined));
   reg.add("optipar_dead_letters", Type::kGauge,
           "Tasks currently quarantined", {},
@@ -468,8 +494,13 @@ int cmd_chaos(const Options& opt) {
     e.delta = gen_rng.between(-5, 5);
   }
 
+  const auto backend = parse_scheduler(opt);
+  if (!backend) return usage();
+
   std::vector<std::int64_t> cells(cells_n, 0);
   ThreadPool pool(threads);
+  RoundOptions ropts;
+  ropts.scheduler = *backend;
   SpeculativeExecutor ex(
       pool, cells_n,
       [&](TaskId t, IterationContext& ctx) {
@@ -481,7 +512,18 @@ int cmd_chaos(const Options& opt) {
           ctx.on_abort([&cells, cell, d = e.delta] { cells[cell] -= d; });
         }
       },
-      seed * 7 + 1);
+      seed * 7 + 1, ropts);
+  if (*backend == sched::Backend::kChromatic) {
+    ex.set_footprint_function(
+        [&effects, cells_n](TaskId t, std::vector<std::uint32_t>& fp) {
+          const Effect& e = effects[t];
+          for (std::uint32_t i = 0; i < e.count; ++i) {
+            fp.push_back((e.first + i) % cells_n);
+          }
+        });
+  } else if (*backend == sched::Backend::kRelaxed) {
+    ex.set_priority_function([](TaskId t) { return t; });
+  }
   // --threads asks for that many lanes outright (lane-death injection
   // needs parallel lanes even on small hosts); the core-count cap is for
   // un-tuned production runs, not the chaos harness.
@@ -640,8 +682,12 @@ int cmd_run(const Options& opt) {
     std::cerr << "unknown --controller=" << name << "\n";
     return 2;
   }
+  const auto backend = parse_scheduler(opt);
+  if (!backend) return usage();
 
   ThreadPool pool(threads);
+  RoundOptions ropts;
+  ropts.scheduler = *backend;
   SpeculativeExecutor ex(
       pool, g.num_nodes(),
       [&g](TaskId t, IterationContext& ctx) {
@@ -649,7 +695,18 @@ int cmd_run(const Options& opt) {
         ctx.acquire(v);
         for (const NodeId u : g.neighbors(v)) ctx.acquire(u);
       },
-      seed * 11 + 3);
+      seed * 11 + 3, ropts);
+  if (*backend == sched::Backend::kChromatic) {
+    // Declared footprint mirrors the operator: the closed neighborhood.
+    ex.set_footprint_function(
+        [&g](TaskId t, std::vector<std::uint32_t>& fp) {
+          const auto v = static_cast<NodeId>(t);
+          fp.push_back(v);
+          for (const NodeId u : g.neighbors(v)) fp.push_back(u);
+        });
+  } else if (*backend == sched::Backend::kRelaxed) {
+    ex.set_priority_function([](TaskId t) { return t; });
+  }
 
   telemetry::RuntimeTelemetry tel;
   tel.set_target_rho(params.rho);

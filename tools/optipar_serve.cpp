@@ -51,6 +51,7 @@ int usage() {
       "  run     --socket=S --graph=NAME [--controller=hybrid] [--rho=R]\n"
       "          [--seed=N] [--steps=N] [--m0=N] [--m-max=N]\n"
       "          [--timeout-ms=N] [--checkpoint-every=N] [--wait]\n"
+      "          [--scheduler=random|chromatic|relaxed]\n"
       "  estimate --socket=S --graph=NAME [--rho=R] [--trials=N]\n"
       "          [--seed=N] [--wait]\n"
       "  status|trace|cancel --socket=S --job=N\n"
@@ -177,6 +178,7 @@ int cmd_run(const Options& opt) {
   req.timeout_ms = opt.get_int("timeout-ms", 0);
   req.checkpoint_every =
       static_cast<std::uint32_t>(opt.get_int("checkpoint-every", 0));
+  req.scheduler = opt.get("scheduler", "random");
   auto client = connect_client(opt);
   return print_submit(client, client.run(req), opt.get_bool("wait", false),
                       static_cast<int>(opt.get_int("wait-ms", 120000)));
@@ -203,7 +205,8 @@ int cmd_status(const Options& opt) {
             << " committed=" << status.committed << " pending="
             << status.pending << " wasted=" << status.wasted << " mean_r="
             << status.mean_r << " mu=" << status.mu << " resumed="
-            << (status.resumed ? 1 : 0);
+            << (status.resumed ? 1 : 0)
+            << " scheduler=" << status.scheduler;
   if (!status.error.empty()) std::cout << " error=\"" << status.error << '"';
   std::cout << "\n";
   return kExitOk;
