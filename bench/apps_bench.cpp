@@ -1,0 +1,168 @@
+// APPS-BENCH — a real application kernel (maximal independent set) run
+// through the speculative executor with the conflict-attribution profiler
+// attached (DESIGN.md §15). Two products per run:
+//
+//   * the conflict-ratio curve r̄(m) of the paper's Fig. 2, measured on the
+//     real runtime (not the sampling model) by draining the MIS workload at
+//     a sweep of fixed allocations, with the per-m abort-locality scalar
+//     (top16_share) riding along; and
+//   * the hotspot report at the reference allocation — WHICH items kill
+//     speculative work, with their degrees, plus the degree-bucket rollup.
+//
+// Emits a JSON document ({"schema":"optipar.bench.apps.v1"}) that seeds /
+// refreshes BENCH_apps.json.
+//
+// Usage: apps_bench [--nodes=4000] [--d=8] [--threads=4] [--seed=7]
+//                   [--m-ref=256] [--top=16] [--out=FILE]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/mis/mis.hpp"
+#include "bench_common.hpp"
+#include "graph/algos.hpp"
+#include "rt/spec_executor.hpp"
+#include "support/telemetry/conflict_profiler.hpp"
+#include "support/telemetry/telemetry.hpp"
+
+using namespace optipar;
+
+namespace {
+
+struct SweepPoint {
+  std::uint32_t m = 0;
+  double r = 0.0;            ///< aborted / launched over the whole drain
+  std::uint64_t rounds = 0;
+  std::uint64_t committed = 0;
+  double top16_share = 0.0;  ///< abort locality at this allocation
+};
+
+/// Drain MIS on `g` at fixed allocation `m`; fills `prof` (reset by the
+/// caller) and verifies the answer — a wrong MIS invalidates the bench.
+SweepPoint run_fixed(const CsrGraph& g, ThreadPool& pool, std::uint32_t m,
+                     std::uint64_t seed, telemetry::ConflictProfiler& prof) {
+  mis::MisState state(g.num_nodes());
+  SpeculativeExecutor ex(pool, g.num_nodes(),
+                         mis::make_mis_operator(g, state), seed);
+  telemetry::RuntimeTelemetry tel;
+  tel.set_profiler(&prof);
+  ex.set_telemetry(&tel);
+  std::vector<TaskId> initial(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) initial[v] = v;
+  ex.push_initial(initial);
+  std::uint64_t guard = 0;
+  while (!ex.done() && guard++ < 1000000) (void)ex.run_round(m);
+  if (!is_maximal_independent_set(g, state.in_set())) {
+    throw std::runtime_error("apps_bench: MIS answer is incorrect at m=" +
+                             std::to_string(m));
+  }
+  SweepPoint p;
+  p.m = m;
+  p.rounds = ex.totals().rounds;
+  p.committed = ex.totals().committed;
+  p.r = ex.totals().launched == 0
+            ? 0.0
+            : static_cast<double>(ex.totals().aborted) /
+                  static_cast<double>(ex.totals().launched);
+  p.top16_share = prof.top_share(16);
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  const auto nodes = static_cast<NodeId>(opt.get_int("nodes", 4000));
+  const auto d = static_cast<std::uint32_t>(opt.get_int("d", 8));
+  const auto threads = static_cast<std::size_t>(opt.get_int("threads", 4));
+  const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 7));
+  const auto m_ref = static_cast<std::uint32_t>(opt.get_int("m-ref", 256));
+  const auto top = static_cast<std::size_t>(opt.get_int("top", 16));
+  ThreadPool pool(threads);
+
+  Rng rng(41);
+  const CsrGraph g = gen::rmat(
+      nodes, static_cast<std::uint64_t>(nodes) * d, 0.55, 0.15, 0.15, rng);
+  std::vector<std::uint32_t> degrees(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) degrees[v] = g.degree(v);
+
+  bench::banner("mis on rmat (" + std::to_string(nodes) + " nodes, d=" +
+                std::to_string(d) + ")");
+
+  // Conflict-ratio curve: one fresh drain per allocation, each with its
+  // own profiler so the locality scalar belongs to that m alone.
+  std::vector<SweepPoint> curve;
+  for (std::uint32_t m = 1; m <= nodes; m *= 4) {
+    telemetry::ConflictProfiler prof(g.num_nodes());
+    {
+      std::vector<std::uint32_t> deg = degrees;
+      prof.set_degrees(std::move(deg));
+    }
+    const SweepPoint p = run_fixed(g, pool, m, seed, prof);
+    curve.push_back(p);
+    std::cout << "  m=" << p.m << " r=" << p.r << " rounds=" << p.rounds
+              << " committed=" << p.committed
+              << " top16_share=" << p.top16_share << "\n";
+  }
+
+  // Hotspot report at the reference allocation.
+  telemetry::ConflictProfiler prof(g.num_nodes());
+  {
+    std::vector<std::uint32_t> deg = degrees;
+    prof.set_degrees(std::move(deg));
+  }
+  const SweepPoint ref = run_fixed(g, pool, m_ref, seed, prof);
+  bench::banner("hotspots at m=" + std::to_string(m_ref));
+  prof.write_report(std::cout, top);
+
+  std::ostringstream json;
+  json << "{\n \"schema\": \"optipar.bench.apps.v1\",\n"
+       << " \"app\": \"mis\",\n"
+       << " \"graph\": {\"family\": \"rmat\", \"nodes\": " << nodes
+       << ", \"avg_degree\": " << d << "},\n"
+       << " \"threads\": " << threads << ",\n \"seed\": " << seed << ",\n"
+       << " \"curve\": [\n";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const SweepPoint& p = curve[i];
+    json << "  {\"m\": " << p.m << ", \"r\": " << p.r << ", \"rounds\": "
+         << p.rounds << ", \"committed\": " << p.committed
+         << ", \"top16_share\": " << p.top16_share << "}"
+         << (i + 1 < curve.size() ? "," : "") << "\n";
+  }
+  json << " ],\n \"m_ref\": " << m_ref << ",\n \"ref_r\": " << ref.r
+       << ",\n \"total_conflicts\": " << prof.total_conflicts()
+       << ",\n \"hotspots\": [\n";
+  const auto hot = prof.top_k(top);
+  for (std::size_t i = 0; i < hot.size(); ++i) {
+    json << "  {\"item\": " << hot[i].item << ", \"conflicts\": "
+         << hot[i].conflicts << ", \"arb_wait_ns\": " << hot[i].arb_wait_ns
+         << ", \"degree\": " << hot[i].degree << "}"
+         << (i + 1 < hot.size() ? "," : "") << "\n";
+  }
+  json << " ],\n \"degree_buckets\": [\n";
+  const auto buckets = prof.degree_buckets();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const auto& b = buckets[i];
+    json << "  {\"degree_lo\": " << b.degree_lo << ", \"degree_hi\": "
+         << b.degree_hi << ", \"items\": " << b.items << ", \"conflicts\": "
+         << b.conflicts << ", \"arb_wait_ns\": " << b.arb_wait_ns << "}"
+         << (i + 1 < buckets.size() ? "," : "") << "\n";
+  }
+  json << " ]\n}\n";
+
+  if (opt.has("out")) {
+    std::ofstream os(opt.get("out", ""));
+    if (!os) {
+      std::cerr << "apps_bench: cannot open --out=" << opt.get("out", "")
+                << "\n";
+      return 1;
+    }
+    os << json.str();
+  } else {
+    bench::banner("json");
+    std::cout << json.str();
+  }
+  return 0;
+}

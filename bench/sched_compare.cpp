@@ -26,6 +26,8 @@
 #include "graph/algos.hpp"
 #include "rt/spec_executor.hpp"
 #include "sched/scheduler.hpp"
+#include "support/telemetry/conflict_profiler.hpp"
+#include "support/telemetry/telemetry.hpp"
 
 using namespace optipar;
 
@@ -37,6 +39,12 @@ struct CellResult {
   std::uint64_t launched = 0;
   std::uint64_t committed = 0;
   std::uint64_t aborted = 0;
+  /// Abort locality (DESIGN.md §15): the fraction of attributed conflicts
+  /// concentrated on the 16 hottest items. The chromatic backend has no
+  /// aborts (reported as 0); for random vs relaxed this shows whether the
+  /// relaxed draw spreads contention off the hubs.
+  double top16_share = 0.0;
+  std::uint64_t profiled_conflicts = 0;
   bool correct = false;
 
   [[nodiscard]] double conflict_ratio() const {
@@ -70,6 +78,18 @@ CellResult run_cell(const SchedWorkload& wl, sched::Backend backend,
   CellResult out;
   const auto t0 = std::chrono::steady_clock::now();
   SpeculativeExecutor ex(pool, g.num_nodes(), op, seed, opts);
+  // Conflict attribution rides every rep: recording is one relaxed
+  // fetch_add per abort, so it does not disturb the min-of-reps timing, and
+  // the reported cell keeps the locality measured in its own run.
+  telemetry::RuntimeTelemetry tel;
+  telemetry::ConflictProfiler prof(g.num_nodes());
+  {
+    std::vector<std::uint32_t> degrees(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) degrees[v] = g.degree(v);
+    prof.set_degrees(std::move(degrees));
+  }
+  tel.set_profiler(&prof);
+  ex.set_telemetry(&tel);
   if (backend == sched::Backend::kChromatic) {
     ex.set_footprint_function(
         [&g](TaskId t, std::vector<std::uint32_t>& fp) {
@@ -93,6 +113,8 @@ CellResult run_cell(const SchedWorkload& wl, sched::Backend backend,
   out.launched = ex.totals().launched;
   out.committed = ex.totals().committed;
   out.aborted = ex.totals().aborted;
+  out.top16_share = prof.top_share(16);
+  out.profiled_conflicts = prof.total_conflicts();
   out.correct = wl.app == "coloring"
                     ? colors.is_proper(g)
                     : is_maximal_independent_set(g, mis_state.in_set());
@@ -106,6 +128,8 @@ void emit_cell(std::ostream& os, const std::string& backend,
      << ", \"launched\": " << r.launched
      << ", \"committed\": " << r.committed << ", \"aborted\": " << r.aborted
      << ", \"conflict_ratio\": " << r.conflict_ratio()
+     << ", \"top16_share\": " << r.top16_share
+     << ", \"profiled_conflicts\": " << r.profiled_conflicts
      << ", \"correct\": " << (r.correct ? "true" : "false") << "}"
      << (last ? "" : ",") << "\n";
 }
@@ -163,7 +187,8 @@ int main(int argc, char** argv) {
       std::cout << "  " << name << ": " << best.time_ms << " ms, "
                 << best.rounds << " rounds, aborted " << best.aborted
                 << " / launched " << best.launched << " (r="
-                << best.conflict_ratio() << ") correct="
+                << best.conflict_ratio() << ", top16_share="
+                << best.top16_share << ") correct="
                 << (best.correct ? "yes" : "NO") << "\n";
       emit_cell(json, name, best, b + 1 == backends.size());
       if (!best.correct) {

@@ -7,10 +7,13 @@ Usage:
 Reads the metrics JSON document from the given path (or stdin when omitted)
 and enforces:
 
-  * the document schema is "optipar.metrics.v1" with well-formed families
-    (optipar_-prefixed names, known types, list-of-samples shape);
+  * the document schema is "optipar.metrics.v1" or "optipar.metrics.v2"
+    with well-formed families (optipar_-prefixed names, known types,
+    list-of-samples shape);
   * histogram samples are cumulative, end with the "+Inf" bucket, and their
     count equals the +Inf count;
+  * v2 quantile-summary families (*_quantile_seconds) carry a "quantile"
+    label on every sample with a value in (0, 1);
   * the reconciliation invariant of DESIGN.md §10 — wherever both a per-lane
     family and its executor-side total are present, the sum over lanes
     equals the total exactly (committed, aborted, retried, quarantined, and
@@ -28,6 +31,10 @@ import json
 import sys
 
 KNOWN_TYPES = {"counter", "gauge", "histogram"}
+
+# v2 is additive over v1: histogram families may carry quantile-summary
+# gauge companions, and serve exports per-job latency histogram families.
+KNOWN_SCHEMAS = {"optipar.metrics.v1", "optipar.metrics.v2"}
 
 EVENT_KINDS = {
     "round_start", "round_end", "controller_decision", "retry",
@@ -59,9 +66,9 @@ RECONCILE = {
 
 
 def check_metrics(doc, errors):
-    if doc.get("schema") != "optipar.metrics.v1":
-        errors.append(f"schema is {doc.get('schema')!r}, expected "
-                      "'optipar.metrics.v1'")
+    if doc.get("schema") not in KNOWN_SCHEMAS:
+        errors.append(f"schema is {doc.get('schema')!r}, expected one of "
+                      f"{sorted(KNOWN_SCHEMAS)}")
         return {}
     metrics = doc.get("metrics")
     if not isinstance(metrics, list):
@@ -99,6 +106,18 @@ def check_metrics(doc, errors):
                                   f"bucket {counts[-1]}")
             elif not isinstance(s.get("value"), (int, float)):
                 errors.append(f"{name}: sample without a numeric value")
+        if name.endswith("_quantile_seconds"):
+            if fam.get("type") != "gauge":
+                errors.append(f"{name}: quantile summary must be a gauge")
+            for s in samples:
+                q = (s.get("labels") or {}).get("quantile")
+                try:
+                    ok = 0.0 < float(q) < 1.0
+                except (TypeError, ValueError):
+                    ok = False
+                if not ok:
+                    errors.append(f"{name}: sample quantile label "
+                                  f"{q!r} is not in (0, 1)")
     return families
 
 

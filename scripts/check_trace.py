@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON document exported by --trace-chrome.
+
+Usage:
+    check_trace.py [trace.json]
+
+Reads the trace document from the given path (or stdin when omitted) and
+enforces the strict subset of the trace-event format that
+SpanCollector::export_chrome promises (DESIGN.md §15):
+
+  * the document is {"traceEvents": [...]} and every event carries a
+    string name, a phase in {B, E, X, i, M}, and non-negative integer
+    pid/tid;
+  * every non-metadata event carries a non-negative numeric ts, and the ts
+    sequence is nondecreasing over the whole document (the repair pass
+    stable-sorts before emitting);
+  * per (pid, tid), B/E events obey stack discipline — each E closes the
+    most recent open B of the same name, and no span is left open at the
+    end of the document (orphans must have been repaired, not emitted);
+  * instant events carry a scope "s" in {t, p, g};
+  * the pid/tid population is sane: at least one event, and few enough
+    distinct threads that a lane id was not garbage (≤ 4096).
+
+Exit status 0 on success, 1 with a diagnostic per violation otherwise.
+"""
+
+import json
+import sys
+
+KNOWN_PHASES = {"B", "E", "X", "i", "M"}
+MAX_DISTINCT_TIDS = 4096
+
+
+def check_events(events, errors):
+    stacks = {}  # (pid, tid) -> [name, ...]
+    tids = set()
+    last_ts = None
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing or empty name")
+            name = "?"
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append(f"{where} ({name}): unknown phase {ph!r}")
+            continue
+        pid, tid = ev.get("pid"), ev.get("tid")
+        for label, val in (("pid", pid), ("tid", tid)):
+            if not isinstance(val, int) or isinstance(val, bool) or val < 0:
+                errors.append(f"{where} ({name}): {label} {val!r} is not a "
+                              "non-negative integer")
+        if isinstance(tid, int):
+            tids.add((pid, tid))
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where} ({name}): ts {ts!r} is not a "
+                          "non-negative number")
+            continue
+        if last_ts is not None and ts < last_ts:
+            errors.append(f"{where} ({name}): ts {ts} < previous {last_ts} "
+                          "(events must be sorted)")
+        last_ts = ts
+        key = (pid, tid)
+        if ph == "B":
+            stacks.setdefault(key, []).append(name)
+        elif ph == "E":
+            stack = stacks.get(key, [])
+            if not stack:
+                errors.append(f"{where} ({name}): E without an open B on "
+                              f"pid={pid} tid={tid}")
+            elif stack[-1] != name:
+                errors.append(f"{where}: E ({name}) does not close the "
+                              f"open span ({stack[-1]}) on pid={pid} "
+                              f"tid={tid}")
+            else:
+                stack.pop()
+        elif ph == "i":
+            if ev.get("s") not in {"t", "p", "g"}:
+                errors.append(f"{where} ({name}): instant scope "
+                              f"{ev.get('s')!r} not in {{t, p, g}}")
+    for (pid, tid), stack in stacks.items():
+        for name in stack:
+            errors.append(f"span {name!r} on pid={pid} tid={tid} is never "
+                          "closed")
+    if not events:
+        errors.append("traceEvents is empty")
+    if len(tids) > MAX_DISTINCT_TIDS:
+        errors.append(f"{len(tids)} distinct (pid, tid) pairs — lane ids "
+                      "look corrupt")
+    return len(tids)
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "-"
+    if path in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    errors = []
+    try:
+        if path == "-":
+            doc = json.load(sys.stdin)
+        else:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_trace: cannot parse {path}: {e}", file=sys.stderr)
+        return 1
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(events, list):
+        print("check_trace: document has no traceEvents list",
+              file=sys.stderr)
+        return 1
+    threads = check_events(events, errors)
+    if errors:
+        for e in errors:
+            print(f"check_trace: {e}", file=sys.stderr)
+        return 1
+    print(f"check_trace: OK ({len(events)} events, {threads} threads)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

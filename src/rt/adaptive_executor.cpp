@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "rt/checkpoint.hpp"
+#include "support/telemetry/span_trace.hpp"
 #include "support/telemetry/telemetry.hpp"
+#include "support/timer.hpp"
 
 namespace optipar {
 
@@ -36,18 +38,37 @@ bool AdaptiveRun::finished() const {
   return round_ >= config_.max_rounds || executor_.done();
 }
 
-void AdaptiveRun::snapshot_boundary(bool force) {
-  CheckpointManager* const cp = config_.checkpoint;
-  if (cp == nullptr) return;
+void AdaptiveRun::run_snapshot(CheckpointManager& cp, std::uint32_t round,
+                               std::uint32_t next_m, bool force) {
   CheckpointManager::LoopState loop;
-  loop.next_m = m_;
+  loop.next_m = next_m;
   loop.stalled = stalled_;
   loop.degraded = degraded_;
   loop.degraded_at_step = trace_.degraded_at_step;
+  telemetry::SpanCollector* const spans =
+      tel_ != nullptr ? tel_->spans() : nullptr;
+  const std::uint32_t written_before = cp.snapshots_written();
+  const std::uint64_t t0 = spans != nullptr ? monotonic_ns() : 0;
+  cp.maybe_snapshot(round, executor_, controller_, loop,
+                    trace_.steps.size(), force);
+  if (spans != nullptr && cp.snapshots_written() != written_before) {
+    telemetry::SpanRecord rec;
+    rec.name = "checkpoint";
+    rec.tid = 0;
+    rec.start_ns = t0;
+    rec.end_ns = monotonic_ns();
+    rec.a = round;
+    rec.b = cp.snapshots_written();
+    spans->record(rec);
+  }
+}
+
+void AdaptiveRun::snapshot_boundary(bool force) {
+  CheckpointManager* const cp = config_.checkpoint;
+  if (cp == nullptr) return;
   // `round_` is the round the NEXT step would run; the snapshot covers the
   // `trace_.steps.size()` rounds already journaled.
-  cp->maybe_snapshot(round_ == 0 ? 0 : round_ - 1, executor_, controller_,
-                     loop, trace_.steps.size(), force);
+  run_snapshot(*cp, round_ == 0 ? 0 : round_ - 1, m_, force);
 }
 
 void AdaptiveRun::checkpoint_now() { snapshot_boundary(/*force=*/true); }
@@ -58,6 +79,10 @@ void AdaptiveRun::check_interrupt() {
       config_.cancel->load(std::memory_order_acquire);
   const bool deadline = !cancelled && config_.deadline.expired();
   if (!cancelled && !deadline) return;
+  if (tel_ != nullptr && tel_->spans() != nullptr) {
+    tel_->spans()->instant(cancelled ? "cancelled" : "deadline", 0,
+                           trace_.steps.size());
+  }
   // Force one final snapshot so the interrupted job resumes from this
   // exact boundary, then unwind with the partial trace attached.
   snapshot_boundary(/*force=*/true);
@@ -123,6 +148,9 @@ bool AdaptiveRun::step() {
       tel_->emit({telemetry::EventKind::kWatchdogDegrade, 0,
                   executor_.round_index(), round, 0, 0.0, 0.0,
                   "zero-progress watchdog forced m=1"});
+      if (tel_->spans() != nullptr) {
+        tel_->spans()->instant("watchdog-degrade", 0, round);
+      }
     }
   } else if (degraded_ && stalled_ >= config_.serial_grace) {
     // Even conflict-free serial rounds retire nothing: the work itself
@@ -132,6 +160,10 @@ bool AdaptiveRun::step() {
       tel_->emit({telemetry::EventKind::kLivelock, 0,
                   executor_.round_index(), stalled_, executor_.pending(),
                   0.0, 0.0, "no allocation can commit this work"});
+      if (tel_->spans() != nullptr) {
+        tel_->spans()->instant("livelock", 0, stalled_,
+                               executor_.pending());
+      }
     }
     LivelockError error(stalled_, executor_.pending(),
                         executor_.dead_letters().size());
@@ -155,13 +187,7 @@ bool AdaptiveRun::step() {
   if (cp != nullptr) {
     // Snapshot AFTER observe: the saved loop state carries the next
     // round's allocation, so a resume re-enters the loop exactly here.
-    CheckpointManager::LoopState loop;
-    loop.next_m = m_;
-    loop.stalled = stalled_;
-    loop.degraded = degraded_;
-    loop.degraded_at_step = trace_.degraded_at_step;
-    cp->maybe_snapshot(round, executor_, controller_, loop,
-                       trace_.steps.size(), force_snapshot);
+    run_snapshot(*cp, round, m_, force_snapshot);
   }
   round_ = round + 1;
   return true;

@@ -185,6 +185,10 @@ class AdaptiveRun {
   void check_interrupt();
   /// Snapshot the current boundary state (force = bypass the cadence).
   void snapshot_boundary(bool force);
+  /// maybe_snapshot with a retroactive "checkpoint" span when a snapshot
+  /// was actually written (checkpoint stalls must show in the timeline).
+  void run_snapshot(CheckpointManager& cp, std::uint32_t round,
+                    std::uint32_t next_m, bool force);
 
   SpeculativeExecutor& executor_;
   Controller& controller_;

@@ -9,6 +9,8 @@
 #include "support/barrier.hpp"
 #include "support/cpu.hpp"
 #include "support/snapshot/snapshot.hpp"
+#include "support/telemetry/conflict_profiler.hpp"
+#include "support/telemetry/span_trace.hpp"
 #include "support/telemetry/telemetry.hpp"
 
 namespace optipar {
@@ -66,7 +68,13 @@ bool IterationContext::try_acquire(std::uint32_t item) {
   const bool acquired = unsync_ ? locks_.try_acquire_relaxed(item, iter_id_)
                                 : locks_.try_acquire(item, iter_id_);
   if (!acquired) {
-    if (tlm_ != nullptr) ++tlm_->lock_failures;
+    if (tlm_ != nullptr) {
+      ++tlm_->lock_failures;
+      // Conflict attribution: this item is what killed (or will kill) the
+      // speculative task — the profiler's per-item counter is the spatial
+      // resolution of the conflict ratio.
+      if (tlm_->prof != nullptr) tlm_->prof->on_conflict(item);
+    }
     return false;
   }
   held_.push_back(item);
@@ -179,6 +187,15 @@ IterationContext* SpeculativeExecutor::context_of(std::uint32_t iter_id) {
   return arena_[slot].get();
 }
 
+namespace {
+// Arbitration conflict attribution: every AbortIteration thrown (or
+// provoked, via poison) over `item` charges the item one conflict.
+void attribute_conflict(telemetry::LaneTelemetry* tlm,
+                        std::uint32_t item) noexcept {
+  if (tlm != nullptr && tlm->prof != nullptr) tlm->prof->on_conflict(item);
+}
+}  // namespace
+
 void SpeculativeExecutor::acquire_arbitrated(IterationContext& ctx,
                                              std::uint32_t item) {
   // Every acquire is a cooperative-cancellation point — a poisoned
@@ -208,9 +225,11 @@ void SpeculativeExecutor::acquire_arbitrated(IterationContext& ctx,
     if (other == nullptr) {
       // Foreign owner outside this round (e.g. a test holding the lock):
       // fall back to abort-self.
+      attribute_conflict(ctx.tlm_, item);
       throw AbortIteration{};
     }
     if (ctx.priority_ >= other->priority_) {
+      attribute_conflict(ctx.tlm_, item);
       throw AbortIteration{};  // the earlier (or equal) owner wins
     }
     // We are earlier: poison the owner, then wait for the item. The CAS
@@ -220,9 +239,15 @@ void SpeculativeExecutor::acquire_arbitrated(IterationContext& ctx,
     const bool poisoned_now = other->status_.compare_exchange_strong(
         expected, IterationContext::kPoisoned, std::memory_order_acq_rel);
     if (!poisoned_now && expected == IterationContext::kCommitted) {
+      attribute_conflict(ctx.tlm_, item);
       throw AbortIteration{};
     }
-    if (poisoned_now && ctx.tlm_ != nullptr) ++ctx.tlm_->arb_poisons;
+    if (poisoned_now && ctx.tlm_ != nullptr) {
+      ++ctx.tlm_->arb_poisons;
+      // The owner's impending abort is this item's fault; recorded by the
+      // poisoner (the owner unwinds without knowing which item lost).
+      attribute_conflict(ctx.tlm_, item);
+    }
     // Owner is poisoned (by us or someone else): it will roll back and
     // release. Spin-wait, staying cancellable ourselves. The wait is timed
     // only when telemetry is attached (one clock pair per wait, not per
@@ -235,8 +260,12 @@ void SpeculativeExecutor::acquire_arbitrated(IterationContext& ctx,
           IterationContext::kRunning) {
         if (ctx.tlm_ != nullptr) {
           ++ctx.tlm_->arb_waits;
-          ctx.tlm_->arb_wait_ns +=
+          const std::uint64_t wait_ns =
               phase_ticks_to_ns(phase_ticks() - wait_start);
+          ctx.tlm_->arb_wait_ns += wait_ns;
+          if (ctx.tlm_->prof != nullptr) {
+            ctx.tlm_->prof->on_arb_wait(item, wait_ns);
+          }
         }
         throw AbortIteration{};
       }
@@ -247,7 +276,12 @@ void SpeculativeExecutor::acquire_arbitrated(IterationContext& ctx,
     }
     if (ctx.tlm_ != nullptr) {
       ++ctx.tlm_->arb_waits;
-      ctx.tlm_->arb_wait_ns += phase_ticks_to_ns(phase_ticks() - wait_start);
+      const std::uint64_t wait_ns =
+          phase_ticks_to_ns(phase_ticks() - wait_start);
+      ctx.tlm_->arb_wait_ns += wait_ns;
+      if (ctx.tlm_->prof != nullptr) {
+        ctx.tlm_->prof->on_arb_wait(item, wait_ns);
+      }
     }
     // Re-contend from the top (a third iteration may have grabbed it).
   }
@@ -422,6 +456,9 @@ void SpeculativeExecutor::drain_prefetch() {
 void SpeculativeExecutor::overlap_prefetch(std::size_t lane, std::uint32_t m,
                                            telemetry::LaneTelemetry* tlane) {
   const std::uint64_t t0 = phase_ticks();
+  telemetry::SpanBuffer* const sbuf =
+      tlane != nullptr ? tlane->spans : nullptr;
+  const std::uint64_t w0 = sbuf != nullptr ? monotonic_ns() : 0;
   // Availability FLOOR: every one of this round's draws already happened
   // (the round barrier is behind us), and concurrent epilogue splices only
   // ADD tasks — so drawing `want` tasks can never block on an empty
@@ -457,6 +494,10 @@ void SpeculativeExecutor::overlap_prefetch(std::size_t lane, std::uint32_t m,
   const std::uint64_t dt = phase_ticks_to_ns(phase_ticks() - t0);
   pipe_stats_.overlap_ns += dt;
   if (tlane != nullptr) tlane->precheck_ns += dt;
+  if (sbuf != nullptr) {
+    sbuf->push({"precheck", static_cast<std::uint32_t>(lane) + 1, w0,
+                monotonic_ns(), round_index_, want, false, {}});
+  }
 }
 
 template <bool kSerial>
@@ -479,6 +520,14 @@ void SpeculativeExecutor::round_lane(std::size_t lane, const RoundPlan& plan,
       telemetry_ != nullptr
           ? &telemetry_->lane(lane)
           : nullptr;
+  // Span sink (nullptr unless a SpanCollector is attached): sampled chunks
+  // additionally record wall-clock draw/exec spans into the lane's
+  // single-producer buffer. Span mode is explicit opt-in (--trace-chrome),
+  // so its extra monotonic_ns reads are outside the enabled-overhead
+  // budget the sentinel holds plain telemetry to.
+  telemetry::SpanBuffer* const sbuf =
+      tlane != nullptr ? tlane->spans : nullptr;
+  const std::uint32_t span_tid = static_cast<std::uint32_t>(lane) + 1;
   std::uint64_t phase_t = 0;
   std::uint64_t draw_ticks = 0;
   std::uint64_t exec_ticks = 0;
@@ -509,6 +558,8 @@ void SpeculativeExecutor::round_lane(std::size_t lane, const RoundPlan& plan,
       const bool timed =
           tlane != nullptr &&
           (chunks_seen++ & (kPhaseSamplePeriod - 1)) == 0;
+      const bool spanned = timed && sbuf != nullptr;
+      std::uint64_t span_t = spanned ? monotonic_ns() : 0;
       if (timed) phase_t = phase_ticks();
       if (!plan.centralized) {
         // Draw the chunk through the scheduler. Slots below
@@ -522,6 +573,12 @@ void SpeculativeExecutor::round_lane(std::size_t lane, const RoundPlan& plan,
           const std::uint64_t now = phase_ticks();
           draw_ticks += now - phase_t;
           phase_t = now;
+          if (spanned) {
+            const std::uint64_t wall = monotonic_ns();
+            sbuf->push({"draw", span_tid, span_t, wall, round_index_,
+                        end - begin, false, {}});
+            span_t = wall;
+          }
         }
       }
       // Lane stamps are written per chunk — one vectorized fill
@@ -607,6 +664,7 @@ void SpeculativeExecutor::round_lane(std::size_t lane, const RoundPlan& plan,
           // our items. The unwind is two-phase (UndoLog::rollback): a
           // throwing inverse never strands the inverses below it.
           const std::uint64_t rb_t0 = timed ? phase_ticks() : 0;
+          const std::uint64_t rb_w0 = spanned ? monotonic_ns() : 0;
           try {
             ctx.undo_.rollback();
           } catch (...) {
@@ -617,6 +675,10 @@ void SpeculativeExecutor::round_lane(std::size_t lane, const RoundPlan& plan,
           if (tlane != nullptr) {
             ++lane_aborted;
             if (timed) rollback_ticks += phase_ticks() - rb_t0;
+            if (spanned) {
+              sbuf->push({"rollback", span_tid, rb_w0, monotonic_ns(),
+                          round_index_, task, false, {}});
+            }
           }
         }
         slot_executed_[slot] = round_index_;
@@ -625,6 +687,10 @@ void SpeculativeExecutor::round_lane(std::size_t lane, const RoundPlan& plan,
         // exec covers the whole speculative slice (operator + commit/
         // rollback decisions); rollback above is a sub-slice of it.
         exec_ticks += phase_ticks() - phase_t;
+        if (spanned) {
+          sbuf->push({"exec", span_tid, span_t, monotonic_ns(),
+                      round_index_, end - begin, false, {}});
+        }
       }
     }
   } catch (...) {
@@ -668,6 +734,7 @@ void SpeculativeExecutor::round_lane(std::size_t lane, const RoundPlan& plan,
     const bool track_commit = lane == 0 && plan.overlap;
     const std::uint64_t commit_t0 =
         (tlane != nullptr || track_commit) ? phase_ticks() : 0;
+    const std::uint64_t commit_w0 = sbuf != nullptr ? monotonic_ns() : 0;
     // Software pipeline (DESIGN.md §12): while the other lanes run the
     // commit epilogue for round t, the LAST lane draws and pre-checks
     // round t+1 into the double buffer (prefetched_). The buffer is
@@ -728,6 +795,10 @@ void SpeculativeExecutor::round_lane(std::size_t lane, const RoundPlan& plan,
       // scalar from the prefetch lane's overlap_ns — no write race.
       if (track_commit) pipe_stats_.commit_ns += commit_ns;
     }
+    if (sbuf != nullptr) {
+      sbuf->push({"commit", span_tid, commit_w0, monotonic_ns(),
+                  round_index_, committed, false, {}});
+    }
   } catch (...) {
     if (!lane_pool_fault_[lane].value) {
       lane_pool_fault_[lane].value = std::current_exception();
@@ -740,6 +811,11 @@ RoundStats SpeculativeExecutor::run_round(std::uint32_t m) {
   // nullptr accumulator → ScopedTimer performs no clock reads at all.
   ScopedTimer round_timer(acc_round_);
   ++round_index_;
+  // Coordinator-level round span (tid 0); lane chunk spans nest under it
+  // on their own tids. Null collector = no clock read, same as the timer.
+  telemetry::SpanScope round_span(
+      telemetry_ != nullptr ? telemetry_->spans() : nullptr, "round", 0,
+      round_index_, m);
   release_due_deferred();
   RoundStats stats;
   const std::uint64_t injected_before =

@@ -134,6 +134,13 @@ TextReply Client::trace(std::uint64_t job) {
   return TextReply::decode(request_expect(req.encode(), MsgType::kText));
 }
 
+TextReply Client::artifact(std::uint64_t job, ArtifactKind kind) {
+  ArtifactRequest req;
+  req.job = job;
+  req.kind = kind;
+  return TextReply::decode(request_expect(req.encode(), MsgType::kText));
+}
+
 OkReply Client::cancel(std::uint64_t job) {
   JobIdRequest req;
   req.type = MsgType::kCancel;

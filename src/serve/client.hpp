@@ -58,6 +58,10 @@ class Client {
 
   [[nodiscard]] JobStatusReply status(std::uint64_t job);
   [[nodiscard]] TextReply trace(std::uint64_t job);
+  /// Fetch a finished run job's retained observability artifact (trace
+  /// JSONL, Chrome trace JSON, or per-job metrics JSON). Raises ServeError
+  /// {kBadRequest} when the artifact was never produced or was evicted.
+  [[nodiscard]] TextReply artifact(std::uint64_t job, ArtifactKind kind);
   [[nodiscard]] OkReply cancel(std::uint64_t job);
   [[nodiscard]] ServerInfoReply server_status();
   [[nodiscard]] TextReply metrics(const std::string& format = "prometheus");

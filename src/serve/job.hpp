@@ -61,6 +61,16 @@ struct Job {
   bool recovered = false;  ///< re-admitted from the WAL after a restart
   bool resumed = false;    ///< restored from a checkpoint after a restart
   JobResult result;
+
+  // Lifecycle timestamps (monotonic_ns, this incarnation only — not in the
+  // WAL). Written before the job becomes reachable by the scheduler
+  // (submit) or by the scheduler thread itself (activate), so they need no
+  // synchronization beyond the queue's publish. Zero = never reached. They
+  // feed the serve latency histograms and the retroactive admission-wait /
+  // WAL-fsync spans of the job's trace (DESIGN.md §15).
+  std::uint64_t submit_ns = 0;     ///< admission accepted (WAL append start)
+  std::uint64_t wal_fsync_ns = 0;  ///< kSubmitted record durable
+  std::uint64_t activate_ns = 0;   ///< scheduler picked the job up
 };
 
 // ---------------------------------------------------------------------------

@@ -30,7 +30,9 @@
 #include "support/snapshot/journal.hpp"
 #include "support/snapshot/snapshot.hpp"
 #include "support/telemetry/metrics_registry.hpp"
+#include "support/telemetry/span_trace.hpp"
 #include "support/telemetry/telemetry.hpp"
+#include "support/timer.hpp"
 
 namespace optipar::serve {
 
@@ -61,6 +63,29 @@ void remove_job_dir(const std::string& dir) {
   ::rmdir(dir.c_str());
 }
 
+/// Assemble a finished run job's retained artifacts: the trace JSONL the
+/// caller already rendered, the Chrome trace export (the job span is
+/// closed first so the timeline brackets everything), and the per-job
+/// metrics JSON — the same `tel.export_metrics + render_json` document
+/// `optipar_cli run --metrics-out` writes.
+JobArtifacts collect_artifacts(std::string jsonl,
+                               telemetry::RuntimeTelemetry& tel,
+                               telemetry::SpanCollector& spans,
+                               std::size_t job_span) {
+  JobArtifacts art;
+  art.jsonl = std::move(jsonl);
+  spans.end(job_span);
+  std::ostringstream chrome;
+  spans.export_chrome(chrome);
+  art.chrome = chrome.str();
+  MetricsRegistry reg;
+  tel.export_metrics(reg);
+  std::ostringstream metrics;
+  reg.render_json(metrics);
+  art.metrics_json = metrics.str();
+  return art;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -74,11 +99,14 @@ struct Server::ActiveJob {
   std::shared_ptr<Job> job;
   CsrGraph graph;
   std::unique_ptr<telemetry::RuntimeTelemetry> tel;
+  std::unique_ptr<telemetry::SpanCollector> spans;  ///< pid = job id
   std::unique_ptr<SpeculativeExecutor> exec;
   std::unique_ptr<Controller> controller;
   std::unique_ptr<CheckpointManager> checkpoint;
   std::unique_ptr<AdaptiveRun> run;
-  std::size_t lanes = 0;  ///< last applied per-round lane cap
+  std::size_t lanes = 0;      ///< last applied per-round lane cap
+  std::size_t job_span = 0;   ///< the open "job" span's handle
+  bool first_step_done = false;  ///< time-to-first-round already recorded
 };
 
 struct Server::Connection {
@@ -168,6 +196,10 @@ void Server::start() {
     const auto& job = jobs_.at(id);
     const JobState s = job->state.load(std::memory_order_acquire);
     if (s == JobState::kQueued) {
+      // The original submit instant did not survive the crash (timestamps
+      // are monotonic, not wall-clock): the recovered job's admission wait
+      // is measured from this incarnation's replay.
+      job->submit_ns = monotonic_ns();
       queue_->readmit(id);  // bypasses capacity: already-accepted work
       ++recovered_;
     }
@@ -350,6 +382,10 @@ std::vector<std::byte> Server::handle_request(
       return handle_server_status();
     case MsgType::kMetrics:
       return handle_metrics(MetricsRequest::decode(payload).format);
+    case MsgType::kArtifact: {
+      const auto req = ArtifactRequest::decode(payload);
+      return handle_artifact(req.job, req.kind);
+    }
     case MsgType::kShutdown: {
       const auto req = ShutdownRequest::decode(payload);
       request_shutdown(req.drain);
@@ -470,9 +506,12 @@ std::vector<std::byte> Server::handle_submit(
   WalRecord rec;
   rec.kind = WalRecordKind::kSubmitted;
   rec.spec = spec;
+  const std::uint64_t submit_ns = monotonic_ns();
   wal_->append(encode_wal_record(rec));
   auto job = std::make_shared<Job>();
   job->spec = spec;
+  job->submit_ns = submit_ns;
+  job->wal_fsync_ns = monotonic_ns();
   jobs_[spec.id] = job;
   queue_->readmit(spec.id);  // capacity was checked above, same lock
   submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -512,14 +551,44 @@ std::vector<std::byte> Server::handle_trace(std::uint64_t job_id) {
                       "no job " + std::to_string(job_id)}
         .encode();
   }
-  const auto tr = traces_.find(job_id);
-  if (tr == traces_.end()) {
+  const auto tr = artifacts_.find(job_id);
+  if (tr == artifacts_.end() || tr->second.jsonl.empty()) {
     return ErrorReply{ErrorCode::kBadRequest,
                       "trace unavailable (job still running, recovered "
                       "from a previous incarnation, or evicted)"}
         .encode();
   }
-  return TextReply{tr->second}.encode();
+  return TextReply{tr->second.jsonl}.encode();
+}
+
+std::vector<std::byte> Server::handle_artifact(std::uint64_t job_id,
+                                               ArtifactKind kind) {
+  std::lock_guard<std::mutex> lock(jobs_mutex_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return ErrorReply{ErrorCode::kUnknownJob,
+                      "no job " + std::to_string(job_id)}
+        .encode();
+  }
+  const auto art = artifacts_.find(job_id);
+  const std::string* text = nullptr;
+  if (art != artifacts_.end()) {
+    switch (kind) {
+      case ArtifactKind::kTraceJsonl: text = &art->second.jsonl; break;
+      case ArtifactKind::kTraceChrome: text = &art->second.chrome; break;
+      case ArtifactKind::kMetricsJson:
+        text = &art->second.metrics_json;
+        break;
+    }
+  }
+  if (text == nullptr || text->empty()) {
+    return ErrorReply{ErrorCode::kBadRequest,
+                      std::string(artifact_kind_name(kind)) +
+                          " unavailable (job still running, not a run "
+                          "job, recovered, or evicted)"}
+        .encode();
+  }
+  return TextReply{*text}.encode();
 }
 
 std::vector<std::byte> Server::handle_cancel(std::uint64_t job_id) {
@@ -596,6 +665,20 @@ std::vector<std::byte> Server::handle_metrics(const std::string& format) {
   reg.add("optipar_serve_resumed_total", Type::kCounter,
           "Jobs resumed from checkpoints after a restart", {},
           static_cast<double>(resumed_.load(std::memory_order_relaxed)));
+  {
+    // Serve latency histograms (DESIGN.md §15): log-bucketed, with
+    // quantile-summary gauges — the optipar.metrics.v2 additions.
+    std::lock_guard<std::mutex> lock(lat_mutex_);
+    lat_admission_.export_metrics(reg, "optipar_serve_admission_wait",
+                                  "Job admission wait (accept to activate)");
+    lat_first_round_.export_metrics(
+        reg, "optipar_serve_time_to_first_round",
+        "Activation to the end of the job's first round");
+    lat_round_.export_metrics(reg, "optipar_serve_round_latency",
+                              "Per-round scheduler step latency");
+    lat_e2e_.export_metrics(reg, "optipar_serve_job_duration",
+                            "End-to-end job time (accept to terminal)");
+  }
   std::ostringstream os;
   if (format == "json") {
     reg.render_json(os);
@@ -610,7 +693,11 @@ std::vector<std::byte> Server::handle_metrics(const std::string& format) {
 // ---------------------------------------------------------------------------
 
 void Server::finish_job(const std::shared_ptr<Job>& job, JobState state,
-                        JobResult result, const std::string& trace_jsonl) {
+                        JobResult result, JobArtifacts artifacts) {
+  if (job->submit_ns != 0) {
+    std::lock_guard<std::mutex> lock(lat_mutex_);
+    lat_e2e_.record_ns(monotonic_ns() - job->submit_ns);
+  }
   {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
     job->result = result;
@@ -628,12 +715,13 @@ void Server::finish_job(const std::shared_ptr<Job>& job, JobState state,
       std::cerr << "optipar_serve: WAL append failed for job "
                 << job->spec.id << ": " << e.what() << "\n";
     }
-    if (!trace_jsonl.empty()) {
-      traces_[job->spec.id] = trace_jsonl;
-      trace_order_.push_back(job->spec.id);
-      while (trace_order_.size() > config_.trace_cache) {
-        traces_.erase(trace_order_.front());
-        trace_order_.pop_front();
+    if (!artifacts.jsonl.empty() || !artifacts.chrome.empty() ||
+        !artifacts.metrics_json.empty()) {
+      artifacts_[job->spec.id] = std::move(artifacts);
+      artifact_order_.push_back(job->spec.id);
+      while (artifact_order_.size() > config_.trace_cache) {
+        artifacts_.erase(artifact_order_.front());
+        artifact_order_.pop_front();
       }
     }
   }
@@ -669,6 +757,11 @@ void Server::activate(std::uint64_t job_id) {
     return;
   }
   job->state.store(JobState::kRunning, std::memory_order_release);
+  job->activate_ns = monotonic_ns();
+  if (job->submit_ns != 0) {
+    std::lock_guard<std::mutex> lock(lat_mutex_);
+    lat_admission_.record_ns(job->activate_ns - job->submit_ns);
+  }
   const JobSpec& spec = job->spec;
   try {
     // Load the graph through the validated reader: the daemon's own state
@@ -739,6 +832,28 @@ void Server::activate(std::uint64_t job_id) {
     }
     aj->tel = std::make_unique<telemetry::RuntimeTelemetry>();
     aj->tel->set_target_rho(spec.rho);
+    // Every run job is traced (DESIGN.md §15): the collector's pid is the
+    // job id, so multiple jobs' exports stay distinguishable in Perfetto.
+    // The admission wait and the WAL fsync happened before the collector
+    // existed; record them retroactively from the Job's timestamps so the
+    // exported timeline covers the job's whole daemon-side life.
+    aj->spans = std::make_unique<telemetry::SpanCollector>(spec.id);
+    if (job->submit_ns != 0) {
+      telemetry::SpanRecord rec;
+      rec.name = "admission-wait";
+      rec.tid = 0;
+      rec.start_ns = job->submit_ns;
+      rec.end_ns = job->activate_ns;
+      rec.a = spec.id;
+      aj->spans->record(rec);
+      if (job->wal_fsync_ns >= job->submit_ns) {
+        rec.name = "wal-fsync";
+        rec.end_ns = job->wal_fsync_ns;
+        aj->spans->record(rec);
+      }
+    }
+    aj->job_span = aj->spans->begin("job", 0, spec.id, spec.steps);
+    aj->tel->set_spans(aj->spans.get());
     aj->exec->set_telemetry(aj->tel.get());
     std::vector<TaskId> tasks(g->num_nodes());
     std::iota(tasks.begin(), tasks.end(), TaskId{0});
@@ -824,9 +939,17 @@ void Server::scheduler_loop() {
       bool finished = false;
       try {
         for (std::uint32_t i = 0; i < config_.rounds_per_slice; ++i) {
+          const std::uint64_t t0 = monotonic_ns();
           if (!aj.run->step()) {
             finished = true;
             break;
+          }
+          const std::uint64_t now = monotonic_ns();
+          std::lock_guard<std::mutex> lock(lat_mutex_);
+          lat_round_.record_ns(now - t0);
+          if (!aj.first_step_done) {
+            aj.first_step_done = true;
+            lat_first_round_.record_ns(now - aj.job->activate_ns);
           }
         }
       } catch (const JobInterrupted& e) {
@@ -843,7 +966,9 @@ void Server::scheduler_loop() {
         result.error = e.what();
         std::ostringstream os;
         write_trace_jsonl(os, e.partial_trace);
-        finish_job(aj.job, state, result, os.str());
+        finish_job(aj.job, state, result,
+                   collect_artifacts(os.str(), *aj.tel, *aj.spans,
+                                     aj.job_span));
         it = active_.erase(it);
         active_count_.store(active_.size(), std::memory_order_release);
         continue;
@@ -857,7 +982,9 @@ void Server::scheduler_loop() {
         result.error = e.what();
         std::ostringstream os;
         write_trace_jsonl(os, e.partial_trace);
-        finish_job(aj.job, JobState::kFailed, result, os.str());
+        finish_job(aj.job, JobState::kFailed, result,
+                   collect_artifacts(os.str(), *aj.tel, *aj.spans,
+                                     aj.job_span));
         it = active_.erase(it);
         active_count_.store(active_.size(), std::memory_order_release);
         continue;
@@ -868,7 +995,10 @@ void Server::scheduler_loop() {
         result.rounds = aj.run->trace().steps.size();
         result.committed = aj.run->trace().total_committed();
         result.error = e.what();
-        finish_job(aj.job, JobState::kFailed, result, {});
+        // No partial trace rode the exception, but the spans and metrics
+        // up to the poisoning round are still worth keeping.
+        finish_job(aj.job, JobState::kFailed, result,
+                   collect_artifacts({}, *aj.tel, *aj.spans, aj.job_span));
         it = active_.erase(it);
         active_count_.store(active_.size(), std::memory_order_release);
         continue;
@@ -884,7 +1014,9 @@ void Server::scheduler_loop() {
         std::ostringstream os;
         write_trace_jsonl(os, trace);
         telemetry::write_events_jsonl(os, aj.tel->drain_events());
-        finish_job(aj.job, JobState::kDone, result, os.str());
+        finish_job(aj.job, JobState::kDone, result,
+                   collect_artifacts(os.str(), *aj.tel, *aj.spans,
+                                     aj.job_span));
         it = active_.erase(it);
         active_count_.store(active_.size(), std::memory_order_release);
       } else {

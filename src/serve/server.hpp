@@ -38,6 +38,7 @@
 #include "serve/admission.hpp"
 #include "serve/job.hpp"
 #include "serve/wire.hpp"
+#include "support/telemetry/latency_histogram.hpp"
 #include "support/thread_pool.hpp"
 
 namespace optipar {
@@ -61,7 +62,15 @@ struct ServerConfig {
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
   std::size_t max_graph_bytes = 8u << 20;  ///< upload payload bound
   std::uint32_t rounds_per_slice = 8;  ///< scheduler round-robin quantum
-  std::size_t trace_cache = 64;        ///< finished-job traces retained
+  std::size_t trace_cache = 64;        ///< finished-job artifacts retained
+};
+
+/// Observability artifacts retained per finished run job, served through
+/// kTrace (jsonl, for compatibility) and kArtifact (all three).
+struct JobArtifacts {
+  std::string jsonl;         ///< round/event trace JSONL
+  std::string chrome;        ///< Chrome trace-event JSON (Perfetto)
+  std::string metrics_json;  ///< per-job metrics export (optipar.metrics.v2)
 };
 
 class Server {
@@ -107,6 +116,8 @@ class Server {
   std::vector<std::byte> handle_submit(std::span<const std::byte> payload);
   std::vector<std::byte> handle_status(std::uint64_t job_id);
   std::vector<std::byte> handle_trace(std::uint64_t job_id);
+  std::vector<std::byte> handle_artifact(std::uint64_t job_id,
+                                         ArtifactKind kind);
   std::vector<std::byte> handle_cancel(std::uint64_t job_id);
   std::vector<std::byte> handle_server_status();
   std::vector<std::byte> handle_metrics(const std::string& format);
@@ -116,7 +127,7 @@ class Server {
   /// kFailed — activation errors never unwind the scheduler.
   void activate(std::uint64_t job_id);
   void finish_job(const std::shared_ptr<Job>& job, JobState state,
-                  JobResult result, const std::string& trace_jsonl);
+                  JobResult result, JobArtifacts artifacts);
   [[nodiscard]] std::string graph_path(const std::string& name) const;
   [[nodiscard]] std::string job_dir(std::uint64_t job_id) const;
 
@@ -131,8 +142,8 @@ class Server {
   std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
   std::unique_ptr<snapshot::RoundJournal> wal_;
   std::uint64_t next_job_id_ = 1;
-  std::unordered_map<std::uint64_t, std::string> traces_;
-  std::deque<std::uint64_t> trace_order_;  ///< FIFO eviction of traces_
+  std::unordered_map<std::uint64_t, JobArtifacts> artifacts_;
+  std::deque<std::uint64_t> artifact_order_;  ///< FIFO eviction
 
   // Lifecycle counters (ServerInfoReply / metrics).
   std::atomic<std::uint64_t> submitted_{0};
@@ -147,6 +158,15 @@ class Server {
 
   // Scheduler state (scheduler thread only).
   std::list<std::unique_ptr<ActiveJob>> active_;
+
+  // Serve latency histograms (DESIGN.md §15): recorded by the scheduler
+  // thread (and the submit path for e2e of never-activated jobs), scraped
+  // by connection threads via handle_metrics — hence their own short lock.
+  mutable std::mutex lat_mutex_;
+  telemetry::LatencyHistogram lat_admission_;   ///< submit → activate
+  telemetry::LatencyHistogram lat_first_round_; ///< activate → first step
+  telemetry::LatencyHistogram lat_round_;       ///< one step() each
+  telemetry::LatencyHistogram lat_e2e_;         ///< submit → terminal state
 
   // Shutdown machinery.
   std::atomic<bool> draining_{false};

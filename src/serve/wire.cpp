@@ -105,6 +105,7 @@ const char* msg_type_name(MsgType type) noexcept {
     case MsgType::kCancel: return "cancel";
     case MsgType::kShutdown: return "shutdown";
     case MsgType::kMetrics: return "metrics";
+    case MsgType::kArtifact: return "artifact";
     case MsgType::kOk: return "ok";
     case MsgType::kErrorReply: return "error";
     case MsgType::kOverloaded: return "overloaded";
@@ -135,6 +136,15 @@ const char* job_state_name(JobState state) noexcept {
     case JobState::kFailed: return "failed";
     case JobState::kCancelled: return "cancelled";
     case JobState::kTimedOut: return "timed-out";
+  }
+  return "unknown";
+}
+
+const char* artifact_kind_name(ArtifactKind kind) noexcept {
+  switch (kind) {
+    case ArtifactKind::kTraceJsonl: return "trace-jsonl";
+    case ArtifactKind::kTraceChrome: return "trace-chrome";
+    case ArtifactKind::kMetricsJson: return "metrics-json";
   }
   return "unknown";
 }
@@ -203,7 +213,7 @@ MsgType peek_type(std::span<const std::byte> payload) {
   }
   const auto tag = static_cast<std::uint8_t>(payload[0]);
   const bool request = tag >= static_cast<std::uint8_t>(MsgType::kHealth) &&
-                       tag <= static_cast<std::uint8_t>(MsgType::kMetrics);
+                       tag <= static_cast<std::uint8_t>(MsgType::kArtifact);
   const bool response = tag >= static_cast<std::uint8_t>(MsgType::kOk) &&
                         tag <= static_cast<std::uint8_t>(MsgType::kText);
   if (!request && !response) {
@@ -387,6 +397,32 @@ MetricsRequest MetricsRequest::decode(std::span<const std::byte> payload) {
     expect_tag(in, MsgType::kMetrics);
     MetricsRequest req;
     req.format = in.str();
+    in.expect_end();
+    return req;
+  });
+}
+
+std::vector<std::byte> ArtifactRequest::encode() const {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(MsgType::kArtifact));
+  out.u64(job);
+  out.u8(static_cast<std::uint8_t>(kind));
+  return out.take();
+}
+
+ArtifactRequest ArtifactRequest::decode(std::span<const std::byte> payload) {
+  return decoding([&] {
+    Reader in(payload);
+    expect_tag(in, MsgType::kArtifact);
+    ArtifactRequest req;
+    req.job = in.u64();
+    const auto kind = in.u8();
+    if (kind < static_cast<std::uint8_t>(ArtifactKind::kTraceJsonl) ||
+        kind > static_cast<std::uint8_t>(ArtifactKind::kMetricsJson)) {
+      throw WireError(WireError::Kind::kMalformed,
+                      "unknown artifact kind " + std::to_string(kind));
+    }
+    req.kind = static_cast<ArtifactKind>(kind);
     in.expect_end();
     return req;
   });

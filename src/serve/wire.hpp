@@ -66,6 +66,7 @@ enum class MsgType : std::uint8_t {
   kCancel = 8,
   kShutdown = 9,
   kMetrics = 10,
+  kArtifact = 11,  ///< fetch a finished job's observability artifact
   // --- responses ---
   kOk = 64,
   kErrorReply = 65,
@@ -186,6 +187,26 @@ struct MetricsRequest {
 
   [[nodiscard]] std::vector<std::byte> encode() const;
   [[nodiscard]] static MetricsRequest decode(
+      std::span<const std::byte> payload);
+};
+
+/// Observability artifacts a finished run job retains (DESIGN.md §15):
+/// the round/event trace JSONL (same text kTrace serves), the Chrome
+/// trace-event JSON for Perfetto, and the per-job metrics JSON export.
+enum class ArtifactKind : std::uint8_t {
+  kTraceJsonl = 1,
+  kTraceChrome = 2,
+  kMetricsJson = 3,
+};
+
+[[nodiscard]] const char* artifact_kind_name(ArtifactKind kind) noexcept;
+
+struct ArtifactRequest {
+  std::uint64_t job = 0;
+  ArtifactKind kind = ArtifactKind::kTraceJsonl;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  [[nodiscard]] static ArtifactRequest decode(
       std::span<const std::byte> payload);
 };
 

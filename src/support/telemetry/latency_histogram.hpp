@@ -1,0 +1,114 @@
+// HDR-style log-bucketed latency histogram (DESIGN.md §15). Buckets are
+// powers of two in nanoseconds — bucket i covers (2^(i-1), 2^i] ns — which
+// keeps the relative error of any recorded value under 2x across the whole
+// 1 ns .. ~9 minute range with a fixed 40-counter footprint and no
+// allocation on the record path. The serve daemon aggregates one of these
+// per latency family (admission wait, time-to-first-round, round latency,
+// end-to-end time-to-solution) and exports them through MetricsRegistry as
+// optipar.metrics.v2 histogram families plus quantile-summary gauges.
+//
+// Not internally synchronized: the daemon records from its single
+// scheduler thread and snapshots under a mutex; merge() exists for hosts
+// that shard by thread.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "support/telemetry/metrics_registry.hpp"
+
+namespace optipar::telemetry {
+
+class LatencyHistogram {
+ public:
+  /// le bounds 2^0 .. 2^38 ns (~4.6 min) + the implicit +Inf bucket.
+  static constexpr std::size_t kBuckets = 40;
+
+  static constexpr std::size_t bucket_of(std::uint64_t ns) noexcept {
+    // bit_width(1) == 1 -> bucket 0 (le 1 ns); bit_width(2^38+1) == 39 ->
+    // the +Inf bucket (index 39).
+    if (ns <= 1) return 0;
+    const std::size_t b = static_cast<std::size_t>(std::bit_width(ns - 1));
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  /// Upper bound of bucket `i` in nanoseconds (the +Inf bucket saturates).
+  static constexpr std::uint64_t upper_bound_ns(std::size_t i) noexcept {
+    return i + 1 < kBuckets ? (std::uint64_t{1} << i) : ~std::uint64_t{0};
+  }
+
+  void record_ns(std::uint64_t ns) noexcept {
+    ++counts_[bucket_of(ns)];
+    ++count_;
+    sum_ns_ += static_cast<double>(ns);
+    if (ns > max_ns_) max_ns_ = ns;
+  }
+
+  void merge(const LatencyHistogram& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ns_ += other.sum_ns_;
+    if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum_seconds() const noexcept { return sum_ns_ * 1e-9; }
+  [[nodiscard]] std::uint64_t max_ns() const noexcept { return max_ns_; }
+
+  /// Quantile estimate in seconds: the upper bound of the first bucket
+  /// whose cumulative count reaches q·count (0 when empty). Upward-biased
+  /// by at most 2x — the HDR trade the log buckets buy.
+  [[nodiscard]] double quantile_seconds(double q) const noexcept {
+    if (count_ == 0) return 0.0;
+    const double target = q * static_cast<double>(count_);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      cumulative += counts_[i];
+      if (static_cast<double>(cumulative) >= target) {
+        // The +Inf bucket reports the observed max instead of infinity.
+        return i + 1 < kBuckets
+                   ? static_cast<double>(upper_bound_ns(i)) * 1e-9
+                   : static_cast<double>(max_ns_) * 1e-9;
+      }
+    }
+    return static_cast<double>(max_ns_) * 1e-9;
+  }
+
+  /// Export as a cumulative `<base>_seconds` histogram family (le bounds
+  /// in seconds) plus a `<base>_quantile_seconds` gauge family with
+  /// p50/p90/p99 samples. `base` carries no unit suffix.
+  void export_metrics(MetricsRegistry& reg, const std::string& base,
+                      const std::string& help) const {
+    std::vector<MetricsRegistry::Bucket> buckets;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      cumulative += counts_[i];
+      if (counts_[i] == 0 && i + 1 < kBuckets) continue;  // sparse render
+      const std::string le =
+          i + 1 < kBuckets ? MetricsRegistry::format_value(
+                                 static_cast<double>(upper_bound_ns(i)) * 1e-9)
+                           : "+Inf";
+      buckets.push_back({le, cumulative});
+    }
+    if (buckets.empty() || buckets.back().le != "+Inf") {
+      buckets.push_back({"+Inf", cumulative});
+    }
+    reg.add_histogram(base + "_seconds", help, {}, buckets, sum_seconds());
+    for (const double q : {0.5, 0.9, 0.99}) {
+      reg.add(base + "_quantile_seconds", MetricsRegistry::Type::kGauge,
+              help + " (log-bucket quantile estimate)",
+              {{"quantile", MetricsRegistry::format_value(q)}},
+              quantile_seconds(q));
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  double sum_ns_ = 0.0;
+  std::uint64_t max_ns_ = 0;
+};
+
+}  // namespace optipar::telemetry

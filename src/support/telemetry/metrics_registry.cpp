@@ -135,7 +135,11 @@ void MetricsRegistry::render_prometheus(std::ostream& os) const {
 }
 
 void MetricsRegistry::render_json(std::ostream& os) const {
-  os << "{\"schema\":\"optipar.metrics.v1\",\"metrics\":[";
+  // v2 (additive over v1): histogram families may carry quantile-summary
+  // gauge companions (`<base>_quantile_seconds`), and serve exports the
+  // per-job latency histogram families. Consumers keyed on v1 only need to
+  // accept the new schema string — sample shapes are unchanged.
+  os << "{\"schema\":\"optipar.metrics.v2\",\"metrics\":[";
   bool first_family = true;
   for (const Family& family : families_) {
     if (!first_family) os << ',';

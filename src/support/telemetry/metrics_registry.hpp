@@ -1,6 +1,6 @@
 // The metrics export surface (DESIGN.md §10): a flat registry of metric
 // families — counters, gauges, histograms — rendered as Prometheus
-// exposition text or as JSON (schema "optipar.metrics.v1", validated by
+// exposition text or as JSON (schema "optipar.metrics.v2", validated by
 // scripts/check_metrics.py). Renderings are deterministic: families appear
 // in registration order, samples in insertion order, and floating-point
 // values use a fixed shortest-round-trip format — so golden-file tests can
@@ -47,7 +47,7 @@ class MetricsRegistry {
   /// Prometheus text exposition format (# HELP / # TYPE / samples).
   void render_prometheus(std::ostream& os) const;
 
-  /// JSON document: {"schema":"optipar.metrics.v1","metrics":[...]}.
+  /// JSON document: {"schema":"optipar.metrics.v2","metrics":[...]}.
   void render_json(std::ostream& os) const;
 
   /// Format a double exactly the way both renderers do (integral values

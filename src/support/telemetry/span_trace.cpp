@@ -1,0 +1,232 @@
+#include "support/telemetry/span_trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "support/timer.hpp"
+
+namespace optipar::telemetry {
+
+namespace {
+
+/// Escape a string for a JSON literal (same policy as the telemetry JSONL
+/// writer: control characters are dropped, quotes and backslashes escaped).
+void write_escaped_json(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      os << c;
+    }
+  }
+}
+
+/// Microseconds with fixed sub-microsecond precision: Chrome's `ts` unit.
+void write_ts_us(std::ostream& os, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  os << buf;
+}
+
+/// One trace event ready to serialize, ordered by (ts, per-tid sequence).
+struct EmitEvent {
+  std::uint64_t ts_ns = 0;
+  char ph = 'B';
+  const SpanRecord* rec = nullptr;
+};
+
+void write_event(std::ostream& os, const EmitEvent& ev, std::uint64_t pid,
+                 std::uint64_t base_ns) {
+  os << "{\"name\":\"";
+  write_escaped_json(os, ev.rec->name);
+  os << "\",\"cat\":\"optipar\",\"ph\":\"" << ev.ph << "\",\"ts\":";
+  write_ts_us(os, ev.ts_ns - base_ns);
+  os << ",\"pid\":" << pid << ",\"tid\":" << ev.rec->tid;
+  if (ev.ph == 'B' || ev.ph == 'i') {
+    if (ev.ph == 'i') os << ",\"s\":\"t\"";
+    os << ",\"args\":{\"a\":" << ev.rec->a << ",\"b\":" << ev.rec->b;
+    if (!ev.rec->note.empty()) {
+      os << ",\"note\":\"";
+      write_escaped_json(os, ev.rec->note);
+      os << "\"";
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::size_t SpanCollector::begin(const char* name, std::uint32_t tid,
+                                 std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t now = monotonic_ns();
+  const std::scoped_lock lock(mutex_);
+  SpanRecord rec;
+  rec.name = name;
+  rec.tid = tid;
+  rec.start_ns = now;
+  rec.a = a;
+  rec.b = b;
+  control_.push_back(std::move(rec));
+  return control_.size() - 1;
+}
+
+void SpanCollector::end(std::size_t handle) {
+  const std::uint64_t now = monotonic_ns();
+  const std::scoped_lock lock(mutex_);
+  if (handle >= control_.size()) return;       // tolerate bogus handles
+  if (control_[handle].end_ns != 0) return;    // tolerate double-end
+  if (control_[handle].instant) return;
+  control_[handle].end_ns = now;
+}
+
+void SpanCollector::record(const SpanRecord& rec) {
+  const std::scoped_lock lock(mutex_);
+  control_.push_back(rec);
+}
+
+void SpanCollector::instant(const char* name, std::uint32_t tid,
+                            std::uint64_t a, std::uint64_t b,
+                            const std::string& note) {
+  SpanRecord rec;
+  rec.name = name;
+  rec.tid = tid;
+  rec.start_ns = monotonic_ns();
+  rec.end_ns = rec.start_ns;
+  rec.a = a;
+  rec.b = b;
+  rec.instant = true;
+  rec.note = note;
+  record(rec);
+}
+
+void SpanCollector::ensure_lanes(std::size_t n) {
+  while (lanes_.size() < n) lanes_.push_back(std::make_unique<SpanBuffer>());
+}
+
+std::size_t SpanCollector::size() const {
+  std::size_t total = 0;
+  {
+    const std::scoped_lock lock(mutex_);
+    total += control_.size();
+  }
+  for (const auto& lane : lanes_) total += lane->size();
+  return total;
+}
+
+void SpanCollector::clear() {
+  {
+    const std::scoped_lock lock(mutex_);
+    control_.clear();
+  }
+  for (const auto& lane : lanes_) lane->clear();
+}
+
+void SpanCollector::export_chrome(std::ostream& os) const {
+  // Gather everything into one owned vector: the repair pass mutates
+  // end_ns copies, never the recorded spans.
+  std::vector<SpanRecord> all;
+  {
+    const std::scoped_lock lock(mutex_);
+    all = control_;
+  }
+  for (const auto& lane : lanes_) {
+    all.insert(all.end(), lane->spans().begin(), lane->spans().end());
+  }
+
+  // Trace extent. Unclosed spans (a throw unwound past the site, or a
+  // coordinator abandoned mid-round) are closed at the trace end.
+  std::uint64_t base_ns = ~std::uint64_t{0};
+  std::uint64_t max_ns = 0;
+  for (const SpanRecord& rec : all) {
+    base_ns = std::min(base_ns, rec.start_ns);
+    max_ns = std::max(max_ns, std::max(rec.start_ns, rec.end_ns));
+  }
+  if (all.empty()) base_ns = 0;
+  for (SpanRecord& rec : all) {
+    if (!rec.instant && rec.end_ns == 0) rec.end_ns = max_ns;
+    if (rec.end_ns < rec.start_ns) rec.end_ns = rec.start_ns;
+  }
+
+  // Per-tid repair: sort parent-first, clamp children into their parent's
+  // interval with a stack sweep, emit B/E in stack order. The result is
+  // properly nested per (pid, tid) by construction, whatever the close
+  // order at the record sites was.
+  std::map<std::uint32_t, std::vector<SpanRecord>> by_tid;
+  for (const SpanRecord& rec : all) by_tid[rec.tid].push_back(rec);
+
+  std::vector<EmitEvent> events;
+  std::vector<std::vector<SpanRecord>> repaired;  // stable storage for ptrs
+  repaired.reserve(by_tid.size() * 2);
+  for (auto& [tid, spans] : by_tid) {
+    std::vector<SpanRecord> instants;
+    std::erase_if(spans, [&instants](const SpanRecord& rec) {
+      if (rec.instant) instants.push_back(rec);
+      return rec.instant;
+    });
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanRecord& x, const SpanRecord& y) {
+                if (x.start_ns != y.start_ns) return x.start_ns < y.start_ns;
+                return x.end_ns > y.end_ns;  // parent (longer) first
+              });
+    std::vector<const SpanRecord*> stack;
+    for (SpanRecord& rec : spans) {
+      while (!stack.empty() && stack.back()->end_ns <= rec.start_ns) {
+        events.push_back({stack.back()->end_ns, 'E', stack.back()});
+        stack.pop_back();
+      }
+      if (!stack.empty() && rec.end_ns > stack.back()->end_ns) {
+        rec.end_ns = stack.back()->end_ns;  // clamp into the parent
+      }
+      events.push_back({rec.start_ns, 'B', &rec});
+      stack.push_back(&rec);
+    }
+    while (!stack.empty()) {
+      events.push_back({stack.back()->end_ns, 'E', stack.back()});
+      stack.pop_back();
+    }
+    for (const SpanRecord& rec : instants) {
+      events.push_back({rec.start_ns, 'i', &rec});
+    }
+    repaired.push_back(std::move(spans));
+    repaired.push_back(std::move(instants));
+    // Re-point events at the stable storage (spans was moved).
+    // NOTE: pointers into `spans`/`instants` remain valid after the move —
+    // moving a vector moves its heap buffer, not its elements.
+  }
+
+  // Global timestamp order. Events from one tid were emitted in legal
+  // stack order at equal timestamps, and stable_sort preserves that; tids
+  // are independent, so any interleave across them is valid.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const EmitEvent& x, const EmitEvent& y) {
+                     return x.ts_ns < y.ts_ns;
+                   });
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Metadata: name the process and each thread lane for the viewer.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid_
+     << ",\"tid\":0,\"args\":{\"name\":\"optipar job " << pid_ << "\"}}";
+  for (const auto& [tid, spans] : by_tid) {
+    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid_
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+       << (tid == 0 ? std::string("scheduler")
+                    : "lane " + std::to_string(tid - 1))
+       << "\"}}";
+  }
+  first = false;
+  for (const EmitEvent& ev : events) {
+    if (!first) os << ",";
+    os << "\n";
+    first = false;
+    write_event(os, ev, pid_, base_ns);
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace optipar::telemetry

@@ -1,0 +1,153 @@
+// Hierarchical span tracing (DESIGN.md §15). A SpanCollector records timed
+// spans — job → round → phase → lane chunk — through the same attachable
+// hook as the rest of the telemetry layer, and exports them as a Chrome
+// trace-event JSON document viewable in Perfetto / chrome://tracing.
+//
+// Recording model:
+//   * Coordinator-side spans (round, checkpoint, admission wait, WAL fsync)
+//     go through begin()/end()/record()/instant() under a mutex: they fire a
+//     few times per round, so the lock is irrelevant.
+//   * Lane-side spans (sampled draw/exec chunks, rollbacks) go into
+//     per-lane single-producer SpanBuffers with no synchronization at all —
+//     the same quiescent-drain discipline as the EventRing: lanes only push
+//     during a round, the exporter only reads after the run has drained.
+//
+// The collector is attached via RuntimeTelemetry::set_spans and reached
+// from the executor's hot path through one pointer on LaneTelemetry, so a
+// run without --trace-chrome performs exactly the nullptr tests it always
+// performed: the telemetry-off path stays byte-identical and the span-off
+// telemetry path keeps the PR 4 overhead sentinel.
+//
+// Export discipline: spans may arrive malformed — ended out of order,
+// never ended (a throw unwound past the site), or overlapping their parent
+// because a lane flushed late. export_chrome repairs rather than trusts:
+// per (pid, tid) it sorts spans parent-first, clamps children into their
+// parent's interval, closes orphans at the parent's end (or the trace
+// end), and only then emits the B/E pairs — so the output always parses,
+// always nests, and scripts/check_trace.py can hold it to the strict
+// trace-event schema.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace optipar::telemetry {
+
+/// One recorded span (ph "B"/"E" pair at export) or instant (ph "i").
+/// `name` must point at a string literal or otherwise outlive the
+/// collector — span sites are static instrumentation points, not dynamic
+/// labels; dynamic detail rides in `note`.
+struct SpanRecord {
+  const char* name = "";
+  std::uint32_t tid = 0;       ///< 0 = coordinator, 1+L = lane L
+  std::uint64_t start_ns = 0;  ///< monotonic_ns()
+  std::uint64_t end_ns = 0;    ///< 0 = still open (repaired at export)
+  std::uint64_t a = 0;         ///< args.a (typically the round index)
+  std::uint64_t b = 0;         ///< args.b (typically m / take / bytes)
+  bool instant = false;        ///< ph "i" thread-scoped instant event
+  std::string note;            ///< optional args.note
+};
+
+/// Single-producer span sink for one lane. Push is a plain vector append:
+/// no atomics, no lock — exactly one lane thread writes between drains.
+class SpanBuffer {
+ public:
+  void push(const SpanRecord& rec) { spans_.push_back(rec); }
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return spans_.size(); }
+  void clear() noexcept { spans_.clear(); }
+
+ private:
+  std::vector<SpanRecord> spans_;
+};
+
+class SpanCollector {
+ public:
+  /// `pid` labels every exported event; the serve daemon uses the job id,
+  /// the CLI uses 1.
+  explicit SpanCollector(std::uint64_t pid = 1) : pid_(pid) {}
+
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  [[nodiscard]] std::uint64_t pid() const noexcept { return pid_; }
+
+  // -- coordinator-side recording (mutex-guarded) ---------------------------
+
+  /// Open a span now; returns a handle for end(). Handles stay valid for
+  /// the collector's lifetime.
+  std::size_t begin(const char* name, std::uint32_t tid, std::uint64_t a = 0,
+                    std::uint64_t b = 0);
+  /// Close a span opened by begin(). Tolerant by design: an out-of-range
+  /// handle or a double-end is ignored — malformed close order must never
+  /// crash or corrupt the export (the repair pass handles nesting).
+  void end(std::size_t handle);
+  /// Push an already-complete span (used for retroactive spans, e.g. the
+  /// admission wait measured between two timestamps the caller owns).
+  void record(const SpanRecord& rec);
+  /// Thread-scoped instant event (deadline fire, cancellation, crash).
+  void instant(const char* name, std::uint32_t tid, std::uint64_t a = 0,
+               std::uint64_t b = 0, const std::string& note = {});
+
+  // -- lane-side recording (single producer per buffer, no lock) -----------
+
+  /// Grow the per-lane buffer set; existing buffer addresses are stable.
+  void ensure_lanes(std::size_t n);
+  [[nodiscard]] SpanBuffer& lane(std::size_t i) { return *lanes_[i]; }
+  [[nodiscard]] std::size_t lane_count() const noexcept {
+    return lanes_.size();
+  }
+
+  // -- export ---------------------------------------------------------------
+
+  /// Emit the whole collection as one Chrome trace-event JSON document
+  /// ({"traceEvents":[...]}, ts in microseconds relative to the earliest
+  /// span). Call only at a quiescent point (after the run has drained).
+  void export_chrome(std::ostream& os) const;
+
+  /// Total recorded spans + instants across all buffers.
+  [[nodiscard]] std::size_t size() const;
+
+  void clear();
+
+ private:
+  std::uint64_t pid_;
+  mutable std::mutex mutex_;                        ///< guards control_
+  std::vector<SpanRecord> control_;                 ///< coordinator spans
+  std::vector<std::unique_ptr<SpanBuffer>> lanes_;  ///< lane spans
+};
+
+/// RAII coordinator span: begin at construction, end at scope exit. A null
+/// collector makes every member a no-op — the standard disabled-path
+/// contract (no clock read, one branch).
+class SpanScope {
+ public:
+  SpanScope(SpanCollector* collector, const char* name, std::uint32_t tid,
+            std::uint64_t a = 0, std::uint64_t b = 0)
+      : collector_(collector),
+        handle_(collector ? collector->begin(name, tid, a, b) : 0) {}
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  ~SpanScope() { close(); }
+
+  /// Close the span now instead of at scope exit (idempotent).
+  void close() {
+    if (collector_ == nullptr) return;
+    collector_->end(handle_);
+    collector_ = nullptr;
+  }
+
+ private:
+  SpanCollector* collector_;
+  std::size_t handle_;
+};
+
+}  // namespace optipar::telemetry

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 
+#include "support/telemetry/conflict_profiler.hpp"
 #include "support/telemetry/metrics_registry.hpp"
+#include "support/telemetry/span_trace.hpp"
 
 namespace optipar::telemetry {
 
@@ -139,6 +141,27 @@ RuntimeTelemetry::RuntimeTelemetry(TelemetryConfig config)
 void RuntimeTelemetry::ensure_lanes(std::size_t n) {
   while (lanes_.size() < n) {
     lanes_.push_back(std::make_unique<LaneTelemetry>(config_.ring_capacity));
+  }
+  wire_lane_sinks();
+}
+
+void RuntimeTelemetry::set_spans(SpanCollector* spans) {
+  spans_ = spans;
+  wire_lane_sinks();
+}
+
+void RuntimeTelemetry::set_profiler(ConflictProfiler* profiler) {
+  profiler_ = profiler;
+  wire_lane_sinks();
+}
+
+void RuntimeTelemetry::wire_lane_sinks() {
+  // Each lane reaches the optional sinks through its own pointer, so a
+  // detached sink stays the usual single-pointer-test no-op on hot paths.
+  if (spans_ != nullptr) spans_->ensure_lanes(lanes_.size());
+  for (std::size_t l = 0; l < lanes_.size(); ++l) {
+    lanes_[l]->spans = spans_ != nullptr ? &spans_->lane(l) : nullptr;
+    lanes_[l]->prof = profiler_;
   }
 }
 

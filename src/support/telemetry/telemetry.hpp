@@ -45,6 +45,10 @@ class MetricsRegistry;
 
 namespace telemetry {
 
+class SpanCollector;      // span_trace.hpp
+class SpanBuffer;         // span_trace.hpp
+class ConflictProfiler;   // conflict_profiler.hpp
+
 /// Render an exception_ptr's message (what(), or a fallback) — shared by
 /// the executor's dead-letter records and the trace/metrics error path.
 [[nodiscard]] std::string describe_exception(const std::exception_ptr& error);
@@ -193,6 +197,13 @@ struct alignas(kCacheLine) LaneTelemetry {
   WorkHistogram work;  ///< items held per executed task
 
   EventRing ring;
+
+  // Optional deep-observability sinks, wired by RuntimeTelemetry when a
+  // SpanCollector / ConflictProfiler is attached. nullptr (the default)
+  // keeps every extra site a single pointer test, so the span-off /
+  // profiler-off telemetry path pays nothing new (PR 4 overhead sentinel).
+  SpanBuffer* spans = nullptr;      ///< this lane's span sink (DESIGN.md §15)
+  ConflictProfiler* prof = nullptr; ///< per-item conflict attribution
 };
 
 // ---------------------------------------------------------------------------
@@ -278,6 +289,19 @@ class RuntimeTelemetry {
   [[nodiscard]] TimerSet& timers() noexcept { return timers_; }
   [[nodiscard]] const TimerSet& timers() const noexcept { return timers_; }
 
+  /// Attach a span collector (nullptr detaches). Serial-context only.
+  /// Existing and future lanes get their SpanBuffer pointer wired so the
+  /// executor reaches spans through the LaneTelemetry it already holds.
+  void set_spans(SpanCollector* spans);
+  [[nodiscard]] SpanCollector* spans() const noexcept { return spans_; }
+
+  /// Attach a conflict-attribution profiler (nullptr detaches).
+  /// Serial-context only; same lane-pointer wiring as set_spans.
+  void set_profiler(ConflictProfiler* profiler);
+  [[nodiscard]] ConflictProfiler* profiler() const noexcept {
+    return profiler_;
+  }
+
   /// Drain every ring (all lanes + control stream) into one list, stably
   /// sorted by round so JSONL output reads chronologically. Serial-context
   /// only.
@@ -319,6 +343,10 @@ class RuntimeTelemetry {
   std::mutex control_mutex_;
   TimerSet timers_;
   RestoredBaseline restored_;
+  SpanCollector* spans_ = nullptr;        ///< non-owning; nullptr = off
+  ConflictProfiler* profiler_ = nullptr;  ///< non-owning; nullptr = off
+
+  void wire_lane_sinks();
 };
 
 }  // namespace telemetry

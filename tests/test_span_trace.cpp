@@ -1,0 +1,276 @@
+// Span collector + Chrome export (DESIGN.md §15) and EventRing concurrency.
+//
+// The export tests hold export_chrome to the strict trace-event contract
+// scripts/check_trace.py enforces in CI: every B has a matching E on its
+// (pid, tid) with the same name in stack order, timestamps are
+// nondecreasing, and malformed recordings (orphan spans, out-of-order
+// closes, children overlapping their parent) are REPAIRED, not emitted
+// verbatim. The EventRing tests pin the drop-oldest wrap accounting and the
+// cross-thread push/drain handshake the per-lane rings rely on.
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/telemetry/span_trace.hpp"
+#include "support/telemetry/telemetry.hpp"
+
+namespace optipar::telemetry {
+namespace {
+
+struct ParsedEvent {
+  char ph = '?';
+  std::uint32_t tid = 0;
+  std::string name;
+  double ts = 0.0;
+};
+
+/// Minimal line-oriented parse of export_chrome output: one event per
+/// line after the header; extract ph / tid / name / ts with string finds.
+std::vector<ParsedEvent> parse_events(const std::string& doc) {
+  std::vector<ParsedEvent> out;
+  std::istringstream is(doc);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto ph_pos = line.find("\"ph\":\"");
+    if (ph_pos == std::string::npos) continue;
+    ParsedEvent ev;
+    ev.ph = line[ph_pos + 6];
+    const auto name_pos = line.find("\"name\":\"");
+    const auto name_end = line.find('"', name_pos + 8);
+    ev.name = line.substr(name_pos + 8, name_end - name_pos - 8);
+    const auto tid_pos = line.find("\"tid\":");
+    ev.tid = static_cast<std::uint32_t>(
+        std::stoul(line.substr(tid_pos + 6)));
+    const auto ts_pos = line.find("\"ts\":");
+    if (ts_pos != std::string::npos) {
+      ev.ts = std::stod(line.substr(ts_pos + 5));
+    }
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+std::string export_str(const SpanCollector& spans) {
+  std::ostringstream os;
+  spans.export_chrome(os);
+  return os.str();
+}
+
+/// The invariant check_trace.py applies: per-tid B/E stack discipline with
+/// name matching, and globally nondecreasing timestamps (M events aside).
+void expect_well_formed(const std::string& doc) {
+  const auto events = parse_events(doc);
+  std::map<std::uint32_t, std::vector<std::string>> stacks;
+  double last_ts = -1.0;
+  for (const ParsedEvent& ev : events) {
+    if (ev.ph == 'M') continue;
+    EXPECT_GE(ev.ts, last_ts) << "timestamps must be nondecreasing";
+    last_ts = ev.ts;
+    if (ev.ph == 'B') {
+      stacks[ev.tid].push_back(ev.name);
+    } else if (ev.ph == 'E') {
+      auto& stack = stacks[ev.tid];
+      ASSERT_FALSE(stack.empty()) << "E without open B on tid " << ev.tid;
+      EXPECT_EQ(stack.back(), ev.name) << "E closes the wrong span";
+      stack.pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+}
+
+TEST(SpanCollector, NestedSpansExportBalanced) {
+  SpanCollector spans(7);
+  const auto outer = spans.begin("job", 0, 7, 0);
+  const auto inner = spans.begin("round", 0, 1, 32);
+  spans.instant("deadline", 0, 5);
+  spans.end(inner);
+  spans.end(outer);
+
+  const std::string doc = export_str(spans);
+  EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"pid\":7"), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"deadline\""), std::string::npos);
+  expect_well_formed(doc);
+}
+
+TEST(SpanCollector, OrphanSpanIsClosedAtTraceEnd) {
+  SpanCollector spans;
+  const auto outer = spans.begin("job", 0);
+  (void)spans.begin("round", 0);  // never ended: a throw unwound past it
+  spans.end(outer);
+  expect_well_formed(export_str(spans));
+}
+
+TEST(SpanCollector, OutOfOrderCloseIsRepaired) {
+  SpanCollector spans;
+  const auto outer = spans.begin("outer", 0);
+  const auto inner = spans.begin("inner", 0);
+  spans.end(outer);  // parent closed before the child
+  spans.end(inner);
+  expect_well_formed(export_str(spans));
+}
+
+TEST(SpanCollector, ChildOverlappingParentIsClamped) {
+  SpanCollector spans;
+  SpanRecord parent;
+  parent.name = "parent";
+  parent.start_ns = 100000;
+  parent.end_ns = 200000;
+  spans.record(parent);
+  SpanRecord child;
+  child.name = "child";
+  child.start_ns = 150000;
+  child.end_ns = 300000;  // extends past the parent
+  spans.record(child);
+
+  const std::string doc = export_str(spans);
+  expect_well_formed(doc);
+  // base is 100000 ns; an unclamped child E would sit at ts 200.000 µs.
+  EXPECT_EQ(doc.find("\"ts\":200.000"), std::string::npos)
+      << "child end must be clamped into the parent interval";
+  EXPECT_NE(doc.find("\"ts\":100.000"), std::string::npos);
+}
+
+TEST(SpanCollector, EndToleratesBogusHandlesAndDoubleEnd) {
+  SpanCollector spans;
+  const auto h = spans.begin("span", 0);
+  spans.end(h);
+  spans.end(h);      // double end: ignored
+  spans.end(12345);  // out of range: ignored
+  EXPECT_EQ(spans.size(), 1u);
+  expect_well_formed(export_str(spans));
+}
+
+TEST(SpanCollector, LaneBuffersExportUnderTheirTids) {
+  SpanCollector spans;
+  spans.ensure_lanes(2);
+  SpanRecord rec;
+  rec.name = "exec";
+  rec.tid = 1;
+  rec.start_ns = 1000;
+  rec.end_ns = 2000;
+  spans.lane(0).push(rec);
+  rec.name = "draw";
+  rec.tid = 2;
+  spans.lane(1).push(rec);
+
+  const std::string doc = export_str(spans);
+  expect_well_formed(doc);
+  EXPECT_NE(doc.find("\"name\":\"lane 0\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"lane 1\""), std::string::npos);
+  EXPECT_EQ(spans.size(), 2u);
+}
+
+TEST(SpanCollector, EmptyCollectorExportsValidDocument) {
+  SpanCollector spans;
+  const std::string doc = export_str(spans);
+  EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+  expect_well_formed(doc);
+}
+
+TEST(SpanScope, NullCollectorIsNoOp) {
+  SpanScope scope(nullptr, "round", 0);
+  scope.close();  // must not crash
+}
+
+TEST(SpanScope, RecordsOnScopeExit) {
+  SpanCollector spans;
+  {
+    SpanScope scope(&spans, "round", 0, 3, 64);
+  }
+  EXPECT_EQ(spans.size(), 1u);
+  expect_well_formed(export_str(spans));
+}
+
+// ---------------------------------------------------------------------------
+// EventRing
+// ---------------------------------------------------------------------------
+
+TEST(EventRing, CapacityRoundsUpToPowerOfTwo) {
+  EventRing ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  EventRing tiny(0);
+  EXPECT_EQ(tiny.capacity(), 8u);
+}
+
+TEST(EventRing, WrapDropsOldestAndCountsDrops) {
+  EventRing ring(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    TraceEvent ev;
+    ev.a = i;
+    ring.push(std::move(ev));
+  }
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  std::vector<TraceEvent> out;
+  ring.drain(out);
+  ASSERT_EQ(out.size(), 8u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].a, 12 + i) << "drain must yield oldest-first";
+  }
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(EventRing, CrossThreadPushThenQuiescentDrain) {
+  // The per-lane contract: one producer pushes during a round; the
+  // coordinator drains only at quiescent points. Handshake per burst, then
+  // verify nothing was lost or reordered: drained + dropped == pushed and
+  // every drained burst is strictly ascending.
+  constexpr std::uint64_t kBursts = 50;
+  constexpr std::uint64_t kPerBurst = 100;  // wraps a 64-slot ring
+  EventRing ring(64);
+  std::atomic<bool> burst_done{false};
+  std::atomic<bool> continue_burst{true};
+  std::uint64_t next = 0;
+
+  std::thread producer([&] {
+    for (std::uint64_t b = 0; b < kBursts; ++b) {
+      for (std::uint64_t i = 0; i < kPerBurst; ++i) {
+        TraceEvent ev;
+        ev.a = next++;
+        ring.push(std::move(ev));
+      }
+      burst_done.store(true, std::memory_order_release);
+      while (burst_done.load(std::memory_order_acquire)) {
+        if (!continue_burst.load(std::memory_order_acquire)) return;
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  std::uint64_t drained = 0;
+  std::uint64_t last_seen = 0;
+  bool first = true;
+  for (std::uint64_t b = 0; b < kBursts; ++b) {
+    while (!burst_done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    std::vector<TraceEvent> out;
+    ring.drain(out);
+    drained += out.size();
+    for (const TraceEvent& ev : out) {
+      if (!first) {
+        EXPECT_GT(ev.a, last_seen) << "drained events must stay ordered";
+      }
+      first = false;
+      last_seen = ev.a;
+    }
+    burst_done.store(false, std::memory_order_release);
+  }
+  continue_burst.store(false, std::memory_order_release);
+  producer.join();
+
+  EXPECT_EQ(drained + ring.dropped(), kBursts * kPerBurst);
+  EXPECT_LE(ring.size(), ring.capacity());
+}
+
+}  // namespace
+}  // namespace optipar::telemetry

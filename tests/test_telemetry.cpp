@@ -200,7 +200,7 @@ TEST(MetricsRegistry, GoldenJsonRendering) {
   golden_registry().render_json(os);
   EXPECT_EQ(
       os.str(),
-      "{\"schema\":\"optipar.metrics.v1\",\"metrics\":["
+      "{\"schema\":\"optipar.metrics.v2\",\"metrics\":["
       "{\"name\":\"optipar_demo_total\",\"type\":\"counter\","
       "\"help\":\"Demo counter\",\"samples\":["
       "{\"labels\":{\"lane\":\"0\"},\"value\":3},"

@@ -36,11 +36,20 @@
 //   optipar_cli metrics [--format=prometheus|json] (run a small
 //                       deterministic workload with telemetry attached and
 //                       print the metrics export — the scrape surface demo)
+//   optipar_cli profile --graph=g.txt --threads=4 [--sample-period=1
+//                       --top=16 --out=profile.json] (run the closed loop
+//                       with the conflict-attribution profiler attached:
+//                       per-item abort/arb-wait counters, top-K hotspot
+//                       table, degree-bucketed rollup; DESIGN.md §15)
 //
 // `run`, `curve`, `mu`, and `chaos` all accept --metrics-out=FILE (metrics
 // rendered as Prometheus text, or JSON when FILE ends in .json) and
 // --trace-out=FILE (JSONL: `{"type":"round",...}` per-round records
 // interleaved with `{"type":"event",...}` sub-round telemetry events).
+// `run` and `chaos` additionally accept --trace-chrome=FILE: a Chrome
+// trace-event JSON span timeline (job → round → phase → lane chunk),
+// viewable in Perfetto / chrome://tracing and validated by
+// scripts/check_trace.py.
 #include <sys/stat.h>
 
 #include <cmath>
@@ -76,7 +85,9 @@
 #include "support/failure_policy.hpp"
 #include "support/options.hpp"
 #include "support/snapshot/snapshot.hpp"
+#include "support/telemetry/conflict_profiler.hpp"
 #include "support/telemetry/metrics_registry.hpp"
+#include "support/telemetry/span_trace.hpp"
 #include "support/telemetry/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
@@ -100,7 +111,7 @@ enum ExitCode : int {
 int usage() {
   std::cerr <<
       "usage: optipar_cli"
-      " <gen|curve|mu|theory|control|seating|chaos|run|metrics>"
+      " <gen|curve|mu|theory|control|seating|chaos|run|metrics|profile>"
       " [--options]\n"
       "run with a subcommand and no options to see its parameters\n"
       "run/chaos accept --scheduler=random|chromatic|relaxed\n"
@@ -128,7 +139,8 @@ std::optional<sched::Backend> parse_scheduler(const Options& opt) {
 // --- telemetry plumbing shared by run/curve/mu/chaos -----------------------
 
 bool telemetry_requested(const Options& opt) {
-  return opt.has("metrics-out") || opt.has("trace-out");
+  return opt.has("metrics-out") || opt.has("trace-out") ||
+         opt.has("trace-chrome");
 }
 
 /// Executor-level facts that live outside the per-lane counters: totals the
@@ -195,6 +207,14 @@ void write_trace_file(const std::string& path, const Trace* trace,
     const auto events = tel->drain_events();
     telemetry::write_events_jsonl(os, events);
   }
+}
+
+/// Write the span timeline as a Chrome trace-event JSON document.
+void write_chrome_trace_file(const std::string& path,
+                             const telemetry::SpanCollector& spans) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open --trace-chrome=" + path);
+  spans.export_chrome(os);
 }
 
 /// Route injector firings into the telemetry event stream. The hook runs on
@@ -549,8 +569,10 @@ int cmd_chaos(const Options& opt) {
   ex.set_failure_policy(policy);
 
   telemetry::RuntimeTelemetry tel;
+  telemetry::SpanCollector spans;
   if (telemetry_requested(opt)) {
     tel.set_target_rho(opt.get_double("rho", 0.25));
+    if (opt.has("trace-chrome")) tel.set_spans(&spans);
     ex.set_telemetry(&tel);
     hook_injector(injector, tel, ex);
   }
@@ -624,6 +646,9 @@ int cmd_chaos(const Options& opt) {
   if (opt.has("trace-out")) {
     write_trace_file(opt.get("trace-out", ""), &trace,
                      telemetry_requested(opt) ? &tel : nullptr);
+  }
+  if (opt.has("trace-chrome")) {
+    write_chrome_trace_file(opt.get("trace-chrome", ""), spans);
   }
 
   std::cout << "CHAOS"
@@ -710,6 +735,10 @@ int cmd_run(const Options& opt) {
 
   telemetry::RuntimeTelemetry tel;
   tel.set_target_rho(params.rho);
+  // Span tracing is explicit opt-in: the collector's extra clock reads sit
+  // outside the plain-telemetry overhead budget the sentinel enforces.
+  telemetry::SpanCollector spans;
+  if (opt.has("trace-chrome")) tel.set_spans(&spans);
   ex.set_telemetry(&tel);  // `run` exists to observe: always attached
 
   std::vector<TaskId> tasks(g.num_nodes());
@@ -793,8 +822,105 @@ int cmd_run(const Options& opt) {
   if (opt.has("trace-out")) {
     write_trace_file(opt.get("trace-out", ""), &trace, &tel);
   }
+  if (opt.has("trace-chrome")) {
+    write_chrome_trace_file(opt.get("trace-chrome", ""), spans);
+  }
   if (livelock) return kExitLivelock;
   if (deadline_exceeded) return kExitDeadline;
+  return kExitOk;
+}
+
+int cmd_profile(const Options& opt) {
+  // Conflict-attribution profile (DESIGN.md §15): the same closed loop as
+  // `run`, with the per-item profiler attached — WHICH graph regions kill
+  // speculative work, and does contention concentrate on high-degree
+  // nodes? At --sample-period=1 and one lane the report is exactly
+  // reproducible run-to-run (the CI trace-smoke job diffs two runs).
+  Rng rng(opt.get_int("seed", 1));
+  const auto g = load_graph(opt, rng);
+  const auto threads = static_cast<std::size_t>(opt.get_int("threads", 4));
+  const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+
+  ControllerParams params;
+  params.rho = opt.get_double("rho", 0.25);
+  params.m0 = static_cast<std::uint32_t>(opt.get_int("m0", params.m0));
+  params.m_max =
+      static_cast<std::uint32_t>(opt.get_int("m-max", params.m_max));
+  const std::string name = opt.get("controller", "hybrid");
+  std::unique_ptr<Controller> controller = make_controller(name, params);
+  if (!controller) {
+    std::cerr << "unknown --controller=" << name << "\n";
+    return 2;
+  }
+  const auto backend = parse_scheduler(opt);
+  if (!backend) return usage();
+
+  ThreadPool pool(threads);
+  RoundOptions ropts;
+  ropts.scheduler = *backend;
+  SpeculativeExecutor ex(
+      pool, g.num_nodes(),
+      [&g](TaskId t, IterationContext& ctx) {
+        const auto v = static_cast<NodeId>(t);
+        ctx.acquire(v);
+        for (const NodeId u : g.neighbors(v)) ctx.acquire(u);
+      },
+      seed * 11 + 3, ropts);
+  if (*backend == sched::Backend::kChromatic) {
+    ex.set_footprint_function(
+        [&g](TaskId t, std::vector<std::uint32_t>& fp) {
+          const auto v = static_cast<NodeId>(t);
+          fp.push_back(v);
+          for (const NodeId u : g.neighbors(v)) fp.push_back(u);
+        });
+  } else if (*backend == sched::Backend::kRelaxed) {
+    ex.set_priority_function([](TaskId t) { return t; });
+  }
+
+  telemetry::RuntimeTelemetry tel;
+  tel.set_target_rho(params.rho);
+  telemetry::ConflictProfiler prof(
+      g.num_nodes(),
+      static_cast<std::uint32_t>(opt.get_int("sample-period", 1)));
+  std::vector<std::uint32_t> degrees(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) degrees[v] = g.degree(v);
+  prof.set_degrees(std::move(degrees));
+  tel.set_profiler(&prof);
+  ex.set_telemetry(&tel);
+
+  std::vector<TaskId> tasks(g.num_nodes());
+  std::iota(tasks.begin(), tasks.end(), TaskId{0});
+  ex.push_initial(tasks);
+
+  AdaptiveRunConfig config;
+  config.max_rounds =
+      static_cast<std::uint32_t>(opt.get_int("steps", 100000));
+  config.deadline = JobDeadline::after_ms(opt.get_int("timeout-ms", 0));
+
+  Trace trace;
+  try {
+    trace = run_adaptive(ex, *controller, config);
+  } catch (const LivelockError& e) {
+    trace = e.partial_trace;
+    std::cerr << "livelock: " << e.what() << "\n";
+  } catch (const JobInterrupted& e) {
+    trace = e.partial_trace;
+    std::cerr << "deadline: " << e.what() << "\n";
+  }
+
+  const auto k = static_cast<std::size_t>(opt.get_int("top", 16));
+  prof.write_report(std::cout, k);
+  std::cout << "scheduler=" << sched::backend_name(ex.scheduler_backend())
+            << " rounds=" << trace.steps.size()
+            << " committed=" << ex.totals().committed
+            << " mean_r=" << trace.mean_conflict_ratio()
+            << " top" << k << "_share=" << prof.top_share(k) << "\n";
+  if (opt.has("out")) {
+    const std::string out = opt.get("out", "");
+    std::ofstream os(out);
+    if (!os) throw std::runtime_error("cannot open --out=" + out);
+    prof.write_json(os, k);
+  }
   return kExitOk;
 }
 
@@ -872,6 +998,7 @@ int main(int argc, char** argv) {
     if (command == "chaos") return cmd_chaos(opt);
     if (command == "run") return cmd_run(opt);
     if (command == "metrics") return cmd_metrics(opt);
+    if (command == "profile") return cmd_profile(opt);
   } catch (const io::GraphIoError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return kExitGraphIo;

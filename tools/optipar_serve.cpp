@@ -5,6 +5,7 @@
 //   optipar_serve run      --socket S --graph g [job knobs] [--wait]
 //   optipar_serve estimate --socket S --graph g [--rho ...] [--wait]
 //   optipar_serve status|trace|cancel --socket S --job N
+//   optipar_serve artifact --socket S --job N [--kind K] [--out F]
 //   optipar_serve health|server-status|metrics|shutdown --socket S
 //
 // Exit codes (shared taxonomy with optipar_cli, documented in README.md):
@@ -42,8 +43,8 @@ enum ExitCode : int {
 
 int usage() {
   std::cerr <<
-      "usage: optipar_serve <serve|upload|run|estimate|status|trace|cancel|"
-      "health|server-status|metrics|shutdown> [--options]\n"
+      "usage: optipar_serve <serve|upload|run|estimate|status|trace|"
+      "artifact|cancel|health|server-status|metrics|shutdown> [--options]\n"
       "  serve   --socket=S --state-dir=D [--threads=N] [--capacity=N]\n"
       "          [--max-active=N] [--default-timeout-ms=N]\n"
       "          [--checkpoint-every=N]\n"
@@ -52,9 +53,13 @@ int usage() {
       "          [--seed=N] [--steps=N] [--m0=N] [--m-max=N]\n"
       "          [--timeout-ms=N] [--checkpoint-every=N] [--wait]\n"
       "          [--scheduler=random|chromatic|relaxed]\n"
+      "          [--trace-out=F] [--trace-chrome=F] [--metrics-out=F]\n"
+      "          (artifact flags require --wait)\n"
       "  estimate --socket=S --graph=NAME [--rho=R] [--trials=N]\n"
       "          [--seed=N] [--wait]\n"
       "  status|trace|cancel --socket=S --job=N\n"
+      "  artifact --socket=S --job=N [--out=F]\n"
+      "          [--kind=trace-jsonl|trace-chrome|metrics-json]\n"
       "  health|server-status|shutdown [--drain] --socket=S\n"
       "  metrics --socket=S [--format=prometheus|json]\n";
   return kExitUsage;
@@ -133,8 +138,30 @@ int cmd_upload(const Options& opt) {
   return kExitOk;
 }
 
+/// Write one fetched artifact to a file; kExitError when the daemon does
+/// not hold it (evicted, recovered, or the job produced none).
+int save_artifact(Client& client, std::uint64_t job, ArtifactKind kind,
+                  const std::string& path) {
+  try {
+    const auto reply = client.artifact(job, kind);
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "cannot open " << path << "\n";
+      return kExitError;
+    }
+    os << reply.text;
+  } catch (const ServeError& e) {
+    std::cerr << "artifact " << artifact_kind_name(kind) << ": " << e.what()
+              << "\n";
+    return kExitError;
+  }
+  return kExitOk;
+}
+
 int print_submit(Client& client, const Client::SubmitResult& result,
-                 bool wait, int budget_ms) {
+                 const Options& opt) {
+  const bool wait = opt.get_bool("wait", false);
+  const int budget_ms = static_cast<int>(opt.get_int("wait-ms", 120000));
   if (const auto* over = std::get_if<OverloadedReply>(&result)) {
     std::cerr << "overloaded: queue " << over->queue_depth << "/"
               << over->capacity << " (retry later)\n";
@@ -156,9 +183,30 @@ int print_submit(Client& client, const Client::SubmitResult& result,
             << (status.resumed ? 1 : 0);
   if (!status.error.empty()) std::cout << " error=\"" << status.error << '"';
   std::cout << "\n";
+  // Fetch any requested observability artifacts now that the job is
+  // terminal; a fetch failure overrides an otherwise-ok exit code.
+  int artifact_rc = kExitOk;
+  if (opt.has("trace-out")) {
+    artifact_rc = std::max(
+        artifact_rc, save_artifact(client, accepted.job,
+                                   ArtifactKind::kTraceJsonl,
+                                   opt.get("trace-out", "")));
+  }
+  if (opt.has("trace-chrome")) {
+    artifact_rc = std::max(
+        artifact_rc, save_artifact(client, accepted.job,
+                                   ArtifactKind::kTraceChrome,
+                                   opt.get("trace-chrome", "")));
+  }
+  if (opt.has("metrics-out")) {
+    artifact_rc = std::max(
+        artifact_rc, save_artifact(client, accepted.job,
+                                   ArtifactKind::kMetricsJson,
+                                   opt.get("metrics-out", "")));
+  }
   switch (status.state) {
     case JobState::kDone:
-      return kExitOk;
+      return artifact_rc;
     case JobState::kTimedOut:
       return kExitDeadline;
     default:
@@ -179,9 +227,15 @@ int cmd_run(const Options& opt) {
   req.checkpoint_every =
       static_cast<std::uint32_t>(opt.get_int("checkpoint-every", 0));
   req.scheduler = opt.get("scheduler", "random");
+  if ((opt.has("trace-out") || opt.has("trace-chrome") ||
+       opt.has("metrics-out")) &&
+      !opt.get_bool("wait", false)) {
+    std::cerr << "run: --trace-out/--trace-chrome/--metrics-out require "
+                 "--wait (artifacts exist only once the job is terminal)\n";
+    return kExitUsage;
+  }
   auto client = connect_client(opt);
-  return print_submit(client, client.run(req), opt.get_bool("wait", false),
-                      static_cast<int>(opt.get_int("wait-ms", 120000)));
+  return print_submit(client, client.run(req), opt);
 }
 
 int cmd_estimate(const Options& opt) {
@@ -191,9 +245,7 @@ int cmd_estimate(const Options& opt) {
   req.trials = static_cast<std::uint32_t>(opt.get_int("trials", 400));
   req.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
   auto client = connect_client(opt);
-  return print_submit(client, client.estimate(req),
-                      opt.get_bool("wait", false),
-                      static_cast<int>(opt.get_int("wait-ms", 120000)));
+  return print_submit(client, client.estimate(req), opt);
 }
 
 int cmd_status(const Options& opt) {
@@ -226,6 +278,29 @@ int cmd_trace(const Options& opt) {
   } else {
     std::cout << reply.text;
   }
+  return kExitOk;
+}
+
+int cmd_artifact(const Options& opt) {
+  const std::string kind_name = opt.get("kind", "trace-chrome");
+  ArtifactKind kind;
+  if (kind_name == "trace-jsonl") {
+    kind = ArtifactKind::kTraceJsonl;
+  } else if (kind_name == "trace-chrome") {
+    kind = ArtifactKind::kTraceChrome;
+  } else if (kind_name == "metrics-json") {
+    kind = ArtifactKind::kMetricsJson;
+  } else {
+    std::cerr << "artifact: unknown --kind=" << kind_name
+              << " (trace-jsonl|trace-chrome|metrics-json)\n";
+    return kExitUsage;
+  }
+  auto client = connect_client(opt);
+  const auto job = static_cast<std::uint64_t>(opt.get_int("job", 0));
+  if (opt.has("out")) {
+    return save_artifact(client, job, kind, opt.get("out", ""));
+  }
+  std::cout << client.artifact(job, kind).text;
   return kExitOk;
 }
 
@@ -283,6 +358,7 @@ int main(int argc, char** argv) {
     if (command == "estimate") return cmd_estimate(opt);
     if (command == "status") return cmd_status(opt);
     if (command == "trace") return cmd_trace(opt);
+    if (command == "artifact") return cmd_artifact(opt);
     if (command == "cancel") return cmd_cancel(opt);
     if (command == "health") return cmd_health(opt);
     if (command == "server-status") return cmd_server_status(opt);
