@@ -1,31 +1,42 @@
-// APPS-BENCH — a real application kernel (maximal independent set) run
+// APPS-BENCH — real application kernels (MIS, greedy coloring, SSSP) run
 // through the speculative executor with the conflict-attribution profiler
-// attached (DESIGN.md §15). Two products per run:
+// attached (DESIGN.md §15). Three products per run:
 //
-//   * the conflict-ratio curve r̄(m) of the paper's Fig. 2, measured on the
-//     real runtime (not the sampling model) by draining the MIS workload at
-//     a sweep of fixed allocations, with the per-m abort-locality scalar
-//     (top16_share) riding along; and
-//   * the hotspot report at the reference allocation — WHICH items kill
+//   * one conflict-ratio curve r̄(m) per app (the paper's Fig. 2 shape),
+//     measured on the real runtime (not the sampling model) by draining the
+//     workload at a sweep of fixed allocations, with the per-m
+//     abort-locality scalar (top16_share) and wall time riding along;
+//   * a time-to-solution figure per app at the reference allocation; and
+//   * the MIS hotspot report at the reference allocation — WHICH items kill
 //     speculative work, with their degrees, plus the degree-bucket rollup.
 //
-// Emits a JSON document ({"schema":"optipar.bench.apps.v1"}) that seeds /
+// Every drain is certified by the independent verify:: oracle for its app
+// (DESIGN.md §16) before its numbers are recorded — a refuted certificate
+// aborts the bench, so BENCH_apps.json never contains numbers from a wrong
+// answer.
+//
+// Emits a JSON document ({"schema":"optipar.bench.apps.v2"}) that seeds /
 // refreshes BENCH_apps.json.
 //
 // Usage: apps_bench [--nodes=4000] [--d=8] [--threads=4] [--seed=7]
 //                   [--m-ref=256] [--top=16] [--out=FILE]
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "apps/coloring/coloring.hpp"
 #include "apps/mis/mis.hpp"
+#include "apps/sssp/sssp.hpp"
 #include "bench_common.hpp"
 #include "graph/algos.hpp"
+#include "graph/weighted_graph.hpp"
 #include "rt/spec_executor.hpp"
 #include "support/telemetry/conflict_profiler.hpp"
 #include "support/telemetry/telemetry.hpp"
+#include "verify/app_certs.hpp"
 
 using namespace optipar;
 
@@ -37,26 +48,38 @@ struct SweepPoint {
   std::uint64_t rounds = 0;
   std::uint64_t committed = 0;
   double top16_share = 0.0;  ///< abort locality at this allocation
+  double elapsed_ms = 0.0;   ///< wall time of the drain (not the check)
 };
 
-/// Drain MIS on `g` at fixed allocation `m`; fills `prof` (reset by the
-/// caller) and verifies the answer — a wrong MIS invalidates the bench.
-SweepPoint run_fixed(const CsrGraph& g, ThreadPool& pool, std::uint32_t m,
-                     std::uint64_t seed, telemetry::ConflictProfiler& prof) {
-  mis::MisState state(g.num_nodes());
-  SpeculativeExecutor ex(pool, g.num_nodes(),
-                         mis::make_mis_operator(g, state), seed);
-  telemetry::RuntimeTelemetry tel;
-  tel.set_profiler(&prof);
-  ex.set_telemetry(&tel);
-  std::vector<TaskId> initial(g.num_nodes());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) initial[v] = v;
-  ex.push_initial(initial);
+/// One app's certified sweep: the curve plus the reference-allocation
+/// answer and time-to-solution.
+struct AppSeries {
+  std::string app;
+  double answer = 0.0;
+  double time_to_solution_ms = 0.0;  ///< drain wall time at m_ref
+  std::vector<SweepPoint> curve;
+};
+
+void seed_degrees(telemetry::ConflictProfiler& prof,
+                  const std::vector<std::uint32_t>& degrees) {
+  std::vector<std::uint32_t> deg = degrees;
+  prof.set_degrees(std::move(deg));
+}
+
+/// Drain `ex` at fixed allocation `m`, then certify the answer through the
+/// app's independent oracle. A refuted certificate invalidates the bench.
+SweepPoint drain_certified(SpeculativeExecutor& ex, std::uint32_t m,
+                           const verify::Certifier& certify,
+                           const telemetry::ConflictProfiler& prof,
+                           const std::string& app) {
+  const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t guard = 0;
   while (!ex.done() && guard++ < 1000000) (void)ex.run_round(m);
-  if (!is_maximal_independent_set(g, state.in_set())) {
-    throw std::runtime_error("apps_bench: MIS answer is incorrect at m=" +
-                             std::to_string(m));
+  const auto t1 = std::chrono::steady_clock::now();
+  const verify::Certificate cert = certify();
+  if (!cert.ok()) {
+    throw std::runtime_error("apps_bench: " + app + " refuted at m=" +
+                             std::to_string(m) + ": " + cert.describe());
   }
   SweepPoint p;
   p.m = m;
@@ -67,7 +90,99 @@ SweepPoint run_fixed(const CsrGraph& g, ThreadPool& pool, std::uint32_t m,
             : static_cast<double>(ex.totals().aborted) /
                   static_cast<double>(ex.totals().launched);
   p.top16_share = prof.top_share(16);
+  p.elapsed_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
   return p;
+}
+
+void push_all(SpeculativeExecutor& ex, NodeId n) {
+  std::vector<TaskId> initial(n);
+  for (NodeId v = 0; v < n; ++v) initial[v] = v;
+  ex.push_initial(initial);
+}
+
+SweepPoint run_mis_fixed(const CsrGraph& g, ThreadPool& pool,
+                         std::uint32_t m, std::uint64_t seed,
+                         telemetry::ConflictProfiler& prof,
+                         double* answer = nullptr) {
+  mis::MisState state(g.num_nodes());
+  SpeculativeExecutor ex(pool, g.num_nodes(),
+                         mis::make_mis_operator(g, state), seed);
+  telemetry::RuntimeTelemetry tel;
+  tel.set_profiler(&prof);
+  ex.set_telemetry(&tel);
+  push_all(ex, g.num_nodes());
+  const SweepPoint p = drain_certified(
+      ex, m, [&] { return verify::certify_mis(g, state); }, prof, "mis");
+  if (answer != nullptr) {
+    *answer = static_cast<double>(state.in_set().size());
+  }
+  return p;
+}
+
+SweepPoint run_coloring_fixed(const CsrGraph& g, ThreadPool& pool,
+                              std::uint32_t m, std::uint64_t seed,
+                              telemetry::ConflictProfiler& prof,
+                              double* answer = nullptr) {
+  coloring::ColoringState state(g.num_nodes());
+  SpeculativeExecutor ex(pool, g.num_nodes(),
+                         coloring::make_coloring_operator(g, state), seed);
+  telemetry::RuntimeTelemetry tel;
+  tel.set_profiler(&prof);
+  ex.set_telemetry(&tel);
+  push_all(ex, g.num_nodes());
+  const SweepPoint p = drain_certified(
+      ex, m, [&] { return verify::certify_coloring(g, state); }, prof,
+      "coloring");
+  if (answer != nullptr) *answer = static_cast<double>(state.colors_used());
+  return p;
+}
+
+SweepPoint run_sssp_fixed(const WeightedGraph& g, ThreadPool& pool,
+                          std::uint32_t m, std::uint64_t seed,
+                          telemetry::ConflictProfiler& prof,
+                          double* answer = nullptr) {
+  const NodeId source = 0;
+  sssp::DistanceTable dist(g.num_nodes(), source);
+  SpeculativeExecutor ex(pool, g.num_nodes(),
+                         sssp::make_sssp_operator(g, dist), seed);
+  telemetry::RuntimeTelemetry tel;
+  tel.set_profiler(&prof);
+  ex.set_telemetry(&tel);
+  push_all(ex, g.num_nodes());
+  const SweepPoint p = drain_certified(
+      ex, m, [&] { return verify::certify_sssp(g, source, dist.all()); },
+      prof, "sssp");
+  if (answer != nullptr) {
+    double reached = 0.0;
+    for (const double d : dist.all()) {
+      if (d != sssp::kUnreachable) reached += 1.0;
+    }
+    *answer = reached;
+  }
+  return p;
+}
+
+void print_point(const SweepPoint& p) {
+  std::cout << "  m=" << p.m << " r=" << p.r << " rounds=" << p.rounds
+            << " committed=" << p.committed
+            << " top16_share=" << p.top16_share << " elapsed_ms="
+            << p.elapsed_ms << "\n";
+}
+
+void emit_series(std::ostringstream& json, const AppSeries& s, bool last) {
+  json << "  {\"app\": \"" << s.app << "\", \"certified\": true, "
+       << "\"answer\": " << s.answer << ", \"time_to_solution_ms\": "
+       << s.time_to_solution_ms << ",\n   \"curve\": [\n";
+  for (std::size_t i = 0; i < s.curve.size(); ++i) {
+    const SweepPoint& p = s.curve[i];
+    json << "    {\"m\": " << p.m << ", \"r\": " << p.r << ", \"rounds\": "
+         << p.rounds << ", \"committed\": " << p.committed
+         << ", \"top16_share\": " << p.top16_share << ", \"elapsed_ms\": "
+         << p.elapsed_ms << "}" << (i + 1 < s.curve.size() ? "," : "")
+         << "\n";
+  }
+  json << "   ]}" << (last ? "" : ",") << "\n";
 }
 
 }  // namespace
@@ -88,48 +203,69 @@ int main(int argc, char** argv) {
   std::vector<std::uint32_t> degrees(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) degrees[v] = g.degree(v);
 
-  bench::banner("mis on rmat (" + std::to_string(nodes) + " nodes, d=" +
-                std::to_string(d) + ")");
+  // SSSP runs on the same topology with deterministic positive weights.
+  std::vector<WeightedEdgeTriple> wedges;
+  for (const auto& [u, v] : g.edges()) {
+    wedges.push_back({u, v, rng.uniform() * 10.0 + 0.1});
+  }
+  const WeightedGraph wg = WeightedGraph::from_edges(g.num_nodes(), wedges);
 
-  // Conflict-ratio curve: one fresh drain per allocation, each with its
-  // own profiler so the locality scalar belongs to that m alone.
-  std::vector<SweepPoint> curve;
-  for (std::uint32_t m = 1; m <= nodes; m *= 4) {
-    telemetry::ConflictProfiler prof(g.num_nodes());
-    {
-      std::vector<std::uint32_t> deg = degrees;
-      prof.set_degrees(std::move(deg));
+  std::vector<AppSeries> apps;
+  for (const std::string app : {"mis", "coloring", "sssp"}) {
+    bench::banner(app + " on rmat (" + std::to_string(nodes) +
+                  " nodes, d=" + std::to_string(d) + ")");
+    AppSeries series;
+    series.app = app;
+    // Conflict-ratio curve: one fresh certified drain per allocation, each
+    // with its own profiler so the locality scalar belongs to that m alone.
+    for (std::uint32_t m = 1; m <= nodes; m *= 4) {
+      telemetry::ConflictProfiler prof(g.num_nodes());
+      seed_degrees(prof, degrees);
+      SweepPoint p;
+      if (app == "mis") {
+        p = run_mis_fixed(g, pool, m, seed, prof);
+      } else if (app == "coloring") {
+        p = run_coloring_fixed(g, pool, m, seed, prof);
+      } else {
+        p = run_sssp_fixed(wg, pool, m, seed, prof);
+      }
+      series.curve.push_back(p);
+      print_point(p);
     }
-    const SweepPoint p = run_fixed(g, pool, m, seed, prof);
-    curve.push_back(p);
-    std::cout << "  m=" << p.m << " r=" << p.r << " rounds=" << p.rounds
-              << " committed=" << p.committed
-              << " top16_share=" << p.top16_share << "\n";
+    // Time-to-solution + answer at the reference allocation.
+    telemetry::ConflictProfiler prof(g.num_nodes());
+    seed_degrees(prof, degrees);
+    SweepPoint ref;
+    if (app == "mis") {
+      ref = run_mis_fixed(g, pool, m_ref, seed, prof, &series.answer);
+    } else if (app == "coloring") {
+      ref = run_coloring_fixed(g, pool, m_ref, seed, prof, &series.answer);
+    } else {
+      ref = run_sssp_fixed(wg, pool, m_ref, seed, prof, &series.answer);
+    }
+    series.time_to_solution_ms = ref.elapsed_ms;
+    std::cout << "  m_ref=" << m_ref << " answer=" << series.answer
+              << " time_to_solution_ms=" << series.time_to_solution_ms
+              << " certified=ok\n";
+    apps.push_back(std::move(series));
   }
 
-  // Hotspot report at the reference allocation.
+  // Hotspot report for MIS at the reference allocation (the app with the
+  // strongest degree/conflict correlation on RMAT).
   telemetry::ConflictProfiler prof(g.num_nodes());
-  {
-    std::vector<std::uint32_t> deg = degrees;
-    prof.set_degrees(std::move(deg));
-  }
-  const SweepPoint ref = run_fixed(g, pool, m_ref, seed, prof);
-  bench::banner("hotspots at m=" + std::to_string(m_ref));
+  seed_degrees(prof, degrees);
+  const SweepPoint ref = run_mis_fixed(g, pool, m_ref, seed, prof);
+  bench::banner("mis hotspots at m=" + std::to_string(m_ref));
   prof.write_report(std::cout, top);
 
   std::ostringstream json;
-  json << "{\n \"schema\": \"optipar.bench.apps.v1\",\n"
-       << " \"app\": \"mis\",\n"
+  json << "{\n \"schema\": \"optipar.bench.apps.v2\",\n"
        << " \"graph\": {\"family\": \"rmat\", \"nodes\": " << nodes
        << ", \"avg_degree\": " << d << "},\n"
        << " \"threads\": " << threads << ",\n \"seed\": " << seed << ",\n"
-       << " \"curve\": [\n";
-  for (std::size_t i = 0; i < curve.size(); ++i) {
-    const SweepPoint& p = curve[i];
-    json << "  {\"m\": " << p.m << ", \"r\": " << p.r << ", \"rounds\": "
-         << p.rounds << ", \"committed\": " << p.committed
-         << ", \"top16_share\": " << p.top16_share << "}"
-         << (i + 1 < curve.size() ? "," : "") << "\n";
+       << " \"apps\": [\n";
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    emit_series(json, apps[i], i + 1 == apps.size());
   }
   json << " ],\n \"m_ref\": " << m_ref << ",\n \"ref_r\": " << ref.r
        << ",\n \"total_conflicts\": " << prof.total_conflicts()

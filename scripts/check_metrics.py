@@ -40,6 +40,7 @@ EVENT_KINDS = {
     "round_start", "round_end", "controller_decision", "retry",
     "quarantine", "fault_fired", "lane_death", "watchdog_degrade",
     "serial_degrade", "livelock", "error", "checkpoint", "recovery",
+    "certify",
 }
 
 ROUND_FIELDS = {

@@ -41,19 +41,34 @@ for threads in 1 4; do
   [[ "$(field "$line" lock_leaks)" == "0" ]] || fail "rate 0 lock leak"
 done
 
-# --- 2. Fault-rate sweep: recovery invariants at every rate. ---------------
+# --- 2. Fault-rate sweep: recovery invariants at every rate, certified. ----
 for rate in 0.05 0.2 0.5; do
   for fseed in 11 42; do
     for threads in 1 4; do
       line="$("$CLI" chaos --fault-rate="$rate" --fault-seed="$fseed" \
-                    --threads="$threads" --max-retries=3 | tail -1)"
+                    --threads="$threads" --max-retries=3 --verify | tail -1)"
       echo "$line"
       [[ "$(field "$line" verdict)" == "pass" ]] \
         || fail "rate=$rate seed=$fseed t=$threads verdict"
       [[ "$(field "$line" lock_leaks)" == "0" ]] \
         || fail "rate=$rate seed=$fseed t=$threads lock leak"
+      [[ "$(field "$line" certified)" == "ok" ]] \
+        || fail "rate=$rate seed=$fseed t=$threads certificate refuted"
     done
   done
+done
+
+# --- 2b. Certified recovery on every scheduler backend. --------------------
+# The completeness certificate (drained, accounted, no lock leaks, state ==
+# oracle) must hold for chaos survivors no matter which draw backend ran.
+for sched in random chromatic relaxed; do
+  line="$("$CLI" chaos --fault-rate=0.2 --fault-seed=11 --threads=4 \
+                --max-retries=3 --scheduler="$sched" --verify | tail -1)"
+  echo "$line"
+  [[ "$(field "$line" verdict)" == "pass" ]] \
+    || fail "sched=$sched chaos verdict"
+  [[ "$(field "$line" certified)" == "ok" ]] \
+    || fail "sched=$sched certificate refuted"
 done
 
 # --- 3. Pool-lane death: salvage + graceful serial degradation. ------------

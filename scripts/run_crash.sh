@@ -69,9 +69,14 @@ for point in mid-journal after-journal mid-snapshot before-rename \
     [[ "$rc" -eq 137 ]] \
       || fail "$point@$kill_round: expected _Exit(137), got rc=$rc"
 
-    "${CLI}" "${ARGS[@]}" --checkpoint-dir="$CKPT" --resume \
-             --trace-out="$WORK/res.jsonl" >/dev/null \
+    # --verify on the resume: the survivor must not only replay the
+    # schedule byte-identically but also hold the completeness
+    # certificate (drained, accounted, no lock leaks).
+    out="$("${CLI}" "${ARGS[@]}" --checkpoint-dir="$CKPT" --resume --verify \
+             --trace-out="$WORK/res.jsonl")" \
       || fail "$point@$kill_round: resume run failed"
+    [[ "$out" == *"certified=ok"* ]] \
+      || fail "$point@$kill_round: resume not certified: $out"
     rounds_of "$WORK/res.jsonl" >"$WORK/res.rounds"
     if cmp -s "$WORK/ref.rounds" "$WORK/res.rounds"; then
       echo "run_crash: $point@$kill_round resume byte-identical"
@@ -95,9 +100,10 @@ set +e
 set -e
 newest="$(ls -t "$CKPT"/snap-*.bin | head -1)"
 corrupt "$newest"
-"${CLI}" "${ARGS[@]}" --checkpoint-dir="$CKPT" --resume \
-         --trace-out="$WORK/fb.jsonl" >/dev/null \
+out="$("${CLI}" "${ARGS[@]}" --checkpoint-dir="$CKPT" --resume --verify \
+         --trace-out="$WORK/fb.jsonl")" \
   || fail "fallback resume failed"
+[[ "$out" == *"certified=ok"* ]] || fail "fallback resume not certified"
 rounds_of "$WORK/fb.jsonl" >"$WORK/fb.rounds"
 cmp -s "$WORK/ref.rounds" "$WORK/fb.rounds" \
   || fail "fallback after corrupting newest snapshot diverged"
@@ -111,9 +117,10 @@ set +e
          --crash-point=after-rename --crash-round=5 >/dev/null 2>&1
 set -e
 for snap in "$CKPT"/snap-*.bin; do corrupt "$snap"; done
-"${CLI}" "${ARGS[@]}" --checkpoint-dir="$CKPT" --resume \
-         --trace-out="$WORK/cs.jsonl" >/dev/null \
+out="$("${CLI}" "${ARGS[@]}" --checkpoint-dir="$CKPT" --resume --verify \
+         --trace-out="$WORK/cs.jsonl")" \
   || fail "clean-start resume failed"
+[[ "$out" == *"certified=ok"* ]] || fail "clean-start resume not certified"
 rounds_of "$WORK/cs.jsonl" >"$WORK/cs.rounds"
 cmp -s "$WORK/ref.rounds" "$WORK/cs.rounds" \
   || fail "clean start after corrupting both snapshots diverged"
@@ -140,9 +147,11 @@ for backend in chromatic relaxed; do
   set -e
   [[ "$rc" -eq 137 ]] || fail "$backend: expected _Exit(137), got rc=$rc"
 
-  "${CLI}" "${SARGS[@]}" --checkpoint-dir="$CKPT" --resume \
-           --trace-out="$WORK/s_res.jsonl" >/dev/null \
+  out="$("${CLI}" "${SARGS[@]}" --checkpoint-dir="$CKPT" --resume --verify \
+           --trace-out="$WORK/s_res.jsonl")" \
     || fail "$backend: resume run failed"
+  [[ "$out" == *"certified=ok"* ]] \
+    || fail "$backend: resume not certified: $out"
   rounds_of "$WORK/s_res.jsonl" >"$WORK/s_res.rounds"
   if cmp -s "$WORK/s_ref.rounds" "$WORK/s_res.rounds"; then
     echo "run_crash: $backend backend resume byte-identical"

@@ -69,7 +69,9 @@ rounds_of "$WORK/ref.jsonl" >"$WORK/ref.rounds"
 # --- 2. Start, upload, submit, SIGKILL mid-job. ----------------------------
 start_daemon
 "$SERVE" upload "$S" "$IO" --name=big --graph="$WORK/big.txt" >/dev/null
-"$SERVE" run "$S" "$IO" --graph=big --seed=21 >/dev/null
+# --verify rides in the job spec, survives the WAL, and must still hold
+# after the kill-and-resume below.
+"$SERVE" run "$S" "$IO" --graph=big --seed=21 --verify >/dev/null
 
 # Wait until the job is running with at least one checkpointable round done,
 # then kill -9 — no destructors, no goodbye.
@@ -97,6 +99,8 @@ done
 [[ "$final" == *"state=done"* ]] || fail "resumed job never finished: $final"
 [[ "$final" == *"resumed=1"* ]] \
   || fail "job finished without resuming from the checkpoint: $final"
+[[ "$final" == *'verified=1 cert="ok"'* ]] \
+  || fail "resumed job lost or refuted its certificate: $final"
 
 "$SERVE" trace "$S" "$IO" --job=1 --out="$WORK/res.jsonl"
 rounds_of "$WORK/res.jsonl" >"$WORK/res.rounds"
@@ -133,6 +137,34 @@ done
   || fail "daemon stopped answering health while saturated"
 echo "run_serve_smoke: burst accepted=$accepted overloaded=$overloaded," \
      "health answered throughout"
+
+"$SERVE" shutdown "$S" "$IO" >/dev/null
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# --- 5. Certified jobs on every scheduler backend. -------------------------
+# Small graph; each backend's verified job must finish done with an intact
+# certificate, and the daemon-wide attestation counters must add up.
+"$CLI" gen --family=cliques --n=360 --d=5 --seed=9 --out="$WORK/small.txt" \
+  >/dev/null
+rm -rf "$STATE"
+start_daemon
+"$SERVE" upload "$S" "$IO" --name=small --graph="$WORK/small.txt" >/dev/null
+for sched in random chromatic relaxed; do
+  set +e
+  out="$("$SERVE" run "$S" "$IO" --graph=small --seed=5 \
+               --scheduler="$sched" --verify --wait 2>&1)"
+  rc=$?
+  set -e
+  [[ "$rc" -eq 0 ]] || fail "$sched: verified job exited $rc: $out"
+  [[ "$out" == *"state=done"* ]] || fail "$sched: job not done: $out"
+  [[ "$out" == *'verified=1 cert="ok"'* ]] \
+    || fail "$sched: certificate missing or refuted: $out"
+done
+info="$("$SERVE" server-status "$S" "$IO")"
+[[ "$info" == *"certified=3"* && "$info" == *"cert_failed=0"* ]] \
+  || fail "server-status attestation counters wrong: $info"
+echo "run_serve_smoke: all three backends certified, counters reconcile"
 
 "$SERVE" shutdown "$S" "$IO" >/dev/null
 wait "$SERVER_PID" 2>/dev/null || true

@@ -190,7 +190,26 @@ Trace run_survey_propagation_adaptive(SurveyState& state,
     }
   };
 
-  SpeculativeExecutor executor(pool, formula.num_clauses(), op, seed);
+  RoundOptions options;
+  options.scheduler = config.scheduler;
+  SpeculativeExecutor executor(pool, formula.num_clauses(), op, seed,
+                               options);
+  if (config.scheduler == sched::Backend::kChromatic) {
+    // Declared footprint = the acquisition set above: clause a plus every
+    // clause sharing a variable with it.
+    executor.set_footprint_function(
+        [&formula](TaskId task, std::vector<std::uint32_t>& fp) {
+          const auto a = static_cast<std::uint32_t>(task);
+          fp.push_back(a);
+          for (const Literal& lit : formula.clause(a).literals) {
+            for (const std::uint32_t b : formula.clauses_of(lit.var)) {
+              fp.push_back(b);
+            }
+          }
+        });
+  } else if (config.scheduler == sched::Backend::kRelaxed) {
+    executor.set_priority_function([](TaskId t) { return t; });
+  }
   std::vector<TaskId> initial(formula.num_clauses());
   for (std::uint32_t a = 0; a < formula.num_clauses(); ++a) initial[a] = a;
   executor.push_initial(initial);

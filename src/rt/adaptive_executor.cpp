@@ -93,8 +93,20 @@ void AdaptiveRun::check_interrupt() {
   throw error;
 }
 
+void AdaptiveRun::ensure_certified() {
+  if (!config_.certifier || certificate_.has_value()) return;
+  certificate_ = verify::run_certifier(config_.certifier, tel_,
+                                       trace_.steps.size());
+}
+
 bool AdaptiveRun::step() {
-  if (finished()) return false;
+  if (finished()) {
+    // The first step() past the drain is the certification point: the
+    // executor is quiescent, every commit is visible, and no further
+    // round can change the answer.
+    ensure_certified();
+    return false;
+  }
   check_interrupt();
   CheckpointManager* const cp = config_.checkpoint;
   const std::uint32_t round = round_;

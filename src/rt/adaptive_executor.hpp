@@ -30,6 +30,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -37,6 +38,7 @@
 #include "rt/spec_executor.hpp"
 #include "sim/trace.hpp"
 #include "support/deadline.hpp"
+#include "verify/certifier.hpp"
 
 namespace optipar {
 
@@ -142,6 +144,14 @@ struct AdaptiveRunConfig {
   /// by another thread, observed at the next round boundary: the loop
   /// forces a snapshot and raises JobInterrupted{kCancelled}.
   const std::atomic<bool>* cancel = nullptr;
+  /// Post-run result certification (DESIGN.md §16; empty disables). Runs
+  /// exactly once, at the first step() that observes the finished state —
+  /// never on the round hot path — through verify::run_certifier, so the
+  /// verdict lands in telemetry (kCertify event + "certify" span). The
+  /// certificate is NOT escalated here: step() stays non-throwing on a
+  /// refuted answer and hosts read certificate() to decide (the CLI exits
+  /// 8, the daemon fails the job).
+  verify::Certifier certifier;
 };
 
 /// The closed loop as a job-scoped stepper. The constructor walks the
@@ -180,6 +190,18 @@ class AdaptiveRun {
   /// from this exact round after restart.
   void checkpoint_now();
 
+  /// Run the configured certifier now if it has not run yet (idempotent;
+  /// no-op without a certifier). step() calls this automatically when it
+  /// observes the finished state; hosts that stop stepping early — e.g.
+  /// on max_rounds — may call it directly.
+  void ensure_certified();
+  /// The post-run certificate: empty until the certifier has run (no
+  /// certifier configured, or the run has not finished).
+  [[nodiscard]] const std::optional<verify::Certificate>& certificate()
+      const noexcept {
+    return certificate_;
+  }
+
  private:
   /// Deadline/cancel interruption point (top of step()).
   void check_interrupt();
@@ -200,6 +222,7 @@ class AdaptiveRun {
   bool degraded_ = false;
   bool resumed_ = false;
   std::uint32_t round_ = 0;  ///< next round to execute
+  std::optional<verify::Certificate> certificate_;
 };
 
 /// Drive the executor to completion under the controller's allocation

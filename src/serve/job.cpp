@@ -23,6 +23,7 @@ void encode_spec(Writer& out, const JobSpec& spec) {
   out.i64(spec.timeout_ms);
   out.u32(spec.checkpoint_every);
   out.str(spec.scheduler);
+  out.u8(spec.verify ? 1 : 0);
 }
 
 JobSpec decode_spec(Reader& in) {
@@ -44,6 +45,7 @@ JobSpec decode_spec(Reader& in) {
   spec.timeout_ms = in.i64();
   spec.checkpoint_every = in.u32();
   spec.scheduler = in.str();
+  spec.verify = in.u8() != 0;
   return spec;
 }
 
@@ -55,6 +57,8 @@ void encode_result(Writer& out, const JobResult& result) {
   out.f64(result.mean_r);
   out.u32(result.mu);
   out.str(result.error);
+  out.u8(result.verified);
+  out.str(result.cert);
 }
 
 JobResult decode_result(Reader& in) {
@@ -66,6 +70,13 @@ JobResult decode_result(Reader& in) {
   result.mean_r = in.f64();
   result.mu = in.u32();
   result.error = in.str();
+  const auto verified = in.u8();
+  if (verified > 2) {
+    throw SnapshotError(SnapshotError::Kind::kMalformed,
+                        "WAL: unknown verification verdict");
+  }
+  result.verified = verified;
+  result.cert = in.str();
   return result;
 }
 

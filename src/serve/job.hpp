@@ -35,6 +35,9 @@ struct JobSpec {
   /// Scheduler backend name ("random", "chromatic", "relaxed"); validated
   /// at admission against sched::parse_backend.
   std::string scheduler = "random";
+  /// Certify the drained run before the job goes terminal (run jobs only;
+  /// the verdict is durable in the kFinished record).
+  bool verify = false;
 };
 
 /// Terminal summary, durable in the WAL's kFinished record so status
@@ -47,6 +50,9 @@ struct JobResult {
   double mean_r = 0.0;
   std::uint32_t mu = 0;  ///< estimate jobs
   std::string error;     ///< kFailed detail
+  /// Certification verdict: 0 = not requested, 1 = ok, 2 = refuted.
+  std::uint8_t verified = 0;
+  std::string cert;  ///< certificate describe() text when verified != 0
 };
 
 /// One job's live record. `state` and `cancel` are the only fields touched

@@ -33,6 +33,7 @@
 #include "support/telemetry/span_trace.hpp"
 #include "support/telemetry/telemetry.hpp"
 #include "support/timer.hpp"
+#include "verify/executor_cert.hpp"
 
 namespace optipar::serve {
 
@@ -174,6 +175,13 @@ void Server::start() {
       it->second->state.store(rec.final_state, std::memory_order_release);
       it->second->result = rec.result;
       next_job_id_ = std::max(next_job_id_, rec.id + 1);
+      // Certification verdicts are durable in the kFinished record; keep
+      // the attestation counters consistent across restarts.
+      if (rec.result.verified == 1) {
+        certified_.fetch_add(1, std::memory_order_relaxed);
+      } else if (rec.result.verified == 2) {
+        cert_failed_.fetch_add(1, std::memory_order_relaxed);
+      }
       switch (rec.final_state) {
         case JobState::kDone:
           completed_.fetch_add(1, std::memory_order_relaxed);
@@ -445,6 +453,7 @@ std::vector<std::byte> Server::handle_submit(
     spec.timeout_ms = req.timeout_ms;
     spec.checkpoint_every = req.checkpoint_every;
     spec.scheduler = req.scheduler;
+    spec.verify = req.verify;
   } else {
     const auto req = EstimateRequest::decode(payload);
     spec.kind = JobKind::kEstimate;
@@ -540,6 +549,8 @@ std::vector<std::byte> Server::handle_status(std::uint64_t job_id) {
   reply.resumed = job.resumed;
   reply.error = job.result.error;
   reply.scheduler = job.spec.scheduler;
+  reply.verified = job.result.verified;
+  reply.cert = job.result.cert;
   return reply.encode();
 }
 
@@ -621,6 +632,8 @@ std::vector<std::byte> Server::handle_server_status() {
   reply.cancelled = cancelled_.load(std::memory_order_relaxed);
   reply.timed_out = timed_out_.load(std::memory_order_relaxed);
   reply.resumed = resumed_.load(std::memory_order_relaxed);
+  reply.certified = certified_.load(std::memory_order_relaxed);
+  reply.cert_failed = cert_failed_.load(std::memory_order_relaxed);
   reply.lanes = config_.threads;
   reply.draining = draining_.load(std::memory_order_acquire) ||
                    queue_->closed();
@@ -665,6 +678,12 @@ std::vector<std::byte> Server::handle_metrics(const std::string& format) {
   reg.add("optipar_serve_resumed_total", Type::kCounter,
           "Jobs resumed from checkpoints after a restart", {},
           static_cast<double>(resumed_.load(std::memory_order_relaxed)));
+  reg.add("optipar_serve_certified_total", Type::kCounter,
+          "Verify jobs whose result certificate held", {},
+          static_cast<double>(certified_.load(std::memory_order_relaxed)));
+  reg.add("optipar_serve_cert_failed_total", Type::kCounter,
+          "Verify jobs refuted by the result certifier", {},
+          static_cast<double>(cert_failed_.load(std::memory_order_relaxed)));
   {
     // Serve latency histograms (DESIGN.md §15): log-bucketed, with
     // quantile-summary gauges — the optipar.metrics.v2 additions.
@@ -882,6 +901,16 @@ void Server::activate(std::uint64_t job_id) {
     rcfg.checkpoint = aj->checkpoint.get();
     rcfg.deadline = JobDeadline::after_ms(spec.timeout_ms);
     rcfg.cancel = &job->cancel;
+    if (spec.verify) {
+      // Post-run attestation: every task accounted for and no lock leaks,
+      // checked once when the drain is observed. The verdict is read in
+      // the scheduler's finished branch and made durable in the WAL.
+      SpeculativeExecutor* ex = aj->exec.get();
+      rcfg.certifier = [ex, total = static_cast<std::uint64_t>(
+                                g->num_nodes())] {
+        return verify::certify_drained_run(*ex, total);
+      };
+    }
     aj->run =
         std::make_unique<AdaptiveRun>(*aj->exec, *aj->controller, rcfg);
     if (aj->run->resumed()) {
@@ -1004,6 +1033,10 @@ void Server::scheduler_loop() {
         continue;
       }
       if (finished) {
+        // step() certified at the drain observation (AdaptiveRun's certify
+        // hook); the direct call covers the max_rounds stop, where no step
+        // ever sees finished() flip.
+        aj.run->ensure_certified();
         const Trace trace = aj.run->take_trace();
         JobResult result;
         result.rounds = trace.steps.size();
@@ -1011,10 +1044,28 @@ void Server::scheduler_loop() {
         result.pending = aj.exec->pending();
         result.wasted = trace.wasted_fraction();
         result.mean_r = trace.mean_conflict_ratio();
+        JobState final_state = JobState::kDone;
+        if (aj.job->spec.verify) {
+          const auto& cert = aj.run->certificate();
+          if (cert.has_value() && cert->ok()) {
+            result.verified = 1;
+            result.cert = cert->describe();
+            certified_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            // Refuted (or never produced — itself a defect): the answer
+            // must not be served as kDone.
+            result.verified = 2;
+            result.cert =
+                cert.has_value() ? cert->describe() : "no certificate";
+            result.error = "certification failed: " + result.cert;
+            final_state = JobState::kFailed;
+            cert_failed_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
         std::ostringstream os;
         write_trace_jsonl(os, trace);
         telemetry::write_events_jsonl(os, aj.tel->drain_events());
-        finish_job(aj.job, JobState::kDone, result,
+        finish_job(aj.job, final_state, result,
                    collect_artifacts(os.str(), *aj.tel, *aj.spans,
                                      aj.job_span));
         it = active_.erase(it);

@@ -153,6 +153,8 @@ class Server {
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> timed_out_{0};
   std::atomic<std::uint64_t> resumed_{0};
+  std::atomic<std::uint64_t> certified_{0};    ///< verify jobs: cert held
+  std::atomic<std::uint64_t> cert_failed_{0};  ///< verify jobs: cert refuted
   std::atomic<std::uint64_t> active_count_{0};
   std::uint64_t recovered_ = 0;
 

@@ -294,6 +294,7 @@ std::vector<std::byte> RunRequest::encode() const {
   out.i64(timeout_ms);
   out.u32(checkpoint_every);
   out.str(scheduler);
+  out.u8(verify ? 1 : 0);
   return out.take();
 }
 
@@ -312,6 +313,7 @@ RunRequest RunRequest::decode(std::span<const std::byte> payload) {
     req.timeout_ms = in.i64();
     req.checkpoint_every = in.u32();
     req.scheduler = in.str();
+    req.verify = in.u8() != 0;
     in.expect_end();
     return req;
   });
@@ -526,6 +528,8 @@ std::vector<std::byte> JobStatusReply::encode() const {
   out.u8(resumed ? 1 : 0);
   out.str(error);
   out.str(scheduler);
+  out.u8(verified);
+  out.str(cert);
   return out.take();
 }
 
@@ -556,6 +560,14 @@ JobStatusReply JobStatusReply::decode(std::span<const std::byte> payload) {
     rep.resumed = in.u8() != 0;
     rep.error = in.str();
     rep.scheduler = in.str();
+    const auto verified = in.u8();
+    if (verified > 2) {
+      throw WireError(WireError::Kind::kMalformed,
+                      "unknown verification verdict " +
+                          std::to_string(verified));
+    }
+    rep.verified = verified;
+    rep.cert = in.str();
     in.expect_end();
     return rep;
   });
@@ -574,6 +586,8 @@ std::vector<std::byte> ServerInfoReply::encode() const {
   out.u64(cancelled);
   out.u64(timed_out);
   out.u64(resumed);
+  out.u64(certified);
+  out.u64(cert_failed);
   out.u64(lanes);
   out.u8(draining ? 1 : 0);
   return out.take();
@@ -594,6 +608,8 @@ ServerInfoReply ServerInfoReply::decode(std::span<const std::byte> payload) {
     rep.cancelled = in.u64();
     rep.timed_out = in.u64();
     rep.resumed = in.u64();
+    rep.certified = in.u64();
+    rep.cert_failed = in.u64();
     rep.lanes = in.u64();
     rep.draining = in.u8() != 0;
     in.expect_end();

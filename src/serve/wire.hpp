@@ -149,6 +149,9 @@ struct RunRequest {
   std::int64_t timeout_ms = 0;     ///< 0 = server default (may be none)
   std::uint32_t checkpoint_every = 0;  ///< 0 = server default
   std::string scheduler = "random";    ///< draw backend; validated at submit
+  /// Certify the drained run (completeness + lock hygiene, src/verify/)
+  /// before the job goes terminal; a refuted certificate fails the job.
+  bool verify = false;
 
   [[nodiscard]] std::vector<std::byte> encode() const;
   [[nodiscard]] static RunRequest decode(std::span<const std::byte> payload);
@@ -274,6 +277,10 @@ struct JobStatusReply {
   bool resumed = false;        ///< restored from a checkpoint after restart
   std::string error;           ///< failure detail (kFailed)
   std::string scheduler = "random";  ///< the job's draw backend label
+  /// Certification verdict: 0 = not requested, 1 = certified ok,
+  /// 2 = refuted (the job is kFailed and `error` carries the detail).
+  std::uint8_t verified = 0;
+  std::string cert;  ///< certificate describe() text when verified != 0
 
   [[nodiscard]] std::vector<std::byte> encode() const;
   [[nodiscard]] static JobStatusReply decode(
@@ -291,6 +298,8 @@ struct ServerInfoReply {
   std::uint64_t cancelled = 0;
   std::uint64_t timed_out = 0;
   std::uint64_t resumed = 0;    ///< jobs restored from checkpoints
+  std::uint64_t certified = 0;  ///< --verify jobs whose certificate held
+  std::uint64_t cert_failed = 0;  ///< --verify jobs refuted by the checker
   std::uint64_t lanes = 0;      ///< pool size
   bool draining = false;
 

@@ -35,6 +35,7 @@ const char* event_kind_name(EventKind kind) noexcept {
     case EventKind::kError: return "error";
     case EventKind::kCheckpoint: return "checkpoint";
     case EventKind::kRecovery: return "recovery";
+    case EventKind::kCertify: return "certify";
   }
   return "unknown";
 }

@@ -109,6 +109,8 @@ enum class EventKind : std::uint32_t {
   kCheckpoint,           ///< a = rounds covered, b = snapshot bytes
   kRecovery,             ///< a = rounds restored, b = journal records kept;
                          ///< note = which rung of the ladder succeeded
+  kCertify,              ///< a = verdict (1 ok / 0 fail), b = facts checked,
+                         ///< x = seconds; note = certificate code [+ detail]
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;

@@ -1,0 +1,111 @@
+// Per-app answer certificates (DESIGN.md §16). Each function re-derives
+// the application's correctness invariant independently of the speculative
+// operator that produced the answer — different code path, different data
+// structures, serial — and returns a typed Certificate. The checks are
+// asymptotically cheaper than (or comparable to) one serial re-solve and
+// run exactly once, after the work-set drains.
+//
+// Certification strength, per app:
+//   MIS       exact: independence + maximality + totality characterize the
+//             answer set completely.
+//   coloring  exact: properness + the Δ+1 palette bound is precisely the
+//             greedy invariant the operator promises.
+//   SSSP      exact: dist[s] = 0, no relaxable edge, and a tight
+//             predecessor witness per finite label imply dist is THE
+//             shortest-distance fixed point (no reference run needed).
+//   boruvka   exact vs reference: spanning-forest edge count per component
+//             + total weight equal to a serial Kruskal re-solve.
+//   maxflow   exact: feasibility + a saturated s-t cut whose capacity
+//             equals the flow value is the strong-duality certificate of
+//             optimality (the WHFC flow_tester shape).
+//   sp        exact for SAT claims: the assignment is checked against
+//             every clause by independent evaluation.
+//   dmr       structural validity + no remaining bad triangle, plus
+//             randomized empty-circumcircle spot checks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/weighted_graph.hpp"
+#include "verify/certifier.hpp"
+
+namespace optipar::mis {
+class MisState;
+}
+namespace optipar::coloring {
+class ColoringState;
+}
+namespace optipar::boruvka {
+struct WeightedEdge;
+}
+namespace optipar::maxflow {
+class FlowNetwork;
+}
+namespace optipar::sp {
+class Formula;
+struct SidResult;
+}
+namespace optipar::dmr {
+class Mesh;
+struct RefineQuality;
+}
+
+namespace optipar::verify {
+
+/// MIS: every node decided (kUndecidedNode), no edge inside the set
+/// (kNotIndependent), every OUT node has an IN neighbor (kNotMaximal).
+[[nodiscard]] Certificate certify_mis(const CsrGraph& graph,
+                                      const mis::MisState& state);
+
+/// Coloring: every node colored (kUncolored), no monochromatic edge
+/// (kBadColor), colors fit in [0, max_degree] (kPaletteOverflow).
+[[nodiscard]] Certificate certify_coloring(const CsrGraph& graph,
+                                           const coloring::ColoringState& state);
+
+/// SSSP fixed-point certificate against `dist` (indexed by node):
+/// dist[source] == 0 (kBadSourceDistance), no edge admits a relaxation
+/// (kRelaxable), and every finite non-source label has a tight predecessor
+/// edge dist[u] + w == dist[v] (kNoWitness). Exact double comparisons are
+/// sound here: labels are produced by the same +-chains the check replays.
+[[nodiscard]] Certificate certify_sssp(const WeightedGraph& graph,
+                                       NodeId source,
+                                       std::span<const double> dist);
+
+/// Boruvka MST/forest: chosen edge count must equal n − #components of the
+/// input (kNotSpanning) and the claimed weight must match an internal
+/// serial Kruskal re-solve to 1e-6 relative (kWeightMismatch).
+[[nodiscard]] Certificate certify_boruvka(
+    NodeId n, const std::vector<boruvka::WeightedEdge>& edges,
+    double claimed_weight, std::uint32_t claimed_count);
+
+/// Maxflow strong-duality certificate: 0 <= flow <= capacity on every arc
+/// (kFlowViolation), conservation at every node but s/t (kNotConserved),
+/// and a BFS over residual arcs from s must not reach t with the resulting
+/// cut's capacity equal to both the claimed and the recomputed flow value
+/// (kCutMismatch).
+[[nodiscard]] Certificate certify_maxflow(const maxflow::FlowNetwork& net,
+                                          NodeId s, NodeId t,
+                                          double claimed_flow);
+
+/// Survey propagation: the solver must claim satisfaction (kNotSatisfied)
+/// and the assignment must be total and satisfy every clause under
+/// independent evaluation (kBadAssignment).
+[[nodiscard]] Certificate certify_sp(const sp::Formula& formula,
+                                     const sp::SidResult& result);
+
+/// Refined mesh: structural invariants hold (kBadMesh), no refinable-bad
+/// triangle remains (kStillBad), and `spot_checks` randomly sampled alive
+/// triangles pass the local empty-circumcircle test against each
+/// neighbor's opposite vertex (kNotDelaunay). Triangles touching a vertex
+/// below `skip_verts_below` (the synthetic super-triangle corners) are
+/// exempt from the Delaunay check, matching Mesh::is_locally_delaunay.
+[[nodiscard]] Certificate certify_mesh(const dmr::Mesh& mesh,
+                                       const dmr::RefineQuality& quality,
+                                       std::uint32_t skip_verts_below,
+                                       std::size_t spot_checks,
+                                       std::uint64_t seed);
+
+}  // namespace optipar::verify

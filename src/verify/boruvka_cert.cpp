@@ -1,0 +1,75 @@
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "apps/boruvka/boruvka.hpp"
+#include "verify/app_certs.hpp"
+
+namespace optipar::verify {
+
+namespace {
+
+// Minimal union–find, independent of the Kruskal reference's internals.
+class Dsu {
+ public:
+  explicit Dsu(NodeId n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+  NodeId find(NodeId v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  bool unite(NodeId a, NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+Certificate certify_boruvka(NodeId n,
+                            const std::vector<boruvka::WeightedEdge>& edges,
+                            double claimed_weight,
+                            std::uint32_t claimed_count) {
+  Certificate cert;
+  // A spanning forest of the input has exactly n − #components edges;
+  // Boruvka contraction records one edge per successful contraction, so
+  // the count is a structural certificate independent of the weights.
+  Dsu dsu(n);
+  NodeId components = n;
+  for (const boruvka::WeightedEdge& e : edges) {
+    ++cert.checked;
+    if (dsu.unite(e.u, e.v)) --components;
+  }
+  const std::uint32_t expected = n - components;
+  if (claimed_count != expected) {
+    cert.code = CertCode::kNotSpanning;
+    cert.detail = "chose " + std::to_string(claimed_count) +
+                  " edges, spanning forest needs " + std::to_string(expected);
+    return cert;
+  }
+  ++cert.checked;
+  const double reference = boruvka::kruskal_mst_weight(n, edges);
+  const double tol = 1e-6 * std::max(1.0, std::abs(reference));
+  if (std::abs(claimed_weight - reference) > tol) {
+    cert.code = CertCode::kWeightMismatch;
+    cert.detail = "claimed weight " + std::to_string(claimed_weight) +
+                  " vs serial Kruskal " + std::to_string(reference);
+    return cert;
+  }
+  ++cert.checked;
+  return cert;
+}
+
+}  // namespace optipar::verify

@@ -1,0 +1,94 @@
+#include "verify/certifier.hpp"
+
+#include "support/telemetry/metrics_registry.hpp"
+#include "support/telemetry/span_trace.hpp"
+#include "support/telemetry/telemetry.hpp"
+#include "support/timer.hpp"
+
+namespace optipar::verify {
+
+const char* cert_code_name(CertCode code) noexcept {
+  switch (code) {
+    case CertCode::kOk: return "ok";
+    case CertCode::kNotIndependent: return "not_independent";
+    case CertCode::kNotMaximal: return "not_maximal";
+    case CertCode::kUndecidedNode: return "undecided_node";
+    case CertCode::kUncolored: return "uncolored";
+    case CertCode::kBadColor: return "bad_color";
+    case CertCode::kPaletteOverflow: return "palette_overflow";
+    case CertCode::kBadSourceDistance: return "bad_source_distance";
+    case CertCode::kRelaxable: return "relaxable";
+    case CertCode::kNoWitness: return "no_witness";
+    case CertCode::kNotSpanning: return "not_spanning";
+    case CertCode::kWeightMismatch: return "weight_mismatch";
+    case CertCode::kFlowViolation: return "flow_violation";
+    case CertCode::kNotConserved: return "not_conserved";
+    case CertCode::kCutMismatch: return "cut_mismatch";
+    case CertCode::kNotSatisfied: return "not_satisfied";
+    case CertCode::kBadAssignment: return "bad_assignment";
+    case CertCode::kBadMesh: return "bad_mesh";
+    case CertCode::kStillBad: return "still_bad";
+    case CertCode::kNotDelaunay: return "not_delaunay";
+    case CertCode::kNotDrained: return "not_drained";
+    case CertCode::kUnaccounted: return "unaccounted";
+    case CertCode::kLockLeak: return "lock_leak";
+    case CertCode::kStateCorrupt: return "state_corrupt";
+  }
+  return "unknown";
+}
+
+std::string Certificate::describe() const {
+  if (ok()) return "ok";
+  std::string out = cert_code_name(code);
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+
+Certificate run_certifier(const Certifier& fn,
+                          telemetry::RuntimeTelemetry* tel,
+                          std::uint64_t round) {
+  const std::uint64_t t0 = monotonic_ns();
+  Certificate cert = fn();
+  const std::uint64_t t1 = monotonic_ns();
+  cert.check_ns = t1 - t0;
+  if (tel != nullptr) {
+    telemetry::TraceEvent ev;
+    ev.kind = telemetry::EventKind::kCertify;
+    ev.round = round;
+    ev.a = cert.ok() ? 1 : 0;
+    ev.b = cert.checked;
+    ev.x = static_cast<double>(cert.check_ns) * 1e-9;
+    ev.note = cert.describe();
+    tel->emit(std::move(ev));
+    if (telemetry::SpanCollector* spans = tel->spans(); spans != nullptr) {
+      telemetry::SpanRecord rec;
+      rec.name = "certify";
+      rec.tid = 0;  // coordinator — certification never runs on a lane
+      rec.start_ns = t0;
+      rec.end_ns = t1;
+      rec.a = round;
+      rec.b = cert.checked;
+      rec.note = cert.describe();
+      spans->record(rec);
+    }
+  }
+  return cert;
+}
+
+void export_certificate_metrics(MetricsRegistry& reg,
+                                const Certificate& cert) {
+  reg.add("optipar_certify_ok", MetricsRegistry::Type::kGauge,
+          "Post-run certification verdict (1 = certified, 0 = refuted)",
+          {{"code", cert_code_name(cert.code)}}, cert.ok() ? 1.0 : 0.0);
+  reg.add("optipar_certify_checked_total", MetricsRegistry::Type::kCounter,
+          "Elementary facts examined by the post-run certifier", {},
+          static_cast<double>(cert.checked));
+  reg.add("optipar_certify_seconds", MetricsRegistry::Type::kGauge,
+          "Wall seconds the post-run certification pass took", {},
+          static_cast<double>(cert.check_ns) * 1e-9);
+}
+
+}  // namespace optipar::verify

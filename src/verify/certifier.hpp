@@ -1,0 +1,127 @@
+// Result certification (DESIGN.md §16): cheap, independent post-run
+// checkers that prove the ANSWER a speculative run produced is correct,
+// not merely that the run survived. The runtime's existing suites pin
+// byte-identity (same schedule after a crash) and liveness (no livelock,
+// no lock leaks); a rollback bug or a torn recovery could still commit a
+// semantically wrong answer and pass all of them. A Certifier closes that
+// gap: it re-derives the correctness invariant of the application from
+// first principles — independence and maximality for MIS, per-edge
+// relaxation for SSSP, a saturated min-cut for maxflow — and returns a
+// typed Certificate instead of a bare bool, so a failure names exactly
+// WHICH invariant broke.
+//
+// Layering: this header depends only on the support substrate, so the
+// runtime (rt/adaptive_executor) can carry a Certifier without a cycle.
+// The per-app checkers live in verify/app_certs.hpp; the executor
+// completeness certificate in verify/executor_cert.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace optipar {
+class MetricsRegistry;
+namespace telemetry {
+class RuntimeTelemetry;
+}
+}  // namespace optipar
+
+namespace optipar::verify {
+
+/// The typed failure taxonomy. Every certifier maps each invariant it
+/// checks to one code, so a mutation test can assert the EXACT rejection
+/// (perturb a known-good output, demand the matching code — the WHFC
+/// flow_tester discipline).
+enum class CertCode : std::uint8_t {
+  kOk = 0,
+  // --- MIS ---
+  kNotIndependent,     ///< two adjacent nodes are both in the set
+  kNotMaximal,         ///< a node outside the set has no neighbor in it
+  kUndecidedNode,      ///< a node was never decided in or out
+  // --- coloring ---
+  kUncolored,          ///< a node carries no color
+  kBadColor,           ///< a monochromatic edge
+  kPaletteOverflow,    ///< more than max_degree + 1 colors used
+  // --- SSSP ---
+  kBadSourceDistance,  ///< dist[source] != 0
+  kRelaxable,          ///< an edge still admits a relaxation
+  kNoWitness,          ///< a finite distance has no tight predecessor edge
+  // --- Boruvka ---
+  kNotSpanning,        ///< chosen edge count != n - #components
+  kWeightMismatch,     ///< claimed weight != serial Kruskal reference
+  // --- maxflow ---
+  kFlowViolation,      ///< an arc's flow is negative or exceeds capacity
+  kNotConserved,       ///< net flow at an internal node is nonzero
+  kCutMismatch,        ///< flow value != saturated s-t cut capacity
+  // --- survey propagation ---
+  kNotSatisfied,       ///< the solver reported no satisfying assignment
+  kBadAssignment,      ///< the claimed assignment falsifies a clause
+  // --- Delaunay mesh refinement ---
+  kBadMesh,            ///< structural invariants (CCW, adjacency) broken
+  kStillBad,           ///< a bad triangle survived refinement
+  kNotDelaunay,        ///< an empty-circumcircle spot check failed
+  // --- executor completeness (any drained run) ---
+  kNotDrained,         ///< work remains pending after the run
+  kUnaccounted,        ///< committed + quarantined != total tasks
+  kLockLeak,           ///< an abstract lock is still owned post-run
+  kStateCorrupt,       ///< shared state diverged from the serial oracle
+};
+
+[[nodiscard]] const char* cert_code_name(CertCode code) noexcept;
+
+/// The product of one certification pass. `checked` counts the elementary
+/// facts examined (edges, arcs, clauses, circumcircles) so a passing
+/// certificate is auditable — "ok" with checked == 0 is a red flag, not a
+/// pass.
+struct Certificate {
+  CertCode code = CertCode::kOk;
+  std::string detail;         ///< human diagnostic (empty when ok)
+  std::uint64_t checked = 0;  ///< elementary facts examined
+  std::uint64_t check_ns = 0; ///< wall time (filled by run_certifier)
+
+  [[nodiscard]] bool ok() const noexcept { return code == CertCode::kOk; }
+  /// `ok` or `<code>: <detail>` — the form summary lines embed.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Thrown by hosts that escalate a failed certificate (the CLI maps it to
+/// exit code 8). Carries the full certificate for the catcher.
+class CertificationError : public std::runtime_error {
+ public:
+  explicit CertificationError(Certificate certificate)
+      : std::runtime_error("certification failed: " +
+                           certificate.describe()),
+        certificate_(std::move(certificate)) {}
+
+  [[nodiscard]] const Certificate& certificate() const noexcept {
+    return certificate_;
+  }
+
+ private:
+  Certificate certificate_;
+};
+
+/// A deferred certification pass. The closure captures whatever state the
+/// check needs (app state + input, or the executor itself) and runs once,
+/// after the work-set drains — never on the round hot path.
+using Certifier = std::function<Certificate()>;
+
+/// Execute `fn`, stamp the elapsed time into the certificate, and surface
+/// the verdict through telemetry when attached: a kCertify trace event
+/// (a = ok, b = facts checked, x = seconds, note = code) and a "certify"
+/// span on the timeline. With tel == nullptr this is just a timed call —
+/// the telemetry-off path stays byte-identical.
+[[nodiscard]] Certificate run_certifier(const Certifier& fn,
+                                        telemetry::RuntimeTelemetry* tel,
+                                        std::uint64_t round);
+
+/// Render the certificate into the metrics registry (`optipar_certify_ok`
+/// gauge with a `code` label, `optipar_certify_checked_total`,
+/// `optipar_certify_seconds`) — so `--metrics-out` and the serve daemon's
+/// metrics artifact both carry the verdict.
+void export_certificate_metrics(MetricsRegistry& registry,
+                                const Certificate& certificate);
+
+}  // namespace optipar::verify

@@ -1,0 +1,47 @@
+#include <string>
+
+#include "apps/coloring/coloring.hpp"
+#include "verify/app_certs.hpp"
+
+namespace optipar::verify {
+
+Certificate certify_coloring(const CsrGraph& graph,
+                             const coloring::ColoringState& state) {
+  Certificate cert;
+  const NodeId n = graph.num_nodes();
+  // The greedy operator's palette bound: first-fit over a neighborhood of
+  // at most max_degree colors can never need a color above max_degree.
+  const std::uint32_t palette = graph.max_degree();
+  for (NodeId v = 0; v < n; ++v) {
+    ++cert.checked;
+    const std::uint32_t c = state.color(v);
+    if (c == coloring::kUncolored) {
+      cert.code = CertCode::kUncolored;
+      cert.detail = "node " + std::to_string(v) + " has no color";
+      return cert;
+    }
+    if (c > palette) {
+      cert.code = CertCode::kPaletteOverflow;
+      cert.detail = "node " + std::to_string(v) + " uses color " +
+                    std::to_string(c) + " > max_degree " +
+                    std::to_string(palette);
+      return cert;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId u : graph.neighbors(v)) {
+      if (u <= v) continue;  // each undirected edge once
+      ++cert.checked;
+      if (state.color(v) == state.color(u)) {
+        cert.code = CertCode::kBadColor;
+        cert.detail = "edge (" + std::to_string(v) + "," + std::to_string(u) +
+                      ") is monochromatic (color " +
+                      std::to_string(state.color(v)) + ")";
+        return cert;
+      }
+    }
+  }
+  return cert;
+}
+
+}  // namespace optipar::verify

@@ -1,0 +1,40 @@
+#include "verify/executor_cert.hpp"
+
+#include <string>
+
+#include "rt/spec_executor.hpp"
+
+namespace optipar::verify {
+
+Certificate certify_drained_run(SpeculativeExecutor& executor,
+                                std::uint64_t total_tasks) {
+  Certificate cert;
+  if (!executor.done()) {
+    cert.code = CertCode::kNotDrained;
+    cert.detail = std::to_string(executor.pending()) + " tasks still pending";
+    return cert;
+  }
+  ++cert.checked;
+  const ExecutorTotals& t = executor.totals();
+  const std::uint64_t retired =
+      t.committed + static_cast<std::uint64_t>(executor.dead_letters().size());
+  if (retired != total_tasks) {
+    cert.code = CertCode::kUnaccounted;
+    cert.detail = "committed=" + std::to_string(t.committed) +
+                  " dead_letters=" +
+                  std::to_string(executor.dead_letters().size()) +
+                  " expected total=" + std::to_string(total_tasks);
+    return cert;
+  }
+  ++cert.checked;
+  const std::size_t leaked = executor.locks().owned_count();
+  if (leaked != 0) {
+    cert.code = CertCode::kLockLeak;
+    cert.detail = std::to_string(leaked) + " abstract locks still owned";
+    return cert;
+  }
+  ++cert.checked;
+  return cert;
+}
+
+}  // namespace optipar::verify

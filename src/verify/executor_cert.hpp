@@ -1,0 +1,29 @@
+// Executor completeness certificate: the app-agnostic half of result
+// certification. Any drained speculative run, whatever its operator, must
+// satisfy three bookkeeping invariants — the work-set is empty, every task
+// is accounted for (committed or dead-lettered, exactly once), and no
+// abstract lock survived the last round. Rollback bugs and torn recoveries
+// tend to break one of these before they break the answer, so this check
+// rides along on every `--verify` run even when no app-level certifier is
+// applicable (e.g. the CLI's synthetic cell workload).
+#pragma once
+
+#include <cstdint>
+
+#include "verify/certifier.hpp"
+
+namespace optipar {
+class SpeculativeExecutor;
+}
+
+namespace optipar::verify {
+
+/// Certify the bookkeeping of a drained run: done() holds (kNotDrained),
+/// committed + dead_letters == `total_tasks` (kUnaccounted), and the lock
+/// table is empty (kLockLeak). `total_tasks` is the number of DISTINCT
+/// tasks the workload retires — for self-requeueing workloads pass the
+/// final committed + quarantined expectation, not the initial push count.
+[[nodiscard]] Certificate certify_drained_run(SpeculativeExecutor& executor,
+                                              std::uint64_t total_tasks);
+
+}  // namespace optipar::verify

@@ -1,0 +1,437 @@
+#include "verify/harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "apps/boruvka/boruvka.hpp"
+#include "apps/coloring/coloring.hpp"
+#include "apps/dmr/delaunay.hpp"
+#include "apps/dmr/refine.hpp"
+#include "apps/maxflow/maxflow.hpp"
+#include "apps/mis/mis.hpp"
+#include "apps/sp/survey.hpp"
+#include "apps/sssp/sssp.hpp"
+#include "control/factory.hpp"
+#include "graph/generators.hpp"
+#include "graph/weighted_graph.hpp"
+#include "rt/adaptive_executor.hpp"
+#include "rt/spec_executor.hpp"
+#include "support/rng.hpp"
+#include "verify/app_certs.hpp"
+
+namespace optipar::verify {
+
+const char* app_name(AppKind app) noexcept {
+  switch (app) {
+    case AppKind::kMis: return "mis";
+    case AppKind::kColoring: return "coloring";
+    case AppKind::kSssp: return "sssp";
+    case AppKind::kBoruvka: return "boruvka";
+    case AppKind::kMaxflow: return "maxflow";
+    case AppKind::kSp: return "sp";
+    case AppKind::kDmr: return "dmr";
+  }
+  return "unknown";
+}
+
+std::optional<AppKind> parse_app(std::string_view name) {
+  for (const AppKind app :
+       {AppKind::kMis, AppKind::kColoring, AppKind::kSssp, AppKind::kBoruvka,
+        AppKind::kMaxflow, AppKind::kSp, AppKind::kDmr}) {
+    if (name == app_name(app)) return app;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+RoundOptions options_for(sched::Backend backend) {
+  RoundOptions opts;
+  opts.scheduler = backend;
+  return opts;
+}
+
+/// Backend wiring shared by every graph kernel: chromatic needs the
+/// declared footprint, relaxed a priority (task id keeps runs
+/// deterministic and backend-comparable).
+void wire_backend(SpeculativeExecutor& ex, sched::Backend backend,
+                  sched::FootprintFn footprint) {
+  if (backend == sched::Backend::kChromatic) {
+    ex.set_footprint_function(std::move(footprint));
+  } else if (backend == sched::Backend::kRelaxed) {
+    ex.set_priority_function([](TaskId t) { return t; });
+  }
+}
+
+sched::FootprintFn closed_neighborhood(const CsrGraph& g) {
+  return [&g](TaskId t, std::vector<std::uint32_t>& fp) {
+    const auto v = static_cast<NodeId>(t);
+    fp.push_back(v);
+    for (const NodeId u : g.neighbors(v)) fp.push_back(u);
+  };
+}
+
+void push_all(SpeculativeExecutor& ex, std::size_t n) {
+  std::vector<TaskId> tasks(n);
+  std::iota(tasks.begin(), tasks.end(), TaskId{0});
+  ex.push_initial(tasks);
+}
+
+std::unique_ptr<Controller> make_run_controller(const AppRunOptions& opt) {
+  ControllerParams params;
+  params.rho = opt.rho;
+  params.m_max = std::max<std::uint32_t>(2, opt.nodes);
+  std::unique_ptr<Controller> controller =
+      make_controller(opt.controller, params);
+  if (controller == nullptr) {
+    throw std::invalid_argument("unknown controller: " + opt.controller);
+  }
+  return controller;
+}
+
+/// The harness certificate = completeness (drained, no lock leaks) THEN
+/// the app's answer certificate — so a run stopped by max_rounds refutes
+/// with kNotDrained instead of certifying a half-finished answer.
+Certificate completeness_then(SpeculativeExecutor& ex,
+                              const Certifier& app_cert) {
+  if (!ex.done()) {
+    Certificate cert;
+    cert.code = CertCode::kNotDrained;
+    cert.detail = std::to_string(ex.pending()) + " tasks still pending";
+    return cert;
+  }
+  if (const std::size_t leaked = ex.locks().owned_count(); leaked != 0) {
+    Certificate cert;
+    cert.code = CertCode::kLockLeak;
+    cert.detail = std::to_string(leaked) + " abstract locks still owned";
+    return cert;
+  }
+  Certificate cert = app_cert();
+  cert.checked += 2;  // the drain + lock-leak facts above
+  return cert;
+}
+
+/// Drive the stepper to completion and collect the common report fields.
+/// ensure_certified() covers the max_rounds exit, where step() never
+/// observes the finished state from a non-finished one.
+AppRunReport drive(SpeculativeExecutor& ex, Controller& controller,
+                   AdaptiveRunConfig config) {
+  AdaptiveRun run(ex, controller, std::move(config));
+  while (run.step()) {
+  }
+  run.ensure_certified();
+  AppRunReport report;
+  if (run.certificate().has_value()) report.certificate = *run.certificate();
+  report.trace = run.take_trace();
+  report.rounds = ex.totals().rounds;
+  report.launched = ex.totals().launched;
+  report.committed = ex.totals().committed;
+  report.aborted = ex.totals().aborted;
+  return report;
+}
+
+AdaptiveRunConfig base_config(const AppRunOptions& opt) {
+  AdaptiveRunConfig config;
+  config.max_rounds = opt.max_rounds;
+  return config;
+}
+
+AppRunReport run_mis(ThreadPool& pool, const AppRunOptions& opt) {
+  Rng rng(opt.seed);
+  const CsrGraph g =
+      gen::random_with_average_degree(opt.nodes, opt.degree, rng);
+  mis::MisState state(g.num_nodes());
+  SpeculativeExecutor ex(pool, g.num_nodes(),
+                         mis::make_mis_operator(g, state), opt.seed * 11 + 3,
+                         options_for(opt.scheduler));
+  wire_backend(ex, opt.scheduler, closed_neighborhood(g));
+  if (opt.telemetry != nullptr) ex.set_telemetry(opt.telemetry);
+  push_all(ex, g.num_nodes());
+  auto controller = make_run_controller(opt);
+  AdaptiveRunConfig config = base_config(opt);
+  config.certifier = [&ex, &g, &state] {
+    return completeness_then(ex, [&] { return certify_mis(g, state); });
+  };
+  AppRunReport report = drive(ex, *controller, std::move(config));
+  report.answer = static_cast<double>(state.in_set().size());
+  return report;
+}
+
+AppRunReport run_coloring(ThreadPool& pool, const AppRunOptions& opt) {
+  Rng rng(opt.seed);
+  const CsrGraph g =
+      gen::random_with_average_degree(opt.nodes, opt.degree, rng);
+  coloring::ColoringState state(g.num_nodes());
+  SpeculativeExecutor ex(pool, g.num_nodes(),
+                         coloring::make_coloring_operator(g, state),
+                         opt.seed * 11 + 3, options_for(opt.scheduler));
+  wire_backend(ex, opt.scheduler, closed_neighborhood(g));
+  if (opt.telemetry != nullptr) ex.set_telemetry(opt.telemetry);
+  push_all(ex, g.num_nodes());
+  auto controller = make_run_controller(opt);
+  AdaptiveRunConfig config = base_config(opt);
+  config.certifier = [&ex, &g, &state] {
+    return completeness_then(ex, [&] { return certify_coloring(g, state); });
+  };
+  AppRunReport report = drive(ex, *controller, std::move(config));
+  report.answer = static_cast<double>(state.colors_used());
+  return report;
+}
+
+AppRunReport run_sssp(ThreadPool& pool, const AppRunOptions& opt) {
+  Rng rng(opt.seed);
+  const CsrGraph base =
+      gen::random_with_average_degree(opt.nodes, opt.degree, rng);
+  std::vector<WeightedEdgeTriple> edges;
+  for (const auto& [u, v] : base.edges()) {
+    edges.push_back({u, v, rng.uniform() * 10.0 + 0.1});
+  }
+  const WeightedGraph g = WeightedGraph::from_edges(base.num_nodes(), edges);
+  const NodeId source = 0;
+  sssp::DistanceTable dist(g.num_nodes(), source);
+  SpeculativeExecutor ex(pool, g.num_nodes(),
+                         sssp::make_sssp_operator(g, dist), opt.seed * 11 + 3,
+                         options_for(opt.scheduler));
+  wire_backend(ex, opt.scheduler,
+               [&g](TaskId t, std::vector<std::uint32_t>& fp) {
+                 const auto v = static_cast<NodeId>(t);
+                 fp.push_back(v);
+                 for (const Arc& a : g.arcs(v)) fp.push_back(a.to);
+               });
+  if (opt.telemetry != nullptr) ex.set_telemetry(opt.telemetry);
+  push_all(ex, g.num_nodes());
+  auto controller = make_run_controller(opt);
+  AdaptiveRunConfig config = base_config(opt);
+  config.certifier = [&ex, &g, &dist, source] {
+    return completeness_then(
+        ex, [&] { return certify_sssp(g, source, dist.all()); });
+  };
+  AppRunReport report = drive(ex, *controller, std::move(config));
+  double reached = 0.0;
+  for (const double d : dist.all()) {
+    if (d != sssp::kUnreachable) reached += 1.0;
+  }
+  report.answer = reached;
+  return report;
+}
+
+AppRunReport run_boruvka(ThreadPool& pool, const AppRunOptions& opt) {
+  Rng rng(opt.seed);
+  const CsrGraph base =
+      gen::random_with_average_degree(opt.nodes, opt.degree, rng);
+  std::vector<boruvka::WeightedEdge> edges;
+  for (const auto& [u, v] : base.edges()) {
+    edges.push_back({u, v, rng.uniform() * 100.0 + 1e-3});
+  }
+  boruvka::ContractionGraph graph(base.num_nodes(), edges);
+  SpeculativeExecutor ex(pool, base.num_nodes(),
+                         boruvka::make_boruvka_operator(graph),
+                         opt.seed * 11 + 3, options_for(opt.scheduler));
+  // Live closed neighborhood in the contraction graph; the adjacency
+  // mutates as supernodes merge, so the standing coloring is invalidated
+  // before every round (a no-op on non-chromatic backends).
+  wire_backend(ex, opt.scheduler,
+               [&graph](TaskId t, std::vector<std::uint32_t>& fp) {
+                 const auto v = static_cast<NodeId>(t);
+                 fp.push_back(v);
+                 for (const auto& [x, w] : graph.adjacency(v)) {
+                   fp.push_back(x);
+                 }
+               });
+  if (opt.telemetry != nullptr) ex.set_telemetry(opt.telemetry);
+  push_all(ex, base.num_nodes());
+  auto controller = make_run_controller(opt);
+  AdaptiveRunConfig config = base_config(opt);
+  config.before_round = [](SpeculativeExecutor& e) {
+    e.invalidate_schedule();
+  };
+  const NodeId n = base.num_nodes();
+  config.certifier = [&ex, &graph, &edges, n] {
+    return completeness_then(ex, [&] {
+      return certify_boruvka(n, edges, graph.chosen_weight(),
+                             graph.chosen_count());
+    });
+  };
+  AppRunReport report = drive(ex, *controller, std::move(config));
+  report.answer = graph.chosen_weight();
+  return report;
+}
+
+AppRunReport run_maxflow(ThreadPool& pool, const AppRunOptions& opt) {
+  // Layered random network s -> L1 -> L2 -> t, width scaled from `nodes`.
+  const NodeId width = std::max<NodeId>(4, opt.nodes / 10);
+  const NodeId n = 2 * width + 2;
+  const NodeId s = 0;
+  const NodeId t = n - 1;
+  maxflow::FlowNetwork net(n);
+  Rng rng(opt.seed);
+  for (NodeId v = 1; v <= width; ++v) {
+    net.add_arc(s, v, rng.uniform() * 8.0 + 1.0);
+  }
+  for (NodeId v = 1; v <= width; ++v) {
+    for (int k = 0; k < 3; ++k) {
+      const NodeId w =
+          width + 1 + static_cast<NodeId>(rng.below(width));
+      net.add_arc(v, w, rng.uniform() * 6.0 + 0.5);
+    }
+  }
+  for (NodeId w = width + 1; w <= 2 * width; ++w) {
+    net.add_arc(w, t, rng.uniform() * 8.0 + 1.0);
+  }
+
+  maxflow::PushRelabelState state(n, s);
+  // Source-saturating preflow: the push-relabel starting point.
+  std::vector<TaskId> initial;
+  auto& source_arcs = net.arcs(s);
+  for (std::uint32_t i = 0; i < source_arcs.size(); ++i) {
+    auto& a = source_arcs[i];
+    if (a.capacity > 0.0) {
+      net.push(s, i, a.capacity);
+      state.set_excess(a.to, state.excess(a.to) + a.capacity);
+      state.set_excess(s, state.excess(s) - a.capacity);
+      if (a.to != t) initial.push_back(a.to);
+    }
+  }
+  SpeculativeExecutor ex(pool, n,
+                         maxflow::make_push_relabel_operator(net, state, s, t),
+                         opt.seed * 11 + 3, options_for(opt.scheduler));
+  wire_backend(ex, opt.scheduler,
+               [&net](TaskId task, std::vector<std::uint32_t>& fp) {
+                 const auto v = static_cast<NodeId>(task);
+                 fp.push_back(v);
+                 for (const auto& a : net.arcs(v)) fp.push_back(a.to);
+               });
+  if (opt.telemetry != nullptr) ex.set_telemetry(opt.telemetry);
+  ex.push_initial(initial);
+  auto controller = make_run_controller(opt);
+  AdaptiveRunConfig config = base_config(opt);
+  auto rounds_since = std::make_shared<int>(0);
+  config.before_round = [&net, &state, s, t,
+                         rounds_since](SpeculativeExecutor&) {
+    if (++*rounds_since >= 64) {
+      *rounds_since = 0;
+      maxflow::global_relabel(net, state, s, t);
+    }
+  };
+  config.certifier = [&ex, &net, &state, s, t] {
+    return completeness_then(
+        ex, [&] { return certify_maxflow(net, s, t, state.excess(t)); });
+  };
+  AppRunReport report = drive(ex, *controller, std::move(config));
+  report.answer = state.excess(t);
+  return report;
+}
+
+AppRunReport run_sp(ThreadPool& pool, const AppRunOptions& opt) {
+  // Ratio 2.0 keeps instances satisfiable w.h.p. (3-SAT threshold ~4.27),
+  // so a refuted certificate signals a runtime bug, not a hard instance.
+  Rng rng(opt.seed);
+  const sp::Formula formula =
+      sp::random_ksat(opt.nodes, opt.nodes * 2, 3, rng);
+  sp::SpConfig config;
+  config.scheduler = opt.scheduler;
+  auto controller = make_run_controller(opt);
+  const sp::SidResult result =
+      sp::solve_with_sid(formula, config, rng, controller.get(), &pool);
+  AppRunReport report;
+  report.certificate = run_certifier(
+      [&formula, &result] { return certify_sp(formula, result); },
+      opt.telemetry, result.trace.steps.size());
+  report.trace = result.trace;
+  report.rounds = report.trace.steps.size();
+  for (const StepRecord& step : report.trace.steps) {
+    report.launched += step.launched;
+    report.committed += step.committed;
+    report.aborted += step.aborted;
+  }
+  report.answer = result.satisfied ? 1.0 : 0.0;
+  return report;
+}
+
+AppRunReport run_dmr(ThreadPool& pool, const AppRunOptions& opt) {
+  Rng rng(opt.seed);
+  std::vector<dmr::Point2> pts;
+  pts.reserve(opt.nodes);
+  for (std::uint32_t i = 0; i < opt.nodes; ++i) {
+    pts.push_back({rng.uniform() * 100.0, rng.uniform() * 100.0});
+  }
+  dmr::Mesh mesh;
+  dmr::build_delaunay(mesh, pts, 16.0);
+  dmr::RefineQuality q;
+  q.min_angle_deg = 25.0;
+  q.min_edge = 2.0;
+  q.set_domain(pts);
+
+  SpeculativeExecutor ex(pool, mesh.num_triangle_slots(),
+                         dmr::make_refine_operator(mesh, q),
+                         opt.seed * 11 + 3, options_for(opt.scheduler));
+  // Declared footprint of a bad triangle: the Bowyer–Watson cavity + ring
+  // of BOTH candidate insertion points (circumcenter, centroid) — a
+  // superset of whatever refine_one ends up locking.
+  wire_backend(
+      ex, opt.scheduler,
+      [&mesh, q](TaskId task, std::vector<std::uint32_t>& fp) {
+        const auto t = static_cast<dmr::TriId>(task);
+        fp.push_back(t);
+        if (!dmr::is_bad(mesh, t, q)) return;
+        const auto add = [&fp](const dmr::CavityFootprint& c) {
+          for (const dmr::TriId tri : c.cavity) fp.push_back(tri);
+          for (const dmr::TriId tri : c.ring) fp.push_back(tri);
+        };
+        const dmr::Point2 center = mesh.circumcenter_of(t);
+        if (std::isfinite(center.x) && std::isfinite(center.y) &&
+            q.in_domain(center)) {
+          add(dmr::probe_cavity(mesh, center, t));
+        }
+        const dmr::Point2 centroid{
+            (mesh.corner(t, 0).x + mesh.corner(t, 1).x +
+             mesh.corner(t, 2).x) /
+                3.0,
+            (mesh.corner(t, 0).y + mesh.corner(t, 1).y +
+             mesh.corner(t, 2).y) /
+                3.0};
+        add(dmr::probe_cavity(mesh, centroid, t));
+      });
+  if (opt.telemetry != nullptr) ex.set_telemetry(opt.telemetry);
+  const std::vector<dmr::TriId> initial = dmr::bad_triangles(mesh, q);
+  std::vector<TaskId> tasks(initial.begin(), initial.end());
+  ex.push_initial(tasks);
+  auto controller = make_run_controller(opt);
+  AdaptiveRunConfig config = base_config(opt);
+  config.before_round = [&mesh](SpeculativeExecutor& e) {
+    e.grow_items(mesh.num_triangle_slots());
+    e.invalidate_schedule();
+  };
+  const std::uint64_t cert_seed = opt.seed ^ 0x5eedULL;
+  config.certifier = [&ex, &mesh, q, cert_seed] {
+    return completeness_then(ex, [&] {
+      return certify_mesh(mesh, q, dmr::kNumSuperVertices,
+                          /*spot_checks=*/64, cert_seed);
+    });
+  };
+  AppRunReport report = drive(ex, *controller, std::move(config));
+  report.answer = static_cast<double>(mesh.num_alive_triangles());
+  return report;
+}
+
+}  // namespace
+
+AppRunReport run_app_certified(AppKind app, ThreadPool& pool,
+                               const AppRunOptions& options) {
+  switch (app) {
+    case AppKind::kMis: return run_mis(pool, options);
+    case AppKind::kColoring: return run_coloring(pool, options);
+    case AppKind::kSssp: return run_sssp(pool, options);
+    case AppKind::kBoruvka: return run_boruvka(pool, options);
+    case AppKind::kMaxflow: return run_maxflow(pool, options);
+    case AppKind::kSp: return run_sp(pool, options);
+    case AppKind::kDmr: return run_dmr(pool, options);
+  }
+  throw std::invalid_argument("unknown app kind");
+}
+
+}  // namespace optipar::verify

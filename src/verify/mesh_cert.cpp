@@ -1,0 +1,73 @@
+#include <string>
+#include <vector>
+
+#include "apps/dmr/mesh.hpp"
+#include "apps/dmr/refine.hpp"
+#include "support/rng.hpp"
+#include "verify/app_certs.hpp"
+
+namespace optipar::verify {
+
+Certificate certify_mesh(const dmr::Mesh& mesh,
+                         const dmr::RefineQuality& quality,
+                         std::uint32_t skip_verts_below,
+                         std::size_t spot_checks, std::uint64_t seed) {
+  Certificate cert;
+  // 1. Structural invariants: CCW orientation, symmetric neighbor links,
+  // shared edges. A torn rollback of a cavity re-triangulation breaks
+  // these long before it breaks anything an application would notice.
+  ++cert.checked;
+  if (!mesh.validate()) {
+    cert.code = CertCode::kBadMesh;
+    cert.detail = "structural invariants violated (orientation/adjacency)";
+    return cert;
+  }
+  // 2. Termination claim: the refinement's whole contract is that no
+  // refinable-bad triangle survives the drain.
+  const std::vector<dmr::TriId> bad = dmr::bad_triangles(mesh, quality);
+  cert.checked += mesh.num_alive_triangles();
+  if (!bad.empty()) {
+    cert.code = CertCode::kStillBad;
+    cert.detail = std::to_string(bad.size()) +
+                  " bad triangles remain (first: triangle " +
+                  std::to_string(bad.front()) + ")";
+    return cert;
+  }
+  // 3. Delaunay spot checks: sampled alive triangles must pass the local
+  // empty-circumcircle test against each neighbor's opposite vertex.
+  // Triangles touching the synthetic super-triangle corners are exempt
+  // (their circumcircles legitimately swallow interior points).
+  const std::vector<dmr::TriId> alive = mesh.alive_triangles();
+  if (alive.empty()) return cert;
+  Rng rng(seed);
+  const std::size_t samples = std::min(spot_checks, alive.size());
+  const std::vector<std::uint32_t> picks = rng.sample_without_replacement(
+      static_cast<std::uint32_t>(alive.size()),
+      static_cast<std::uint32_t>(samples));
+  for (const std::uint32_t pick : picks) {
+    const dmr::TriId t = alive[pick];
+    const dmr::Triangle& tri = mesh.tri(t);
+    bool skip = false;
+    for (const dmr::PointId p : tri.v) skip = skip || p < skip_verts_below;
+    if (skip) continue;
+    for (int slot = 0; slot < 3; ++slot) {
+      const dmr::TriId nb = tri.nbr[slot];
+      if (nb == dmr::kNoNeighbor || !mesh.is_alive(nb)) continue;
+      const int back = mesh.slot_of_neighbor(nb, t);
+      if (back < 0) continue;  // validate() already vouched for adjacency
+      const dmr::PointId opposite = mesh.tri(nb).v[back];
+      if (opposite < skip_verts_below) continue;
+      ++cert.checked;
+      if (mesh.in_circumcircle(t, mesh.point(opposite))) {
+        cert.code = CertCode::kNotDelaunay;
+        cert.detail = "vertex " + std::to_string(opposite) +
+                      " lies inside the circumcircle of triangle " +
+                      std::to_string(t);
+        return cert;
+      }
+    }
+  }
+  return cert;
+}
+
+}  // namespace optipar::verify

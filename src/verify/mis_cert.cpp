@@ -1,0 +1,43 @@
+#include <string>
+
+#include "apps/mis/mis.hpp"
+#include "verify/app_certs.hpp"
+
+namespace optipar::verify {
+
+Certificate certify_mis(const CsrGraph& graph, const mis::MisState& state) {
+  Certificate cert;
+  const NodeId n = graph.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    ++cert.checked;
+    if (state.get(v) == mis::NodeState::kUndecided) {
+      cert.code = CertCode::kUndecidedNode;
+      cert.detail = "node " + std::to_string(v) + " never decided";
+      return cert;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const bool v_in = state.get(v) == mis::NodeState::kIn;
+    bool has_in_neighbor = false;
+    for (const NodeId u : graph.neighbors(v)) {
+      ++cert.checked;
+      const bool u_in = state.get(u) == mis::NodeState::kIn;
+      if (v_in && u_in) {
+        cert.code = CertCode::kNotIndependent;
+        cert.detail = "edge (" + std::to_string(v) + "," + std::to_string(u) +
+                      ") has both endpoints in the set";
+        return cert;
+      }
+      has_in_neighbor = has_in_neighbor || u_in;
+    }
+    if (!v_in && !has_in_neighbor) {
+      cert.code = CertCode::kNotMaximal;
+      cert.detail = "node " + std::to_string(v) +
+                    " is out but has no in-set neighbor";
+      return cert;
+    }
+  }
+  return cert;
+}
+
+}  // namespace optipar::verify

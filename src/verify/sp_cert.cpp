@@ -1,0 +1,47 @@
+#include <string>
+
+#include "apps/sp/formula.hpp"
+#include "apps/sp/survey.hpp"
+#include "verify/app_certs.hpp"
+
+namespace optipar::verify {
+
+Certificate certify_sp(const sp::Formula& formula,
+                       const sp::SidResult& result) {
+  Certificate cert;
+  if (!result.satisfied) {
+    cert.code = CertCode::kNotSatisfied;
+    cert.detail = "solver reported no satisfying assignment";
+    return cert;
+  }
+  ++cert.checked;
+  if (result.assignment.size() != formula.num_vars()) {
+    cert.code = CertCode::kBadAssignment;
+    cert.detail = "assignment covers " +
+                  std::to_string(result.assignment.size()) + " of " +
+                  std::to_string(formula.num_vars()) + " variables";
+    return cert;
+  }
+  ++cert.checked;
+  // Evaluate every clause directly rather than via is_satisfied_by, so the
+  // certificate can name the falsified clause.
+  for (std::uint32_t c = 0; c < formula.num_clauses(); ++c) {
+    ++cert.checked;
+    bool satisfied = false;
+    for (const sp::Literal& lit : formula.clause(c).literals) {
+      if ((result.assignment[lit.var] != 0) == lit.positive) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) {
+      cert.code = CertCode::kBadAssignment;
+      cert.detail = "clause " + std::to_string(c) +
+                    " is falsified by the claimed assignment";
+      return cert;
+    }
+  }
+  return cert;
+}
+
+}  // namespace optipar::verify

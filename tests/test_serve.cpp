@@ -358,6 +358,94 @@ TEST(Serve, DeadlineExpiryBecomesTimedOut) {
   server.wait();
 }
 
+TEST(Serve, DeadlineExpiredJobStillServesArtifacts) {
+  // Regression: a job cut down by its deadline (or cancelled) must still
+  // retain its partial trace and metrics for kArtifact retrieval — the
+  // observability of a failed run is worth the most.
+  const TestPaths paths("dlart");
+  ServerConfig config;
+  config.socket_path = paths.socket;
+  config.state_dir = paths.state;
+  config.threads = 1;
+  Server server(config);
+  server.start();
+
+  auto client = connect(paths);
+  (void)client.upload_graph("big", graph_text(10200, 50));
+  RunRequest req;
+  req.graph = "big";
+  req.timeout_ms = 1;
+  const auto result = client.run(req);
+  const auto* accepted = std::get_if<JobAcceptedReply>(&result);
+  ASSERT_NE(accepted, nullptr);
+  const auto status = client.wait_for_job(accepted->job, 5, 120000);
+  ASSERT_EQ(status.state, JobState::kTimedOut);
+
+  const auto trace = client.artifact(accepted->job, ArtifactKind::kTraceJsonl);
+  EXPECT_FALSE(trace.text.empty());
+  const auto metrics =
+      client.artifact(accepted->job, ArtifactKind::kMetricsJson);
+  EXPECT_FALSE(metrics.text.empty());
+
+  server.request_shutdown(false);
+  server.wait();
+}
+
+TEST(Serve, VerifyVerdictTravelsWithTheJobAndSurvivesRestart) {
+  const TestPaths paths("verify");
+  ServerConfig config;
+  config.socket_path = paths.socket;
+  config.state_dir = paths.state;
+  config.threads = 1;
+  Server server(config);
+  server.start();
+
+  auto client = connect(paths);
+  (void)client.upload_graph("g1", graph_text(96, 5));
+
+  RunRequest verified_req;
+  verified_req.graph = "g1";
+  verified_req.verify = true;
+  const auto v_result = client.run(verified_req);
+  const auto* v_accepted = std::get_if<JobAcceptedReply>(&v_result);
+  ASSERT_NE(v_accepted, nullptr);
+  const auto v_status = client.wait_for_job(v_accepted->job);
+  EXPECT_EQ(v_status.state, JobState::kDone);
+  EXPECT_EQ(v_status.verified, 1u);
+  EXPECT_EQ(v_status.cert, "ok");
+
+  RunRequest plain_req;
+  plain_req.graph = "g1";
+  const auto p_result = client.run(plain_req);
+  const auto* p_accepted = std::get_if<JobAcceptedReply>(&p_result);
+  ASSERT_NE(p_accepted, nullptr);
+  const auto p_status = client.wait_for_job(p_accepted->job);
+  EXPECT_EQ(p_status.state, JobState::kDone);
+  EXPECT_EQ(p_status.verified, 0u);
+  EXPECT_TRUE(p_status.cert.empty());
+
+  const auto info = client.server_status();
+  EXPECT_EQ(info.certified, 1u);
+  EXPECT_EQ(info.cert_failed, 0u);
+
+  server.request_shutdown(false);
+  server.wait();
+
+  // The verdict is durable in the WAL's kFinished record: a restarted
+  // daemon must answer status queries with the same certification fields.
+  Server next(config);
+  next.start();
+  auto client2 = connect(paths);
+  const auto replayed = client2.status(v_accepted->job);
+  EXPECT_EQ(replayed.state, JobState::kDone);
+  EXPECT_EQ(replayed.verified, 1u);
+  EXPECT_EQ(replayed.cert, "ok");
+  const auto info2 = client2.server_status();
+  EXPECT_EQ(info2.certified, 1u);
+  next.request_shutdown(false);
+  next.wait();
+}
+
 TEST(Serve, PoisonedJobIsQuarantinedWithoutHarmingNeighbors) {
   const TestPaths paths("poison");
   ServerConfig config;

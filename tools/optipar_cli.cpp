@@ -33,6 +33,13 @@
 //                       --crash-point=NAME --crash-round=N inject a
 //                       deliberate _Exit at a chosen durability step for
 //                       the crash-recovery harness; see DESIGN.md §11)
+//   optipar_cli run     --app=mis|coloring|sssp|boruvka|maxflow|sp|dmr
+//                       [--n=300 --d=8 --seed=1 --threads=4
+//                       --controller=hybrid --scheduler=...] (one real
+//                       application kernel end to end, result certified by
+//                       an independent checker — src/verify/; refuted
+//                       certificate => exit 8. `run` and `chaos` also take
+//                       --verify to certify the default workloads.)
 //   optipar_cli metrics [--format=prometheus|json] (run a small
 //                       deterministic workload with telemetry attached and
 //                       print the metrics export — the scrape surface demo)
@@ -90,6 +97,9 @@
 #include "support/telemetry/span_trace.hpp"
 #include "support/telemetry/telemetry.hpp"
 #include "support/thread_pool.hpp"
+#include "verify/certifier.hpp"
+#include "verify/executor_cert.hpp"
+#include "verify/harness.hpp"
 
 namespace {
 
@@ -106,6 +116,9 @@ enum ExitCode : int {
   kExitSnapshot = 4,  ///< SnapshotError: unusable checkpoint/snapshot state
   kExitLivelock = 5,  ///< LivelockError: no allocation can commit the work
   kExitDeadline = 6,  ///< --timeout-ms expired (JobInterrupted)
+  // 7 (overloaded) belongs to the optipar_serve client's admission
+  // rejection; skipped here so the two taxonomies never collide.
+  kExitCertification = 8,  ///< --verify: the result certificate was refuted
 };
 
 int usage() {
@@ -115,8 +128,11 @@ int usage() {
       " [--options]\n"
       "run with a subcommand and no options to see its parameters\n"
       "run/chaos accept --scheduler=random|chromatic|relaxed\n"
+      "run/chaos accept --verify (certify the result; refuted => exit 8);\n"
+      "run accepts --app=mis|coloring|sssp|boruvka|maxflow|sp|dmr for a\n"
+      "certified end-to-end kernel run\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 graph-io, 4 snapshot,"
-      " 5 livelock, 6 deadline\n";
+      " 5 livelock, 6 deadline, 8 certification\n";
   return kExitUsage;
 }
 
@@ -637,10 +653,33 @@ int cmd_chaos(const Options& opt) {
   const bool ok =
       state_ok && lock_leaks == 0 && (accounted || livelock) && !livelock;
 
+  // --verify: the same facts as the inline invariants, restated through the
+  // typed certifier so the verdict reaches telemetry (kCertify event,
+  // "certify" span) and the exit-code taxonomy. Oracle divergence that the
+  // drain certificate cannot see maps to kStateCorrupt.
+  const bool do_verify = opt.get_bool("verify", false);
+  std::optional<verify::Certificate> cert;
+  if (do_verify) {
+    cert = verify::run_certifier(
+        [&ex, &state_ok, tasks_n] {
+          verify::Certificate c = verify::certify_drained_run(ex, tasks_n);
+          if (c.ok() && !state_ok) {
+            c.code = verify::CertCode::kStateCorrupt;
+            c.detail = "cells diverge from the sequential oracle";
+          } else if (c.ok()) {
+            ++c.checked;  // the oracle comparison above
+          }
+          return c;
+        },
+        telemetry_requested(opt) ? &tel : nullptr,
+        static_cast<std::uint64_t>(trace.steps.size()));
+  }
+
   if (opt.has("metrics-out")) {
     MetricsRegistry reg;
     tel.export_metrics(reg);
     export_executor_metrics(reg, ex);
+    if (cert.has_value()) verify::export_certificate_metrics(reg, *cert);
     write_metrics_file(opt.get("metrics-out", ""), reg);
   }
   if (opt.has("trace-out")) {
@@ -667,8 +706,18 @@ int cmd_chaos(const Options& opt) {
             << " livelock=" << (livelock ? 1 : 0)
             << " lock_leaks=" << lock_leaks
             << " state=" << (state_ok ? "ok" : "corrupt")
-            << " verdict=" << (ok ? "pass" : "fail") << "\n";
-  return ok ? kExitOk : kExitError;
+            << " verdict=" << (ok ? "pass" : "fail");
+  if (do_verify) {
+    std::cout << " certified="
+              << (cert->ok() ? "ok" : verify::cert_code_name(cert->code));
+  }
+  std::cout << "\n";
+  if (!ok) return kExitError;
+  if (do_verify && !cert->ok()) {
+    std::cerr << "certification failed: " << cert->describe() << "\n";
+    return kExitCertification;
+  }
+  return kExitOk;
 }
 
 CrashPoint parse_crash_point(const std::string& name) {
@@ -681,7 +730,71 @@ CrashPoint parse_crash_point(const std::string& name) {
   throw std::invalid_argument("unknown --crash-point=" + name);
 }
 
+/// `run --app=<name>`: one of the seven application kernels end to end —
+/// generated input, adaptive speculative run on the chosen backend, and an
+/// ALWAYS-ON independent result certificate (verify/harness.hpp). One
+/// machine-parsable APPRUN summary line; a refuted certificate exits 8.
+int cmd_run_app(const Options& opt) {
+  const std::string name = opt.get("app", "");
+  const auto app = verify::parse_app(name);
+  if (!app) {
+    std::cerr << "unknown --app=" << name
+              << " (expected mis|coloring|sssp|boruvka|maxflow|sp|dmr)\n";
+    return kExitUsage;
+  }
+  const auto backend = parse_scheduler(opt);
+  if (!backend) return usage();
+
+  verify::AppRunOptions options;
+  options.nodes = static_cast<std::uint32_t>(opt.get_int("n", 300));
+  options.degree = static_cast<std::uint32_t>(opt.get_int("d", 8));
+  options.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+  options.scheduler = *backend;
+  options.controller = opt.get("controller", "hybrid");
+  options.rho = opt.get_double("rho", 0.25);
+  options.max_rounds =
+      static_cast<std::uint32_t>(opt.get_int("steps", 200000));
+
+  telemetry::RuntimeTelemetry tel;
+  tel.set_target_rho(options.rho);
+  if (telemetry_requested(opt)) options.telemetry = &tel;
+
+  ThreadPool pool(static_cast<std::size_t>(opt.get_int("threads", 4)));
+  const verify::AppRunReport report =
+      verify::run_app_certified(*app, pool, options);
+
+  if (opt.has("metrics-out")) {
+    MetricsRegistry reg;
+    tel.export_metrics(reg);
+    verify::export_certificate_metrics(reg, report.certificate);
+    write_metrics_file(opt.get("metrics-out", ""), reg);
+  }
+  if (opt.has("trace-out")) {
+    write_trace_file(opt.get("trace-out", ""), &report.trace,
+                     telemetry_requested(opt) ? &tel : nullptr);
+  }
+
+  const verify::Certificate& cert = report.certificate;
+  std::cout << "APPRUN app=" << verify::app_name(*app)
+            << " scheduler=" << sched::backend_name(*backend)
+            << " controller=" << options.controller
+            << " rounds=" << report.rounds
+            << " launched=" << report.launched
+            << " committed=" << report.committed
+            << " aborted=" << report.aborted
+            << " answer=" << report.answer
+            << " checked=" << cert.checked << " certified="
+            << (cert.ok() ? "ok" : verify::cert_code_name(cert.code))
+            << "\n";
+  if (!cert.ok()) {
+    std::cerr << "certification failed: " << cert.describe() << "\n";
+    return kExitCertification;
+  }
+  return kExitOk;
+}
+
 int cmd_run(const Options& opt) {
+  if (opt.has("app")) return cmd_run_app(opt);
   // The paper's closed loop on the REAL runtime (not the step simulator):
   // one task per graph node, each acquiring its closed neighborhood — so
   // two tasks conflict iff their nodes are adjacent, which is exactly the
@@ -780,11 +893,30 @@ int cmd_run(const Options& opt) {
     config.checkpoint = checkpoint.get();
   }
 
+  // --verify: certify the drained run (every task accounted for, no lock
+  // leaks) through the AdaptiveRun certify hook; the verdict lands in the
+  // telemetry stream (kCertify event + "certify" span) and the summary
+  // line, and a refuted certificate exits 8. Off-path stays byte-identical:
+  // the stepper below IS run_adaptive's loop.
+  const bool do_verify = opt.get_bool("verify", false);
+  if (do_verify) {
+    config.certifier = [&ex, total = static_cast<std::uint64_t>(
+                                 g.num_nodes())] {
+      return verify::certify_drained_run(ex, total);
+    };
+  }
+
   bool livelock = false;
   bool deadline_exceeded = false;
   Trace trace;
+  std::optional<verify::Certificate> cert;
   try {
-    trace = run_adaptive(ex, *controller, config);
+    AdaptiveRun run(ex, *controller, config);
+    while (run.step()) {
+    }
+    run.ensure_certified();
+    cert = run.certificate();
+    trace = run.take_trace();
   } catch (const LivelockError& e) {
     livelock = true;
     trace = e.partial_trace;
@@ -811,7 +943,17 @@ int cmd_run(const Options& opt) {
             << " wasted=" << trace.wasted_fraction()
             << " mean_r=" << trace.mean_conflict_ratio()
             << " drained=" << (ex.done() ? 1 : 0)
-            << " livelock=" << (livelock ? 1 : 0) << "\n";
+            << " livelock=" << (livelock ? 1 : 0);
+  if (do_verify) {
+    std::cout << " certified="
+              << (cert.has_value()
+                      ? (cert->ok() ? "ok" : verify::cert_code_name(cert->code))
+                      : "none");
+  }
+  std::cout << "\n";
+  if (do_verify && cert.has_value() && !cert->ok()) {
+    std::cerr << "certification failed: " << cert->describe() << "\n";
+  }
   if (opt.has("csv")) t.write_csv(opt.get("csv", "run.csv"));
   if (opt.has("metrics-out")) {
     MetricsRegistry reg;
@@ -827,6 +969,9 @@ int cmd_run(const Options& opt) {
   }
   if (livelock) return kExitLivelock;
   if (deadline_exceeded) return kExitDeadline;
+  if (do_verify && (!cert.has_value() || !cert->ok())) {
+    return kExitCertification;
+  }
   return kExitOk;
 }
 

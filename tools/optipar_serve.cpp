@@ -10,7 +10,8 @@
 //
 // Exit codes (shared taxonomy with optipar_cli, documented in README.md):
 //   0 ok · 1 runtime error · 2 usage · 3 graph I/O error · 4 snapshot/
-//   state error · 6 deadline exceeded · 7 overloaded (typed backpressure).
+//   state error · 6 deadline exceeded · 7 overloaded (typed backpressure)
+//   · 8 certification refuted (--verify job failed its result certificate).
 #include <csignal>
 #include <fstream>
 #include <iostream>
@@ -39,6 +40,7 @@ enum ExitCode : int {
   kExitSnapshot = 4,
   kExitDeadline = 6,
   kExitOverloaded = 7,
+  kExitCertification = 8,
 };
 
 int usage() {
@@ -52,7 +54,7 @@ int usage() {
       "  run     --socket=S --graph=NAME [--controller=hybrid] [--rho=R]\n"
       "          [--seed=N] [--steps=N] [--m0=N] [--m-max=N]\n"
       "          [--timeout-ms=N] [--checkpoint-every=N] [--wait]\n"
-      "          [--scheduler=random|chromatic|relaxed]\n"
+      "          [--scheduler=random|chromatic|relaxed] [--verify]\n"
       "          [--trace-out=F] [--trace-chrome=F] [--metrics-out=F]\n"
       "          (artifact flags require --wait)\n"
       "  estimate --socket=S --graph=NAME [--rho=R] [--trials=N]\n"
@@ -181,6 +183,10 @@ int print_submit(Client& client, const Client::SubmitResult& result,
             << " committed=" << status.committed << " pending="
             << status.pending << " mu=" << status.mu << " resumed="
             << (status.resumed ? 1 : 0);
+  if (status.verified != 0) {
+    std::cout << " verified=" << static_cast<int>(status.verified)
+              << " cert=\"" << status.cert << '"';
+  }
   if (!status.error.empty()) std::cout << " error=\"" << status.error << '"';
   std::cout << "\n";
   // Fetch any requested observability artifacts now that the job is
@@ -210,7 +216,9 @@ int print_submit(Client& client, const Client::SubmitResult& result,
     case JobState::kTimedOut:
       return kExitDeadline;
     default:
-      return kExitError;
+      // A refuted certificate is its own typed outcome, distinguishable
+      // from ordinary job failure by scripts.
+      return status.verified == 2 ? kExitCertification : kExitError;
   }
 }
 
@@ -227,6 +235,7 @@ int cmd_run(const Options& opt) {
   req.checkpoint_every =
       static_cast<std::uint32_t>(opt.get_int("checkpoint-every", 0));
   req.scheduler = opt.get("scheduler", "random");
+  req.verify = opt.get_bool("verify", false);
   if ((opt.has("trace-out") || opt.has("trace-chrome") ||
        opt.has("metrics-out")) &&
       !opt.get_bool("wait", false)) {
@@ -259,6 +268,10 @@ int cmd_status(const Options& opt) {
             << status.mean_r << " mu=" << status.mu << " resumed="
             << (status.resumed ? 1 : 0)
             << " scheduler=" << status.scheduler;
+  if (status.verified != 0) {
+    std::cout << " verified=" << static_cast<int>(status.verified)
+              << " cert=\"" << status.cert << '"';
+  }
   if (!status.error.empty()) std::cout << " error=\"" << status.error << '"';
   std::cout << "\n";
   return kExitOk;
@@ -326,7 +339,9 @@ int cmd_server_status(const Options& opt) {
             << info.submitted << " rejected=" << info.rejected
             << " completed=" << info.completed << " failed=" << info.failed
             << " cancelled=" << info.cancelled << " timed_out="
-            << info.timed_out << " resumed=" << info.resumed << " lanes="
+            << info.timed_out << " resumed=" << info.resumed
+            << " certified=" << info.certified
+            << " cert_failed=" << info.cert_failed << " lanes="
             << info.lanes << " draining=" << (info.draining ? 1 : 0)
             << "\n";
   return kExitOk;
